@@ -1,0 +1,323 @@
+//! The *GMM* baseline: a diagonal-covariance Gaussian mixture fitted by
+//! expectation–maximization.
+//!
+//! Following Shirazi et al. (the source of the paper's GMM/PCA-SVD rows in
+//! Table IV), the mixture is *unsupervised*: it is fitted on traffic that
+//! still contains unlabelled anomalies, and windows with low likelihood
+//! under the mixture are flagged.
+
+use icsad_dataset::Record;
+use icsad_linalg::stats::Standardizer;
+use icsad_linalg::Matrix;
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+use crate::detector::WindowDetector;
+use crate::window::{numeric_window_features, Windows};
+
+/// GMM hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GmmConfig {
+    /// Number of mixture components.
+    pub components: usize,
+    /// Maximum EM iterations.
+    pub max_iters: usize,
+    /// Convergence tolerance on the mean log-likelihood.
+    pub tolerance: f64,
+    /// Variance floor (standardized units).
+    pub variance_floor: f64,
+    /// Initialization seed.
+    pub seed: u64,
+}
+
+impl Default for GmmConfig {
+    fn default() -> Self {
+        GmmConfig {
+            components: 8,
+            max_iters: 100,
+            tolerance: 1e-5,
+            variance_floor: 1e-4,
+            seed: 0,
+        }
+    }
+}
+
+/// A fitted diagonal-covariance Gaussian mixture.
+#[derive(Debug, Clone)]
+pub struct Gmm {
+    standardizer: Standardizer,
+    weights: Vec<f64>,
+    means: Vec<Vec<f64>>,
+    variances: Vec<Vec<f64>>,
+    threshold: f64,
+}
+
+impl Gmm {
+    /// Fits the mixture on (possibly contaminated) training windows.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `train` is empty or the configuration is invalid.
+    pub fn fit_windows(train: &Windows, config: &GmmConfig) -> Result<Self, Box<dyn std::error::Error>> {
+        let features: Vec<Vec<f64>> = train.iter().map(numeric_window_features).collect();
+        Gmm::fit_vectors(&features, config)
+    }
+
+    /// Fits the mixture on raw feature vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `samples` is empty or `components == 0`.
+    pub fn fit_vectors(
+        samples: &[Vec<f64>],
+        config: &GmmConfig,
+    ) -> Result<Self, Box<dyn std::error::Error>> {
+        if samples.is_empty() {
+            return Err("gmm needs training samples".into());
+        }
+        if config.components == 0 {
+            return Err("gmm needs at least one component".into());
+        }
+        let dim = samples[0].len();
+        let flat: Vec<f64> = samples.iter().flatten().copied().collect();
+        let data = Matrix::from_vec(samples.len(), dim, flat)?;
+        let standardizer = Standardizer::fit(&data)?;
+        let x = standardizer.transform(&data);
+        let n = x.rows();
+        let k = config.components.min(n);
+
+        // Initialize means on random distinct samples, unit variances.
+        let mut rng = ChaCha12Rng::seed_from_u64(config.seed);
+        let mut idx: Vec<usize> = (0..n).collect();
+        for i in 0..k {
+            let j = rng.gen_range(i..n);
+            idx.swap(i, j);
+        }
+        let mut means: Vec<Vec<f64>> = idx[..k].iter().map(|&i| x.row(i).to_vec()).collect();
+        let mut variances = vec![vec![1.0f64; dim]; k];
+        let mut weights = vec![1.0 / k as f64; k];
+
+        let mut resp = vec![0.0f64; n * k];
+        let mut last_ll = f64::NEG_INFINITY;
+
+        for _ in 0..config.max_iters {
+            // E-step (log-space for stability).
+            let mut ll = 0.0;
+            for i in 0..n {
+                let xi = x.row(i);
+                let mut logp = vec![0.0f64; k];
+                for c in 0..k {
+                    logp[c] = weights[c].max(1e-300).ln()
+                        + diag_log_density(xi, &means[c], &variances[c]);
+                }
+                let max = logp.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+                let sum: f64 = logp.iter().map(|&l| (l - max).exp()).sum();
+                ll += max + sum.ln();
+                for c in 0..k {
+                    resp[i * k + c] = (logp[c] - max).exp() / sum;
+                }
+            }
+            ll /= n as f64;
+
+            // M-step.
+            for c in 0..k {
+                let nk: f64 = (0..n).map(|i| resp[i * k + c]).sum();
+                if nk < 1e-8 {
+                    // Re-seed a dead component on a random sample.
+                    let j = rng.gen_range(0..n);
+                    means[c] = x.row(j).to_vec();
+                    variances[c] = vec![1.0; dim];
+                    weights[c] = 1e-6;
+                    continue;
+                }
+                weights[c] = nk / n as f64;
+                for (d, mean) in means[c].iter_mut().enumerate() {
+                    *mean = (0..n).map(|i| resp[i * k + c] * x.row(i)[d]).sum::<f64>() / nk;
+                }
+                for d in 0..dim {
+                    let var: f64 = (0..n)
+                        .map(|i| {
+                            let diff = x.row(i)[d] - means[c][d];
+                            resp[i * k + c] * diff * diff
+                        })
+                        .sum::<f64>()
+                        / nk;
+                    variances[c][d] = var.max(config.variance_floor);
+                }
+            }
+            let wsum: f64 = weights.iter().sum();
+            for w in &mut weights {
+                *w /= wsum;
+            }
+
+            if (ll - last_ll).abs() < config.tolerance {
+                break;
+            }
+            last_ll = ll;
+        }
+
+        Ok(Gmm {
+            standardizer,
+            weights,
+            means,
+            variances,
+            threshold: f64::INFINITY,
+        })
+    }
+
+    /// Negative log-likelihood of a feature vector under the mixture.
+    pub fn neg_log_likelihood(&self, features: &[f64]) -> f64 {
+        let mut x = features.to_vec();
+        self.standardizer.transform_in_place(&mut x);
+        let mut logp = f64::NEG_INFINITY;
+        for ((w, mu), var) in self
+            .weights
+            .iter()
+            .zip(self.means.iter())
+            .zip(self.variances.iter())
+        {
+            let l = w.max(1e-300).ln() + diag_log_density(&x, mu, var);
+            logp = log_add(logp, l);
+        }
+        -logp
+    }
+
+    /// Number of components.
+    pub fn components(&self) -> usize {
+        self.weights.len()
+    }
+}
+
+fn diag_log_density(x: &[f64], mean: &[f64], var: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for ((xi, mi), vi) in x.iter().zip(mean.iter()).zip(var.iter()) {
+        let d = xi - mi;
+        acc += -0.5 * (d * d / vi + vi.ln() + (2.0 * std::f64::consts::PI).ln());
+    }
+    acc
+}
+
+fn log_add(a: f64, b: f64) -> f64 {
+    if a == f64::NEG_INFINITY {
+        return b;
+    }
+    let (hi, lo) = if a > b { (a, b) } else { (b, a) };
+    hi + (lo - hi).exp().ln_1p()
+}
+
+impl WindowDetector for Gmm {
+    fn name(&self) -> &'static str {
+        "GMM"
+    }
+
+    fn score(&self, window: &[Record]) -> f64 {
+        self.neg_log_likelihood(&numeric_window_features(window))
+    }
+
+    fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    fn set_threshold(&mut self, threshold: f64) {
+        self.threshold = threshold;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs(n: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                let c = if i % 2 == 0 { 0.0 } else { 8.0 };
+                vec![c + rng.gen::<f64>(), c + rng.gen::<f64>()]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fits_bimodal_data() {
+        let data = two_blobs(400, 1);
+        let gmm = Gmm::fit_vectors(
+            &data,
+            &GmmConfig {
+                components: 2,
+                ..GmmConfig::default()
+            },
+        )
+        .unwrap();
+        // Points in either blob are likely; a point between blobs is not.
+        let in_a = gmm.neg_log_likelihood(&[0.5, 0.5]);
+        let in_b = gmm.neg_log_likelihood(&[8.5, 8.5]);
+        let between = gmm.neg_log_likelihood(&[4.5, 4.5]);
+        assert!(between > in_a && between > in_b, "{in_a} {in_b} {between}");
+    }
+
+    #[test]
+    fn far_outliers_score_very_high() {
+        let data = two_blobs(300, 2);
+        let gmm = Gmm::fit_vectors(&data, &GmmConfig::default()).unwrap();
+        let inlier = gmm.neg_log_likelihood(&data[0]);
+        let outlier = gmm.neg_log_likelihood(&[100.0, -100.0]);
+        assert!(outlier > inlier + 10.0);
+    }
+
+    #[test]
+    fn weights_sum_to_one() {
+        let data = two_blobs(200, 3);
+        let gmm = Gmm::fit_vectors(&data, &GmmConfig::default()).unwrap();
+        let sum: f64 = gmm.weights.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert_eq!(gmm.components(), 8);
+    }
+
+    #[test]
+    fn component_count_capped_by_samples() {
+        let data = two_blobs(4, 4);
+        let gmm = Gmm::fit_vectors(
+            &data,
+            &GmmConfig {
+                components: 16,
+                ..GmmConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(gmm.components() <= 4);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(Gmm::fit_vectors(&[], &GmmConfig::default()).is_err());
+        let data = two_blobs(10, 5);
+        assert!(Gmm::fit_vectors(
+            &data,
+            &GmmConfig {
+                components: 0,
+                ..GmmConfig::default()
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn log_add_is_stable() {
+        assert!((log_add(0.0, 0.0) - std::f64::consts::LN_2).abs() < 1e-12);
+        assert_eq!(log_add(f64::NEG_INFINITY, -5.0), -5.0);
+        let big = log_add(-1000.0, -1000.0);
+        assert!((big - (-1000.0 + std::f64::consts::LN_2)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = two_blobs(100, 6);
+        let a = Gmm::fit_vectors(&data, &GmmConfig::default()).unwrap();
+        let b = Gmm::fit_vectors(&data, &GmmConfig::default()).unwrap();
+        assert_eq!(
+            a.neg_log_likelihood(&[1.0, 1.0]),
+            b.neg_log_likelihood(&[1.0, 1.0])
+        );
+    }
+}

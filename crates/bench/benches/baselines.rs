@@ -1,0 +1,46 @@
+//! Criterion bench: per-window scoring latency of the six Table IV
+//! baseline detectors.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use icsad_baselines::window::Windows;
+use icsad_baselines::{
+    BayesianNetwork, Gmm, IsolationForest, PcaSvd, Svdd, WindowBloomFilter, WindowDetector,
+};
+use icsad_dataset::{DatasetConfig, GasPipelineDataset};
+use icsad_features::{DiscretizationConfig, Discretizer};
+
+fn bench_baselines(c: &mut Criterion) {
+    let data = GasPipelineDataset::generate(&DatasetConfig {
+        total_packages: 12_000,
+        seed: 3,
+        attack_probability: 0.08,
+        ..DatasetConfig::default()
+    });
+    let split = data.split_chronological(0.6, 0.2);
+    let disc = Discretizer::fit(&DiscretizationConfig::paper_defaults(), split.train().records())
+        .expect("fit");
+    let train = Windows::over(split.train().records(), 4);
+    let test = Windows::over(split.test(), 4);
+
+    let detectors: Vec<Box<dyn WindowDetector>> = vec![
+        Box::new(WindowBloomFilter::fit_windows(disc.clone(), &train, 0.001).unwrap()),
+        Box::new(BayesianNetwork::fit_windows(disc.clone(), &train)),
+        Box::new(Svdd::fit_windows(&train, &Default::default()).unwrap()),
+        Box::new(IsolationForest::fit_windows(&train, 100, 256, 4).unwrap()),
+        Box::new(Gmm::fit_windows(&train, &Default::default()).unwrap()),
+        Box::new(PcaSvd::fit_windows(&train, 0.95).unwrap()),
+    ];
+
+    for det in &detectors {
+        let mut i = 0usize;
+        c.bench_function(&format!("score_window_{}", det.name()), |b| {
+            b.iter(|| {
+                i = (i + 1) % test.len();
+                black_box(det.score(black_box(test.window(i))))
+            })
+        });
+    }
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

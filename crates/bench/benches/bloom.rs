@@ -1,0 +1,42 @@
+//! Criterion bench: Bloom filter insert and lookup — the package-level hot
+//! path of Fig. 3 (the paper's constant-time, light-weight first stage).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use icsad_bloom::BloomFilter;
+
+fn bench_bloom(c: &mut Criterion) {
+    let signatures: Vec<String> = (0..1000)
+        .map(|i| format!("{}~{}~{}~{}~{}", i % 3, i % 7, i % 20, i % 11, i % 33))
+        .collect();
+
+    c.bench_function("bloom_insert_613_sigs", |b| {
+        b.iter(|| {
+            let mut f = BloomFilter::with_capacity(613, 0.001).unwrap();
+            for s in signatures.iter().take(613) {
+                f.insert(black_box(s));
+            }
+            f
+        })
+    });
+
+    let mut filter = BloomFilter::with_capacity(613, 0.001).unwrap();
+    for s in signatures.iter().take(613) {
+        filter.insert(s);
+    }
+    let mut i = 0usize;
+    c.bench_function("bloom_lookup_hit", |b| {
+        b.iter(|| {
+            i = (i + 1) % 613;
+            black_box(filter.contains(black_box(&signatures[i])))
+        })
+    });
+    c.bench_function("bloom_lookup_miss", |b| {
+        b.iter(|| black_box(filter.contains(black_box("99~99~99~99~99"))))
+    });
+    c.bench_function("bloom_serialize", |b| {
+        b.iter(|| black_box(filter.to_bytes()))
+    });
+}
+
+criterion_group!(benches, bench_bloom);
+criterion_main!(benches);

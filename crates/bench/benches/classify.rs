@@ -1,0 +1,52 @@
+//! Criterion bench: per-package classification latency of the combined
+//! framework — the paper's "0.03 ms per classification" claim (§VIII-A).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use icsad_core::experiment::{train_framework, ExperimentConfig};
+use icsad_core::timeseries::TimeSeriesTrainingConfig;
+use icsad_dataset::{DatasetConfig, GasPipelineDataset};
+
+fn bench_classify(c: &mut Criterion) {
+    let data = GasPipelineDataset::generate(&DatasetConfig {
+        total_packages: 20_000,
+        seed: 2,
+        attack_probability: 0.08,
+        ..DatasetConfig::default()
+    });
+    let split = data.split_chronological(0.6, 0.2);
+    let trained = train_framework(
+        &split,
+        &ExperimentConfig {
+            timeseries: TimeSeriesTrainingConfig {
+                hidden_dims: vec![64, 64],
+                epochs: 2, // latency does not depend on training quality
+                ..TimeSeriesTrainingConfig::default()
+            },
+            ..ExperimentConfig::default()
+        },
+    )
+    .expect("train framework");
+    let detector = trained.detector;
+    let test = split.test();
+
+    // Full pipeline: discretize -> bloom -> LSTM top-k -> feedback.
+    let mut state = detector.begin();
+    let mut i = 0usize;
+    c.bench_function("combined_classify_per_package", |b| {
+        b.iter(|| {
+            i = (i + 1) % test.len();
+            black_box(detector.classify(&mut state, black_box(&test[i])))
+        })
+    });
+
+    // Package level only (the Bloom fast path).
+    c.bench_function("package_level_classify", |b| {
+        b.iter(|| {
+            i = (i + 1) % test.len();
+            black_box(detector.package_level().is_anomalous(black_box(&test[i])))
+        })
+    });
+}
+
+criterion_group!(benches, bench_classify);
+criterion_main!(benches);

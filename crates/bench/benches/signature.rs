@@ -1,0 +1,57 @@
+//! Criterion bench: feature discretization and signature generation
+//! throughput (the `x → c → s(x)` transformation of §IV-A).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use icsad_dataset::{DatasetConfig, GasPipelineDataset};
+use icsad_features::{DiscretizationConfig, Discretizer};
+
+fn bench_signature(c: &mut Criterion) {
+    let data = GasPipelineDataset::generate(&DatasetConfig {
+        total_packages: 4_000,
+        seed: 1,
+        attack_probability: 0.0,
+        ..DatasetConfig::default()
+    });
+    let records = data.records();
+    let disc =
+        Discretizer::fit(&DiscretizationConfig::paper_defaults(), records).expect("fit");
+
+    let mut i = 0usize;
+    c.bench_function("discretize_one_package", |b| {
+        b.iter(|| {
+            i = (i + 1) % records.len();
+            black_box(disc.discretize(black_box(&records[i])))
+        })
+    });
+
+    c.bench_function("signature_one_package", |b| {
+        b.iter(|| {
+            i = (i + 1) % records.len();
+            black_box(disc.signature(black_box(&records[i])))
+        })
+    });
+
+    let mut group = c.benchmark_group("signature_throughput");
+    group.throughput(Throughput::Elements(records.len() as u64));
+    group.bench_function("4000_packages", |b| {
+        b.iter(|| {
+            for r in records {
+                black_box(disc.signature(r));
+            }
+        })
+    });
+    group.finish();
+
+    c.bench_function("fit_discretizer_2400_packages", |b| {
+        b.iter(|| {
+            Discretizer::fit(
+                &DiscretizationConfig::paper_defaults(),
+                black_box(&records[..2_400]),
+            )
+            .expect("fit")
+        })
+    });
+}
+
+criterion_group!(benches, bench_signature);
+criterion_main!(benches);

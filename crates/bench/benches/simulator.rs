@@ -1,0 +1,53 @@
+//! Criterion bench: traffic generation and feature extraction throughput —
+//! the substrate cost behind every experiment.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use icsad_dataset::extract::{extract_records, DEFAULT_CRC_WINDOW};
+use icsad_modbus::pipeline::{encode_write_command, PipelineState};
+use icsad_modbus::Frame;
+use icsad_simulator::traffic::{TrafficConfig, TrafficGenerator};
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("traffic_generation");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("generate_10k_packets", |b| {
+        b.iter(|| {
+            let mut gen = TrafficGenerator::new(TrafficConfig {
+                seed: 1,
+                attack_probability: 0.08,
+                ..TrafficConfig::default()
+            });
+            black_box(gen.generate(10_000))
+        })
+    });
+    group.finish();
+
+    let mut gen = TrafficGenerator::new(TrafficConfig {
+        seed: 2,
+        attack_probability: 0.08,
+        ..TrafficConfig::default()
+    });
+    let packets = gen.generate(10_000);
+    let mut group = c.benchmark_group("feature_extraction");
+    group.throughput(Throughput::Elements(packets.len() as u64));
+    group.bench_function("extract_10k_records", |b| {
+        b.iter(|| black_box(extract_records(black_box(&packets), DEFAULT_CRC_WINDOW)))
+    });
+    group.finish();
+
+    // Wire-level primitives.
+    let state = PipelineState::default();
+    c.bench_function("modbus_encode_write_command", |b| {
+        b.iter(|| black_box(encode_write_command(4, black_box(&state)).encode()))
+    });
+    let wire = encode_write_command(4, &state).encode();
+    c.bench_function("modbus_decode_frame", |b| {
+        b.iter(|| black_box(Frame::decode(black_box(&wire)).unwrap()))
+    });
+    c.bench_function("crc16_25_bytes", |b| {
+        b.iter(|| black_box(icsad_modbus::crc::crc16(black_box(&wire))))
+    });
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

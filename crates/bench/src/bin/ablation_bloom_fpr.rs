@@ -1,0 +1,46 @@
+//! Ablation: the Bloom filter's false-positive budget vs memory and
+//! detection performance (paper §IV-C: "the trade-off between the false
+//! positive rate and the memory requirement can be controlled by tuning the
+//! parameters m and k").
+//!
+//! A Bloom *false positive* means an unseen (anomalous) signature aliases a
+//! stored one — it costs detection recall, not precision.
+
+use icsad_bench::{banner, print_table, BenchScale};
+use icsad_core::metrics::ClassificationReport;
+use icsad_core::package::PackageLevelDetector;
+use icsad_features::{DiscretizationConfig, Discretizer, SignatureVocabulary};
+
+fn main() {
+    let scale = BenchScale::from_env();
+    banner("Ablation — Bloom filter false-positive budget", &scale);
+
+    let split = scale.split();
+    let disc = Discretizer::fit(&DiscretizationConfig::paper_defaults(), split.train().records())
+        .expect("fit discretizer");
+    let vocab = SignatureVocabulary::build(&disc, split.train().records());
+    println!("|S| = {} signatures\n", vocab.len());
+
+    let mut rows = Vec::new();
+    for fpr in [0.1f64, 0.01, 0.001, 0.0001] {
+        let det = PackageLevelDetector::train(&disc, &vocab, fpr).expect("train detector");
+        let mut report = ClassificationReport::default();
+        for r in split.test() {
+            report.record(r.label, det.is_anomalous(r));
+        }
+        rows.push(vec![
+            format!("{fpr}"),
+            format!("{:.2} KB", det.memory_bytes() as f64 / 1024.0),
+            format!("{:.3}", report.precision()),
+            format!("{:.3}", report.recall()),
+            format!("{:.3}", report.f1_score()),
+        ]);
+    }
+    print_table(
+        &["bloom fpr", "memory", "precision", "recall", "F1"],
+        &rows,
+    );
+    println!(
+        "\nexpected shape: memory shrinks with looser budgets while recall decays\nonly at very loose budgets (aliased anomalies slip through); precision\nis unaffected (no false negatives in a Bloom filter)."
+    );
+}

@@ -1,0 +1,42 @@
+//! Ablation: LSTM depth and width (the paper uses 2×256 and names
+//! convolutional LSTMs as future work). Sweeps stack shapes and reports
+//! validation top-k error, test F1 and cost.
+
+use icsad_bench::{banner, print_table, BenchScale};
+use icsad_core::experiment::train_framework;
+
+fn main() {
+    let scale = BenchScale::from_env();
+    banner("Ablation — LSTM architecture sweep", &scale);
+
+    let split = scale.split();
+    let mut rows = Vec::new();
+    for hidden in [vec![16], vec![64], vec![64, 64], vec![128, 128]] {
+        let mut config = scale.experiment_config(true);
+        config.timeseries.hidden_dims = hidden.clone();
+        let t0 = std::time::Instant::now();
+        let trained = train_framework(&split, &config).expect("train framework");
+        let train_time = t0.elapsed();
+        let report = trained.evaluate(split.test());
+        rows.push(vec![
+            format!("{hidden:?}"),
+            trained.chosen_k.to_string(),
+            format!("{:.3}", trained.validation_topk_curve[3]),
+            format!("{:.3}", report.precision()),
+            format!("{:.3}", report.recall()),
+            format!("{:.3}", report.f1_score()),
+            format!(
+                "{:.0} KB",
+                trained.detector.time_series_level().memory_bytes() as f64 / 1024.0
+            ),
+            format!("{train_time:.1?}"),
+        ]);
+    }
+    print_table(
+        &["hidden dims", "k", "val err_4", "precision", "recall", "F1", "memory", "train time"],
+        &rows,
+    );
+    println!(
+        "\nexpected shape: quality saturates once the network can model the\n4-packet cycle plus operating-mode context; beyond that, memory and\ntraining cost grow without detection gains (why the paper's 2×256 is\ncomfortable rather than necessary)."
+    );
+}

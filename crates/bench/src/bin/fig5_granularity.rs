@@ -1,0 +1,85 @@
+//! Figure 5: validation error as a function of the discretization
+//! granularity of the two free continuous features (pressure measurement
+//! bins × set point bins), plus the optimal choice under the θ = 0.03
+//! budget with pressure weighted over set point — reproducing the paper's
+//! selection of (20, 10).
+
+use icsad_bench::{banner, print_table, BenchScale};
+use icsad_features::granularity::{select, sweep};
+use icsad_features::DiscretizationConfig;
+
+fn main() {
+    let scale = BenchScale::from_env();
+    banner("Figure 5 — validation error vs discretization granularity", &scale);
+
+    let split = scale.split();
+    let train = split.train().records();
+    let validation = split.validation().records();
+    println!(
+        "train {} / validation {} packages\n",
+        train.len(),
+        validation.len()
+    );
+
+    let pressure_grid = [5usize, 10, 20, 40, 80];
+    let setpoint_grid = [2usize, 5, 10, 20, 40];
+    let points = sweep(
+        &DiscretizationConfig::paper_defaults(),
+        train,
+        validation,
+        &pressure_grid,
+        &setpoint_grid,
+    )
+    .expect("granularity sweep");
+
+    // Error surface.
+    let mut rows = Vec::new();
+    for &p in &pressure_grid {
+        let mut row = vec![format!("pressure={p}")];
+        for &s in &setpoint_grid {
+            let pt = points
+                .iter()
+                .find(|x| x.pressure_bins == p && x.setpoint_bins == s)
+                .unwrap();
+            row.push(format!("{:.4}", pt.error));
+        }
+        rows.push(row);
+    }
+    let headers: Vec<String> = std::iter::once("err_v".to_string())
+        .chain(setpoint_grid.iter().map(|s| format!("sp={s}")))
+        .collect();
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    print_table(&header_refs, &rows);
+
+    // Signature-database sizes.
+    println!();
+    let mut rows = Vec::new();
+    for &p in &pressure_grid {
+        let mut row = vec![format!("pressure={p}")];
+        for &s in &setpoint_grid {
+            let pt = points
+                .iter()
+                .find(|x| x.pressure_bins == p && x.setpoint_bins == s)
+                .unwrap();
+            row.push(pt.signatures.to_string());
+        }
+        rows.push(row);
+    }
+    let headers: Vec<String> = std::iter::once("|S|".to_string())
+        .chain(setpoint_grid.iter().map(|s| format!("sp={s}")))
+        .collect();
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    print_table(&header_refs, &rows);
+
+    // The paper's selection rule: argmax w·n subject to err < θ, with the
+    // pressure granularity weighted as more important than the set point's.
+    let theta = 0.03;
+    println!("\nselection (θ = {theta}, w_pressure = 2, w_setpoint = 1):");
+    match select(&points, 2.0, 1.0, theta) {
+        Some(best) => println!(
+            "  chosen granularity: pressure {} bins, setpoint {} bins (err_v = {:.4}, |S| = {})\n  paper's choice:     pressure 20 bins, setpoint 10 bins (err_v < 0.03, |S| = 613)",
+            best.pressure_bins, best.setpoint_bins, best.error, best.signatures
+        ),
+        None => println!("  no granularity meets θ = {theta} at this capture size; rerun with more ICSAD_PACKAGES"),
+    }
+}

@@ -1,0 +1,61 @@
+//! Table III: the feature discretization strategies, with the achieved
+//! cluster counts and validation error measured on a generated capture.
+
+use icsad_bench::{banner, print_table, BenchScale};
+use icsad_features::granularity::validation_error;
+use icsad_features::{DiscretizationConfig, Discretizer, SignatureVocabulary};
+
+fn main() {
+    let scale = BenchScale::from_env();
+    banner("Table III — feature discretization strategies", &scale);
+
+    let split = scale.split();
+    let config = DiscretizationConfig::paper_defaults();
+    let disc = Discretizer::fit(&config, split.train().records()).expect("fit discretizer");
+    let cards = disc.cardinalities();
+
+    let rows = vec![
+        vec![
+            "time interval".into(),
+            "Kmeans clustering".into(),
+            format!("{}+1", config.time_interval_clusters),
+            cards[4].to_string(),
+        ],
+        vec![
+            "crc rate".into(),
+            "Kmeans clustering".into(),
+            format!("{}+1", config.crc_rate_clusters),
+            cards[5].to_string(),
+        ],
+        vec![
+            "pressure measurement".into(),
+            "Even interval partition".into(),
+            format!("{}+1", config.pressure_bins),
+            cards[7].to_string(),
+        ],
+        vec![
+            "setpoint".into(),
+            "Even interval partition".into(),
+            format!("{}+1", config.setpoint_bins),
+            cards[6].to_string(),
+        ],
+        vec![
+            "PID parameters (5 jointly)".into(),
+            "Kmeans clustering".into(),
+            format!("{}+1", config.pid_clusters),
+            cards[8].to_string(),
+        ],
+    ];
+    print_table(
+        &["feature", "discretization method", "value no. (paper)", "achieved cardinality*"],
+        &rows,
+    );
+    println!("* achieved cardinality includes the out-of-range sentinel and, for payload\n  features, the 'absent' category for packages that do not carry the field.\n  K-means caps at the number of distinct training values (the operator model\n  uses a finite set of PID presets, so the PID clustering saturates early).");
+
+    let vocab = SignatureVocabulary::build(&disc, split.train().records());
+    let (err, _) = validation_error(&config, split.train().records(), split.validation().records())
+        .expect("validation error");
+    println!();
+    println!("signature database size |S|: {} (paper: 613)", vocab.len());
+    println!("validation error at this granularity: {err:.4} (paper: < 0.03)");
+}

@@ -1,0 +1,120 @@
+//! Table IV: performance comparison of the combined framework against the
+//! six baseline detectors on the same capture.
+//!
+//! Protocol (paper §VIII-C): baselines consume 4-package command–response
+//! windows; BF/BN/SVDD/IF train on anomaly-free data; GMM and PCA-SVD are
+//! unsupervised (trained with anomalies left in, unlabelled). Score-based
+//! baselines are calibrated on the validation set; the framework uses its
+//! validation-chosen k.
+
+use icsad_baselines::window::{window_label, Windows};
+use icsad_baselines::{
+    calibrate_fpr, BayesianNetwork, Gmm, IsolationForest, PcaSvd, Svdd, WindowBloomFilter,
+    WindowDetector,
+};
+use icsad_bench::{banner, print_table, BenchScale};
+use icsad_core::experiment::train_framework;
+use icsad_core::metrics::ClassificationReport;
+use icsad_features::{DiscretizationConfig, Discretizer};
+
+fn window_report(det: &dyn WindowDetector, windows: &Windows) -> ClassificationReport {
+    let mut report = ClassificationReport::default();
+    for w in windows.iter() {
+        report.record(window_label(w), det.is_anomalous(w));
+    }
+    report
+}
+
+fn main() {
+    let scale = BenchScale::from_env();
+    banner("Table IV — performance comparison with other models", &scale);
+
+    let split = scale.split();
+    let disc = Discretizer::fit(&DiscretizationConfig::paper_defaults(), split.train().records())
+        .expect("fit discretizer");
+
+    // --- the framework ---
+    println!("training the combined framework...");
+    let t0 = std::time::Instant::now();
+    let trained = train_framework(&split, &scale.experiment_config(true)).expect("train framework");
+    println!(
+        "  done in {:?} (|S| = {}, k = {})",
+        t0.elapsed(),
+        trained.signature_count,
+        trained.chosen_k
+    );
+    let framework = trained.evaluate(split.test());
+
+    // --- baselines on 4-package windows ---
+    let train_w = Windows::over(split.train().records(), 4);
+    let val_w = Windows::over(split.validation().records(), 4);
+    let test_w = Windows::over(split.test(), 4);
+    // GMM and PCA-SVD are unsupervised: they see the contaminated capture
+    // (train + validation portion of the raw records, attacks included).
+    let contaminated_len = (scale.total_packages as f64 * 0.8) as usize;
+    let dataset = scale.dataset();
+    let contaminated = Windows::over(&dataset.records()[..contaminated_len], 4);
+
+    println!("training baselines...");
+    let mut reports: Vec<(String, ClassificationReport)> = Vec::new();
+
+    let bf = WindowBloomFilter::fit_windows(disc.clone(), &train_w, 0.001).expect("window BF");
+    reports.push(("BF".into(), window_report(&bf, &test_w)));
+
+    let mut bn = BayesianNetwork::fit_windows(disc.clone(), &train_w);
+    calibrate_fpr(&mut bn, &val_w, 0.02);
+    reports.push(("BN".into(), window_report(&bn, &test_w)));
+
+    let mut svdd = Svdd::fit_windows(&train_w, &Default::default()).expect("SVDD");
+    calibrate_fpr(&mut svdd, &val_w, 0.02);
+    reports.push(("SVDD".into(), window_report(&svdd, &test_w)));
+
+    let mut iforest = IsolationForest::fit_windows(&train_w, 100, 256, scale.seed).expect("IF");
+    calibrate_fpr(&mut iforest, &val_w, 0.02);
+    reports.push(("IF".into(), window_report(&iforest, &test_w)));
+
+    let mut gmm = Gmm::fit_windows(&contaminated, &Default::default()).expect("GMM");
+    calibrate_fpr(&mut gmm, &val_w, 0.05);
+    reports.push(("GMM".into(), window_report(&gmm, &test_w)));
+
+    let mut pca = PcaSvd::fit_windows(&contaminated, 0.95).expect("PCA-SVD");
+    calibrate_fpr(&mut pca, &val_w, 0.05);
+    reports.push(("PCA-SVD".into(), window_report(&pca, &test_w)));
+
+    // --- the table ---
+    println!();
+    let paper: &[(&str, [f64; 4])] = &[
+        ("Our framework", [0.94, 0.78, 0.92, 0.85]),
+        ("BF", [0.97, 0.59, 0.87, 0.73]),
+        ("BN", [0.97, 0.59, 0.87, 0.73]),
+        ("SVDD", [0.95, 0.21, 0.76, 0.34]),
+        ("IF", [0.51, 0.13, 0.70, 0.20]),
+        ("GMM", [0.79, 0.44, 0.45, 0.59]),
+        ("PCA-SVD", [0.65, 0.28, 0.17, 0.27]),
+    ];
+    let mut rows = Vec::new();
+    let fmt_row = |name: &str, r: &ClassificationReport, paper: &[f64; 4]| {
+        vec![
+            name.to_string(),
+            format!("{:.2}", r.precision()),
+            format!("{:.2}", r.recall()),
+            format!("{:.2}", r.accuracy()),
+            format!("{:.2}", r.f1_score()),
+            format!(
+                "{:.2}/{:.2}/{:.2}/{:.2}",
+                paper[0], paper[1], paper[2], paper[3]
+            ),
+        ]
+    };
+    rows.push(fmt_row("Our framework", &framework, &paper[0].1));
+    for ((name, report), (_, p)) in reports.iter().zip(paper.iter().skip(1)) {
+        rows.push(fmt_row(name, report, p));
+    }
+    print_table(
+        &["model", "precision", "recall", "accuracy", "F1-score", "paper (P/R/A/F1)"],
+        &rows,
+    );
+    println!(
+        "\nframework scored per package; baselines per 4-package window (paper\nprotocol). Expected shape: the framework leads on F1 and recall; BF≈BN;\nSVDD/IF weak on hybrid data; unsupervised GMM/PCA-SVD in between."
+    );
+}

@@ -1,0 +1,104 @@
+//! Table V: the detected ratio (recall) of anomalous packages per attack
+//! type, for the framework and all six baselines.
+
+use icsad_baselines::window::{window_label, Windows};
+use icsad_baselines::{
+    calibrate_fpr, BayesianNetwork, Gmm, IsolationForest, PcaSvd, Svdd, WindowBloomFilter,
+    WindowDetector,
+};
+use icsad_bench::{banner, fmt_ratio, print_table, BenchScale};
+use icsad_core::experiment::train_framework;
+use icsad_core::metrics::PerAttackRecall;
+use icsad_features::{DiscretizationConfig, Discretizer};
+use icsad_simulator::AttackType;
+
+fn per_attack(det: &dyn WindowDetector, windows: &Windows) -> PerAttackRecall {
+    let mut recall = PerAttackRecall::default();
+    for w in windows.iter() {
+        if let Some(ty) = window_label(w) {
+            recall.record(ty, det.is_anomalous(w));
+        }
+    }
+    recall
+}
+
+fn main() {
+    let scale = BenchScale::from_env();
+    banner("Table V — detected ratio per attack type", &scale);
+
+    let split = scale.split();
+    let disc = Discretizer::fit(&DiscretizationConfig::paper_defaults(), split.train().records())
+        .expect("fit discretizer");
+
+    println!("training the combined framework...");
+    let trained = train_framework(&split, &scale.experiment_config(true)).expect("train framework");
+    let framework = trained.evaluate(split.test()).per_attack;
+
+    let train_w = Windows::over(split.train().records(), 4);
+    let val_w = Windows::over(split.validation().records(), 4);
+    let test_w = Windows::over(split.test(), 4);
+    let contaminated_len = (scale.total_packages as f64 * 0.8) as usize;
+    let dataset = scale.dataset();
+    let contaminated = Windows::over(&dataset.records()[..contaminated_len], 4);
+
+    println!("training baselines...");
+    let bf = WindowBloomFilter::fit_windows(disc.clone(), &train_w, 0.001).expect("window BF");
+    let mut bn = BayesianNetwork::fit_windows(disc.clone(), &train_w);
+    calibrate_fpr(&mut bn, &val_w, 0.02);
+    let mut svdd = Svdd::fit_windows(&train_w, &Default::default()).expect("SVDD");
+    calibrate_fpr(&mut svdd, &val_w, 0.02);
+    let mut iforest = IsolationForest::fit_windows(&train_w, 100, 256, scale.seed).expect("IF");
+    calibrate_fpr(&mut iforest, &val_w, 0.02);
+    let mut gmm = Gmm::fit_windows(&contaminated, &Default::default()).expect("GMM");
+    calibrate_fpr(&mut gmm, &val_w, 0.05);
+    let mut pca = PcaSvd::fit_windows(&contaminated, 0.95).expect("PCA-SVD");
+    calibrate_fpr(&mut pca, &val_w, 0.05);
+
+    let baselines: Vec<(&str, PerAttackRecall)> = vec![
+        ("BF", per_attack(&bf, &test_w)),
+        ("BN", per_attack(&bn, &test_w)),
+        ("SVDD", per_attack(&svdd, &test_w)),
+        ("IF", per_attack(&iforest, &test_w)),
+        ("GMM", per_attack(&gmm, &test_w)),
+        ("PCA-SVD", per_attack(&pca, &test_w)),
+    ];
+
+    // Paper's Table V for reference.
+    let paper: [(&str, [f64; 7]); 7] = [
+        ("Our framework", [0.88, 0.67, 0.62, 0.80, 1.00, 0.94, 1.00]),
+        ("BF", [0.77, 0.53, 0.18, 0.49, 1.00, 0.93, 1.00]),
+        ("BN", [0.77, 0.53, 0.53, 0.34, 1.00, 0.93, 1.00]),
+        ("SVDD", [0.01, 0.02, 0.19, 0.26, 1.00, 0.40, 1.00]),
+        ("IF", [0.13, 0.08, 0.46, 0.08, 0.00, 0.12, 0.12]),
+        ("GMM", [0.31, 0.33, 0.66, 0.64, 0.32, 0.15, 0.72]),
+        ("PCA-SVD", [0.45, 0.19, 0.62, 0.66, 0.54, 0.58, 0.54]),
+    ];
+
+    println!();
+    let headers: Vec<String> = std::iter::once("model".to_string())
+        .chain(AttackType::ALL.iter().map(|t| t.name().to_string()))
+        .collect();
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+
+    let mut rows = Vec::new();
+    let to_row = |name: &str, pa: &PerAttackRecall| {
+        std::iter::once(name.to_string())
+            .chain(AttackType::ALL.iter().map(|&ty| fmt_ratio(pa.ratio(ty))))
+            .collect::<Vec<String>>()
+    };
+    rows.push(to_row("Our framework", &framework));
+    for (name, pa) in &baselines {
+        rows.push(to_row(name, pa));
+    }
+    rows.push(vec!["".into(); headers.len()]);
+    for (name, vals) in &paper {
+        let mut row = vec![format!("paper: {name}")];
+        row.extend(vals.iter().map(|v| format!("{v:.2}")));
+        rows.push(row);
+    }
+    print_table(&header_refs, &rows);
+
+    println!(
+        "\nexpected shape: MFCI and Recon at 1.00 for all signature-based models;\nthe framework's largest gain over BF/BN on MPCI (random parameter\nchanges need the temporal model); CMRI/MSCI/MPCI are the hardest classes\n(physical-process noise, §VIII-D)."
+    );
+}

@@ -1,0 +1,348 @@
+//! The Bloom filter proper.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::bitvec::BitVec;
+use crate::hash::{double_hash, fnv1a, mix64};
+
+/// Errors produced when constructing a [`BloomFilter`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BloomError {
+    /// Requested parameters are out of range (zero capacity/bits, or a false
+    /// positive rate outside `(0, 1)`).
+    InvalidParameters {
+        /// Explanation of what was wrong.
+        reason: &'static str,
+    },
+    /// A serialized filter could not be decoded.
+    Corrupt,
+}
+
+impl fmt::Display for BloomError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BloomError::InvalidParameters { reason } => {
+                write!(f, "invalid bloom filter parameters: {reason}")
+            }
+            BloomError::Corrupt => write!(f, "corrupt serialized bloom filter"),
+        }
+    }
+}
+
+impl Error for BloomError {}
+
+/// A space-efficient probabilistic set-membership structure.
+///
+/// Lookups may return false positives at a tunable rate but never false
+/// negatives — exactly the asymmetry the package-level anomaly detector of
+/// the paper relies on: a package whose signature is *not* found is
+/// guaranteed not to be in the normal-behaviour database.
+///
+/// # Examples
+///
+/// ```
+/// use icsad_bloom::BloomFilter;
+///
+/// let mut f = BloomFilter::with_capacity(613, 0.001)?;
+/// for sig in ["a", "b", "c"] {
+///     f.insert(sig);
+/// }
+/// assert!(f.contains("a") && f.contains("b") && f.contains("c"));
+/// assert_eq!(f.len(), 3);
+/// # Ok::<(), icsad_bloom::BloomError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BloomFilter {
+    bits: BitVec,
+    k: u32,
+    items: u64,
+}
+
+impl BloomFilter {
+    /// Creates a filter with exactly `m_bits` bits and `k` hash functions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BloomError::InvalidParameters`] if `m_bits == 0` or `k == 0`.
+    pub fn with_params(m_bits: usize, k: u32) -> Result<Self, BloomError> {
+        if m_bits == 0 {
+            return Err(BloomError::InvalidParameters {
+                reason: "m_bits must be positive",
+            });
+        }
+        if k == 0 {
+            return Err(BloomError::InvalidParameters {
+                reason: "k must be positive",
+            });
+        }
+        Ok(BloomFilter {
+            bits: BitVec::new(m_bits),
+            k,
+            items: 0,
+        })
+    }
+
+    /// Creates a filter sized for `expected_items` with a target false
+    /// positive rate, using the standard optimal sizing
+    /// `m = -n ln p / (ln 2)^2`, `k = (m / n) ln 2`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BloomError::InvalidParameters`] if `expected_items == 0` or
+    /// `fpr` is not in `(0, 1)`.
+    pub fn with_capacity(expected_items: usize, fpr: f64) -> Result<Self, BloomError> {
+        if expected_items == 0 {
+            return Err(BloomError::InvalidParameters {
+                reason: "expected_items must be positive",
+            });
+        }
+        if !(fpr > 0.0 && fpr < 1.0) {
+            return Err(BloomError::InvalidParameters {
+                reason: "fpr must be in (0, 1)",
+            });
+        }
+        let n = expected_items as f64;
+        let ln2 = std::f64::consts::LN_2;
+        let m = (-n * fpr.ln() / (ln2 * ln2)).ceil().max(8.0) as usize;
+        let k = ((m as f64 / n) * ln2).round().max(1.0) as u32;
+        BloomFilter::with_params(m, k)
+    }
+
+    /// Inserts an element. Returns `true` if the element was definitely not
+    /// present before (at least one bit newly set).
+    pub fn insert(&mut self, item: impl AsRef<[u8]>) -> bool {
+        let bytes = item.as_ref();
+        let (h1, h2) = (fnv1a(bytes), mix64(bytes));
+        let m = self.bits.len() as u64;
+        let mut newly_set = false;
+        for i in 0..u64::from(self.k) {
+            let idx = double_hash(h1, h2, i, m) as usize;
+            if !self.bits.set(idx) {
+                newly_set = true;
+            }
+        }
+        self.items += 1;
+        newly_set
+    }
+
+    /// Tests membership. False positives possible, false negatives not.
+    pub fn contains(&self, item: impl AsRef<[u8]>) -> bool {
+        let bytes = item.as_ref();
+        let (h1, h2) = (fnv1a(bytes), mix64(bytes));
+        let m = self.bits.len() as u64;
+        (0..u64::from(self.k)).all(|i| self.bits.get(double_hash(h1, h2, i, m) as usize))
+    }
+
+    /// Number of insertions performed (not distinct elements).
+    pub fn len(&self) -> u64 {
+        self.items
+    }
+
+    /// Returns `true` if no insertions have been performed.
+    pub fn is_empty(&self) -> bool {
+        self.items == 0
+    }
+
+    /// Number of bits in the filter.
+    pub fn bit_len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Number of hash functions.
+    pub fn hash_count(&self) -> u32 {
+        self.k
+    }
+
+    /// Fraction of bits currently set.
+    pub fn fill_ratio(&self) -> f64 {
+        if self.bits.is_empty() {
+            return 0.0;
+        }
+        self.bits.count_ones() as f64 / self.bits.len() as f64
+    }
+
+    /// Estimated false positive rate given the current fill:
+    /// `(ones / m)^k`.
+    pub fn estimated_fpr(&self) -> f64 {
+        self.fill_ratio().powi(self.k as i32)
+    }
+
+    /// Heap memory used by the filter, in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.bits.memory_bytes()
+    }
+
+    /// Merges another filter built with identical parameters into this one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BloomError::InvalidParameters`] if bit length or hash count
+    /// differ.
+    pub fn union_with(&mut self, other: &BloomFilter) -> Result<(), BloomError> {
+        if self.bits.len() != other.bits.len() || self.k != other.k {
+            return Err(BloomError::InvalidParameters {
+                reason: "union requires identical m and k",
+            });
+        }
+        self.bits.union_with(&other.bits);
+        self.items += other.items;
+        Ok(())
+    }
+
+    /// Serializes the filter (k, item count, then the bit vector).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&self.k.to_le_bytes());
+        out.extend_from_slice(&self.items.to_le_bytes());
+        out.extend_from_slice(&self.bits.to_bytes());
+        out
+    }
+
+    /// Deserializes a filter produced by [`BloomFilter::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BloomError::Corrupt`] if the buffer is malformed.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, BloomError> {
+        if bytes.len() < 12 {
+            return Err(BloomError::Corrupt);
+        }
+        let k = u32::from_le_bytes(bytes[0..4].try_into().map_err(|_| BloomError::Corrupt)?);
+        let items = u64::from_le_bytes(bytes[4..12].try_into().map_err(|_| BloomError::Corrupt)?);
+        let bits = BitVec::from_bytes(&bytes[12..]).ok_or(BloomError::Corrupt)?;
+        if k == 0 || bits.is_empty() {
+            return Err(BloomError::Corrupt);
+        }
+        Ok(BloomFilter { bits, k, items })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut f = BloomFilter::with_capacity(1000, 0.01).unwrap();
+        let items: Vec<String> = (0..1000).map(|i| format!("sig-{i}")).collect();
+        for it in &items {
+            f.insert(it);
+        }
+        for it in &items {
+            assert!(f.contains(it), "false negative for {it}");
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_near_target() {
+        let mut f = BloomFilter::with_capacity(2000, 0.01).unwrap();
+        for i in 0..2000 {
+            f.insert(format!("in-{i}"));
+        }
+        let fp = (0..20_000)
+            .filter(|i| f.contains(format!("out-{i}")))
+            .count();
+        let rate = fp as f64 / 20_000.0;
+        assert!(rate < 0.03, "observed fpr {rate} too high");
+    }
+
+    #[test]
+    fn estimated_fpr_tracks_observed() {
+        let mut f = BloomFilter::with_capacity(500, 0.02).unwrap();
+        for i in 0..500 {
+            f.insert(format!("x{i}"));
+        }
+        let est = f.estimated_fpr();
+        assert!(est > 0.0 && est < 0.1, "estimate {est} implausible");
+    }
+
+    #[test]
+    fn sizing_formula_sane() {
+        let f = BloomFilter::with_capacity(613, 0.001).unwrap();
+        // ~14.4 bits per element at 0.1% fpr.
+        assert!(f.bit_len() > 613 * 12 && f.bit_len() < 613 * 18);
+        assert!(f.hash_count() >= 7 && f.hash_count() <= 14);
+    }
+
+    #[test]
+    fn insert_reports_novelty() {
+        let mut f = BloomFilter::with_capacity(100, 0.01).unwrap();
+        assert!(f.insert("a"));
+        assert!(!f.insert("a"), "re-inserting sets no new bits");
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn empty_filter_contains_nothing() {
+        let f = BloomFilter::with_capacity(100, 0.01).unwrap();
+        assert!(f.is_empty());
+        assert!(!f.contains("anything"));
+        assert_eq!(f.fill_ratio(), 0.0);
+        assert_eq!(f.estimated_fpr(), 0.0);
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(BloomFilter::with_capacity(0, 0.01).is_err());
+        assert!(BloomFilter::with_capacity(10, 0.0).is_err());
+        assert!(BloomFilter::with_capacity(10, 1.0).is_err());
+        assert!(BloomFilter::with_capacity(10, -1.0).is_err());
+        assert!(BloomFilter::with_params(0, 3).is_err());
+        assert!(BloomFilter::with_params(64, 0).is_err());
+    }
+
+    #[test]
+    fn union_merges_membership() {
+        let mut a = BloomFilter::with_params(1024, 4).unwrap();
+        let mut b = BloomFilter::with_params(1024, 4).unwrap();
+        a.insert("left");
+        b.insert("right");
+        a.union_with(&b).unwrap();
+        assert!(a.contains("left") && a.contains("right"));
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn union_rejects_mismatched_params() {
+        let mut a = BloomFilter::with_params(1024, 4).unwrap();
+        let b = BloomFilter::with_params(2048, 4).unwrap();
+        assert!(a.union_with(&b).is_err());
+        let c = BloomFilter::with_params(1024, 5).unwrap();
+        assert!(a.union_with(&c).is_err());
+    }
+
+    #[test]
+    fn serialization_round_trip() {
+        let mut f = BloomFilter::with_capacity(200, 0.01).unwrap();
+        for i in 0..200 {
+            f.insert(format!("s{i}"));
+        }
+        let back = BloomFilter::from_bytes(&f.to_bytes()).unwrap();
+        assert_eq!(back, f);
+        assert!(back.contains("s42"));
+    }
+
+    #[test]
+    fn deserialization_rejects_garbage() {
+        assert!(BloomFilter::from_bytes(&[]).is_err());
+        assert!(BloomFilter::from_bytes(&[0u8; 11]).is_err());
+        assert!(BloomFilter::from_bytes(&[0u8; 64]).is_err());
+    }
+
+    #[test]
+    fn memory_accounting_matches_bits() {
+        let f = BloomFilter::with_params(8192, 3).unwrap();
+        assert_eq!(f.memory_bytes(), 8192 / 8);
+    }
+
+    #[test]
+    fn works_with_byte_and_string_keys() {
+        let mut f = BloomFilter::with_params(1024, 3).unwrap();
+        f.insert([1u8, 2, 3]);
+        f.insert(String::from("owned"));
+        assert!(f.contains([1u8, 2, 3]));
+        assert!(f.contains("owned"));
+    }
+}

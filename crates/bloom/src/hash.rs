@@ -1,0 +1,144 @@
+//! Independent 64-bit hash functions used for double hashing.
+//!
+//! Bloom filters need `k` independent hash functions. Following Kirsch and
+//! Mitzenmacher, two base hashes suffice: `h_i(x) = h1(x) + i * h2(x)`. The
+//! two base hashes here are FNV-1a and an avalanche-finalized (splitmix64)
+//! variant of FNV with different constants, which are empirically independent
+//! enough for the filter sizes used in this workspace (see the uniformity
+//! tests below).
+
+/// FNV-1a 64-bit hash.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Second base hash: FNV accumulation with a different offset basis followed
+/// by the splitmix64 finalizer for avalanche.
+pub fn mix64(bytes: &[u8]) -> u64 {
+    let mut h = 0x9e37_79b9_7f4a_7c15_u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        h = h.rotate_left(31);
+    }
+    splitmix64(h)
+}
+
+/// The splitmix64 finalization step: a fast, high-quality avalanche function.
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Produces the `i`-th double-hashed index in `[0, m)`.
+///
+/// `h2` is forced odd so that for power-of-two and most composite `m` the
+/// probe sequence does not collapse onto a short cycle.
+///
+/// # Panics
+///
+/// Panics if `m == 0`.
+pub fn double_hash(h1: u64, h2: u64, i: u64, m: u64) -> u64 {
+    assert!(m > 0, "modulus must be positive");
+    let h2 = u128::from(h2 | 1);
+    // u128 arithmetic keeps the probe sequence an exact arithmetic
+    // progression mod m (u64 wrapping would corrupt it for large i * h2).
+    ((u128::from(h1) + u128::from(i) * h2) % u128::from(m)) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_known_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn hashes_are_deterministic() {
+        assert_eq!(fnv1a(b"signature"), fnv1a(b"signature"));
+        assert_eq!(mix64(b"signature"), mix64(b"signature"));
+    }
+
+    #[test]
+    fn hashes_differ_between_functions() {
+        for input in [&b"a"[..], b"abc", b"17~3~16~2", b""] {
+            assert_ne!(fnv1a(input), mix64(input), "input {input:?}");
+        }
+    }
+
+    #[test]
+    fn small_input_changes_change_output() {
+        assert_ne!(fnv1a(b"package-1"), fnv1a(b"package-2"));
+        assert_ne!(mix64(b"package-1"), mix64(b"package-2"));
+    }
+
+    #[test]
+    fn double_hash_covers_range() {
+        let h1 = fnv1a(b"x");
+        let h2 = mix64(b"x");
+        for i in 0..100 {
+            let idx = double_hash(h1, h2, i, 97);
+            assert!(idx < 97);
+        }
+    }
+
+    #[test]
+    fn double_hash_probe_sequence_spreads() {
+        // With odd h2 and prime m the probe sequence must visit many cells.
+        let m = 101u64;
+        let h1 = fnv1a(b"spread");
+        let h2 = mix64(b"spread");
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..m {
+            seen.insert(double_hash(h1, h2, i, m));
+        }
+        assert_eq!(seen.len() as u64, m);
+    }
+
+    #[test]
+    #[should_panic(expected = "modulus must be positive")]
+    fn double_hash_zero_modulus_panics() {
+        double_hash(1, 2, 3, 0);
+    }
+
+    #[test]
+    fn uniformity_of_bucket_distribution() {
+        // Hash 10_000 distinct strings into 64 buckets; every bucket should
+        // receive a count within a loose band around the expectation (156).
+        const BUCKETS: usize = 64;
+        let mut counts = [0usize; BUCKETS];
+        for i in 0..10_000 {
+            let s = format!("pkg-{i}");
+            counts[(mix64(s.as_bytes()) % BUCKETS as u64) as usize] += 1;
+        }
+        for (b, &c) in counts.iter().enumerate() {
+            assert!(
+                (80..=260).contains(&c),
+                "bucket {b} count {c} outside plausible band"
+            );
+        }
+    }
+
+    #[test]
+    fn splitmix_avalanche() {
+        // Flipping one input bit flips roughly half the output bits.
+        let a = splitmix64(0);
+        let b = splitmix64(1);
+        let flipped = (a ^ b).count_ones();
+        assert!((16..=48).contains(&flipped), "only {flipped} bits flipped");
+    }
+}

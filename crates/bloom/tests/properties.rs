@@ -1,0 +1,106 @@
+//! Property-based tests for the Bloom filter invariants.
+
+use icsad_bloom::{BitVec, BloomFilter};
+use proptest::prelude::*;
+
+proptest! {
+    /// The defining Bloom filter property: anything inserted is found.
+    #[test]
+    fn inserted_items_are_always_found(
+        items in proptest::collection::vec(".{0,40}", 1..200),
+        fpr in 0.001f64..0.5,
+    ) {
+        let mut f = BloomFilter::with_capacity(items.len(), fpr).unwrap();
+        for it in &items {
+            f.insert(it);
+        }
+        for it in &items {
+            prop_assert!(f.contains(it));
+        }
+    }
+
+    /// Union behaves like inserting both item sets into one filter.
+    #[test]
+    fn union_is_superset_of_both_sides(
+        left in proptest::collection::vec("[a-z]{1,12}", 0..50),
+        right in proptest::collection::vec("[a-z]{1,12}", 0..50),
+    ) {
+        let mut a = BloomFilter::with_params(4096, 4).unwrap();
+        let mut b = BloomFilter::with_params(4096, 4).unwrap();
+        for it in &left {
+            a.insert(it);
+        }
+        for it in &right {
+            b.insert(it);
+        }
+        a.union_with(&b).unwrap();
+        for it in left.iter().chain(right.iter()) {
+            prop_assert!(a.contains(it));
+        }
+    }
+
+    /// Serialization round-trips exactly, preserving membership answers.
+    #[test]
+    fn filter_serialization_round_trip(
+        items in proptest::collection::vec(".{0,20}", 0..100),
+        probes in proptest::collection::vec(".{0,20}", 0..50),
+    ) {
+        let mut f = BloomFilter::with_params(2048, 5).unwrap();
+        for it in &items {
+            f.insert(it);
+        }
+        let back = BloomFilter::from_bytes(&f.to_bytes()).unwrap();
+        prop_assert_eq!(&back, &f);
+        for p in &probes {
+            prop_assert_eq!(back.contains(p), f.contains(p));
+        }
+    }
+
+    /// BitVec set/get agree and count_ones matches the number of distinct
+    /// set positions.
+    #[test]
+    fn bitvec_set_get_count(
+        len in 1usize..500,
+        positions in proptest::collection::vec(0usize..500, 0..100),
+    ) {
+        let mut bv = BitVec::new(len);
+        let mut distinct = std::collections::HashSet::new();
+        for &p in positions.iter().filter(|&&p| p < len) {
+            bv.set(p);
+            distinct.insert(p);
+        }
+        for p in 0..len {
+            prop_assert_eq!(bv.get(p), distinct.contains(&p));
+        }
+        prop_assert_eq!(bv.count_ones(), distinct.len());
+    }
+
+    /// BitVec serialization round-trips exactly.
+    #[test]
+    fn bitvec_serialization_round_trip(
+        len in 0usize..300,
+        positions in proptest::collection::vec(0usize..300, 0..80),
+    ) {
+        let mut bv = BitVec::new(len);
+        for &p in positions.iter().filter(|&&p| p < len) {
+            bv.set(p);
+        }
+        prop_assert_eq!(BitVec::from_bytes(&bv.to_bytes()), Some(bv));
+    }
+
+    /// Estimated FPR is a probability and grows monotonically with insertions.
+    #[test]
+    fn estimated_fpr_is_probability_and_monotone(
+        items in proptest::collection::vec("[a-z0-9]{1,10}", 1..100),
+    ) {
+        let mut f = BloomFilter::with_params(512, 3).unwrap();
+        let mut last = 0.0;
+        for it in &items {
+            f.insert(it);
+            let est = f.estimated_fpr();
+            prop_assert!((0.0..=1.0).contains(&est));
+            prop_assert!(est >= last - 1e-12);
+            last = est;
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Diagnostic: where do package-level (Bloom) false positives on normal
+//! test traffic come from?
+
+use icsad_core::package::PackageLevelDetector;
+use icsad_dataset::{DatasetConfig, GasPipelineDataset};
+use icsad_features::{DiscretizationConfig, Discretizer, SignatureVocabulary};
+
+fn main() {
+    let data = GasPipelineDataset::generate(&DatasetConfig {
+        total_packages: 150_000,
+        seed: 7,
+        attack_probability: 0.08,
+        ..DatasetConfig::default()
+    });
+    let split = data.split_chronological(0.6, 0.2);
+    let disc = Discretizer::fit(
+        &DiscretizationConfig::paper_defaults(),
+        split.train().records(),
+    )
+    .unwrap();
+    let vocab = SignatureVocabulary::build(&disc, split.train().records());
+    let det = PackageLevelDetector::train(&disc, &vocab, 0.001).unwrap();
+    let cards = disc.cardinalities();
+
+    let mut normals = 0usize;
+    let mut fps = 0usize;
+    let mut fp_near_attack = 0usize; // within 8 packages after an attack
+    let mut sentinel_counts = vec![0usize; 13];
+    let mut last_attack_idx: Option<usize> = None;
+
+    let names = [
+        "address", "function", "length", "cmdresp", "time_int", "crc_rate",
+        "setpoint", "pressure", "pid", "mode", "scheme", "pump", "solenoid",
+    ];
+
+    for (i, r) in split.test().iter().enumerate() {
+        if r.is_attack() {
+            last_attack_idx = Some(i);
+            continue;
+        }
+        normals += 1;
+        if !det.is_anomalous(r) {
+            continue;
+        }
+        fps += 1;
+        if let Some(a) = last_attack_idx {
+            if i - a <= 8 {
+                fp_near_attack += 1;
+            }
+        }
+        let v = disc.discretize(r);
+        for (f, &cat) in v.iter().enumerate() {
+            // sentinel categories sit at the top of each feature's range
+            // (out-of-range / unknown); absent is the final slot.
+            let card = cards[f];
+            let is_payload = (6..=12).contains(&f);
+            let sentinel = if is_payload { card - 2 } else { card - 1 };
+            if cat as usize >= sentinel && cat as usize != card - 1 {
+                sentinel_counts[f] += 1;
+            } else if !is_payload && cat as usize == card - 1 {
+                sentinel_counts[f] += 1;
+            }
+        }
+    }
+    println!(
+        "test normals {normals}, bloom FPs {fps} ({:.2}%), of which within 8 pkgs after an attack: {} ({:.1}%)",
+        100.0 * fps as f64 / normals as f64,
+        fp_near_attack,
+        100.0 * fp_near_attack as f64 / fps.max(1) as f64
+    );
+    println!("sentinel (out-of-range/unknown) feature hits among FPs:");
+    for (n, c) in names.iter().zip(sentinel_counts.iter()) {
+        if *c > 0 {
+            println!("  {n:<9} {c}");
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Diagnostic: where does validation top-k error come from?
+
+use icsad_core::experiment::{train_framework, ExperimentConfig};
+use icsad_core::timeseries::{TimeSeriesDetector, TimeSeriesTrainingConfig};
+use icsad_dataset::{DatasetConfig, GasPipelineDataset};
+use icsad_features::{DiscretizationConfig, Discretizer, SignatureVocabulary};
+
+fn main() {
+    combined_probe();
+
+    for (total, hidden, epochs, lr) in [
+        (30_000usize, 64usize, 40usize, 1e-2f32),
+        (30_000, 96, 30, 1e-2),
+        (60_000, 64, 30, 1e-2),
+    ] {
+        let data = GasPipelineDataset::generate(&DatasetConfig {
+            total_packages: total,
+            seed: 6,
+            attack_probability: 0.05,
+            ..DatasetConfig::default()
+        });
+        let split = data.split_chronological(0.6, 0.2);
+        let disc = Discretizer::fit(
+            &DiscretizationConfig::paper_defaults(),
+            split.train().records(),
+        )
+        .unwrap();
+        let vocab = SignatureVocabulary::build(&disc, split.train().records());
+        let oov = split
+            .validation()
+            .records()
+            .iter()
+            .filter(|r| vocab.id_of(&disc.signature(r)).is_none())
+            .count();
+        let t0 = std::time::Instant::now();
+        let (det, stats) = TimeSeriesDetector::train(
+            &disc,
+            &vocab,
+            split.train(),
+            &TimeSeriesTrainingConfig {
+                hidden_dims: vec![hidden],
+                epochs,
+                learning_rate: lr,
+                noise: None,
+                seed: 3,
+                ..TimeSeriesTrainingConfig::default()
+            },
+        )
+        .unwrap();
+        let train_time = t0.elapsed();
+        let curve = det.top_k_error_curve(split.validation(), 8);
+        let last = stats.last().unwrap();
+        println!(
+            "total={total} hidden={hidden} epochs={epochs} |S|={} oov={:.3} train_acc={:.3} loss={:.3} curve={:?} ({train_time:?})",
+            vocab.len(),
+            oov as f64 / split.validation().len() as f64,
+            last.accuracy,
+            last.mean_loss,
+            curve.iter().map(|e| (e * 1000.0).round() / 1000.0).collect::<Vec<_>>(),
+        );
+    }
+}
+
+fn combined_probe() {
+    for (total, hidden, epochs) in [(150_000usize, 64usize, 20usize)] {
+        let data = GasPipelineDataset::generate(&DatasetConfig {
+            total_packages: total,
+            seed: 4,
+            attack_probability: 0.08,
+            ..DatasetConfig::default()
+        });
+        let split = data.split_chronological(0.6, 0.2);
+        let mut config = ExperimentConfig::default();
+        config.timeseries.hidden_dims = vec![hidden];
+        config.timeseries.epochs = epochs;
+        config.timeseries.learning_rate = 1e-2;
+        let t0 = std::time::Instant::now();
+        let trained = train_framework(&split, &config).unwrap();
+        let report = trained.evaluate(split.test());
+        let pkg_only = trained.detector.evaluate_package_level_only(split.test());
+        println!(
+            "COMBINED total={total} hidden={hidden} epochs={epochs} k={} |S|={} P={:.3} R={:.3} A={:.3} F1={:.3} pkgP={:.3} pkgR={:.3} curve={:?} ({:?})",
+            trained.chosen_k,
+            trained.signature_count,
+            report.precision(), report.recall(), report.accuracy(), report.f1_score(),
+            pkg_only.precision(), pkg_only.recall(),
+            trained.validation_topk_curve.iter().map(|e| (e*1000.0).round()/1000.0).collect::<Vec<_>>(),
+            t0.elapsed(),
+        );
+    }
+}

@@ -1,0 +1,232 @@
+//! Dynamic adjustment of the top-`k` parameter during detection — the
+//! extension the paper names as future work (§VIII-D, §IX: "allow the value
+//! of k for time-series level anomaly detection to be adjusted dynamically
+//! during the detection phase ... given previous predictions").
+//!
+//! The mechanism implemented here is rank tracking: for every package the
+//! detector accepts as normal, record the *rank* of its true signature in
+//! the model's prediction. If the model has recently been predicting
+//! sharply (true signatures near the top), `k` can shrink and the detector
+//! gains sensitivity; if predictions have been diffuse (legitimate drift,
+//! noisy process), `k` grows to hold the false-positive budget. The rule is
+//!
+//! ```text
+//! k_t = clamp(quantile_{1-θ}(recent accepted ranks) , k_min, k_max)
+//! ```
+//!
+//! which directly estimates the smallest `k` whose false-positive rate on
+//! recent normal-looking traffic is below θ — the same rule the static
+//! choice-of-`k` applies to the validation set, made rolling.
+
+use std::collections::VecDeque;
+
+/// Configuration for the dynamic-`k` controller.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DynamicKConfig {
+    /// Smallest `k` the controller may choose.
+    pub min_k: usize,
+    /// Largest `k` the controller may choose.
+    pub max_k: usize,
+    /// Sliding window of accepted-package ranks to estimate from.
+    pub window: usize,
+    /// The false-positive budget θ (as in the static choice of `k`).
+    pub theta: f64,
+}
+
+impl Default for DynamicKConfig {
+    fn default() -> Self {
+        DynamicKConfig {
+            min_k: 1,
+            max_k: 10,
+            window: 256,
+            theta: 0.05,
+        }
+    }
+}
+
+/// Rolling estimator of the optimal `k` from recent prediction ranks.
+#[derive(Debug, Clone)]
+pub struct DynamicKController {
+    config: DynamicKConfig,
+    ranks: VecDeque<usize>,
+    current_k: usize,
+}
+
+impl DynamicKController {
+    /// Creates a controller starting at `initial_k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is degenerate (`min_k == 0`,
+    /// `min_k > max_k`, `window == 0`, or θ ∉ (0, 1)).
+    pub fn new(initial_k: usize, config: DynamicKConfig) -> Self {
+        assert!(config.min_k >= 1, "min_k must be positive");
+        assert!(config.min_k <= config.max_k, "min_k must not exceed max_k");
+        assert!(config.window > 0, "window must be positive");
+        assert!(
+            config.theta > 0.0 && config.theta < 1.0,
+            "theta must be in (0, 1)"
+        );
+        DynamicKController {
+            config,
+            ranks: VecDeque::with_capacity(config.window),
+            current_k: initial_k.clamp(config.min_k, config.max_k),
+        }
+    }
+
+    /// The `k` currently in force.
+    pub fn k(&self) -> usize {
+        self.current_k
+    }
+
+    /// The largest `k` the controller may choose; ranks above this bound
+    /// are treated as anomalies and must not be fed to
+    /// [`DynamicKController::observe_rank`].
+    pub fn max_k(&self) -> usize {
+        self.config.max_k
+    }
+
+    /// Number of rank observations currently in the window.
+    pub fn observations(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// Records the rank (1-based position in the sorted prediction) of an
+    /// accepted package's true signature and returns the updated `k`.
+    ///
+    /// Ranks of packages *flagged* as anomalous must not be recorded —
+    /// they would teach the controller to tolerate attacks.
+    pub fn observe_rank(&mut self, rank: usize) -> usize {
+        if self.ranks.len() == self.config.window {
+            self.ranks.pop_front();
+        }
+        self.ranks.push_back(rank.max(1));
+        // Re-estimate once enough evidence exists.
+        if self.ranks.len() >= self.config.window / 4 {
+            let mut sorted: Vec<usize> = self.ranks.iter().copied().collect();
+            sorted.sort_unstable();
+            let idx = (((sorted.len() as f64) * (1.0 - self.config.theta)).ceil() as usize)
+                .min(sorted.len())
+                .saturating_sub(1);
+            self.current_k = sorted[idx].clamp(self.config.min_k, self.config.max_k);
+        }
+        self.current_k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn controller(window: usize, theta: f64) -> DynamicKController {
+        DynamicKController::new(
+            4,
+            DynamicKConfig {
+                min_k: 1,
+                max_k: 10,
+                window,
+                theta,
+            },
+        )
+    }
+
+    #[test]
+    fn starts_at_initial_k() {
+        let c = controller(64, 0.05);
+        assert_eq!(c.k(), 4);
+        assert_eq!(c.observations(), 0);
+    }
+
+    #[test]
+    fn sharp_predictions_shrink_k() {
+        let mut c = controller(64, 0.05);
+        for _ in 0..64 {
+            c.observe_rank(1);
+        }
+        assert_eq!(c.k(), 1, "all-rank-1 history should drive k to 1");
+    }
+
+    #[test]
+    fn diffuse_predictions_grow_k() {
+        let mut c = controller(64, 0.05);
+        for i in 0..64 {
+            c.observe_rank(1 + (i % 8));
+        }
+        assert!(c.k() >= 7, "rank spread to 8 should push k up, got {}", c.k());
+    }
+
+    #[test]
+    fn k_respects_bounds() {
+        let mut c = DynamicKController::new(
+            5,
+            DynamicKConfig {
+                min_k: 3,
+                max_k: 6,
+                window: 32,
+                theta: 0.05,
+            },
+        );
+        for _ in 0..32 {
+            c.observe_rank(1);
+        }
+        assert_eq!(c.k(), 3);
+        for _ in 0..32 {
+            c.observe_rank(50);
+        }
+        assert_eq!(c.k(), 6);
+    }
+
+    #[test]
+    fn theta_controls_the_quantile() {
+        // With θ = 0.25, the 75th-percentile rank is chosen.
+        let mut c = controller(100, 0.25);
+        for i in 0..100 {
+            // Ranks 1..=4 uniformly: 75th percentile = 3.
+            c.observe_rank(1 + (i % 4));
+        }
+        assert_eq!(c.k(), 3);
+    }
+
+    #[test]
+    fn window_bounds_memory() {
+        let mut c = controller(16, 0.05);
+        for _ in 0..100 {
+            c.observe_rank(9);
+        }
+        assert_eq!(c.observations(), 16);
+        // Old high ranks age out once sharp predictions dominate the window.
+        for _ in 0..16 {
+            c.observe_rank(1);
+        }
+        assert_eq!(c.k(), 1);
+    }
+
+    #[test]
+    fn adapts_before_window_fills() {
+        let mut c = controller(64, 0.05);
+        for _ in 0..16 {
+            c.observe_rank(2);
+        }
+        // window/4 = 16 observations suffice for the first estimate.
+        assert_eq!(c.k(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "theta")]
+    fn invalid_theta_panics() {
+        DynamicKController::new(4, DynamicKConfig { theta: 0.0, ..DynamicKConfig::default() });
+    }
+
+    #[test]
+    #[should_panic(expected = "min_k")]
+    fn invalid_bounds_panic() {
+        DynamicKController::new(
+            4,
+            DynamicKConfig {
+                min_k: 8,
+                max_k: 2,
+                ..DynamicKConfig::default()
+            },
+        );
+    }
+}

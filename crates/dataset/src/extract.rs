@@ -1,0 +1,234 @@
+//! Wire packets → feature records.
+//!
+//! The traffic monitor of the paper records *every* package, including ones
+//! with bad checksums, so decoding here is lenient: CRC failures are recorded
+//! in the `crc_ok` / `crc_rate` features rather than causing drops.
+
+use std::collections::VecDeque;
+
+use icsad_modbus::pipeline::{decode_read_response, decode_write_command};
+use icsad_modbus::{Frame, FunctionCode};
+use icsad_simulator::Packet;
+
+use crate::record::Record;
+
+/// Default sliding-window width (in packages) for the `crc rate` feature.
+pub const DEFAULT_CRC_WINDOW: usize = 32;
+
+/// Extracts feature records from a packet capture.
+///
+/// `crc_window` is the width of the sliding window used for the `crc rate`
+/// feature; the window always includes the current package.
+///
+/// The first record's `time_interval` is `0.0` (there is no predecessor).
+/// Packages that fail even lenient Modbus decoding (truncated frames) yield
+/// records with header features only.
+///
+/// # Panics
+///
+/// Panics if `crc_window == 0`.
+pub fn extract_records(packets: &[Packet], crc_window: usize) -> Vec<Record> {
+    assert!(crc_window > 0, "crc window must be positive");
+    let mut window: VecDeque<bool> = VecDeque::with_capacity(crc_window);
+    let mut out = Vec::with_capacity(packets.len());
+    let mut prev_time: Option<f64> = None;
+
+    for packet in packets {
+        let decoded = Frame::decode_lenient(&packet.wire).ok();
+        let crc_ok = decoded.as_ref().is_some_and(|(_, ok)| *ok);
+
+        if window.len() == crc_window {
+            window.pop_front();
+        }
+        window.push_back(!crc_ok);
+        let crc_rate = window.iter().filter(|&&bad| bad).count() as f64 / window.len() as f64;
+
+        let mut record = Record::empty_at(packet.time);
+        record.time_interval = prev_time.map_or(0.0, |p| (packet.time - p).max(0.0));
+        record.length = packet.wire.len() as u16;
+        record.crc_ok = crc_ok;
+        record.crc_rate = crc_rate;
+        record.command_response = packet.is_command;
+        record.label = packet.label;
+
+        if let Some((frame, _)) = decoded {
+            record.address = frame.address();
+            record.function = frame.function().code();
+            fill_payload_features(&mut record, &frame, packet.is_command);
+        }
+
+        prev_time = Some(packet.time);
+        out.push(record);
+    }
+    out
+}
+
+/// Fills the payload-derived features for the package types that carry them.
+fn fill_payload_features(record: &mut Record, frame: &Frame, is_command: bool) {
+    match (frame.function(), is_command) {
+        (FunctionCode::WriteMultipleRegisters, true) => {
+            if let Ok(state) = decode_write_command(frame) {
+                record.setpoint = Some(state.pid.setpoint);
+                record.gain = Some(state.pid.gain);
+                record.reset_rate = Some(state.pid.reset_rate);
+                record.deadband = Some(state.pid.deadband);
+                record.cycle_time = Some(state.pid.cycle_time);
+                record.rate = Some(state.pid.rate);
+                record.system_mode = Some(state.mode.code() as u8);
+                record.control_scheme = Some(state.scheme.code() as u8);
+                record.pump = Some(u8::from(state.pump_on));
+                record.solenoid = Some(u8::from(state.solenoid_open));
+            }
+        }
+        (FunctionCode::ReadHoldingRegisters, false) => {
+            if let Ok(state) = decode_read_response(frame) {
+                record.setpoint = Some(state.pid.setpoint);
+                record.gain = Some(state.pid.gain);
+                record.reset_rate = Some(state.pid.reset_rate);
+                record.deadband = Some(state.pid.deadband);
+                record.cycle_time = Some(state.pid.cycle_time);
+                record.rate = Some(state.pid.rate);
+                record.system_mode = Some(state.mode.code() as u8);
+                record.control_scheme = Some(state.scheme.code() as u8);
+                record.pump = Some(u8::from(state.pump_on));
+                record.solenoid = Some(u8::from(state.solenoid_open));
+                record.pressure = Some(state.pressure);
+            }
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icsad_simulator::traffic::{TrafficConfig, TrafficGenerator};
+    use icsad_simulator::AttackType;
+
+    fn capture(attack_probability: f64, n: usize, seed: u64) -> Vec<Packet> {
+        let mut gen = TrafficGenerator::new(TrafficConfig {
+            seed,
+            attack_probability,
+            ..TrafficConfig::default()
+        });
+        gen.generate(n)
+    }
+
+    #[test]
+    fn record_count_matches_packet_count() {
+        let packets = capture(0.0, 500, 1);
+        assert_eq!(extract_records(&packets, DEFAULT_CRC_WINDOW).len(), 500);
+    }
+
+    #[test]
+    fn commands_and_responses_alternate_in_clean_traffic() {
+        let packets = capture(0.0, 400, 2);
+        let records = extract_records(&packets, DEFAULT_CRC_WINDOW);
+        for pair in records.chunks(2) {
+            assert!(pair[0].command_response);
+            assert!(!pair[1].command_response);
+        }
+    }
+
+    #[test]
+    fn write_commands_carry_pid_but_not_pressure() {
+        let packets = capture(0.0, 400, 3);
+        let records = extract_records(&packets, DEFAULT_CRC_WINDOW);
+        let write_cmds: Vec<&Record> = records
+            .iter()
+            .filter(|r| r.command_response && r.function == 0x10)
+            .collect();
+        assert!(!write_cmds.is_empty());
+        for r in write_cmds {
+            assert!(r.pid_vector().is_some(), "write command lacks pid params");
+            assert!(r.setpoint.is_some());
+            assert_eq!(r.pressure, None);
+        }
+    }
+
+    #[test]
+    fn read_responses_carry_pressure() {
+        let packets = capture(0.0, 400, 4);
+        let records = extract_records(&packets, DEFAULT_CRC_WINDOW);
+        let responses: Vec<&Record> = records
+            .iter()
+            .filter(|r| !r.command_response && r.function == 0x03)
+            .collect();
+        assert!(!responses.is_empty());
+        for r in responses {
+            assert!(r.pressure.is_some(), "read response lacks pressure");
+        }
+    }
+
+    #[test]
+    fn read_commands_and_acks_have_no_payload_features() {
+        let packets = capture(0.0, 400, 5);
+        let records = extract_records(&packets, DEFAULT_CRC_WINDOW);
+        for r in &records {
+            let is_read_cmd = r.command_response && r.function == 0x03;
+            let is_write_ack = !r.command_response && r.function == 0x10;
+            if is_read_cmd || is_write_ack {
+                assert_eq!(r.setpoint, None);
+                assert_eq!(r.pressure, None);
+                assert_eq!(r.system_mode, None);
+            }
+        }
+    }
+
+    #[test]
+    fn time_intervals_are_positive_after_first() {
+        let packets = capture(0.0, 300, 6);
+        let records = extract_records(&packets, DEFAULT_CRC_WINDOW);
+        assert_eq!(records[0].time_interval, 0.0);
+        for r in &records[1..] {
+            assert!(r.time_interval > 0.0);
+        }
+    }
+
+    #[test]
+    fn crc_rate_reflects_bad_checksums() {
+        let mut packets = capture(0.0, 100, 7);
+        // Corrupt a run of packets.
+        for p in packets.iter_mut().skip(50).take(16) {
+            let last = p.wire.len() - 1;
+            p.wire[last] ^= 0xFF;
+        }
+        let records = extract_records(&packets, 16);
+        // Right after the corrupted run the window is saturated.
+        assert!(records[65].crc_rate > 0.9);
+        // Early records far from the corruption see none of it.
+        assert!(records[30].crc_rate < 0.2);
+    }
+
+    #[test]
+    fn labels_propagate() {
+        let packets = capture(0.2, 5_000, 8);
+        let records = extract_records(&packets, DEFAULT_CRC_WINDOW);
+        let attacks = records.iter().filter(|r| r.is_attack()).count();
+        assert!(attacks > 0);
+        let types: std::collections::HashSet<AttackType> =
+            records.iter().filter_map(|r| r.label).collect();
+        assert!(types.len() >= 5, "expected most attack types, saw {types:?}");
+    }
+
+    #[test]
+    fn labels_match_packets_one_to_one() {
+        let packets = capture(0.3, 1_000, 9);
+        let records = extract_records(&packets, DEFAULT_CRC_WINDOW);
+        for (p, r) in packets.iter().zip(records.iter()) {
+            assert_eq!(p.label, r.label);
+            assert_eq!(p.is_command, r.command_response);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "crc window must be positive")]
+    fn zero_window_panics() {
+        extract_records(&[], 0);
+    }
+
+    #[test]
+    fn empty_capture_yields_no_records() {
+        assert!(extract_records(&[], 8).is_empty());
+    }
+}

@@ -1,0 +1,41 @@
+//! Gas-pipeline dataset construction: feature records (paper Table I), ARFF
+//! I/O, and the 60/20/20 experimental split protocol (paper §VIII).
+//!
+//! The original Morris et al. dataset is a log of Modbus packages from a
+//! laboratory gas pipeline, stored in ARFF format with 17 payload/header
+//! features plus a ground-truth label. This crate rebuilds that pipeline on
+//! top of [`icsad_simulator`]:
+//!
+//! * [`Record`] — one network package as a feature vector,
+//! * [`extract`] — wire packets → records (lenient Modbus decoding, sliding
+//!   window CRC rate, inter-packet time intervals),
+//! * [`arff`] — ARFF serialization compatible with the original layout,
+//! * [`GasPipelineDataset`] / [`Split`] — capture generation and the
+//!   chronological 6:2:2 split with anomaly removal and ≥10-package fragment
+//!   filtering for the training and validation sets.
+//!
+//! # Examples
+//!
+//! ```
+//! use icsad_dataset::{DatasetConfig, GasPipelineDataset};
+//!
+//! let dataset = GasPipelineDataset::generate(&DatasetConfig {
+//!     total_packages: 2_000,
+//!     seed: 7,
+//!     ..DatasetConfig::default()
+//! });
+//! let split = dataset.split_chronological(0.6, 0.2);
+//! assert!(split.train().records().iter().all(|r| r.label.is_none()));
+//! assert!(split.test().iter().any(|r| r.label.is_some()));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arff;
+pub mod extract;
+mod generate;
+mod record;
+
+pub use generate::{DatasetConfig, DatasetStats, Fragments, GasPipelineDataset, Split};
+pub use record::Record;

@@ -1,0 +1,132 @@
+//! The per-package feature record (paper Table I).
+
+use icsad_simulator::AttackType;
+
+/// One network package as an ARFF-style feature vector.
+///
+/// Fields mirror Table I of the paper. Payload features are `Option`: a
+/// Modbus read command, write acknowledgement or exception response simply
+/// does not carry PID parameters or a pressure measurement, which the
+/// original ARFF encodes as `?` (missing). The discretizer maps missing
+/// values to a dedicated *absent* category that is distinct from the
+/// *out-of-range* sentinel.
+///
+/// `label` is ground truth for evaluation only — detectors never read it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    /// Capture timestamp, seconds (dataset feature `time`).
+    pub time: f64,
+    /// Seconds since the previous package (derived, as in paper §VIII-A1).
+    pub time_interval: f64,
+    /// Modbus station address.
+    pub address: u8,
+    /// Modbus function code (raw).
+    pub function: u8,
+    /// Encoded package length in bytes.
+    pub length: u16,
+    /// Whether this package's checksum verified.
+    pub crc_ok: bool,
+    /// Sliding-window rate of bad checksums (dataset feature `crc rate`).
+    pub crc_rate: f64,
+    /// `true` for commands (master→slave), `false` for responses.
+    pub command_response: bool,
+    /// Pressure set point, if carried.
+    pub setpoint: Option<f64>,
+    /// PID gain, if carried.
+    pub gain: Option<f64>,
+    /// PID reset rate, if carried.
+    pub reset_rate: Option<f64>,
+    /// PID dead band, if carried.
+    pub deadband: Option<f64>,
+    /// PID cycle time, if carried.
+    pub cycle_time: Option<f64>,
+    /// PID rate, if carried.
+    pub rate: Option<f64>,
+    /// System mode (0 off / 1 manual / 2 auto), if carried.
+    pub system_mode: Option<u8>,
+    /// Control scheme (0 pump / 1 solenoid), if carried.
+    pub control_scheme: Option<u8>,
+    /// Pump state (0 off / 1 on), if carried.
+    pub pump: Option<u8>,
+    /// Solenoid state (0 closed / 1 open), if carried.
+    pub solenoid: Option<u8>,
+    /// Pressure measurement, if carried.
+    pub pressure: Option<f64>,
+    /// Ground-truth label (`None` = normal traffic).
+    pub label: Option<AttackType>,
+}
+
+impl Record {
+    /// Returns `true` if this package belongs to an attack (ground truth).
+    pub fn is_attack(&self) -> bool {
+        self.label.is_some()
+    }
+
+    /// The five PID parameters as a vector, if all are present.
+    ///
+    /// The paper clusters these five features jointly ("the five PID control
+    /// parameters shall be clustered together since they are strongly
+    /// correlated").
+    pub fn pid_vector(&self) -> Option<[f64; 5]> {
+        Some([
+            self.gain?,
+            self.reset_rate?,
+            self.deadband?,
+            self.cycle_time?,
+            self.rate?,
+        ])
+    }
+
+    /// Returns a record with every payload feature absent (useful for tests
+    /// and for synthesizing non-data packages).
+    pub fn empty_at(time: f64) -> Record {
+        Record {
+            time,
+            time_interval: 0.0,
+            address: 0,
+            function: 0,
+            length: 0,
+            crc_ok: true,
+            crc_rate: 0.0,
+            command_response: true,
+            setpoint: None,
+            gain: None,
+            reset_rate: None,
+            deadband: None,
+            cycle_time: None,
+            rate: None,
+            system_mode: None,
+            control_scheme: None,
+            pump: None,
+            solenoid: None,
+            pressure: None,
+            label: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pid_vector_requires_all_five() {
+        let mut r = Record::empty_at(0.0);
+        assert_eq!(r.pid_vector(), None);
+        r.gain = Some(1.0);
+        r.reset_rate = Some(2.0);
+        r.deadband = Some(3.0);
+        r.cycle_time = Some(4.0);
+        assert_eq!(r.pid_vector(), None);
+        r.rate = Some(5.0);
+        assert_eq!(r.pid_vector(), Some([1.0, 2.0, 3.0, 4.0, 5.0]));
+    }
+
+    #[test]
+    fn attack_flag_follows_label() {
+        let mut r = Record::empty_at(0.0);
+        assert!(!r.is_attack());
+        r.label = Some(AttackType::Dos);
+        assert!(r.is_attack());
+    }
+}

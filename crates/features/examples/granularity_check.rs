@@ -1,0 +1,20 @@
+use icsad_dataset::{DatasetConfig, GasPipelineDataset};
+use icsad_features::{granularity, DiscretizationConfig};
+
+fn main() {
+    for n in [6_000usize, 20_000, 60_000, 120_000] {
+        let data = GasPipelineDataset::generate(&DatasetConfig {
+            total_packages: n,
+            seed: 31,
+            attack_probability: 0.0,
+            ..DatasetConfig::default()
+        });
+        let split = data.split_chronological(0.75, 0.0);
+        let train = split.train().records();
+        let val = split.test();
+        let t0 = std::time::Instant::now();
+        let (err, sigs) = granularity::validation_error(
+            &DiscretizationConfig::paper_defaults(), train, val).unwrap();
+        println!("n={n:>7} err={err:.4} sigs={sigs} ({:?})", t0.elapsed());
+    }
+}

@@ -1,0 +1,99 @@
+//! Categorical value maps with an *unknown* sentinel.
+//!
+//! Discrete package features (address, function code, length, …) have an
+//! open domain on the wire: an attacker can put any byte there. A
+//! [`CategoryMap`] learns the values observed in normal training traffic and
+//! maps everything else to a single `unknown` category — the categorical
+//! analogue of the paper's "+1" out-of-range value.
+
+use std::collections::BTreeMap;
+
+/// A mapping from observed raw values to dense category indices
+/// `0..observed()`, with unseen values mapping to the index `observed()`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CategoryMap {
+    map: BTreeMap<u32, u16>,
+}
+
+impl CategoryMap {
+    /// Builds the map from training values (duplicates are fine).
+    ///
+    /// Values are indexed in ascending numeric order so the mapping is
+    /// independent of observation order.
+    pub fn fit(values: impl IntoIterator<Item = u32>) -> Self {
+        let mut keys: Vec<u32> = values.into_iter().collect();
+        keys.sort_unstable();
+        keys.dedup();
+        let map = keys
+            .into_iter()
+            .enumerate()
+            .map(|(i, v)| (v, i as u16))
+            .collect();
+        CategoryMap { map }
+    }
+
+    /// Number of distinct observed values.
+    pub fn observed(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Total number of categories including the unknown sentinel.
+    pub fn cardinality(&self) -> usize {
+        self.map.len() + 1
+    }
+
+    /// Index of the unknown sentinel.
+    pub fn unknown_index(&self) -> u16 {
+        self.map.len() as u16
+    }
+
+    /// Maps a raw value to its category index (unknown values map to
+    /// [`CategoryMap::unknown_index`]).
+    pub fn index_of(&self, value: u32) -> u16 {
+        self.map.get(&value).copied().unwrap_or(self.unknown_index())
+    }
+
+    /// Returns `true` if the value was observed during training.
+    pub fn contains(&self, value: u32) -> bool {
+        self.map.contains_key(&value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_dense_and_ordered() {
+        let m = CategoryMap::fit(vec![16, 3, 3, 17, 3]);
+        assert_eq!(m.observed(), 3);
+        assert_eq!(m.cardinality(), 4);
+        assert_eq!(m.index_of(3), 0);
+        assert_eq!(m.index_of(16), 1);
+        assert_eq!(m.index_of(17), 2);
+    }
+
+    #[test]
+    fn unknown_values_map_to_sentinel() {
+        let m = CategoryMap::fit(vec![1, 2]);
+        assert_eq!(m.index_of(99), m.unknown_index());
+        assert_eq!(m.unknown_index(), 2);
+        assert!(!m.contains(99));
+        assert!(m.contains(1));
+    }
+
+    #[test]
+    fn empty_map_sends_everything_to_unknown() {
+        let m = CategoryMap::fit(std::iter::empty());
+        assert_eq!(m.observed(), 0);
+        assert_eq!(m.cardinality(), 1);
+        assert_eq!(m.index_of(0), 0);
+    }
+
+    #[test]
+    fn order_independent() {
+        let a = CategoryMap::fit(vec![5, 1, 9]);
+        let b = CategoryMap::fit(vec![9, 5, 1, 1]);
+        assert_eq!(a, b);
+    }
+}

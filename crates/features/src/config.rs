@@ -1,0 +1,103 @@
+//! Discretization configuration (paper Table III).
+
+use crate::error::FeatureError;
+
+/// Granularity settings for the continuous-feature discretization.
+///
+/// The defaults reproduce Table III of the paper:
+///
+/// | feature | method | values |
+/// |---|---|---|
+/// | time interval | k-means | 2+1 |
+/// | crc rate | k-means | 2+1 |
+/// | pressure measurement | even intervals | 20+1 |
+/// | setpoint | even intervals | 10+1 |
+/// | PID parameters (5, jointly) | k-means | 32+1 |
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiscretizationConfig {
+    /// K-means cluster count for the inter-package time interval.
+    pub time_interval_clusters: usize,
+    /// K-means cluster count for the CRC rate.
+    pub crc_rate_clusters: usize,
+    /// Even-interval bin count for the pressure measurement.
+    pub pressure_bins: usize,
+    /// Even-interval bin count for the set point.
+    pub setpoint_bins: usize,
+    /// K-means cluster count for the joint 5-dimensional PID vector.
+    pub pid_clusters: usize,
+    /// Maximum Lloyd iterations for every k-means fit.
+    pub kmeans_iters: usize,
+    /// Seed for the k-means initializations.
+    pub seed: u64,
+}
+
+impl DiscretizationConfig {
+    /// The granularities chosen in the paper (Table III).
+    pub fn paper_defaults() -> Self {
+        DiscretizationConfig {
+            time_interval_clusters: 2,
+            crc_rate_clusters: 2,
+            pressure_bins: 20,
+            setpoint_bins: 10,
+            pid_clusters: 32,
+            kmeans_iters: 100,
+            seed: 0,
+        }
+    }
+
+    /// Validates that every granularity is positive.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FeatureError::InvalidConfig`] naming the offending field.
+    pub fn validate(&self) -> Result<(), FeatureError> {
+        let fields = [
+            ("time_interval_clusters", self.time_interval_clusters),
+            ("crc_rate_clusters", self.crc_rate_clusters),
+            ("pressure_bins", self.pressure_bins),
+            ("setpoint_bins", self.setpoint_bins),
+            ("pid_clusters", self.pid_clusters),
+            ("kmeans_iters", self.kmeans_iters),
+        ];
+        for (name, value) in fields {
+            if value == 0 {
+                return Err(FeatureError::InvalidConfig {
+                    reason: format!("{name} must be positive"),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for DiscretizationConfig {
+    fn default() -> Self {
+        DiscretizationConfig::paper_defaults()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_table_iii() {
+        let c = DiscretizationConfig::paper_defaults();
+        assert_eq!(c.time_interval_clusters, 2);
+        assert_eq!(c.crc_rate_clusters, 2);
+        assert_eq!(c.pressure_bins, 20);
+        assert_eq!(c.setpoint_bins, 10);
+        assert_eq!(c.pid_clusters, 32);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn zero_granularities_rejected() {
+        let mut c = DiscretizationConfig::paper_defaults();
+        c.pressure_bins = 0;
+        assert!(c.validate().is_err());
+        let mut c = DiscretizationConfig::paper_defaults();
+        c.pid_clusters = 0;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,63 @@
+//! Error type for feature-engineering routines.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while fitting discretizers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FeatureError {
+    /// Not enough data to fit the requested transformation.
+    InsufficientData {
+        /// The component that could not be fitted.
+        what: &'static str,
+        /// Number of usable samples found.
+        found: usize,
+        /// Number of samples required.
+        required: usize,
+    },
+    /// A configuration parameter is out of range.
+    InvalidConfig {
+        /// Explanation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for FeatureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FeatureError::InsufficientData {
+                what,
+                found,
+                required,
+            } => write!(
+                f,
+                "insufficient data to fit {what}: found {found}, need {required}"
+            ),
+            FeatureError::InvalidConfig { reason } => {
+                write!(f, "invalid discretization config: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for FeatureError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = FeatureError::InsufficientData {
+            what: "kmeans",
+            found: 1,
+            required: 2,
+        };
+        assert!(e.to_string().contains("kmeans"));
+        let e = FeatureError::InvalidConfig {
+            reason: "zero bins".into(),
+        };
+        assert!(e.to_string().contains("zero bins"));
+    }
+}

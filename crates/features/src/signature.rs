@@ -1,0 +1,212 @@
+//! Package signatures and the signature database.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use icsad_dataset::Record;
+
+use crate::discretizer::{DiscreteVector, Discretizer};
+
+/// A package signature: the unique encoding of a discretized feature vector.
+///
+/// The generating function `g` concatenates the category indices with `~`,
+/// which assigns a unique value to each distinct combination — the simplest
+/// `g` the paper suggests.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Signature(String);
+
+impl Signature {
+    /// Builds a signature from discretized components.
+    pub fn from_components(components: &[u16]) -> Self {
+        let mut s = String::with_capacity(components.len() * 3);
+        for (i, c) in components.iter().enumerate() {
+            if i > 0 {
+                s.push('~');
+            }
+            s.push_str(&c.to_string());
+        }
+        Signature(s)
+    }
+
+    /// The signature as a string (the Bloom filter key).
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Parses the component indices back out of the signature.
+    pub fn components(&self) -> Vec<u16> {
+        if self.0.is_empty() {
+            return Vec::new();
+        }
+        self.0
+            .split('~')
+            .map(|p| p.parse().expect("signature components are u16"))
+            .collect()
+    }
+}
+
+impl fmt::Display for Signature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl AsRef<[u8]> for Signature {
+    fn as_ref(&self) -> &[u8] {
+        self.0.as_bytes()
+    }
+}
+
+/// The signature database: all distinct signatures observed in normal
+/// training traffic, with dense class ids and occurrence counts.
+///
+/// Class ids index the LSTM softmax output; occurrence counts drive the
+/// probabilistic-noise selection rule `p = λ / (λ + #s)` (paper §V-3).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SignatureVocabulary {
+    ids: HashMap<Signature, usize>,
+    sigs: Vec<Signature>,
+    counts: Vec<u64>,
+}
+
+impl SignatureVocabulary {
+    /// Builds the vocabulary from training records (first-occurrence order).
+    pub fn build(disc: &Discretizer, records: &[Record]) -> Self {
+        let mut vocab = SignatureVocabulary::default();
+        for r in records {
+            vocab.insert(disc.signature(r));
+        }
+        vocab
+    }
+
+    /// Inserts one signature occurrence, creating a new class if needed.
+    /// Returns the class id.
+    pub fn insert(&mut self, sig: Signature) -> usize {
+        match self.ids.get(&sig) {
+            Some(&id) => {
+                self.counts[id] += 1;
+                id
+            }
+            None => {
+                let id = self.sigs.len();
+                self.ids.insert(sig.clone(), id);
+                self.sigs.push(sig);
+                self.counts.push(1);
+                id
+            }
+        }
+    }
+
+    /// Class id of a signature, or `None` if it is not in the database.
+    pub fn id_of(&self, sig: &Signature) -> Option<usize> {
+        self.ids.get(sig).copied()
+    }
+
+    /// The signature with the given class id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id >= self.len()`.
+    pub fn signature(&self, id: usize) -> &Signature {
+        &self.sigs[id]
+    }
+
+    /// Number of training occurrences of class `id` (the `#s` of §V-3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id >= self.len()`.
+    pub fn count(&self, id: usize) -> u64 {
+        self.counts[id]
+    }
+
+    /// Number of distinct signatures (`|S|`).
+    pub fn len(&self) -> usize {
+        self.sigs.len()
+    }
+
+    /// Returns `true` if the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sigs.is_empty()
+    }
+
+    /// Iterates over `(id, signature, count)` in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &Signature, u64)> {
+        self.sigs
+            .iter()
+            .enumerate()
+            .map(move |(i, s)| (i, s, self.counts[i]))
+    }
+
+    /// Total number of occurrences inserted.
+    pub fn total_count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+/// Builds the signature of a discretized vector directly.
+pub fn signature_of(vector: &DiscreteVector) -> Signature {
+    Signature::from_components(vector)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signature_round_trips_components() {
+        let sig = Signature::from_components(&[3, 0, 17, 2]);
+        assert_eq!(sig.as_str(), "3~0~17~2");
+        assert_eq!(sig.components(), vec![3, 0, 17, 2]);
+    }
+
+    #[test]
+    fn distinct_components_distinct_signatures() {
+        let a = Signature::from_components(&[1, 23]);
+        let b = Signature::from_components(&[12, 3]);
+        assert_ne!(a, b, "separator must prevent ambiguous concatenation");
+    }
+
+    #[test]
+    fn empty_signature() {
+        let sig = Signature::from_components(&[]);
+        assert_eq!(sig.as_str(), "");
+        assert!(sig.components().is_empty());
+    }
+
+    #[test]
+    fn vocabulary_assigns_dense_ids() {
+        let mut v = SignatureVocabulary::default();
+        let a = Signature::from_components(&[1]);
+        let b = Signature::from_components(&[2]);
+        assert_eq!(v.insert(a.clone()), 0);
+        assert_eq!(v.insert(b.clone()), 1);
+        assert_eq!(v.insert(a.clone()), 0);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.count(0), 2);
+        assert_eq!(v.count(1), 1);
+        assert_eq!(v.id_of(&a), Some(0));
+        assert_eq!(v.id_of(&Signature::from_components(&[9])), None);
+        assert_eq!(v.total_count(), 3);
+    }
+
+    #[test]
+    fn vocabulary_iterates_in_id_order() {
+        let mut v = SignatureVocabulary::default();
+        v.insert(Signature::from_components(&[5]));
+        v.insert(Signature::from_components(&[7]));
+        v.insert(Signature::from_components(&[5]));
+        let items: Vec<(usize, String, u64)> = v
+            .iter()
+            .map(|(i, s, c)| (i, s.as_str().to_string(), c))
+            .collect();
+        assert_eq!(items, vec![(0, "5".to_string(), 2), (1, "7".to_string(), 1)]);
+    }
+
+    #[test]
+    fn signature_usable_as_bloom_key() {
+        let sig = Signature::from_components(&[1, 2, 3]);
+        let bytes: &[u8] = sig.as_ref();
+        assert_eq!(bytes, b"1~2~3");
+    }
+}

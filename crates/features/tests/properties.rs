@@ -1,0 +1,75 @@
+//! Property-based tests for discretization and signatures.
+
+use icsad_features::category::CategoryMap;
+use icsad_features::interval::IntervalPartition;
+use icsad_features::kmeans::KMeans;
+use icsad_features::Signature;
+use proptest::prelude::*;
+
+proptest! {
+    /// Every k-means training point assigns in range, and assignment is the
+    /// nearest centroid.
+    #[test]
+    fn kmeans_training_points_in_range(
+        values in proptest::collection::vec(-1e3f64..1e3, 2..120),
+        k in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        let km = KMeans::fit_1d(&values, k, 50, seed).unwrap();
+        for &v in &values {
+            let a = km.assign_1d(v);
+            prop_assert!(a.in_range, "training value {v} out of range");
+            // Nearest-centroid property.
+            for (j, c) in km.centroids().iter().enumerate() {
+                let d = (v - c[0]).abs();
+                prop_assert!(
+                    d + 1e-9 >= a.distance,
+                    "centroid {j} closer than assigned"
+                );
+            }
+        }
+    }
+
+    /// Interval partition assigns all fitted values into valid bins and the
+    /// bin ordering follows the value ordering.
+    #[test]
+    fn interval_partition_is_monotone(
+        mut values in proptest::collection::vec(-1e6f64..1e6, 2..100),
+        bins in 1usize..64,
+    ) {
+        let part = IntervalPartition::fit(values.iter().copied(), bins).unwrap();
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut last_bin = 0usize;
+        for &v in &values {
+            let bin = part.assign(v).expect("fitted values are in range");
+            prop_assert!(bin < bins);
+            prop_assert!(bin >= last_bin, "bins must be monotone in the value");
+            last_bin = bin;
+        }
+    }
+
+    /// Category maps are a bijection over observed values.
+    #[test]
+    fn category_map_bijection(values in proptest::collection::vec(any::<u32>(), 0..80)) {
+        let map = CategoryMap::fit(values.iter().copied());
+        let mut seen = std::collections::HashSet::new();
+        for &v in &values {
+            let idx = map.index_of(v);
+            prop_assert!(idx < map.unknown_index());
+            seen.insert(idx);
+        }
+        prop_assert_eq!(seen.len(), map.observed());
+    }
+
+    /// Signature encoding is injective over component vectors.
+    #[test]
+    fn signature_injective(
+        a in proptest::collection::vec(0u16..500, 1..20),
+        b in proptest::collection::vec(0u16..500, 1..20),
+    ) {
+        let sa = Signature::from_components(&a);
+        let sb = Signature::from_components(&b);
+        prop_assert_eq!(sa == sb, a == b);
+        prop_assert_eq!(sa.components(), a);
+    }
+}

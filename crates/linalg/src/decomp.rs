@@ -1,0 +1,442 @@
+//! Matrix decompositions: symmetric Jacobi eigendecomposition, Cholesky
+//! factorization, and an SVD built on the eigendecomposition of the Gram
+//! matrix.
+//!
+//! These routines back the PCA-SVD baseline (principal components of the
+//! feature covariance matrix) and the Gaussian baselines of the workspace.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+
+/// Result of a symmetric eigendecomposition: `a == v * diag(values) * v^T`.
+#[derive(Debug, Clone)]
+pub struct SymmetricEigen {
+    /// Eigenvalues in descending order.
+    pub values: Vec<f64>,
+    /// Eigenvectors stored as columns, ordered to match [`Self::values`].
+    pub vectors: Matrix,
+}
+
+/// Computes the eigendecomposition of a symmetric matrix using the cyclic
+/// Jacobi rotation method.
+///
+/// Eigenvalues are returned in descending order with matching eigenvector
+/// columns.
+///
+/// # Errors
+///
+/// * [`LinalgError::NotSquare`] if `a` is not square.
+/// * [`LinalgError::NoConvergence`] if off-diagonal mass does not vanish
+///   within 100 sweeps (practically unreachable for real symmetric input).
+///
+/// # Examples
+///
+/// ```
+/// use icsad_linalg::{decomp::symmetric_eigen, Matrix};
+///
+/// let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+/// let eig = symmetric_eigen(&a)?;
+/// assert!((eig.values[0] - 3.0).abs() < 1e-10);
+/// assert!((eig.values[1] - 1.0).abs() < 1e-10);
+/// # Ok::<(), icsad_linalg::LinalgError>(())
+/// ```
+pub fn symmetric_eigen(a: &Matrix) -> Result<SymmetricEigen, LinalgError> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare { dims: a.dims() });
+    }
+    let n = a.rows();
+    let mut m = a.clone();
+    let mut v = Matrix::identity(n);
+    if n <= 1 {
+        return Ok(SymmetricEigen {
+            values: (0..n).map(|i| m[(i, i)]).collect(),
+            vectors: v,
+        });
+    }
+
+    const MAX_SWEEPS: usize = 100;
+    let eps = 1e-14 * a.frobenius_norm().max(1.0);
+    for _sweep in 0..MAX_SWEEPS {
+        let mut off = 0.0;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                off += m[(p, q)] * m[(p, q)];
+            }
+        }
+        if off.sqrt() <= eps {
+            return Ok(sorted_eigen(m, v));
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq.abs() <= eps * 1e-2 / (n as f64) {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                let theta = (aqq - app) / (2.0 * apq);
+                // Stable computation of tan(rotation angle).
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    1.0 / (theta - (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+                // Apply the rotation J(p, q, theta) on both sides.
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, q)];
+                    m[(k, p)] = c * mkp - s * mkq;
+                    m[(k, q)] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(q, k)];
+                    m[(p, k)] = c * mpk - s * mqk;
+                    m[(q, k)] = s * mpk + c * mqk;
+                }
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    Err(LinalgError::NoConvergence {
+        algorithm: "jacobi eigendecomposition",
+        iterations: MAX_SWEEPS,
+    })
+}
+
+fn sorted_eigen(m: Matrix, v: Matrix) -> SymmetricEigen {
+    let n = m.rows();
+    let mut order: Vec<usize> = (0..n).collect();
+    let diag: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
+    order.sort_by(|&i, &j| diag[j].partial_cmp(&diag[i]).unwrap_or(std::cmp::Ordering::Equal));
+    let values = order.iter().map(|&i| diag[i]).collect();
+    let vectors = Matrix::from_fn(n, n, |r, c| v[(r, order[c])]);
+    SymmetricEigen { values, vectors }
+}
+
+/// Result of a thin singular value decomposition `a == u * diag(s) * v^T`.
+#[derive(Debug, Clone)]
+pub struct Svd {
+    /// Left singular vectors as columns (`rows x rank`).
+    pub u: Matrix,
+    /// Singular values in descending order.
+    pub singular_values: Vec<f64>,
+    /// Right singular vectors as columns (`cols x rank`).
+    pub v: Matrix,
+}
+
+/// Computes a thin SVD of `a` via the symmetric eigendecomposition of the
+/// smaller Gram matrix (`a^T a` or `a a^T`).
+///
+/// Singular values below `1e-10 * max_singular_value` are truncated, so the
+/// returned factors have `rank <= min(rows, cols)` columns.
+///
+/// # Errors
+///
+/// Propagates failures from [`symmetric_eigen`].
+pub fn svd(a: &Matrix) -> Result<Svd, LinalgError> {
+    let (rows, cols) = a.dims();
+    if rows == 0 || cols == 0 {
+        return Ok(Svd {
+            u: Matrix::zeros(rows, 0),
+            singular_values: Vec::new(),
+            v: Matrix::zeros(cols, 0),
+        });
+    }
+    let at = a.transpose();
+    if cols <= rows {
+        // Eigen of A^T A (cols x cols) gives V and sigma^2.
+        let gram = at.matmul(a);
+        let eig = symmetric_eigen(&gram)?;
+        let max_sv = eig.values.first().copied().unwrap_or(0.0).max(0.0).sqrt();
+        let tol = 1e-10 * max_sv.max(1e-300);
+        let mut svals = Vec::new();
+        let mut v_cols = Vec::new();
+        for (i, &lambda) in eig.values.iter().enumerate() {
+            let s = lambda.max(0.0).sqrt();
+            if s > tol {
+                svals.push(s);
+                v_cols.push(eig.vectors.col(i));
+            }
+        }
+        let rank = svals.len();
+        let v = Matrix::from_fn(cols, rank, |r, c| v_cols[c][r]);
+        // U = A V Sigma^-1
+        let av = a.matmul(&v);
+        let u = Matrix::from_fn(rows, rank, |r, c| av[(r, c)] / svals[c]);
+        Ok(Svd {
+            u,
+            singular_values: svals,
+            v,
+        })
+    } else {
+        // Transpose, decompose, and swap factors.
+        let svd_t = svd(&at)?;
+        Ok(Svd {
+            u: svd_t.v,
+            singular_values: svd_t.singular_values,
+            v: svd_t.u,
+        })
+    }
+}
+
+/// Computes the lower-triangular Cholesky factor `l` with `a == l * l^T`.
+///
+/// # Errors
+///
+/// * [`LinalgError::NotSquare`] if `a` is not square.
+/// * [`LinalgError::NotPositiveDefinite`] if a non-positive pivot appears.
+///
+/// # Examples
+///
+/// ```
+/// use icsad_linalg::{decomp::cholesky, Matrix};
+///
+/// let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]);
+/// let l = cholesky(&a)?;
+/// let reconstructed = l.matmul(&l.transpose());
+/// assert!(a.max_abs_diff(&reconstructed) < 1e-12);
+/// # Ok::<(), icsad_linalg::LinalgError>(())
+/// ```
+pub fn cholesky(a: &Matrix) -> Result<Matrix, LinalgError> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare { dims: a.dims() });
+    }
+    let n = a.rows();
+    let mut l = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[(i, j)];
+            for k in 0..j {
+                sum -= l[(i, k)] * l[(j, k)];
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return Err(LinalgError::NotPositiveDefinite { pivot: i });
+                }
+                l[(i, j)] = sum.sqrt();
+            } else {
+                l[(i, j)] = sum / l[(j, j)];
+            }
+        }
+    }
+    Ok(l)
+}
+
+/// Solves `a x = b` for symmetric positive-definite `a` via Cholesky.
+///
+/// # Errors
+///
+/// Propagates failures from [`cholesky`] and returns
+/// [`LinalgError::DimensionMismatch`] if `b.len() != a.rows()`.
+pub fn solve_spd(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    if b.len() != a.rows() {
+        return Err(LinalgError::DimensionMismatch {
+            op: "solve_spd",
+            left: a.dims(),
+            right: (b.len(), 1),
+        });
+    }
+    let l = cholesky(a)?;
+    let n = a.rows();
+    // Forward substitution: L y = b.
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= l[(i, k)] * y[k];
+        }
+        y[i] = sum / l[(i, i)];
+    }
+    // Back substitution: L^T x = y.
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut sum = y[i];
+        for k in (i + 1)..n {
+            sum -= l[(k, i)] * x[k];
+        }
+        x[i] = sum / l[(i, i)];
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reconstruct_eigen(eig: &SymmetricEigen) -> Matrix {
+        let n = eig.values.len();
+        let d = Matrix::from_fn(n, n, |r, c| if r == c { eig.values[r] } else { 0.0 });
+        eig.vectors.matmul(&d).matmul(&eig.vectors.transpose())
+    }
+
+    #[test]
+    fn eigen_of_diagonal() {
+        let a = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 1.0]]);
+        let eig = symmetric_eigen(&a).unwrap();
+        assert!((eig.values[0] - 3.0).abs() < 1e-12);
+        assert!((eig.values[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eigen_reconstructs_input() {
+        let a = Matrix::from_rows(&[
+            &[4.0, 1.0, 0.5],
+            &[1.0, 3.0, 0.2],
+            &[0.5, 0.2, 2.0],
+        ]);
+        let eig = symmetric_eigen(&a).unwrap();
+        assert!(a.max_abs_diff(&reconstruct_eigen(&eig)) < 1e-9);
+    }
+
+    #[test]
+    fn eigen_values_sorted_descending() {
+        let a = Matrix::from_rows(&[
+            &[1.0, 0.3, 0.1],
+            &[0.3, 5.0, 0.2],
+            &[0.1, 0.2, 3.0],
+        ]);
+        let eig = symmetric_eigen(&a).unwrap();
+        assert!(eig.values.windows(2).all(|w| w[0] >= w[1] - 1e-12));
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let a = Matrix::from_rows(&[
+            &[2.0, -1.0, 0.0],
+            &[-1.0, 2.0, -1.0],
+            &[0.0, -1.0, 2.0],
+        ]);
+        let eig = symmetric_eigen(&a).unwrap();
+        let vtv = eig.vectors.transpose().matmul(&eig.vectors);
+        assert!(vtv.max_abs_diff(&Matrix::identity(3)) < 1e-9);
+    }
+
+    #[test]
+    fn eigen_rejects_non_square() {
+        assert!(matches!(
+            symmetric_eigen(&Matrix::zeros(2, 3)),
+            Err(LinalgError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn eigen_trivial_sizes() {
+        let e0 = symmetric_eigen(&Matrix::zeros(0, 0)).unwrap();
+        assert!(e0.values.is_empty());
+        let e1 = symmetric_eigen(&Matrix::from_rows(&[&[7.0]])).unwrap();
+        assert_eq!(e1.values, vec![7.0]);
+    }
+
+    #[test]
+    fn svd_reconstructs_input() {
+        let a = Matrix::from_rows(&[
+            &[1.0, 2.0],
+            &[3.0, 4.0],
+            &[5.0, 6.0],
+        ]);
+        let s = svd(&a).unwrap();
+        let d = Matrix::from_fn(s.singular_values.len(), s.singular_values.len(), |r, c| {
+            if r == c {
+                s.singular_values[r]
+            } else {
+                0.0
+            }
+        });
+        let rec = s.u.matmul(&d).matmul(&s.v.transpose());
+        assert!(a.max_abs_diff(&rec) < 1e-9);
+    }
+
+    #[test]
+    fn svd_wide_matrix() {
+        let a = Matrix::from_rows(&[&[1.0, 0.0, 2.0], &[0.0, 3.0, 0.0]]);
+        let s = svd(&a).unwrap();
+        let d = Matrix::from_fn(s.singular_values.len(), s.singular_values.len(), |r, c| {
+            if r == c {
+                s.singular_values[r]
+            } else {
+                0.0
+            }
+        });
+        let rec = s.u.matmul(&d).matmul(&s.v.transpose());
+        assert!(a.max_abs_diff(&rec) < 1e-9);
+    }
+
+    #[test]
+    fn svd_rank_deficient_truncates() {
+        // Second row is a multiple of the first: rank 1.
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        let s = svd(&a).unwrap();
+        assert_eq!(s.singular_values.len(), 1);
+    }
+
+    #[test]
+    fn svd_singular_values_descending_nonnegative() {
+        let a = Matrix::from_fn(4, 3, |r, c| ((r * 7 + c * 3) % 5) as f64 - 2.0);
+        let s = svd(&a).unwrap();
+        assert!(s.singular_values.iter().all(|&x| x > 0.0));
+        assert!(s.singular_values.windows(2).all(|w| w[0] >= w[1] - 1e-12));
+    }
+
+    #[test]
+    fn svd_empty() {
+        let s = svd(&Matrix::zeros(0, 3)).unwrap();
+        assert!(s.singular_values.is_empty());
+    }
+
+    #[test]
+    fn cholesky_round_trip() {
+        let a = Matrix::from_rows(&[
+            &[25.0, 15.0, -5.0],
+            &[15.0, 18.0, 0.0],
+            &[-5.0, 0.0, 11.0],
+        ]);
+        let l = cholesky(&a).unwrap();
+        assert!(a.max_abs_diff(&l.matmul(&l.transpose())) < 1e-10);
+        // Lower triangular: everything above the diagonal is zero.
+        for r in 0..3 {
+            for c in (r + 1)..3 {
+                assert_eq!(l[(r, c)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]);
+        assert!(matches!(
+            cholesky(&a),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn cholesky_rejects_non_square() {
+        assert!(matches!(
+            cholesky(&Matrix::zeros(2, 3)),
+            Err(LinalgError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn solve_spd_solves_system() {
+        let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]);
+        let x = solve_spd(&a, &[8.0, 7.0]).unwrap();
+        let b = a.matvec(&x).unwrap();
+        assert!((b[0] - 8.0).abs() < 1e-10);
+        assert!((b[1] - 7.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn solve_spd_checks_dims() {
+        let a = Matrix::identity(2);
+        assert!(solve_spd(&a, &[1.0]).is_err());
+    }
+}

@@ -1,0 +1,39 @@
+//! Dense linear algebra and statistics substrate for the `icsad` workspace.
+//!
+//! The crates in this workspace deliberately avoid heavyweight external
+//! numerics dependencies; this crate provides the small, well-tested kernel of
+//! linear algebra that the machine-learning baselines and the feature
+//! engineering pipeline need:
+//!
+//! * [`Matrix`] — a dense, row-major, `f64` matrix with blocked
+//!   multiplication, transposition and elementwise combinators.
+//! * [`decomp`] — symmetric Jacobi eigendecomposition, Cholesky factorization
+//!   and singular value decomposition built on top of them.
+//! * [`stats`] — means, variances, covariance matrices, histograms and
+//!   z-score standardization used throughout the experiments (e.g. the
+//!   Figure 4 feature histograms of the paper).
+//! * [`vecops`] — slice-level kernels (dot products, norms, axpy).
+//!
+//! # Examples
+//!
+//! ```
+//! use icsad_linalg::Matrix;
+//!
+//! let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+//! let b = Matrix::identity(2);
+//! let c = a.matmul(&b);
+//! assert_eq!(c, a);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod decomp;
+pub mod error;
+pub mod matrix;
+pub mod stats;
+pub mod vecops;
+
+pub use error::LinalgError;
+pub use matrix::Matrix;
+pub use stats::Histogram;

@@ -1,0 +1,432 @@
+//! Descriptive statistics: means, covariance matrices, histograms and
+//! z-score standardization.
+//!
+//! [`Histogram`] directly backs the Figure 4 experiment of the paper (200-bin
+//! histograms of the continuous gas-pipeline features), and the covariance
+//! helpers back the PCA-SVD and GMM baselines.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+
+/// Arithmetic mean of a slice.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::EmptyInput`] if the slice is empty.
+pub fn mean(xs: &[f64]) -> Result<f64, LinalgError> {
+    if xs.is_empty() {
+        return Err(LinalgError::EmptyInput { op: "mean" });
+    }
+    Ok(xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+/// Unbiased sample variance (denominator `n - 1`; returns `0.0` for `n == 1`).
+///
+/// # Errors
+///
+/// Returns [`LinalgError::EmptyInput`] if the slice is empty.
+pub fn variance(xs: &[f64]) -> Result<f64, LinalgError> {
+    let m = mean(xs)?;
+    if xs.len() == 1 {
+        return Ok(0.0);
+    }
+    Ok(xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64)
+}
+
+/// Sample standard deviation.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::EmptyInput`] if the slice is empty.
+pub fn std_dev(xs: &[f64]) -> Result<f64, LinalgError> {
+    Ok(variance(xs)?.sqrt())
+}
+
+/// Per-column means of a data matrix with one sample per row.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::EmptyInput`] if the matrix has no rows.
+pub fn column_means(data: &Matrix) -> Result<Vec<f64>, LinalgError> {
+    if data.rows() == 0 {
+        return Err(LinalgError::EmptyInput { op: "column_means" });
+    }
+    let mut means = vec![0.0; data.cols()];
+    for row in data.iter_rows() {
+        for (m, &x) in means.iter_mut().zip(row.iter()) {
+            *m += x;
+        }
+    }
+    let n = data.rows() as f64;
+    for m in means.iter_mut() {
+        *m /= n;
+    }
+    Ok(means)
+}
+
+/// Sample covariance matrix (denominator `n - 1`) of a data matrix with one
+/// sample per row.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::EmptyInput`] if the matrix has fewer than two rows.
+pub fn covariance_matrix(data: &Matrix) -> Result<Matrix, LinalgError> {
+    if data.rows() < 2 {
+        return Err(LinalgError::EmptyInput {
+            op: "covariance_matrix",
+        });
+    }
+    let means = column_means(data)?;
+    let d = data.cols();
+    let mut cov = Matrix::zeros(d, d);
+    for row in data.iter_rows() {
+        for i in 0..d {
+            let di = row[i] - means[i];
+            for j in i..d {
+                cov[(i, j)] += di * (row[j] - means[j]);
+            }
+        }
+    }
+    let denom = (data.rows() - 1) as f64;
+    for i in 0..d {
+        for j in i..d {
+            cov[(i, j)] /= denom;
+            cov[(j, i)] = cov[(i, j)];
+        }
+    }
+    Ok(cov)
+}
+
+/// A fixed-width histogram over a closed value range.
+///
+/// Out-of-range values are clamped into the first or last bin, matching the
+/// usual plotting behaviour for the paper's Figure 4 histograms.
+///
+/// # Examples
+///
+/// ```
+/// use icsad_linalg::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 10.0, 5)?;
+/// for v in [0.5, 1.5, 9.9, 100.0] {
+///     h.add(v);
+/// }
+/// assert_eq!(h.counts()[0], 2); // 0.5 and 1.5 share the first bin
+/// assert_eq!(h.counts()[4], 2); // 9.9 plus the clamped 100.0
+/// # Ok::<(), icsad_linalg::LinalgError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins spanning `[lo, hi]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::EmptyInput`] if `bins == 0` or `lo >= hi` or
+    /// either bound is not finite.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Self, LinalgError> {
+        if bins == 0 || lo >= hi || !lo.is_finite() || !hi.is_finite() {
+            return Err(LinalgError::EmptyInput { op: "histogram" });
+        }
+        Ok(Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            total: 0,
+        })
+    }
+
+    /// Builds a histogram spanning the min/max of `values`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::EmptyInput`] if `values` is empty or `bins == 0`.
+    /// A degenerate range (all values equal) is widened by ±0.5.
+    pub fn from_values(values: &[f64], bins: usize) -> Result<Self, LinalgError> {
+        if values.is_empty() {
+            return Err(LinalgError::EmptyInput { op: "histogram" });
+        }
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &v in values {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        if lo == hi {
+            lo -= 0.5;
+            hi += 0.5;
+        }
+        let mut h = Histogram::new(lo, hi, bins)?;
+        for &v in values {
+            h.add(v);
+        }
+        Ok(h)
+    }
+
+    /// Adds one observation; non-finite values are ignored.
+    pub fn add(&mut self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        let bins = self.counts.len();
+        let width = (self.hi - self.lo) / bins as f64;
+        let idx = ((value - self.lo) / width).floor();
+        let idx = if idx < 0.0 {
+            0
+        } else if idx as usize >= bins {
+            bins - 1
+        } else {
+            idx as usize
+        };
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of observations recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Lower bound of the value range.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound of the value range.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Midpoint of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        assert!(i < self.counts.len(), "bin index out of range");
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + (i as f64 + 0.5) * width
+    }
+
+    /// Normalized bin densities (counts summing to one); all zeros when empty.
+    pub fn densities(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / self.total as f64)
+            .collect()
+    }
+}
+
+/// Z-score standardizer fit on training data and applied to new samples.
+///
+/// Columns with zero variance are passed through unscaled (divisor 1), which
+/// keeps constant features from producing NaNs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Standardizer {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl Standardizer {
+    /// Fits per-column mean/standard deviation on `data` (one sample per row).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::EmptyInput`] if `data` has no rows.
+    pub fn fit(data: &Matrix) -> Result<Self, LinalgError> {
+        let means = column_means(data)?;
+        let mut stds = vec![0.0; data.cols()];
+        if data.rows() > 1 {
+            for row in data.iter_rows() {
+                for (s, (&x, &m)) in stds.iter_mut().zip(row.iter().zip(means.iter())) {
+                    *s += (x - m) * (x - m);
+                }
+            }
+            let denom = (data.rows() - 1) as f64;
+            for s in stds.iter_mut() {
+                *s = (*s / denom).sqrt();
+            }
+        }
+        for s in stds.iter_mut() {
+            if *s == 0.0 || !s.is_finite() {
+                *s = 1.0;
+            }
+        }
+        Ok(Standardizer { means, stds })
+    }
+
+    /// Standardizes one sample in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample.len()` differs from the fitted dimensionality.
+    pub fn transform_in_place(&self, sample: &mut [f64]) {
+        assert_eq!(sample.len(), self.means.len(), "standardizer width mismatch");
+        for ((x, &m), &s) in sample.iter_mut().zip(self.means.iter()).zip(self.stds.iter()) {
+            *x = (*x - m) / s;
+        }
+    }
+
+    /// Returns a standardized copy of the whole data matrix.
+    pub fn transform(&self, data: &Matrix) -> Matrix {
+        let mut out = data.clone();
+        for r in 0..out.rows() {
+            self.transform_in_place(out.row_mut(r));
+        }
+        out
+    }
+
+    /// Fitted per-column means.
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+
+    /// Fitted per-column standard deviations (zero-variance columns report 1).
+    pub fn stds(&self) -> &[f64] {
+        &self.stds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_variance_known() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs).unwrap(), 5.0);
+        assert!((variance(&xs).unwrap() - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs_error() {
+        assert!(mean(&[]).is_err());
+        assert!(variance(&[]).is_err());
+        assert!(std_dev(&[]).is_err());
+        assert!(column_means(&Matrix::zeros(0, 3)).is_err());
+        assert!(covariance_matrix(&Matrix::zeros(1, 3)).is_err());
+    }
+
+    #[test]
+    fn single_sample_variance_zero() {
+        assert_eq!(variance(&[42.0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn covariance_of_independent_columns() {
+        let data = Matrix::from_rows(&[
+            &[1.0, 10.0],
+            &[2.0, 10.0],
+            &[3.0, 10.0],
+        ]);
+        let cov = covariance_matrix(&data).unwrap();
+        assert!((cov[(0, 0)] - 1.0).abs() < 1e-12);
+        assert_eq!(cov[(1, 1)], 0.0);
+        assert_eq!(cov[(0, 1)], 0.0);
+        assert!(cov.is_symmetric(0.0));
+    }
+
+    #[test]
+    fn covariance_of_correlated_columns() {
+        let data = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]);
+        let cov = covariance_matrix(&data).unwrap();
+        // Perfect correlation: cov(x, y) = 2 * var(x).
+        assert!((cov[(0, 1)] - 2.0 * cov[(0, 0)]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_bins_and_clamping() {
+        let mut h = Histogram::new(0.0, 10.0, 10).unwrap();
+        h.add(-5.0); // clamped into bin 0
+        h.add(0.0);
+        h.add(9.999);
+        h.add(10.0); // exactly hi clamps to last bin
+        h.add(50.0); // clamped into last bin
+        assert_eq!(h.counts()[0], 2);
+        assert_eq!(h.counts()[9], 3);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn histogram_ignores_non_finite() {
+        let mut h = Histogram::new(0.0, 1.0, 2).unwrap();
+        h.add(f64::NAN);
+        h.add(f64::INFINITY);
+        assert_eq!(h.total(), 0);
+    }
+
+    #[test]
+    fn histogram_from_values_covers_range() {
+        let h = Histogram::from_values(&[1.0, 2.0, 3.0, 4.0], 4).unwrap();
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.counts().iter().sum::<u64>(), 4);
+        assert_eq!(h.lo(), 1.0);
+        assert_eq!(h.hi(), 4.0);
+    }
+
+    #[test]
+    fn histogram_degenerate_range_widened() {
+        let h = Histogram::from_values(&[5.0, 5.0], 3).unwrap();
+        assert_eq!(h.total(), 2);
+        assert!(h.lo() < 5.0 && h.hi() > 5.0);
+    }
+
+    #[test]
+    fn histogram_invalid_params() {
+        assert!(Histogram::new(0.0, 1.0, 0).is_err());
+        assert!(Histogram::new(1.0, 1.0, 5).is_err());
+        assert!(Histogram::new(2.0, 1.0, 5).is_err());
+        assert!(Histogram::new(f64::NAN, 1.0, 5).is_err());
+        assert!(Histogram::from_values(&[], 5).is_err());
+    }
+
+    #[test]
+    fn histogram_densities_sum_to_one() {
+        let h = Histogram::from_values(&[1.0, 2.0, 3.0], 2).unwrap();
+        let sum: f64 = h.densities().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bin_center_positions() {
+        let h = Histogram::new(0.0, 10.0, 5).unwrap();
+        assert!((h.bin_center(0) - 1.0).abs() < 1e-12);
+        assert!((h.bin_center(4) - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn standardizer_zero_mean_unit_variance() {
+        let data = Matrix::from_rows(&[&[1.0, 5.0], &[2.0, 5.0], &[3.0, 5.0]]);
+        let s = Standardizer::fit(&data).unwrap();
+        let t = s.transform(&data);
+        let m = column_means(&t).unwrap();
+        assert!(m[0].abs() < 1e-12);
+        // Constant column stays untouched relative to its mean: all zeros.
+        assert!(t.col(1).iter().all(|&x| x == 0.0));
+        let v = variance(&t.col(0)).unwrap();
+        assert!((v - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn standardizer_transform_new_sample() {
+        let data = Matrix::from_rows(&[&[0.0], &[10.0]]);
+        let s = Standardizer::fit(&data).unwrap();
+        let mut sample = vec![5.0];
+        s.transform_in_place(&mut sample);
+        assert!(sample[0].abs() < 1e-12); // 5 is the mean
+    }
+}

@@ -1,0 +1,165 @@
+//! Slice-level numeric kernels shared across the workspace.
+
+/// Dot product of two equally sized slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean (L2) norm of a slice.
+pub fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Squared Euclidean distance between two equally sized slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "sq_dist length mismatch");
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum()
+}
+
+/// Euclidean distance between two equally sized slices.
+pub fn dist(a: &[f64], b: &[f64]) -> f64 {
+    sq_dist(a, b).sqrt()
+}
+
+/// In-place `y += alpha * x`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x.iter()) {
+        *yi += alpha * xi;
+    }
+}
+
+/// In-place scaling `x *= alpha`.
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    for xi in x.iter_mut() {
+        *xi *= alpha;
+    }
+}
+
+/// Index and value of the maximum element, or `None` for an empty slice.
+///
+/// NaN values are never selected unless every element is NaN, in which case
+/// the first index is returned.
+pub fn argmax(a: &[f64]) -> Option<(usize, f64)> {
+    if a.is_empty() {
+        return None;
+    }
+    let mut best = (0, a[0]);
+    for (i, &v) in a.iter().enumerate().skip(1) {
+        if v > best.1 || best.1.is_nan() {
+            best = (i, v);
+        }
+    }
+    Some(best)
+}
+
+/// Index and value of the minimum element, or `None` for an empty slice.
+pub fn argmin(a: &[f64]) -> Option<(usize, f64)> {
+    if a.is_empty() {
+        return None;
+    }
+    let mut best = (0, a[0]);
+    for (i, &v) in a.iter().enumerate().skip(1) {
+        if v < best.1 || best.1.is_nan() {
+            best = (i, v);
+        }
+    }
+    Some(best)
+}
+
+/// Indices of the `k` largest elements, in descending value order.
+///
+/// Returns fewer than `k` indices if the slice is shorter than `k`. Ties are
+/// broken by the lower index first.
+pub fn top_k_indices(a: &[f64], k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..a.len()).collect();
+    idx.sort_by(|&i, &j| {
+        a[j].partial_cmp(&a[i])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(i.cmp(&j))
+    });
+    idx.truncate(k);
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norm() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distances() {
+        assert_eq!(sq_dist(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert!((dist(&[0.0, 0.0], &[3.0, 4.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, 4.0], &mut y);
+        assert_eq!(y, vec![7.0, 9.0]);
+    }
+
+    #[test]
+    fn scale_in_place() {
+        let mut x = vec![1.0, -2.0];
+        scale(-3.0, &mut x);
+        assert_eq!(x, vec![-3.0, 6.0]);
+    }
+
+    #[test]
+    fn argmax_argmin_basics() {
+        assert_eq!(argmax(&[]), None);
+        assert_eq!(argmax(&[1.0, 5.0, 3.0]), Some((1, 5.0)));
+        assert_eq!(argmin(&[1.0, 5.0, 3.0]), Some((0, 1.0)));
+    }
+
+    #[test]
+    fn argmax_skips_nan() {
+        assert_eq!(argmax(&[f64::NAN, 2.0, 1.0]), Some((1, 2.0)));
+    }
+
+    #[test]
+    fn top_k_sorted_descending() {
+        let v = [0.1, 0.9, 0.5, 0.7];
+        assert_eq!(top_k_indices(&v, 2), vec![1, 3]);
+        assert_eq!(top_k_indices(&v, 10), vec![1, 3, 2, 0]);
+        assert_eq!(top_k_indices(&v, 0), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn top_k_tie_break_by_index() {
+        let v = [0.5, 0.5, 0.5];
+        assert_eq!(top_k_indices(&v, 2), vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_length_mismatch_panics() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+}

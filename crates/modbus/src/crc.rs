@@ -1,0 +1,108 @@
+//! CRC-16/Modbus checksum.
+//!
+//! Polynomial `0x8005` (reflected form `0xA001`), initial value `0xFFFF`, no
+//! final XOR; transmitted little-endian on the wire.
+
+/// Computes the CRC-16/Modbus checksum of `data`.
+///
+/// # Examples
+///
+/// ```
+/// // Standard check value for the ASCII string "123456789".
+/// assert_eq!(icsad_modbus::crc::crc16(b"123456789"), 0x4B37);
+/// ```
+pub fn crc16(data: &[u8]) -> u16 {
+    let mut crc: u16 = 0xFFFF;
+    for &byte in data {
+        crc ^= u16::from(byte);
+        for _ in 0..8 {
+            if crc & 1 != 0 {
+                crc = (crc >> 1) ^ 0xA001;
+            } else {
+                crc >>= 1;
+            }
+        }
+    }
+    crc
+}
+
+/// Appends the little-endian CRC of `data` to the end of `data` and returns
+/// the combined buffer.
+pub fn append_crc(mut data: Vec<u8>) -> Vec<u8> {
+    let crc = crc16(&data);
+    data.extend_from_slice(&crc.to_le_bytes());
+    data
+}
+
+/// Verifies that the last two bytes of `buf` are the little-endian CRC of the
+/// preceding bytes. Returns the payload (without CRC) on success.
+pub fn verify_crc(buf: &[u8]) -> Option<&[u8]> {
+    if buf.len() < 2 {
+        return None;
+    }
+    let (payload, crc_bytes) = buf.split_at(buf.len() - 2);
+    let expected = u16::from_le_bytes([crc_bytes[0], crc_bytes[1]]);
+    if crc16(payload) == expected {
+        Some(payload)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_check_value() {
+        assert_eq!(crc16(b"123456789"), 0x4B37);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(crc16(b""), 0xFFFF);
+    }
+
+    #[test]
+    fn known_modbus_frame() {
+        // Read holding registers: slave 1, fc 3, start 0, count 1.
+        // Well-known reference frame: 01 03 00 00 00 01 84 0A.
+        let frame = [0x01u8, 0x03, 0x00, 0x00, 0x00, 0x01];
+        assert_eq!(crc16(&frame), u16::from_le_bytes([0x84, 0x0A]));
+    }
+
+    #[test]
+    fn append_and_verify_round_trip() {
+        let buf = append_crc(vec![0x11, 0x22, 0x33]);
+        assert_eq!(buf.len(), 5);
+        assert_eq!(verify_crc(&buf), Some(&[0x11, 0x22, 0x33][..]));
+    }
+
+    #[test]
+    fn verify_detects_corruption() {
+        let mut buf = append_crc(vec![0x11, 0x22, 0x33]);
+        buf[1] ^= 0x01;
+        assert_eq!(verify_crc(&buf), None);
+    }
+
+    #[test]
+    fn verify_detects_crc_corruption() {
+        let mut buf = append_crc(vec![0x11, 0x22, 0x33]);
+        let last = buf.len() - 1;
+        buf[last] ^= 0x80;
+        assert_eq!(verify_crc(&buf), None);
+    }
+
+    #[test]
+    fn verify_rejects_short_buffers() {
+        assert_eq!(verify_crc(&[]), None);
+        assert_eq!(verify_crc(&[0x01]), None);
+    }
+
+    #[test]
+    fn single_bit_sensitivity() {
+        let a = crc16(&[0b0000_0000]);
+        let b = crc16(&[0b0000_0001]);
+        assert_ne!(a, b);
+    }
+}

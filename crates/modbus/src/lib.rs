@@ -1,0 +1,37 @@
+//! A from-scratch Modbus (RTU flavour) protocol substrate.
+//!
+//! The gas-pipeline SCADA system reproduced in this workspace speaks the
+//! Modbus application-layer protocol (paper §VII). This crate implements the
+//! pieces the simulator and feature extractor need:
+//!
+//! * [`crc`] — the CRC-16/Modbus checksum,
+//! * [`FunctionCode`] / [`ExceptionCode`] — application function codes,
+//! * [`Frame`] — RTU framing with encode/decode and CRC verification,
+//! * [`RegisterMap`] — a holding-register store for the slave device,
+//! * [`pipeline`] — the gas-pipeline payload codec mapping PID parameters,
+//!   mode, pump/solenoid state and pressure onto registers.
+//!
+//! # Examples
+//!
+//! ```
+//! use icsad_modbus::{Frame, FunctionCode};
+//!
+//! let frame = Frame::new(4, FunctionCode::ReadHoldingRegisters, vec![0, 0, 0, 11]);
+//! let wire = frame.encode();
+//! let decoded = Frame::decode(&wire)?;
+//! assert_eq!(decoded, frame);
+//! # Ok::<(), icsad_modbus::FrameError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod crc;
+mod frame;
+mod function;
+pub mod pipeline;
+mod registers;
+
+pub use frame::{Frame, FrameError};
+pub use function::{ExceptionCode, FunctionCode};
+pub use registers::RegisterMap;

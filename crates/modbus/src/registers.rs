@@ -1,0 +1,125 @@
+//! A holding-register store for the simulated slave device.
+
+/// A bank of 16-bit Modbus holding registers.
+///
+/// # Examples
+///
+/// ```
+/// use icsad_modbus::RegisterMap;
+///
+/// let mut regs = RegisterMap::new(16);
+/// regs.write(3, 0x1234);
+/// assert_eq!(regs.read(3), Some(0x1234));
+/// assert_eq!(regs.read(99), None);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegisterMap {
+    regs: Vec<u16>,
+}
+
+impl RegisterMap {
+    /// Creates a register bank with `len` registers, all zero.
+    pub fn new(len: usize) -> Self {
+        RegisterMap {
+            regs: vec![0; len],
+        }
+    }
+
+    /// Number of registers.
+    pub fn len(&self) -> usize {
+        self.regs.len()
+    }
+
+    /// Returns `true` if the bank has no registers.
+    pub fn is_empty(&self) -> bool {
+        self.regs.is_empty()
+    }
+
+    /// Reads register `addr`, or `None` if out of range.
+    pub fn read(&self, addr: u16) -> Option<u16> {
+        self.regs.get(addr as usize).copied()
+    }
+
+    /// Reads `count` registers starting at `addr`, or `None` if the range is
+    /// out of bounds.
+    pub fn read_range(&self, addr: u16, count: u16) -> Option<&[u16]> {
+        let start = addr as usize;
+        let end = start.checked_add(count as usize)?;
+        self.regs.get(start..end)
+    }
+
+    /// Writes register `addr`. Returns `false` (without writing) if out of
+    /// range.
+    pub fn write(&mut self, addr: u16, value: u16) -> bool {
+        match self.regs.get_mut(addr as usize) {
+            Some(slot) => {
+                *slot = value;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Writes a run of registers starting at `addr`. Returns `false`
+    /// (without writing anything) if the range does not fit.
+    pub fn write_range(&mut self, addr: u16, values: &[u16]) -> bool {
+        let start = addr as usize;
+        let Some(end) = start.checked_add(values.len()) else {
+            return false;
+        };
+        match self.regs.get_mut(start..end) {
+            Some(slots) => {
+                slots.copy_from_slice(values);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Borrows all registers.
+    pub fn as_slice(&self) -> &[u16] {
+        &self.regs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_single() {
+        let mut r = RegisterMap::new(4);
+        assert!(r.write(0, 7));
+        assert!(r.write(3, 9));
+        assert_eq!(r.read(0), Some(7));
+        assert_eq!(r.read(3), Some(9));
+        assert_eq!(r.read(4), None);
+        assert!(!r.write(4, 1));
+    }
+
+    #[test]
+    fn range_operations() {
+        let mut r = RegisterMap::new(8);
+        assert!(r.write_range(2, &[10, 11, 12]));
+        assert_eq!(r.read_range(2, 3), Some(&[10, 11, 12][..]));
+        assert_eq!(r.read_range(6, 3), None);
+        assert!(!r.write_range(6, &[1, 2, 3]));
+        // Failed write must not partially apply.
+        assert_eq!(r.read(6), Some(0));
+        assert_eq!(r.read(7), Some(0));
+    }
+
+    #[test]
+    fn empty_bank() {
+        let r = RegisterMap::new(0);
+        assert!(r.is_empty());
+        assert_eq!(r.read(0), None);
+        assert_eq!(r.read_range(0, 0), Some(&[][..]));
+    }
+
+    #[test]
+    fn zero_count_range_read() {
+        let r = RegisterMap::new(4);
+        assert_eq!(r.read_range(2, 0), Some(&[][..]));
+    }
+}

@@ -1,0 +1,132 @@
+//! Scalar activation functions and their derivatives.
+
+/// Logistic sigmoid `σ(x) = 1 / (1 + e^{-x})`, computed stably for large
+/// negative inputs.
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Derivative of the sigmoid expressed through its output `s = σ(x)`.
+pub fn sigmoid_deriv_from_output(s: f32) -> f32 {
+    s * (1.0 - s)
+}
+
+/// Hyperbolic tangent.
+pub fn tanh(x: f32) -> f32 {
+    x.tanh()
+}
+
+/// Derivative of tanh expressed through its output `t = tanh(x)`.
+pub fn tanh_deriv_from_output(t: f32) -> f32 {
+    1.0 - t * t
+}
+
+/// In-place numerically stable softmax.
+///
+/// Subtracts the maximum logit before exponentiation; an all-`-inf` or empty
+/// input is left untouched.
+pub fn softmax_in_place(logits: &mut [f32]) {
+    if logits.is_empty() {
+        return;
+    }
+    let max = logits.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+    if !max.is_finite() {
+        return;
+    }
+    let mut sum = 0.0f32;
+    for x in logits.iter_mut() {
+        *x = (*x - max).exp();
+        sum += *x;
+    }
+    if sum > 0.0 {
+        for x in logits.iter_mut() {
+            *x /= sum;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_known_values() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-7);
+        assert!(sigmoid(10.0) > 0.9999);
+        assert!(sigmoid(-10.0) < 0.0001);
+    }
+
+    #[test]
+    fn sigmoid_stable_at_extremes() {
+        assert!(sigmoid(-1000.0).is_finite());
+        assert!(sigmoid(1000.0).is_finite());
+        assert_eq!(sigmoid(-1000.0), 0.0);
+        assert_eq!(sigmoid(1000.0), 1.0);
+    }
+
+    #[test]
+    fn sigmoid_symmetry() {
+        for x in [-3.0f32, -1.0, 0.5, 2.0] {
+            assert!((sigmoid(x) + sigmoid(-x) - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn sigmoid_derivative_matches_finite_difference() {
+        let h = 1e-3f32;
+        for x in [-2.0f32, -0.5, 0.0, 1.0, 3.0] {
+            let numeric = (sigmoid(x + h) - sigmoid(x - h)) / (2.0 * h);
+            let analytic = sigmoid_deriv_from_output(sigmoid(x));
+            assert!((numeric - analytic).abs() < 1e-3, "x={x}");
+        }
+    }
+
+    #[test]
+    fn tanh_derivative_matches_finite_difference() {
+        let h = 1e-3f32;
+        for x in [-2.0f32, -0.5, 0.0, 1.0, 3.0] {
+            let numeric = (tanh(x + h) - tanh(x - h)) / (2.0 * h);
+            let analytic = tanh_deriv_from_output(tanh(x));
+            assert!((numeric - analytic).abs() < 1e-3, "x={x}");
+        }
+    }
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let mut v = vec![1.0f32, 2.0, 3.0];
+        softmax_in_place(&mut v);
+        let sum: f32 = v.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!(v[2] > v[1] && v[1] > v[0]);
+    }
+
+    #[test]
+    fn softmax_stable_for_large_logits() {
+        let mut v = vec![1000.0f32, 1001.0, 999.0];
+        softmax_in_place(&mut v);
+        assert!(v.iter().all(|x| x.is_finite()));
+        let sum: f32 = v.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_uniform_for_equal_logits() {
+        let mut v = vec![5.0f32; 4];
+        softmax_in_place(&mut v);
+        for x in v {
+            assert!((x - 0.25).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_handles_empty() {
+        let mut v: Vec<f32> = vec![];
+        softmax_in_place(&mut v);
+        assert!(v.is_empty());
+    }
+}

@@ -1,0 +1,182 @@
+//! The dense projection from the top LSTM layer onto signature logits.
+
+use rand::Rng;
+use rand_chacha::ChaCha12Rng;
+
+use crate::tensor::{matvec_acc, matvec_t_acc, outer_acc, Tensor2};
+
+/// A fully connected layer `y = W x + b`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dense {
+    pub(crate) w: Tensor2,
+    pub(crate) b: Vec<f32>,
+}
+
+/// Gradients mirroring a [`Dense`] layer.
+#[derive(Debug, Clone)]
+pub struct DenseGrad {
+    pub(crate) w: Tensor2,
+    pub(crate) b: Vec<f32>,
+}
+
+impl Dense {
+    /// Creates a layer with uniform Xavier-style initialization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(input_dim: usize, output_dim: usize, rng: &mut ChaCha12Rng) -> Self {
+        assert!(
+            input_dim > 0 && output_dim > 0,
+            "dense dims must be positive"
+        );
+        let scale = (6.0 / (input_dim + output_dim) as f32).sqrt();
+        let data = (0..input_dim * output_dim)
+            .map(|_| (rng.gen::<f32>() * 2.0 - 1.0) * scale)
+            .collect();
+        Dense {
+            w: Tensor2::from_vec(input_dim, output_dim, data),
+            b: vec![0.0; output_dim],
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.w.rows()
+    }
+
+    /// Output dimensionality.
+    pub fn output_dim(&self) -> usize {
+        self.w.cols()
+    }
+
+    /// Number of learnable parameters.
+    pub fn param_count(&self) -> usize {
+        self.w.len() + self.b.len()
+    }
+
+    /// Zero gradients shaped like this layer.
+    pub(crate) fn zero_grad(&self) -> DenseGrad {
+        DenseGrad {
+            w: Tensor2::zeros(self.w.rows(), self.w.cols()),
+            b: vec![0.0; self.b.len()],
+        }
+    }
+
+    /// Computes `out = W x + b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn forward(&self, x: &[f32], out: &mut [f32]) {
+        assert_eq!(out.len(), self.b.len(), "dense output length mismatch");
+        out.copy_from_slice(&self.b);
+        matvec_acc(&self.w, x, out);
+    }
+
+    /// Accumulates parameter gradients and the input gradient for one step.
+    pub(crate) fn backward(&self, x: &[f32], dy: &[f32], grad: &mut DenseGrad, dx: &mut [f32]) {
+        outer_acc(&mut grad.w, x, dy);
+        for (gb, &d) in grad.b.iter_mut().zip(dy.iter()) {
+            *gb += d;
+        }
+        matvec_t_acc(&self.w, dy, dx);
+    }
+}
+
+impl DenseGrad {
+    pub(crate) fn add_assign(&mut self, other: &DenseGrad) {
+        self.w.add_assign(&other.w);
+        for (a, b) in self.b.iter_mut().zip(other.b.iter()) {
+            *a += b;
+        }
+    }
+
+    pub(crate) fn zero(&mut self) {
+        self.w.zero();
+        self.b.fill(0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand_chacha::rand_core::SeedableRng;
+
+    fn rng() -> ChaCha12Rng {
+        ChaCha12Rng::seed_from_u64(2)
+    }
+
+    #[test]
+    fn forward_matches_manual() {
+        let mut d = Dense::new(2, 3, &mut rng());
+        d.w = Tensor2::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        d.b = vec![0.5, 0.5, 0.5];
+        let mut out = vec![0.0; 3];
+        d.forward(&[1.0, 2.0], &mut out);
+        assert_eq!(out, vec![9.5, 12.5, 15.5]);
+    }
+
+    #[test]
+    fn gradient_check() {
+        let mut d = Dense::new(3, 2, &mut rng());
+        let x = vec![0.3f32, -0.7, 1.1];
+        // Loss = 0.5 |y|^2  =>  dy = y.
+        let loss = |d: &Dense| {
+            let mut y = vec![0.0; 2];
+            d.forward(&x, &mut y);
+            0.5 * y.iter().map(|v| v * v).sum::<f32>()
+        };
+        let mut y = vec![0.0; 2];
+        d.forward(&x, &mut y);
+        let mut grad = d.zero_grad();
+        let mut dx = vec![0.0; 3];
+        d.backward(&x, &y, &mut grad, &mut dx);
+
+        let eps = 1e-2f32;
+        for idx in 0..d.w.len() {
+            let orig = d.w.as_slice()[idx];
+            d.w.as_mut_slice()[idx] = orig + eps;
+            let lp = loss(&d);
+            d.w.as_mut_slice()[idx] = orig - eps;
+            let lm = loss(&d);
+            d.w.as_mut_slice()[idx] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            let analytic = grad.w.as_slice()[idx];
+            assert!(
+                (numeric - analytic).abs() < 1e-2 * (1.0 + numeric.abs()),
+                "w[{idx}]: {numeric} vs {analytic}"
+            );
+        }
+        // Input gradient by finite differences.
+        for i in 0..3 {
+            let mut xp = x.clone();
+            xp[i] += eps;
+            let mut xm = x.clone();
+            xm[i] -= eps;
+            let lossx = |xv: &[f32]| {
+                let mut y = vec![0.0; 2];
+                d.forward(xv, &mut y);
+                0.5 * y.iter().map(|v| v * v).sum::<f32>()
+            };
+            let numeric = (lossx(&xp) - lossx(&xm)) / (2.0 * eps);
+            assert!(
+                (numeric - dx[i]).abs() < 1e-2 * (1.0 + numeric.abs()),
+                "dx[{i}]: {numeric} vs {}",
+                dx[i]
+            );
+        }
+    }
+
+    #[test]
+    fn param_count() {
+        let d = Dense::new(4, 7, &mut rng());
+        assert_eq!(d.param_count(), 4 * 7 + 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "dims must be positive")]
+    fn zero_dims_panic() {
+        Dense::new(0, 1, &mut rng());
+    }
+}

@@ -1,0 +1,427 @@
+//! One LSTM layer with full backpropagation through time.
+//!
+//! The implementation follows the memory-cell equations of the paper (§V):
+//!
+//! ```text
+//! i_t = σ(W_i x_t + U_i h_{t-1} + b_i)
+//! f_t = σ(W_f x_t + U_f h_{t-1} + b_f)
+//! o_t = σ(W_o x_t + U_o h_{t-1} + b_o)
+//! g_t = τ(W_g x_t + U_g h_{t-1} + b_g)
+//! c_t = f_t ⊙ c_{t-1} + i_t ⊙ g_t
+//! h_t = o_t ⊙ τ(c_t)
+//! ```
+//!
+//! The four gate blocks are fused into single `W (in × 4H)`, `U (H × 4H)`
+//! and `b (4H)` parameters in `[i, f, o, g]` order.
+
+use rand::Rng;
+use rand_chacha::ChaCha12Rng;
+
+use crate::activations::{sigmoid, sigmoid_deriv_from_output, tanh, tanh_deriv_from_output};
+use crate::tensor::{matvec_acc, matvec_t_acc, outer_acc, Tensor2};
+
+/// One LSTM layer's parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LstmLayer {
+    pub(crate) w: Tensor2,
+    pub(crate) u: Tensor2,
+    pub(crate) b: Vec<f32>,
+    input_dim: usize,
+    hidden_dim: usize,
+}
+
+/// Gradients mirroring an [`LstmLayer`].
+#[derive(Debug, Clone)]
+pub struct LstmGrad {
+    pub(crate) w: Tensor2,
+    pub(crate) u: Tensor2,
+    pub(crate) b: Vec<f32>,
+}
+
+/// The recurrent state `(h, c)` of one layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LstmState {
+    /// Hidden output vector.
+    pub h: Vec<f32>,
+    /// Cell state vector.
+    pub c: Vec<f32>,
+}
+
+impl LstmState {
+    /// Zero state for a layer of the given width.
+    pub fn zeros(hidden_dim: usize) -> Self {
+        LstmState {
+            h: vec![0.0; hidden_dim],
+            c: vec![0.0; hidden_dim],
+        }
+    }
+}
+
+/// Per-timestep activations cached for backpropagation.
+#[derive(Debug, Clone)]
+pub(crate) struct StepCache {
+    /// Gate activations `[i, f, o, g]`, each of width `H`.
+    gates: Vec<f32>,
+    /// `tanh(c_t)`.
+    tc: Vec<f32>,
+    /// Previous cell state.
+    c_prev: Vec<f32>,
+    /// Previous hidden state.
+    h_prev: Vec<f32>,
+}
+
+impl LstmLayer {
+    /// Creates a layer with uniform Xavier-style initialization and the
+    /// customary forget-gate bias of 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(input_dim: usize, hidden_dim: usize, rng: &mut ChaCha12Rng) -> Self {
+        assert!(input_dim > 0 && hidden_dim > 0, "lstm dims must be positive");
+        let scale_w = (6.0 / (input_dim + hidden_dim) as f32).sqrt();
+        let scale_u = (6.0 / (2 * hidden_dim) as f32).sqrt();
+        let mut init = |rows: usize, cols: usize, scale: f32| {
+            let data = (0..rows * cols)
+                .map(|_| (rng.gen::<f32>() * 2.0 - 1.0) * scale)
+                .collect();
+            Tensor2::from_vec(rows, cols, data)
+        };
+        let w = init(input_dim, 4 * hidden_dim, scale_w);
+        let u = init(hidden_dim, 4 * hidden_dim, scale_u);
+        let mut b = vec![0.0; 4 * hidden_dim];
+        // Forget-gate bias block [H..2H) starts at 1 to ease long memories.
+        for bf in &mut b[hidden_dim..2 * hidden_dim] {
+            *bf = 1.0;
+        }
+        LstmLayer {
+            w,
+            u,
+            b,
+            input_dim,
+            hidden_dim,
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Hidden (memory cell) dimensionality.
+    pub fn hidden_dim(&self) -> usize {
+        self.hidden_dim
+    }
+
+    /// Number of learnable parameters.
+    pub fn param_count(&self) -> usize {
+        self.w.len() + self.u.len() + self.b.len()
+    }
+
+    /// Zero gradients shaped like this layer.
+    pub(crate) fn zero_grad(&self) -> LstmGrad {
+        LstmGrad {
+            w: Tensor2::zeros(self.input_dim, 4 * self.hidden_dim),
+            u: Tensor2::zeros(self.hidden_dim, 4 * self.hidden_dim),
+            b: vec![0.0; 4 * self.hidden_dim],
+        }
+    }
+
+    /// Advances the state by one timestep, writing `h_t` into `out_h` and
+    /// (during training) pushing a [`StepCache`].
+    pub(crate) fn step(
+        &self,
+        x: &[f32],
+        state: &mut LstmState,
+        out_h: &mut [f32],
+        cache: Option<&mut Vec<StepCache>>,
+    ) {
+        let hd = self.hidden_dim;
+        debug_assert_eq!(x.len(), self.input_dim);
+        debug_assert_eq!(out_h.len(), hd);
+
+        // z = W x + U h_prev + b
+        let mut z = self.b.clone();
+        matvec_acc(&self.w, x, &mut z);
+        matvec_acc(&self.u, &state.h, &mut z);
+
+        let c_prev = state.c.clone();
+        let h_prev = state.h.clone();
+
+        // Gate nonlinearities in place: [i, f, o] sigmoid, [g] tanh.
+        for v in &mut z[..3 * hd] {
+            *v = sigmoid(*v);
+        }
+        for v in &mut z[3 * hd..] {
+            *v = tanh(*v);
+        }
+
+        let (i_gate, rest) = z.split_at(hd);
+        let (f_gate, rest) = rest.split_at(hd);
+        let (o_gate, g_gate) = rest.split_at(hd);
+
+        let mut tc = vec![0.0f32; hd];
+        for j in 0..hd {
+            state.c[j] = f_gate[j] * c_prev[j] + i_gate[j] * g_gate[j];
+            tc[j] = tanh(state.c[j]);
+            state.h[j] = o_gate[j] * tc[j];
+            out_h[j] = state.h[j];
+        }
+
+        if let Some(cache) = cache {
+            cache.push(StepCache {
+                gates: z,
+                tc,
+                c_prev,
+                h_prev,
+            });
+        }
+    }
+
+    /// Backpropagates through a cached forward pass.
+    ///
+    /// `d_out[t]` is `∂L/∂h_t` from the layer above (already including any
+    /// direct loss contribution); gradients are accumulated into `grad` and
+    /// `∂L/∂x_t` is accumulated into `d_inputs[t]`.
+    pub(crate) fn backward(
+        &self,
+        inputs: &[&[f32]],
+        caches: &[StepCache],
+        d_out: &[Vec<f32>],
+        grad: &mut LstmGrad,
+        d_inputs: &mut [Vec<f32>],
+    ) {
+        let hd = self.hidden_dim;
+        let steps = caches.len();
+        debug_assert_eq!(inputs.len(), steps);
+        debug_assert_eq!(d_out.len(), steps);
+        debug_assert_eq!(d_inputs.len(), steps);
+
+        let mut dh_next = vec![0.0f32; hd];
+        let mut dc_next = vec![0.0f32; hd];
+        let mut dz = vec![0.0f32; 4 * hd];
+
+        for t in (0..steps).rev() {
+            let cache = &caches[t];
+            let (i_gate, rest) = cache.gates.split_at(hd);
+            let (f_gate, rest) = rest.split_at(hd);
+            let (o_gate, g_gate) = rest.split_at(hd);
+
+            for j in 0..hd {
+                let dh = d_out[t][j] + dh_next[j];
+                let d_o = dh * cache.tc[j];
+                let dc = dh * o_gate[j] * tanh_deriv_from_output(cache.tc[j]) + dc_next[j];
+                let d_i = dc * g_gate[j];
+                let d_g = dc * i_gate[j];
+                let d_f = dc * cache.c_prev[j];
+                dz[j] = d_i * sigmoid_deriv_from_output(i_gate[j]);
+                dz[hd + j] = d_f * sigmoid_deriv_from_output(f_gate[j]);
+                dz[2 * hd + j] = d_o * sigmoid_deriv_from_output(o_gate[j]);
+                dz[3 * hd + j] = d_g * tanh_deriv_from_output(g_gate[j]);
+                dc_next[j] = dc * f_gate[j];
+            }
+
+            // Parameter gradients.
+            outer_acc(&mut grad.w, inputs[t], &dz);
+            outer_acc(&mut grad.u, &cache.h_prev, &dz);
+            for (gb, &d) in grad.b.iter_mut().zip(dz.iter()) {
+                *gb += d;
+            }
+
+            // Upstream gradients.
+            dh_next.fill(0.0);
+            matvec_t_acc(&self.u, &dz, &mut dh_next);
+            matvec_t_acc(&self.w, &dz, &mut d_inputs[t]);
+        }
+    }
+}
+
+impl LstmGrad {
+    /// Merges another gradient (from a parallel worker).
+    pub(crate) fn add_assign(&mut self, other: &LstmGrad) {
+        self.w.add_assign(&other.w);
+        self.u.add_assign(&other.u);
+        for (a, b) in self.b.iter_mut().zip(other.b.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Sets all gradients to zero.
+    pub(crate) fn zero(&mut self) {
+        self.w.zero();
+        self.u.zero();
+        self.b.fill(0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand_chacha::rand_core::SeedableRng;
+
+    fn rng() -> ChaCha12Rng {
+        ChaCha12Rng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn state_shapes() {
+        let layer = LstmLayer::new(3, 5, &mut rng());
+        assert_eq!(layer.input_dim(), 3);
+        assert_eq!(layer.hidden_dim(), 5);
+        assert_eq!(layer.param_count(), 3 * 20 + 5 * 20 + 20);
+        let s = LstmState::zeros(5);
+        assert_eq!(s.h.len(), 5);
+        assert_eq!(s.c.len(), 5);
+    }
+
+    #[test]
+    fn forget_bias_initialized_to_one() {
+        let layer = LstmLayer::new(2, 3, &mut rng());
+        assert!(layer.b[3..6].iter().all(|&b| b == 1.0));
+        assert!(layer.b[..3].iter().all(|&b| b == 0.0));
+    }
+
+    #[test]
+    fn outputs_bounded_by_one() {
+        let layer = LstmLayer::new(4, 8, &mut rng());
+        let mut state = LstmState::zeros(8);
+        let mut h = vec![0.0; 8];
+        for t in 0..50 {
+            let x: Vec<f32> = (0..4).map(|i| ((t + i) as f32).sin() * 3.0).collect();
+            layer.step(&x, &mut state, &mut h, None);
+            // h = o * tanh(c): strictly inside (-1, 1).
+            assert!(h.iter().all(|&v| v.abs() < 1.0));
+        }
+    }
+
+    #[test]
+    fn state_carries_memory() {
+        let layer = LstmLayer::new(2, 4, &mut rng());
+        let mut fresh = LstmState::zeros(4);
+        let mut primed = LstmState::zeros(4);
+        let mut h = vec![0.0; 4];
+        // Prime one state with a distinctive input history.
+        for _ in 0..5 {
+            layer.step(&[1.0, -1.0], &mut primed, &mut h, None);
+        }
+        let mut h_fresh = vec![0.0; 4];
+        let mut h_primed = vec![0.0; 4];
+        layer.step(&[0.5, 0.5], &mut fresh, &mut h_fresh, None);
+        layer.step(&[0.5, 0.5], &mut primed, &mut h_primed, None);
+        assert_ne!(h_fresh, h_primed, "history must influence the output");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = LstmLayer::new(3, 4, &mut rng());
+        let b = LstmLayer::new(3, 4, &mut rng());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cache_grows_one_entry_per_step() {
+        let layer = LstmLayer::new(2, 3, &mut rng());
+        let mut state = LstmState::zeros(3);
+        let mut h = vec![0.0; 3];
+        let mut cache = Vec::new();
+        for _ in 0..7 {
+            layer.step(&[0.1, 0.2], &mut state, &mut h, Some(&mut cache));
+        }
+        assert_eq!(cache.len(), 7);
+    }
+
+    /// Full numerical gradient check of a single layer through a short
+    /// sequence with a quadratic loss on the outputs.
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut layer = LstmLayer::new(3, 4, &mut rng());
+        let seq: Vec<Vec<f32>> = (0..5)
+            .map(|t| (0..3).map(|i| ((t * 3 + i) as f32 * 0.7).sin()).collect())
+            .collect();
+
+        // Loss: 0.5 * sum_t |h_t|^2  =>  dL/dh_t = h_t.
+        let forward_loss = |layer: &LstmLayer| -> f32 {
+            let mut state = LstmState::zeros(4);
+            let mut h = vec![0.0; 4];
+            let mut loss = 0.0;
+            for x in &seq {
+                layer.step(x, &mut state, &mut h, None);
+                loss += 0.5 * h.iter().map(|v| v * v).sum::<f32>();
+            }
+            loss
+        };
+
+        // Analytic gradients.
+        let mut state = LstmState::zeros(4);
+        let mut caches = Vec::new();
+        let mut outputs: Vec<Vec<f32>> = Vec::new();
+        let mut h = vec![0.0; 4];
+        for x in &seq {
+            layer.step(x, &mut state, &mut h, Some(&mut caches));
+            outputs.push(h.clone());
+        }
+        let d_out: Vec<Vec<f32>> = outputs.clone();
+        let mut grad = layer.zero_grad();
+        let inputs: Vec<&[f32]> = seq.iter().map(|v| v.as_slice()).collect();
+        let mut d_inputs: Vec<Vec<f32>> = vec![vec![0.0; 3]; 5];
+        layer.backward(&inputs, &caches, &d_out, &mut grad, &mut d_inputs);
+
+        // Numerical check on a sample of W, U, b entries.
+        let eps = 1e-2f32;
+        let mut checked = 0;
+        for idx in [0usize, 7, 15, 23, 40] {
+            if idx < layer.w.len() {
+                let orig = layer.w.as_slice()[idx];
+                layer.w.as_mut_slice()[idx] = orig + eps;
+                let lp = forward_loss(&layer);
+                layer.w.as_mut_slice()[idx] = orig - eps;
+                let lm = forward_loss(&layer);
+                layer.w.as_mut_slice()[idx] = orig;
+                let numeric = (lp - lm) / (2.0 * eps);
+                let analytic = grad.w.as_slice()[idx];
+                assert!(
+                    (numeric - analytic).abs() < 2e-2 * (1.0 + numeric.abs()),
+                    "w[{idx}]: numeric {numeric} vs analytic {analytic}"
+                );
+                checked += 1;
+            }
+        }
+        for idx in [0usize, 9, 31] {
+            let orig = layer.u.as_slice()[idx];
+            layer.u.as_mut_slice()[idx] = orig + eps;
+            let lp = forward_loss(&layer);
+            layer.u.as_mut_slice()[idx] = orig - eps;
+            let lm = forward_loss(&layer);
+            layer.u.as_mut_slice()[idx] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            let analytic = grad.u.as_slice()[idx];
+            assert!(
+                (numeric - analytic).abs() < 2e-2 * (1.0 + numeric.abs()),
+                "u[{idx}]: numeric {numeric} vs analytic {analytic}"
+            );
+            checked += 1;
+        }
+        for idx in [0usize, 5, 13] {
+            let orig = layer.b[idx];
+            layer.b[idx] = orig + eps;
+            let lp = forward_loss(&layer);
+            layer.b[idx] = orig - eps;
+            let lm = forward_loss(&layer);
+            layer.b[idx] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            let analytic = grad.b[idx];
+            assert!(
+                (numeric - analytic).abs() < 2e-2 * (1.0 + numeric.abs()),
+                "b[{idx}]: numeric {numeric} vs analytic {analytic}"
+            );
+            checked += 1;
+        }
+        assert!(checked >= 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "dims must be positive")]
+    fn zero_dims_panic() {
+        LstmLayer::new(0, 4, &mut rng());
+    }
+}

@@ -1,0 +1,636 @@
+//! The stacked LSTM softmax classifier (paper Fig. 2).
+
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+use crate::activations::softmax_in_place;
+use crate::dense::{Dense, DenseGrad};
+use crate::loss::{softmax_cross_entropy, softmax_cross_entropy_grad};
+use crate::lstm::{LstmLayer, LstmState};
+
+/// Architecture of the classifier.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelConfig {
+    /// Dimensionality of the one-hot encoded input vectors.
+    pub input_dim: usize,
+    /// Hidden width of each stacked LSTM layer (the paper uses `[256, 256]`).
+    pub hidden_dims: Vec<usize>,
+    /// Number of output classes (`|S|`, the signature-database size).
+    pub num_classes: usize,
+    /// Seed for parameter initialization.
+    pub seed: u64,
+}
+
+/// The stacked LSTM network with a softmax head: given the discretized
+/// (one-hot) feature vectors of previous packages it outputs
+/// `Pr(s | c^{(t-1)}, c^{(t-2)}, …)` for every signature `s` in the
+/// database.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LstmClassifier {
+    config: ModelConfig,
+    layers: Vec<LstmLayer>,
+    dense: Dense,
+}
+
+/// Gradients for every parameter of an [`LstmClassifier`].
+#[derive(Debug, Clone)]
+pub struct Gradients {
+    pub(crate) layers: Vec<crate::lstm::LstmGrad>,
+    pub(crate) dense: DenseGrad,
+}
+
+impl Gradients {
+    /// Merges gradients computed by a parallel worker.
+    pub fn add_assign(&mut self, other: &Gradients) {
+        for (a, b) in self.layers.iter_mut().zip(other.layers.iter()) {
+            a.add_assign(b);
+        }
+        self.dense.add_assign(&other.dense);
+    }
+
+    /// Resets all gradients to zero.
+    pub fn zero(&mut self) {
+        for l in &mut self.layers {
+            l.zero();
+        }
+        self.dense.zero();
+    }
+
+    /// Global L2 norm over all gradient entries.
+    pub fn global_norm(&self) -> f32 {
+        let mut acc = 0.0f64;
+        self.visit(|slice| {
+            for &g in slice {
+                acc += f64::from(g) * f64::from(g);
+            }
+        });
+        acc.sqrt() as f32
+    }
+
+    /// Scales all gradients by `s`.
+    pub fn scale(&mut self, s: f32) {
+        self.visit_mut(|slice| {
+            for g in slice {
+                *g *= s;
+            }
+        });
+    }
+
+    fn visit(&self, mut f: impl FnMut(&[f32])) {
+        for l in &self.layers {
+            f(l.w.as_slice());
+            f(l.u.as_slice());
+            f(&l.b);
+        }
+        f(self.dense.w.as_slice());
+        f(&self.dense.b);
+    }
+
+    fn visit_mut(&mut self, mut f: impl FnMut(&mut [f32])) {
+        for l in &mut self.layers {
+            f(l.w.as_mut_slice());
+            f(l.u.as_mut_slice());
+            f(&mut l.b);
+        }
+        f(self.dense.w.as_mut_slice());
+        f(&mut self.dense.b);
+    }
+}
+
+/// Streaming state for online (stateful) prediction: one `(h, c)` pair per
+/// layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamState {
+    layers: Vec<LstmState>,
+    /// Scratch buffers reused across steps.
+    scratch: Vec<Vec<f32>>,
+}
+
+impl LstmClassifier {
+    /// Builds a randomly initialized classifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or `hidden_dims` is empty.
+    pub fn new(config: &ModelConfig) -> Self {
+        assert!(config.input_dim > 0, "input_dim must be positive");
+        assert!(config.num_classes > 0, "num_classes must be positive");
+        assert!(!config.hidden_dims.is_empty(), "need at least one LSTM layer");
+        let mut rng = ChaCha12Rng::seed_from_u64(config.seed);
+        let mut layers = Vec::with_capacity(config.hidden_dims.len());
+        let mut in_dim = config.input_dim;
+        for &h in &config.hidden_dims {
+            layers.push(LstmLayer::new(in_dim, h, &mut rng));
+            in_dim = h;
+        }
+        let dense = Dense::new(in_dim, config.num_classes, &mut rng);
+        LstmClassifier {
+            config: config.clone(),
+            layers,
+            dense,
+        }
+    }
+
+    /// The architecture.
+    pub fn config(&self) -> &ModelConfig {
+        &self.config
+    }
+
+    /// Number of output classes.
+    pub fn num_classes(&self) -> usize {
+        self.config.num_classes
+    }
+
+    /// Total learnable parameter count.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(|l| l.param_count()).sum::<usize>() + self.dense.param_count()
+    }
+
+    /// Approximate model memory in bytes (parameters only, `f32`).
+    pub fn memory_bytes(&self) -> usize {
+        self.param_count() * std::mem::size_of::<f32>()
+    }
+
+    /// Zero gradients shaped like this model.
+    pub fn zero_gradients(&self) -> Gradients {
+        Gradients {
+            layers: self.layers.iter().map(|l| l.zero_grad()).collect(),
+            dense: self.dense.zero_grad(),
+        }
+    }
+
+    /// Fresh zeroed streaming state.
+    pub fn new_state(&self) -> StreamState {
+        StreamState {
+            layers: self
+                .config
+                .hidden_dims
+                .iter()
+                .map(|&h| LstmState::zeros(h))
+                .collect(),
+            scratch: self
+                .config
+                .hidden_dims
+                .iter()
+                .map(|&h| vec![0.0; h])
+                .collect(),
+        }
+    }
+
+    /// Feeds one input vector through the network, updating the streaming
+    /// state and writing the class probability distribution into `probs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != input_dim` or `probs.len() != num_classes`.
+    pub fn step(&self, state: &mut StreamState, x: &[f32], probs: &mut [f32]) {
+        assert_eq!(x.len(), self.config.input_dim, "input dim mismatch");
+        assert_eq!(probs.len(), self.config.num_classes, "probs len mismatch");
+        let num_layers = self.layers.len();
+        for l in 0..num_layers {
+            if l == 0 {
+                let out = &mut state.scratch[0];
+                self.layers[0].step(x, &mut state.layers[0], out, None);
+            } else {
+                // scratch[l-1] (the previous layer's output) and scratch[l]
+                // are disjoint borrows.
+                let (below, at) = state.scratch.split_at_mut(l);
+                self.layers[l].step(&below[l - 1], &mut state.layers[l], &mut at[0], None);
+            }
+        }
+        self.dense.forward(&state.scratch[num_layers - 1], probs);
+        softmax_in_place(probs);
+    }
+
+    /// Stateless prediction over a whole sequence: returns the probability
+    /// distribution emitted *after* each input (i.e. the model's prediction
+    /// for the next package's signature).
+    pub fn predict_sequence(&self, inputs: &[Vec<f32>]) -> Vec<Vec<f32>> {
+        let mut state = self.new_state();
+        let mut out = Vec::with_capacity(inputs.len());
+        let mut probs = vec![0.0f32; self.config.num_classes];
+        for x in inputs {
+            self.step(&mut state, x, &mut probs);
+            out.push(probs.clone());
+        }
+        out
+    }
+
+    /// Runs truncated BPTT on one (sub)sequence: `inputs[t]` predicts
+    /// `targets[t]`. Accumulates parameter gradients scaled by `scale` into
+    /// `grads` and returns the summed cross-entropy loss and the number of
+    /// top-1-correct predictions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` and `targets` lengths differ or dimensions
+    /// mismatch.
+    pub fn train_sequence(
+        &self,
+        inputs: &[Vec<f32>],
+        targets: &[usize],
+        grads: &mut Gradients,
+        scale: f32,
+    ) -> (f32, usize) {
+        assert_eq!(inputs.len(), targets.len(), "inputs/targets mismatch");
+        let steps = inputs.len();
+        if steps == 0 {
+            return (0.0, 0);
+        }
+        let num_layers = self.layers.len();
+
+        // Forward pass with caches.
+        let mut caches: Vec<Vec<crate::lstm::StepCache>> =
+            (0..num_layers).map(|_| Vec::with_capacity(steps)).collect();
+        let mut outputs: Vec<Vec<Vec<f32>>> = (0..num_layers)
+            .map(|l| vec![vec![0.0f32; self.layers[l].hidden_dim()]; steps])
+            .collect();
+        let mut states: Vec<LstmState> = self
+            .layers
+            .iter()
+            .map(|l| LstmState::zeros(l.hidden_dim()))
+            .collect();
+
+        for t in 0..steps {
+            for l in 0..num_layers {
+                // Borrow the input without conflicting with outputs[l].
+                if l == 0 {
+                    let (cache, out) = (&mut caches[l], &mut outputs[l][t]);
+                    self.layers[l].step(&inputs[t], &mut states[l], out, Some(cache));
+                } else {
+                    let (below, at) = outputs.split_at_mut(l);
+                    let input = &below[l - 1][t];
+                    self.layers[l].step(input, &mut states[l], &mut at[0][t], Some(&mut caches[l]));
+                }
+            }
+        }
+
+        // Loss + logits gradient per step.
+        let mut loss = 0.0f32;
+        let mut correct = 0usize;
+        let top = num_layers - 1;
+        let mut d_top: Vec<Vec<f32>> =
+            vec![vec![0.0f32; self.layers[top].hidden_dim()]; steps];
+        let mut logits = vec![0.0f32; self.config.num_classes];
+        let mut dlogits = vec![0.0f32; self.config.num_classes];
+        for t in 0..steps {
+            self.dense.forward(&outputs[top][t], &mut logits);
+            loss += softmax_cross_entropy(&mut logits, targets[t]);
+            // `logits` now holds probabilities.
+            if crate::loss::in_top_k(&logits, targets[t], 1) {
+                correct += 1;
+            }
+            softmax_cross_entropy_grad(&logits, targets[t], scale, &mut dlogits);
+            self.dense
+                .backward(&outputs[top][t], &dlogits, &mut grads.dense, &mut d_top[t]);
+        }
+
+        // BPTT down the stack.
+        let mut d_out = d_top;
+        for l in (0..num_layers).rev() {
+            let in_dim = self.layers[l].input_dim();
+            let mut d_inputs: Vec<Vec<f32>> = vec![vec![0.0f32; in_dim]; steps];
+            let layer_inputs: Vec<&[f32]> = if l == 0 {
+                inputs.iter().map(|v| v.as_slice()).collect()
+            } else {
+                outputs[l - 1].iter().map(|v| v.as_slice()).collect()
+            };
+            self.layers[l].backward(
+                &layer_inputs,
+                &caches[l],
+                &d_out,
+                &mut grads.layers[l],
+                &mut d_inputs,
+            );
+            d_out = d_inputs;
+        }
+
+        (loss, correct)
+    }
+
+    /// Pairs every parameter slice with its gradient slice, in a stable
+    /// order (for the optimizer).
+    pub(crate) fn params_with_grads<'a>(
+        &'a mut self,
+        grads: &'a Gradients,
+    ) -> Vec<(&'a mut [f32], &'a [f32])> {
+        let mut out: Vec<(&'a mut [f32], &'a [f32])> = Vec::new();
+        for (layer, grad) in self.layers.iter_mut().zip(grads.layers.iter()) {
+            out.push((layer.w.as_mut_slice(), grad.w.as_slice()));
+            out.push((layer.u.as_mut_slice(), grad.u.as_slice()));
+            out.push((&mut layer.b, &grad.b));
+        }
+        out.push((self.dense.w.as_mut_slice(), grads.dense.w.as_slice()));
+        out.push((&mut self.dense.b, &grads.dense.b));
+        out
+    }
+
+    /// Serializes architecture + parameters to bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(b"LSTM");
+        let push_usize = |out: &mut Vec<u8>, v: usize| {
+            out.extend_from_slice(&(v as u64).to_le_bytes());
+        };
+        push_usize(&mut out, self.config.input_dim);
+        push_usize(&mut out, self.config.hidden_dims.len());
+        for &h in &self.config.hidden_dims {
+            push_usize(&mut out, h);
+        }
+        push_usize(&mut out, self.config.num_classes);
+        out.extend_from_slice(&self.config.seed.to_le_bytes());
+        let push_slice = |out: &mut Vec<u8>, s: &[f32]| {
+            for &v in s {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        };
+        for layer in &self.layers {
+            push_slice(&mut out, layer.w.as_slice());
+            push_slice(&mut out, layer.u.as_slice());
+            push_slice(&mut out, &layer.b);
+        }
+        push_slice(&mut out, self.dense.w.as_slice());
+        push_slice(&mut out, &self.dense.b);
+        out
+    }
+
+    /// Deserializes a model produced by [`LstmClassifier::to_bytes`].
+    ///
+    /// Returns `None` if the buffer is malformed.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> Option<&[u8]> {
+            let s = bytes.get(*pos..*pos + n)?;
+            *pos += n;
+            Some(s)
+        };
+        if take(&mut pos, 4)? != b"LSTM" {
+            return None;
+        }
+        let read_u64 = |pos: &mut usize| -> Option<u64> {
+            Some(u64::from_le_bytes(take(pos, 8)?.try_into().ok()?))
+        };
+        let input_dim = read_u64(&mut pos)? as usize;
+        let n_layers = read_u64(&mut pos)? as usize;
+        if n_layers == 0 || n_layers > 64 {
+            return None;
+        }
+        let mut hidden_dims = Vec::with_capacity(n_layers);
+        for _ in 0..n_layers {
+            hidden_dims.push(read_u64(&mut pos)? as usize);
+        }
+        let num_classes = read_u64(&mut pos)? as usize;
+        let seed = read_u64(&mut pos)?;
+        let config = ModelConfig {
+            input_dim,
+            hidden_dims,
+            num_classes,
+            seed,
+        };
+        if config.input_dim == 0
+            || config.num_classes == 0
+            || config.hidden_dims.contains(&0)
+        {
+            return None;
+        }
+        let mut model = LstmClassifier::new(&config);
+        let read_into = |pos: &mut usize, dst: &mut [f32]| -> Option<()> {
+            for v in dst.iter_mut() {
+                let raw = take(pos, 4)?;
+                *v = f32::from_le_bytes(raw.try_into().ok()?);
+            }
+            Some(())
+        };
+        for layer in &mut model.layers {
+            read_into(&mut pos, layer.w.as_mut_slice())?;
+            read_into(&mut pos, layer.u.as_mut_slice())?;
+            read_into(&mut pos, &mut layer.b)?;
+        }
+        read_into(&mut pos, model.dense.w.as_mut_slice())?;
+        read_into(&mut pos, &mut model.dense.b)?;
+        if pos != bytes.len() {
+            return None;
+        }
+        Some(model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> ModelConfig {
+        ModelConfig {
+            input_dim: 6,
+            hidden_dims: vec![8, 8],
+            num_classes: 4,
+            seed: 3,
+        }
+    }
+
+    #[test]
+    fn step_outputs_probability_distribution() {
+        let model = LstmClassifier::new(&small_config());
+        let mut state = model.new_state();
+        let mut probs = vec![0.0; 4];
+        let x = vec![1.0, 0.0, 0.0, 1.0, 0.0, 0.0];
+        model.step(&mut state, &x, &mut probs);
+        let sum: f32 = probs.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5);
+        assert!(probs.iter().all(|&p| p >= 0.0));
+    }
+
+    #[test]
+    fn streaming_state_matters() {
+        let model = LstmClassifier::new(&small_config());
+        let x = vec![1.0, 0.0, 0.0, 0.0, 0.0, 0.0];
+        let mut s1 = model.new_state();
+        let mut p1 = vec![0.0; 4];
+        model.step(&mut s1, &x, &mut p1);
+        let first = p1.clone();
+        model.step(&mut s1, &x, &mut p1);
+        assert_ne!(first, p1, "recurrent state should change the prediction");
+    }
+
+    #[test]
+    fn predict_sequence_matches_streaming() {
+        let model = LstmClassifier::new(&small_config());
+        let inputs: Vec<Vec<f32>> = (0..5)
+            .map(|t| {
+                let mut v = vec![0.0; 6];
+                v[t % 6] = 1.0;
+                v
+            })
+            .collect();
+        let seq = model.predict_sequence(&inputs);
+        let mut state = model.new_state();
+        let mut probs = vec![0.0; 4];
+        for (t, x) in inputs.iter().enumerate() {
+            model.step(&mut state, x, &mut probs);
+            assert_eq!(seq[t], probs, "step {t}");
+        }
+    }
+
+    #[test]
+    fn training_reduces_loss_on_tiny_problem() {
+        // Deterministic next-symbol task: 0 -> 1 -> 2 -> 3 -> 0 ...
+        let config = ModelConfig {
+            input_dim: 4,
+            hidden_dims: vec![12],
+            num_classes: 4,
+            seed: 5,
+        };
+        let mut model = LstmClassifier::new(&config);
+        let onehot = |c: usize| {
+            let mut v = vec![0.0f32; 4];
+            v[c] = 1.0;
+            v
+        };
+        let inputs: Vec<Vec<f32>> = (0..40).map(|t| onehot(t % 4)).collect();
+        let targets: Vec<usize> = (0..40).map(|t| (t + 1) % 4).collect();
+
+        let mut grads = model.zero_gradients();
+        let mut first_loss = None;
+        let mut last_loss = 0.0;
+        for _ in 0..150 {
+            grads.zero();
+            let (loss, _) = model.train_sequence(&inputs, &targets, &mut grads, 1.0 / 40.0);
+            // Plain SGD for this test.
+            for (p, g) in model.params_with_grads(&grads) {
+                for (pv, gv) in p.iter_mut().zip(g.iter()) {
+                    *pv -= 0.5 * gv;
+                }
+            }
+            first_loss.get_or_insert(loss);
+            last_loss = loss;
+        }
+        let first = first_loss.unwrap();
+        assert!(
+            last_loss < first * 0.2,
+            "loss should drop sharply: {first} -> {last_loss}"
+        );
+    }
+
+    #[test]
+    fn gradient_check_through_full_model() {
+        let config = ModelConfig {
+            input_dim: 3,
+            hidden_dims: vec![4, 4],
+            num_classes: 3,
+            seed: 7,
+        };
+        let mut model = LstmClassifier::new(&config);
+        let inputs: Vec<Vec<f32>> = (0..4)
+            .map(|t| (0..3).map(|i| ((t + i) as f32 * 0.9).cos()).collect())
+            .collect();
+        let targets = vec![0usize, 2, 1, 0];
+
+        let mut grads = model.zero_gradients();
+        model.train_sequence(&inputs, &targets, &mut grads, 1.0);
+
+        let loss_of = |model: &LstmClassifier| -> f32 {
+            let probs = model.predict_sequence(&inputs);
+            probs
+                .iter()
+                .zip(targets.iter())
+                .map(|(p, &t)| -(p[t].max(1e-12)).ln())
+                .sum()
+        };
+
+        let eps = 1e-2f32;
+        // Check a sample of parameters across every block.
+        let analytic: Vec<f32> = {
+            let g = &grads;
+            let mut v = Vec::new();
+            v.push(g.layers[0].w.as_slice()[5]);
+            v.push(g.layers[0].u.as_slice()[3]);
+            v.push(g.layers[0].b[2]);
+            v.push(g.layers[1].w.as_slice()[7]);
+            v.push(g.layers[1].u.as_slice()[11]);
+            v.push(g.layers[1].b[9]);
+            v.push(g.dense.w.as_slice()[4]);
+            v.push(g.dense.b[1]);
+            v
+        };
+        let mut numeric = Vec::new();
+        {
+            let mut perturb = |f: &mut dyn FnMut(&mut LstmClassifier, f32)| {
+                f(&mut model, eps);
+                let lp = loss_of(&model);
+                f(&mut model, -2.0 * eps);
+                let lm = loss_of(&model);
+                f(&mut model, eps);
+                numeric.push((lp - lm) / (2.0 * eps));
+            };
+            perturb(&mut |m, d| m.layers[0].w.as_mut_slice()[5] += d);
+            perturb(&mut |m, d| m.layers[0].u.as_mut_slice()[3] += d);
+            perturb(&mut |m, d| m.layers[0].b[2] += d);
+            perturb(&mut |m, d| m.layers[1].w.as_mut_slice()[7] += d);
+            perturb(&mut |m, d| m.layers[1].u.as_mut_slice()[11] += d);
+            perturb(&mut |m, d| m.layers[1].b[9] += d);
+            perturb(&mut |m, d| m.dense.w.as_mut_slice()[4] += d);
+            perturb(&mut |m, d| m.dense.b[1] += d);
+        }
+        for (i, (n, a)) in numeric.iter().zip(analytic.iter()).enumerate() {
+            assert!(
+                (n - a).abs() < 3e-2 * (1.0 + n.abs()),
+                "param sample {i}: numeric {n} vs analytic {a}"
+            );
+        }
+    }
+
+    #[test]
+    fn serialization_round_trip() {
+        let model = LstmClassifier::new(&small_config());
+        let bytes = model.to_bytes();
+        let back = LstmClassifier::from_bytes(&bytes).unwrap();
+        assert_eq!(back, model);
+        // Same predictions.
+        let x = vec![0.0, 1.0, 0.0, 0.0, 1.0, 0.0];
+        let mut p1 = vec![0.0; 4];
+        let mut p2 = vec![0.0; 4];
+        model.step(&mut model.new_state(), &x, &mut p1);
+        back.step(&mut back.new_state(), &x, &mut p2);
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn deserialization_rejects_garbage() {
+        assert!(LstmClassifier::from_bytes(b"").is_none());
+        assert!(LstmClassifier::from_bytes(b"LSTMxxxx").is_none());
+        let mut bytes = LstmClassifier::new(&small_config()).to_bytes();
+        bytes.pop();
+        assert!(LstmClassifier::from_bytes(&bytes).is_none());
+        bytes.push(0);
+        bytes.push(0);
+        assert!(LstmClassifier::from_bytes(&bytes).is_none());
+    }
+
+    #[test]
+    fn memory_accounting() {
+        let model = LstmClassifier::new(&small_config());
+        assert_eq!(model.memory_bytes(), model.param_count() * 4);
+        assert!(model.param_count() > 0);
+    }
+
+    #[test]
+    fn gradient_norm_and_scaling() {
+        let model = LstmClassifier::new(&small_config());
+        let mut grads = model.zero_gradients();
+        assert_eq!(grads.global_norm(), 0.0);
+        let inputs = vec![vec![1.0, 0.0, 0.0, 0.0, 0.0, 0.0]];
+        model.train_sequence(&inputs, &[1], &mut grads, 1.0);
+        let n = grads.global_norm();
+        assert!(n > 0.0);
+        grads.scale(0.5);
+        assert!((grads.global_norm() - n * 0.5).abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "input dim mismatch")]
+    fn step_rejects_wrong_input_dim() {
+        let model = LstmClassifier::new(&small_config());
+        let mut probs = vec![0.0; 4];
+        model.step(&mut model.new_state(), &[1.0], &mut probs);
+    }
+}

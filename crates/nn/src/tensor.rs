@@ -1,0 +1,296 @@
+//! A minimal `f32` matrix and the kernels an LSTM needs.
+//!
+//! All hot paths operate on single sequences (batch size 1), so the kernels
+//! are vector/matrix products laid out for sequential memory access:
+//! weights are stored row-major with the *input* dimension as rows, making
+//! `y += xᵀ·W` a series of axpy operations over contiguous rows.
+
+/// A dense row-major `f32` matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor2 {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Tensor2 {
+    /// Creates a zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Tensor2 {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix from a flat row-major vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "tensor data length mismatch");
+        Tensor2 { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` for a 0-element tensor.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Flat row-major data.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat row-major data.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Row `r` as a mutable slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Sets every element to zero.
+    pub fn zero(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Adds `other` elementwise (used to merge per-thread gradients).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn add_assign(&mut self, other: &Tensor2) {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "tensor shape mismatch"
+        );
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += b;
+        }
+    }
+}
+
+/// `y += xᵀ · w` where `w` is `(in × out)`, `x` has length `in` and `y` has
+/// length `out`.
+///
+/// Skips zero entries of `x`, which makes one-hot inputs nearly free.
+///
+/// # Panics
+///
+/// Panics on dimension mismatch.
+pub fn matvec_acc(w: &Tensor2, x: &[f32], y: &mut [f32]) {
+    assert_eq!(w.rows(), x.len(), "matvec_acc: input length mismatch");
+    assert_eq!(w.cols(), y.len(), "matvec_acc: output length mismatch");
+    for (i, &xi) in x.iter().enumerate() {
+        if xi == 0.0 {
+            continue;
+        }
+        let row = w.row(i);
+        if xi == 1.0 {
+            for (yj, &wj) in y.iter_mut().zip(row.iter()) {
+                *yj += wj;
+            }
+        } else {
+            for (yj, &wj) in y.iter_mut().zip(row.iter()) {
+                *yj += xi * wj;
+            }
+        }
+    }
+}
+
+/// `dx += w · dy` (the transpose product): `dx[i] += dot(w.row(i), dy)`.
+///
+/// # Panics
+///
+/// Panics on dimension mismatch.
+pub fn matvec_t_acc(w: &Tensor2, dy: &[f32], dx: &mut [f32]) {
+    assert_eq!(w.rows(), dx.len(), "matvec_t_acc: input length mismatch");
+    assert_eq!(w.cols(), dy.len(), "matvec_t_acc: output length mismatch");
+    for (i, dxi) in dx.iter_mut().enumerate() {
+        let row = w.row(i);
+        let mut acc = 0.0f32;
+        for (&wj, &dj) in row.iter().zip(dy.iter()) {
+            acc += wj * dj;
+        }
+        *dxi += acc;
+    }
+}
+
+/// Rank-1 update `dw += x ⊗ dy` (outer product accumulate).
+///
+/// Skips zero entries of `x` — the gradient of a one-hot input touches a
+/// single row.
+///
+/// # Panics
+///
+/// Panics on dimension mismatch.
+pub fn outer_acc(dw: &mut Tensor2, x: &[f32], dy: &[f32]) {
+    assert_eq!(dw.rows(), x.len(), "outer_acc: input length mismatch");
+    assert_eq!(dw.cols(), dy.len(), "outer_acc: output length mismatch");
+    for (i, &xi) in x.iter().enumerate() {
+        if xi == 0.0 {
+            continue;
+        }
+        let row = dw.row_mut(i);
+        if xi == 1.0 {
+            for (wj, &dj) in row.iter_mut().zip(dy.iter()) {
+                *wj += dj;
+            }
+        } else {
+            for (wj, &dj) in row.iter_mut().zip(dy.iter()) {
+                *wj += xi * dj;
+            }
+        }
+    }
+}
+
+/// `y += a * x` over slices.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn axpy(a: f32, x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "axpy length mismatch");
+    for (yi, &xi) in y.iter_mut().zip(x.iter()) {
+        *yi += a * xi;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w23() -> Tensor2 {
+        // 2x3: rows are inputs.
+        Tensor2::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+    }
+
+    #[test]
+    fn matvec_matches_manual() {
+        let w = w23();
+        let mut y = vec![0.0; 3];
+        matvec_acc(&w, &[10.0, 100.0], &mut y);
+        assert_eq!(y, vec![410.0, 520.0, 630.0]);
+    }
+
+    #[test]
+    fn matvec_accumulates() {
+        let w = w23();
+        let mut y = vec![1.0; 3];
+        matvec_acc(&w, &[1.0, 0.0], &mut y);
+        assert_eq!(y, vec![2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn matvec_skips_zeros_correctly() {
+        let w = w23();
+        let mut a = vec![0.0; 3];
+        let mut b = vec![0.0; 3];
+        matvec_acc(&w, &[0.0, 2.5], &mut a);
+        matvec_acc(&w, &[1e-30, 2.5], &mut b);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn matvec_t_matches_manual() {
+        let w = w23();
+        let mut dx = vec![0.0; 2];
+        matvec_t_acc(&w, &[1.0, 0.0, 1.0], &mut dx);
+        assert_eq!(dx, vec![4.0, 10.0]);
+    }
+
+    #[test]
+    fn outer_product_matches_manual() {
+        let mut dw = Tensor2::zeros(2, 3);
+        outer_acc(&mut dw, &[2.0, 0.0], &[1.0, 2.0, 3.0]);
+        assert_eq!(dw.as_slice(), &[2.0, 4.0, 6.0, 0.0, 0.0, 0.0]);
+        outer_acc(&mut dw, &[1.0, 1.0], &[1.0, 1.0, 1.0]);
+        assert_eq!(dw.as_slice(), &[3.0, 5.0, 7.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn transpose_consistency() {
+        // <W x, y> == <x, W^T y> for random-ish data.
+        let w = w23();
+        let x = [0.3f32, -1.2];
+        let y = [2.0f32, -0.5, 0.25];
+        let mut wx = vec![0.0; 3];
+        matvec_acc(&w, &x, &mut wx);
+        let mut wty = vec![0.0; 2];
+        matvec_t_acc(&w, &y, &mut wty);
+        let lhs: f32 = wx.iter().zip(y.iter()).map(|(a, b)| a * b).sum();
+        let rhs: f32 = x.iter().zip(wty.iter()).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-5);
+    }
+
+    #[test]
+    fn add_assign_merges() {
+        let mut a = Tensor2::zeros(2, 2);
+        let mut b = Tensor2::zeros(2, 2);
+        a.as_mut_slice()[0] = 1.0;
+        b.as_mut_slice()[0] = 2.0;
+        b.as_mut_slice()[3] = 5.0;
+        a.add_assign(&b);
+        assert_eq!(a.as_slice(), &[3.0, 0.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn axpy_works() {
+        let mut y = vec![1.0, 2.0];
+        axpy(3.0, &[10.0, 20.0], &mut y);
+        assert_eq!(y, vec![31.0, 62.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn dimension_mismatch_panics() {
+        let w = w23();
+        let mut y = vec![0.0; 2];
+        matvec_acc(&w, &[1.0, 2.0], &mut y);
+    }
+
+    #[test]
+    fn zero_and_from_vec() {
+        let mut t = Tensor2::from_vec(1, 2, vec![1.0, 2.0]);
+        t.zero();
+        assert_eq!(t.as_slice(), &[0.0, 0.0]);
+        assert_eq!(t.rows(), 1);
+        assert_eq!(t.cols(), 2);
+        assert!(!t.is_empty());
+    }
+}

@@ -1,0 +1,459 @@
+//! Truncated-BPTT training over variable-length sequences with
+//! data-parallel gradient accumulation.
+
+use rand::seq::SliceRandom;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+use crate::adam::{Adam, AdamConfig};
+use crate::model::{Gradients, LstmClassifier};
+
+/// One training sequence: per step, an input vector and the target class
+/// the model should predict *at* that step (i.e. the next package's
+/// signature given packages up to and including this one).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sequence {
+    steps: Vec<(Vec<f32>, usize)>,
+}
+
+impl Sequence {
+    /// Wraps `(input, target)` steps.
+    pub fn new(steps: Vec<(Vec<f32>, usize)>) -> Self {
+        Sequence { steps }
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Returns `true` for an empty sequence.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The steps.
+    pub fn steps(&self) -> &[(Vec<f32>, usize)] {
+        &self.steps
+    }
+}
+
+/// Training hyperparameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainingConfig {
+    /// Number of passes over the data.
+    pub epochs: usize,
+    /// Truncated-BPTT chunk length.
+    pub chunk_len: usize,
+    /// Number of chunks accumulated per optimizer step.
+    pub batch_chunks: usize,
+    /// Adam step size.
+    pub learning_rate: f32,
+    /// Global-norm gradient clip (0 disables clipping).
+    pub grad_clip: f32,
+    /// Worker threads for gradient computation (0 = all available cores).
+    pub num_threads: usize,
+    /// Seed for chunk shuffling.
+    pub shuffle_seed: u64,
+}
+
+impl Default for TrainingConfig {
+    fn default() -> Self {
+        TrainingConfig {
+            epochs: 10,
+            chunk_len: 32,
+            batch_chunks: 32,
+            learning_rate: 5e-3,
+            grad_clip: 5.0,
+            num_threads: 0,
+            shuffle_seed: 0,
+        }
+    }
+}
+
+/// Loss/accuracy statistics for one epoch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochStats {
+    /// 0-based epoch index.
+    pub epoch: usize,
+    /// Mean cross-entropy per prediction.
+    pub mean_loss: f64,
+    /// Top-1 training accuracy.
+    pub accuracy: f64,
+}
+
+/// Trains an [`LstmClassifier`] with truncated BPTT and Adam.
+///
+/// The trainer owns the optimizer state, so repeated [`Trainer::fit`] calls
+/// continue training (used by the probabilistic-noise pipeline, which
+/// re-samples noisy sequences every epoch).
+#[derive(Debug)]
+pub struct Trainer {
+    config: TrainingConfig,
+    adam: Adam,
+}
+
+/// A chunk reference: sequence index plus step range.
+#[derive(Debug, Clone, Copy)]
+struct ChunkRef {
+    seq: usize,
+    start: usize,
+    len: usize,
+}
+
+impl Trainer {
+    /// Creates a trainer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_len` or `batch_chunks` is zero.
+    pub fn new(config: TrainingConfig) -> Self {
+        assert!(config.chunk_len > 0, "chunk_len must be positive");
+        assert!(config.batch_chunks > 0, "batch_chunks must be positive");
+        let adam = Adam::new(AdamConfig {
+            learning_rate: config.learning_rate,
+            ..AdamConfig::default()
+        });
+        Trainer { config, adam }
+    }
+
+    /// The training configuration.
+    pub fn config(&self) -> &TrainingConfig {
+        &self.config
+    }
+
+    /// Trains for `config.epochs` passes over `sequences`, returning
+    /// per-epoch statistics.
+    pub fn fit(&mut self, model: &mut LstmClassifier, sequences: &[Sequence]) -> Vec<EpochStats> {
+        let mut stats = Vec::with_capacity(self.config.epochs);
+        for epoch in 0..self.config.epochs {
+            stats.push(self.fit_epoch(model, sequences, epoch));
+        }
+        stats
+    }
+
+    /// Runs a single epoch (used by pipelines that regenerate noisy inputs
+    /// between epochs); `epoch` only tags the returned stats.
+    pub fn fit_epoch(
+        &mut self,
+        model: &mut LstmClassifier,
+        sequences: &[Sequence],
+        epoch: usize,
+    ) -> EpochStats {
+        let mut chunks = self.chunk_refs(sequences);
+        let mut rng = ChaCha12Rng::seed_from_u64(self.config.shuffle_seed ^ (epoch as u64) << 17);
+        chunks.shuffle(&mut rng);
+
+        let threads = if self.config.num_threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(16)
+        } else {
+            self.config.num_threads
+        };
+
+        let mut total_loss = 0.0f64;
+        let mut total_correct = 0usize;
+        let mut total_targets = 0usize;
+        let mut grads = model.zero_gradients();
+
+        for batch in chunks.chunks(self.config.batch_chunks) {
+            let targets_in_batch: usize = batch.iter().map(|c| c.len).sum();
+            if targets_in_batch == 0 {
+                continue;
+            }
+            let scale = 1.0 / targets_in_batch as f32;
+            grads.zero();
+            let (loss, correct) =
+                accumulate_batch(model, sequences, batch, scale, threads, &mut grads);
+            total_loss += f64::from(loss);
+            total_correct += correct;
+            total_targets += targets_in_batch;
+
+            if self.config.grad_clip > 0.0 {
+                let norm = grads.global_norm();
+                if norm > self.config.grad_clip {
+                    grads.scale(self.config.grad_clip / norm);
+                }
+            }
+            let mut slots = model.params_with_grads(&grads);
+            self.adam.step(&mut slots);
+        }
+
+        EpochStats {
+            epoch,
+            mean_loss: if total_targets > 0 {
+                total_loss / total_targets as f64
+            } else {
+                0.0
+            },
+            accuracy: if total_targets > 0 {
+                total_correct as f64 / total_targets as f64
+            } else {
+                0.0
+            },
+        }
+    }
+
+    fn chunk_refs(&self, sequences: &[Sequence]) -> Vec<ChunkRef> {
+        let mut out = Vec::new();
+        for (si, seq) in sequences.iter().enumerate() {
+            let mut start = 0;
+            while start < seq.len() {
+                let len = self.config.chunk_len.min(seq.len() - start);
+                out.push(ChunkRef {
+                    seq: si,
+                    start,
+                    len,
+                });
+                start += len;
+            }
+        }
+        out
+    }
+}
+
+/// Computes gradients for one batch of chunks, splitting the work across
+/// `threads` crossbeam-scoped workers. Returns (summed loss, correct count).
+fn accumulate_batch(
+    model: &LstmClassifier,
+    sequences: &[Sequence],
+    batch: &[ChunkRef],
+    scale: f32,
+    threads: usize,
+    grads: &mut Gradients,
+) -> (f32, usize) {
+    let threads = threads.max(1).min(batch.len().max(1));
+    if threads == 1 {
+        let mut loss = 0.0f32;
+        let mut correct = 0usize;
+        for chunk in batch {
+            let (l, c) = train_chunk(model, sequences, chunk, scale, grads);
+            loss += l;
+            correct += c;
+        }
+        return (loss, correct);
+    }
+
+    let results = crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for part in partition(batch, threads) {
+            handles.push(scope.spawn(move |_| {
+                let mut local = model.zero_gradients();
+                let mut loss = 0.0f32;
+                let mut correct = 0usize;
+                for chunk in part {
+                    let (l, c) = train_chunk(model, sequences, chunk, scale, &mut local);
+                    loss += l;
+                    correct += c;
+                }
+                (local, loss, correct)
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("training worker panicked"))
+            .collect::<Vec<_>>()
+    })
+    .expect("crossbeam scope failed");
+
+    let mut loss = 0.0f32;
+    let mut correct = 0usize;
+    for (local, l, c) in results {
+        grads.add_assign(&local);
+        loss += l;
+        correct += c;
+    }
+    (loss, correct)
+}
+
+fn train_chunk(
+    model: &LstmClassifier,
+    sequences: &[Sequence],
+    chunk: &ChunkRef,
+    scale: f32,
+    grads: &mut Gradients,
+) -> (f32, usize) {
+    let steps = &sequences[chunk.seq].steps()[chunk.start..chunk.start + chunk.len];
+    let inputs: Vec<Vec<f32>> = steps.iter().map(|(x, _)| x.clone()).collect();
+    let targets: Vec<usize> = steps.iter().map(|&(_, t)| t).collect();
+    model.train_sequence(&inputs, &targets, grads, scale)
+}
+
+fn partition(batch: &[ChunkRef], parts: usize) -> Vec<&[ChunkRef]> {
+    let per = batch.len().div_ceil(parts);
+    batch.chunks(per.max(1)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ModelConfig;
+
+    fn onehot(dim: usize, c: usize) -> Vec<f32> {
+        let mut v = vec![0.0f32; dim];
+        v[c] = 1.0;
+        v
+    }
+
+    /// A periodic symbol task the LSTM must learn.
+    fn cyclic_sequences(n_seqs: usize, len: usize, period: usize) -> Vec<Sequence> {
+        (0..n_seqs)
+            .map(|s| {
+                let steps = (0..len)
+                    .map(|t| {
+                        let sym = (s + t) % period;
+                        (onehot(period, sym), (sym + 1) % period)
+                    })
+                    .collect();
+                Sequence::new(steps)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn learns_cyclic_pattern() {
+        let period = 5;
+        let sequences = cyclic_sequences(4, 60, period);
+        let mut model = LstmClassifier::new(&ModelConfig {
+            input_dim: period,
+            hidden_dims: vec![16],
+            num_classes: period,
+            seed: 11,
+        });
+        let mut trainer = Trainer::new(TrainingConfig {
+            epochs: 40,
+            learning_rate: 0.02,
+            chunk_len: 20,
+            batch_chunks: 4,
+            num_threads: 2,
+            ..TrainingConfig::default()
+        });
+        let stats = trainer.fit(&mut model, &sequences);
+        let last = stats.last().unwrap();
+        assert!(
+            last.accuracy > 0.9,
+            "accuracy {:.3} too low (loss {:.3})",
+            last.accuracy,
+            last.mean_loss
+        );
+        assert!(last.mean_loss < stats[0].mean_loss);
+    }
+
+    #[test]
+    fn loss_monotone_tendency() {
+        let sequences = cyclic_sequences(2, 40, 3);
+        let mut model = LstmClassifier::new(&ModelConfig {
+            input_dim: 3,
+            hidden_dims: vec![8],
+            num_classes: 3,
+            seed: 13,
+        });
+        let mut trainer = Trainer::new(TrainingConfig {
+            epochs: 20,
+            learning_rate: 0.02,
+            num_threads: 1,
+            ..TrainingConfig::default()
+        });
+        let stats = trainer.fit(&mut model, &sequences);
+        assert!(stats.last().unwrap().mean_loss < stats[0].mean_loss * 0.8);
+    }
+
+    #[test]
+    fn parallel_and_serial_training_agree() {
+        // Gradient sums are order-independent up to f32 rounding, so the two
+        // models should end up close after a couple of epochs.
+        let sequences = cyclic_sequences(6, 30, 4);
+        let config = ModelConfig {
+            input_dim: 4,
+            hidden_dims: vec![8],
+            num_classes: 4,
+            seed: 17,
+        };
+        let tc = TrainingConfig {
+            epochs: 3,
+            learning_rate: 0.01,
+            num_threads: 1,
+            ..TrainingConfig::default()
+        };
+        let mut serial = LstmClassifier::new(&config);
+        Trainer::new(tc.clone()).fit(&mut serial, &sequences);
+        let mut parallel = LstmClassifier::new(&config);
+        Trainer::new(TrainingConfig {
+            num_threads: 4,
+            ..tc
+        })
+        .fit(&mut parallel, &sequences);
+
+        let probe = onehot(4, 2);
+        let mut ps = vec![0.0; 4];
+        let mut pp = vec![0.0; 4];
+        serial.step(&mut serial.new_state(), &probe, &mut ps);
+        parallel.step(&mut parallel.new_state(), &probe, &mut pp);
+        for (a, b) in ps.iter().zip(pp.iter()) {
+            assert!((a - b).abs() < 0.05, "serial {a} vs parallel {b}");
+        }
+    }
+
+    #[test]
+    fn chunking_covers_all_steps() {
+        let trainer = Trainer::new(TrainingConfig {
+            chunk_len: 7,
+            ..TrainingConfig::default()
+        });
+        let seqs = cyclic_sequences(3, 20, 4);
+        let chunks = trainer.chunk_refs(&seqs);
+        let total: usize = chunks.iter().map(|c| c.len).sum();
+        assert_eq!(total, 60);
+        assert!(chunks.iter().all(|c| c.len <= 7 && c.len > 0));
+    }
+
+    #[test]
+    fn empty_sequences_yield_empty_stats() {
+        let mut model = LstmClassifier::new(&ModelConfig {
+            input_dim: 2,
+            hidden_dims: vec![4],
+            num_classes: 2,
+            seed: 1,
+        });
+        let mut trainer = Trainer::new(TrainingConfig {
+            epochs: 2,
+            ..TrainingConfig::default()
+        });
+        let stats = trainer.fit(&mut model, &[]);
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].mean_loss, 0.0);
+    }
+
+    #[test]
+    fn fit_epoch_continues_optimizer_state() {
+        let sequences = cyclic_sequences(2, 40, 3);
+        let mut model = LstmClassifier::new(&ModelConfig {
+            input_dim: 3,
+            hidden_dims: vec![8],
+            num_classes: 3,
+            seed: 19,
+        });
+        let mut trainer = Trainer::new(TrainingConfig {
+            epochs: 1,
+            learning_rate: 0.02,
+            num_threads: 1,
+            ..TrainingConfig::default()
+        });
+        let mut losses = Vec::new();
+        for e in 0..15 {
+            losses.push(trainer.fit_epoch(&mut model, &sequences, e).mean_loss);
+        }
+        assert!(losses.last().unwrap() < &(losses[0] * 0.8));
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk_len must be positive")]
+    fn zero_chunk_len_panics() {
+        Trainer::new(TrainingConfig {
+            chunk_len: 0,
+            ..TrainingConfig::default()
+        });
+    }
+}

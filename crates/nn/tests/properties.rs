@@ -1,0 +1,104 @@
+//! Property-based tests for the neural-network substrate.
+
+use icsad_nn::activations::{sigmoid, softmax_in_place};
+use icsad_nn::loss::{in_top_k, softmax_cross_entropy, top_k};
+use icsad_nn::{LstmClassifier, ModelConfig};
+use proptest::prelude::*;
+
+proptest! {
+    /// Softmax output is always a probability distribution.
+    #[test]
+    fn softmax_is_distribution(logits in proptest::collection::vec(-50f32..50.0, 1..64)) {
+        let mut v = logits;
+        softmax_in_place(&mut v);
+        let sum: f32 = v.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4, "sum {sum}");
+        prop_assert!(v.iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    /// Sigmoid is bounded, monotone, and symmetric.
+    #[test]
+    fn sigmoid_properties(a in -100f32..100.0, b in -100f32..100.0) {
+        let (sa, sb) = (sigmoid(a), sigmoid(b));
+        prop_assert!((0.0..=1.0).contains(&sa));
+        if a < b {
+            prop_assert!(sa <= sb);
+        }
+        prop_assert!((sigmoid(-a) - (1.0 - sa)).abs() < 1e-5);
+    }
+
+    /// Membership in top-k is monotone in k, and k = len admits everything.
+    #[test]
+    fn top_k_monotone(probs in proptest::collection::vec(0f32..1.0, 1..32), target_raw in any::<usize>()) {
+        let target = target_raw % probs.len();
+        let mut was_in = false;
+        for k in 1..=probs.len() {
+            let now_in = in_top_k(&probs, target, k);
+            prop_assert!(!was_in || now_in, "membership must be monotone in k");
+            was_in = now_in;
+        }
+        prop_assert!(in_top_k(&probs, target, probs.len()));
+    }
+
+    /// `top_k` returns distinct indices sorted by descending probability.
+    #[test]
+    fn top_k_sorted_and_distinct(probs in proptest::collection::vec(0f32..1.0, 1..40), k in 1usize..40) {
+        let idx = top_k(&probs, k);
+        prop_assert_eq!(idx.len(), k.min(probs.len()));
+        let set: std::collections::HashSet<_> = idx.iter().collect();
+        prop_assert_eq!(set.len(), idx.len());
+        for w in idx.windows(2) {
+            prop_assert!(probs[w[0]] >= probs[w[1]]);
+        }
+    }
+
+    /// Cross-entropy loss is non-negative and equals -ln(p_target).
+    #[test]
+    fn cross_entropy_nonnegative(
+        logits in proptest::collection::vec(-20f32..20.0, 2..32),
+        target_raw in any::<usize>(),
+    ) {
+        let target = target_raw % logits.len();
+        let mut probs = logits;
+        let loss = softmax_cross_entropy(&mut probs, target);
+        prop_assert!(loss >= -1e-6);
+        prop_assert!((loss + probs[target].max(1e-12).ln()).abs() < 1e-4);
+    }
+
+    /// Model serialization round-trips for arbitrary architectures.
+    #[test]
+    fn model_serialization_round_trip(
+        input_dim in 1usize..12,
+        h1 in 1usize..10,
+        h2 in 0usize..10,
+        classes in 1usize..12,
+        seed in any::<u64>(),
+    ) {
+        let hidden = if h2 == 0 { vec![h1] } else { vec![h1, h2] };
+        let model = LstmClassifier::new(&ModelConfig {
+            input_dim,
+            hidden_dims: hidden,
+            num_classes: classes,
+            seed,
+        });
+        let back = LstmClassifier::from_bytes(&model.to_bytes()).unwrap();
+        prop_assert_eq!(back, model);
+    }
+
+    /// The streaming step always emits a probability distribution,
+    /// whatever the input values.
+    #[test]
+    fn step_emits_distribution(inputs in proptest::collection::vec(-10f32..10.0, 5)) {
+        let model = LstmClassifier::new(&ModelConfig {
+            input_dim: 5,
+            hidden_dims: vec![6],
+            num_classes: 4,
+            seed: 1,
+        });
+        let mut state = model.new_state();
+        let mut probs = vec![0.0f32; 4];
+        model.step(&mut state, &inputs, &mut probs);
+        let sum: f32 = probs.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+    }
+}

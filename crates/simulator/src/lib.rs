@@ -1,0 +1,54 @@
+//! A deterministic gas-pipeline SCADA simulator.
+//!
+//! The paper evaluates on the Morris et al. laboratory gas-pipeline dataset:
+//! a small airtight pipeline with a compressor, a pressure meter and a
+//! solenoid-controlled relief valve, held at a pressure set point by a PID
+//! controller and supervised over Modbus. An AutoIt script interleaves legal
+//! operation with seven attack types (paper Table II).
+//!
+//! That dataset is not redistributable, so this crate rebuilds the *system
+//! that produced it*:
+//!
+//! * [`physics`] — the pressure process (compressor inflow, relief-valve
+//!   outflow, leakage, process noise),
+//! * [`pid`] — the PID controller with gain / reset rate / rate / dead band /
+//!   cycle time parameters,
+//! * [`plc`] — the slave PLC: register bank, control loop and Modbus server,
+//! * [`master`] — the SCADA master: the 4-package command–response polling
+//!   cycle plus an operator model that occasionally changes set points, PID
+//!   parameters, modes and control schemes,
+//! * [`attack`] — the AutoIt-style attack injector implementing NMRI, CMRI,
+//!   MSCI, MPCI, MFCI, DoS and reconnaissance attacks,
+//! * [`traffic`] — the capture loop emitting labelled, timestamped wire
+//!   packets.
+//!
+//! All randomness flows from explicit `rand_chacha` seeds, so traffic
+//! captures are bit-reproducible.
+//!
+//! # Examples
+//!
+//! ```
+//! use icsad_simulator::traffic::{TrafficConfig, TrafficGenerator};
+//!
+//! let mut gen = TrafficGenerator::new(TrafficConfig {
+//!     seed: 42,
+//!     attack_probability: 0.05,
+//!     ..TrafficConfig::default()
+//! });
+//! let packets = gen.generate(1_000);
+//! assert_eq!(packets.len(), 1_000);
+//! assert!(packets.iter().any(|p| p.label.is_some()));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attack;
+pub mod master;
+pub mod physics;
+pub mod pid;
+pub mod plc;
+pub mod traffic;
+
+pub use attack::AttackType;
+pub use traffic::{Packet, TrafficConfig, TrafficGenerator};

@@ -1,0 +1,235 @@
+//! The pressure process of the laboratory gas pipeline.
+//!
+//! The physical model is a single pressure state driven by three flows:
+//!
+//! * the compressor pumps air in at a constant rate while the pump runs,
+//! * the solenoid relief valve vents air at a pressure-proportional rate
+//!   while open,
+//! * a small leak vents air at a pressure-proportional rate at all times.
+//!
+//! Gaussian process noise models measurement and turbulence effects — the
+//! paper's §VIII-D highlights that these physical-process variables are
+//! "naturally noisy", which is exactly what makes the CMRI/MSCI/MPCI attack
+//! classes hard to detect.
+
+use rand::Rng;
+use rand_chacha::ChaCha12Rng;
+
+/// Parameters of the pressure process.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhysicsConfig {
+    /// Pressure gain while the compressor pump runs (PSI per second).
+    pub compressor_rate: f64,
+    /// Fraction of current pressure vented per second while the relief valve
+    /// is open.
+    pub relief_coefficient: f64,
+    /// Fraction of current pressure lost to leakage per second.
+    pub leak_coefficient: f64,
+    /// Standard deviation of the Gaussian process noise added per step
+    /// (scaled by `sqrt(dt)`).
+    pub noise_std: f64,
+    /// Hard upper bound enforced by a mechanical safety valve (PSI).
+    pub max_pressure: f64,
+}
+
+impl Default for PhysicsConfig {
+    fn default() -> Self {
+        PhysicsConfig {
+            compressor_rate: 2.0,
+            relief_coefficient: 0.35,
+            leak_coefficient: 0.02,
+            noise_std: 0.05,
+            max_pressure: 30.0,
+        }
+    }
+}
+
+/// The evolving pressure state of the pipeline.
+#[derive(Debug, Clone)]
+pub struct PipelinePhysics {
+    config: PhysicsConfig,
+    pressure: f64,
+}
+
+impl PipelinePhysics {
+    /// Creates the process at an initial pressure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial_pressure` is negative or not finite.
+    pub fn new(config: PhysicsConfig, initial_pressure: f64) -> Self {
+        assert!(
+            initial_pressure.is_finite() && initial_pressure >= 0.0,
+            "initial pressure must be finite and non-negative"
+        );
+        PipelinePhysics {
+            config,
+            pressure: initial_pressure,
+        }
+    }
+
+    /// Current pressure (PSI).
+    pub fn pressure(&self) -> f64 {
+        self.pressure
+    }
+
+    /// Physics parameters.
+    pub fn config(&self) -> &PhysicsConfig {
+        &self.config
+    }
+
+    /// Advances the process by `dt` seconds with the given actuator states,
+    /// returning the new pressure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is not positive.
+    pub fn step(&mut self, pump_on: bool, solenoid_open: bool, dt: f64, rng: &mut ChaCha12Rng) -> f64 {
+        assert!(dt > 0.0, "dt must be positive");
+        let c = &self.config;
+        let inflow = if pump_on { c.compressor_rate } else { 0.0 };
+        let relief = if solenoid_open {
+            c.relief_coefficient * self.pressure
+        } else {
+            0.0
+        };
+        let leak = c.leak_coefficient * self.pressure;
+        let noise = gaussian(rng) * c.noise_std * dt.sqrt();
+        self.pressure += (inflow - relief - leak) * dt + noise;
+        self.pressure = self.pressure.clamp(0.0, c.max_pressure);
+        self.pressure
+    }
+}
+
+/// Samples a standard normal variate via the Box–Muller transform.
+pub(crate) fn gaussian(rng: &mut ChaCha12Rng) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        if u1 <= f64::EPSILON {
+            continue;
+        }
+        let u2: f64 = rng.gen::<f64>();
+        return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> ChaCha12Rng {
+        ChaCha12Rng::seed_from_u64(7)
+    }
+
+    fn quiet_config() -> PhysicsConfig {
+        PhysicsConfig {
+            noise_std: 0.0,
+            ..PhysicsConfig::default()
+        }
+    }
+
+    #[test]
+    fn pump_raises_pressure() {
+        let mut p = PipelinePhysics::new(quiet_config(), 5.0);
+        let mut r = rng();
+        let before = p.pressure();
+        p.step(true, false, 1.0, &mut r);
+        assert!(p.pressure() > before);
+    }
+
+    #[test]
+    fn relief_valve_lowers_pressure() {
+        let mut p = PipelinePhysics::new(quiet_config(), 10.0);
+        let mut r = rng();
+        p.step(false, true, 1.0, &mut r);
+        assert!(p.pressure() < 10.0);
+    }
+
+    #[test]
+    fn leakage_decays_pressure_when_idle() {
+        let mut p = PipelinePhysics::new(quiet_config(), 10.0);
+        let mut r = rng();
+        for _ in 0..100 {
+            p.step(false, false, 1.0, &mut r);
+        }
+        assert!(p.pressure() < 10.0);
+        assert!(p.pressure() > 0.0);
+    }
+
+    #[test]
+    fn pressure_never_negative_or_above_max() {
+        let mut p = PipelinePhysics::new(PhysicsConfig::default(), 0.1);
+        let mut r = rng();
+        for i in 0..1000 {
+            let pump = i % 3 == 0;
+            let sol = i % 2 == 0;
+            let pr = p.step(pump, sol, 0.5, &mut r);
+            assert!((0.0..=p.config().max_pressure).contains(&pr));
+        }
+    }
+
+    #[test]
+    fn saturates_at_max_pressure() {
+        let cfg = PhysicsConfig {
+            compressor_rate: 100.0,
+            ..quiet_config()
+        };
+        let mut p = PipelinePhysics::new(cfg, 0.0);
+        let mut r = rng();
+        for _ in 0..100 {
+            p.step(true, false, 1.0, &mut r);
+        }
+        assert_eq!(p.pressure(), p.config().max_pressure);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = PipelinePhysics::new(PhysicsConfig::default(), 5.0);
+        let mut b = PipelinePhysics::new(PhysicsConfig::default(), 5.0);
+        let mut ra = rng();
+        let mut rb = rng();
+        for _ in 0..50 {
+            assert_eq!(
+                a.step(true, false, 0.5, &mut ra),
+                b.step(true, false, 0.5, &mut rb)
+            );
+        }
+    }
+
+    #[test]
+    fn noise_produces_variation() {
+        let mut p = PipelinePhysics::new(PhysicsConfig::default(), 10.0);
+        let mut r = rng();
+        let samples: Vec<f64> = (0..50).map(|_| p.step(false, false, 0.1, &mut r)).collect();
+        let distinct = samples
+            .windows(2)
+            .filter(|w| (w[0] - w[1]).abs() > 1e-12)
+            .count();
+        assert!(distinct > 40, "noise should perturb nearly every step");
+    }
+
+    #[test]
+    fn gaussian_moments_plausible() {
+        let mut r = rng();
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| gaussian(&mut r)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "variance {var}");
+    }
+
+    #[test]
+    #[should_panic(expected = "dt must be positive")]
+    fn zero_dt_panics() {
+        let mut p = PipelinePhysics::new(PhysicsConfig::default(), 1.0);
+        p.step(false, false, 0.0, &mut rng());
+    }
+
+    #[test]
+    #[should_panic(expected = "initial pressure")]
+    fn negative_initial_pressure_panics() {
+        PipelinePhysics::new(PhysicsConfig::default(), -1.0);
+    }
+}

@@ -1,0 +1,149 @@
+//! Cross-crate property-based tests.
+
+use icsad::prelude::*;
+use icsad_core::metrics::ConfusionCounts;
+use icsad_dataset::arff;
+use proptest::prelude::*;
+
+/// A cached capture so each proptest case doesn't regenerate traffic.
+fn capture() -> &'static [Record] {
+    use std::sync::OnceLock;
+    static CAPTURE: OnceLock<Vec<Record>> = OnceLock::new();
+    CAPTURE.get_or_init(|| {
+        GasPipelineDataset::generate(&DatasetConfig {
+            total_packages: 4_000,
+            seed: 123,
+            attack_probability: 0.15,
+            ..DatasetConfig::default()
+        })
+        .records()
+        .to_vec()
+    })
+}
+
+fn discretizer() -> &'static Discretizer {
+    use std::sync::OnceLock;
+    static DISC: OnceLock<Discretizer> = OnceLock::new();
+    DISC.get_or_init(|| {
+        let normal: Vec<Record> = capture()
+            .iter()
+            .filter(|r| !r.is_attack())
+            .cloned()
+            .collect();
+        Discretizer::fit(&DiscretizationConfig::paper_defaults(), &normal).unwrap()
+    })
+}
+
+proptest! {
+    /// ARFF round-trips any contiguous sub-capture exactly.
+    #[test]
+    fn arff_round_trip_any_slice(start in 0usize..3_000, len in 0usize..900) {
+        let records = capture();
+        let end = (start + len).min(records.len());
+        let slice = &records[start..end];
+        let parsed = arff::parse_arff(&arff::to_arff_string(slice)).unwrap();
+        prop_assert_eq!(parsed.as_slice(), slice);
+    }
+
+    /// The signature function is deterministic and its uniqueness matches
+    /// discretized-vector equality (the paper's requirement on `g`).
+    #[test]
+    fn signature_uniqueness(i in 0usize..4_000, j in 0usize..4_000) {
+        let records = capture();
+        let disc = discretizer();
+        let (a, b) = (&records[i], &records[j]);
+        let sig_eq = disc.signature(a) == disc.signature(b);
+        let vec_eq = disc.discretize(a) == disc.discretize(b);
+        prop_assert_eq!(sig_eq, vec_eq);
+    }
+
+    /// Every signature inserted into the package-level detector's Bloom
+    /// filter is found again: the detector never flags training packages.
+    #[test]
+    fn package_detector_no_false_negatives_on_training(fpr in 0.0005f64..0.05) {
+        let records = capture();
+        let disc = discretizer();
+        let normal: Vec<Record> = records.iter().filter(|r| !r.is_attack()).cloned().collect();
+        let vocab = SignatureVocabulary::build(disc, &normal);
+        let det = PackageLevelDetector::train(disc, &vocab, fpr).unwrap();
+        for r in normal.iter().step_by(7) {
+            prop_assert!(!det.is_anomalous(r));
+        }
+    }
+
+    /// Metric identities hold for arbitrary confusion counts.
+    #[test]
+    fn metric_identities(tp in 0u64..1000, fp in 0u64..1000, tn in 0u64..1000, fn_ in 0u64..1000) {
+        let c = ConfusionCounts { tp, fp, tn, fn_ };
+        let (p, r, a, f1) = (c.precision(), c.recall(), c.accuracy(), c.f1_score());
+        prop_assert!((0.0..=1.0).contains(&p));
+        prop_assert!((0.0..=1.0).contains(&r));
+        prop_assert!((0.0..=1.0).contains(&a));
+        prop_assert!((0.0..=1.0).contains(&f1));
+        // F1 is the harmonic mean: between min and max of (p, r).
+        if p > 0.0 && r > 0.0 {
+            prop_assert!(f1 <= p.max(r) + 1e-12);
+            prop_assert!(f1 >= p.min(r) - 1e-12);
+        }
+        // Accuracy identity.
+        if c.total() > 0 {
+            let expected = (tp + tn) as f64 / c.total() as f64;
+            prop_assert!((a - expected).abs() < 1e-12);
+        }
+    }
+
+    /// Dataset splits partition the capture chronologically for any valid
+    /// fractions.
+    #[test]
+    fn split_partitions_chronologically(train_pct in 1u32..80, val_pct in 0u32..19) {
+        let records = capture();
+        let dataset = GasPipelineDataset::from_records(records.to_vec());
+        let train_frac = f64::from(train_pct) / 100.0;
+        let val_frac = f64::from(val_pct) / 100.0;
+        let split = dataset.split_chronological(train_frac, val_frac);
+        // Train and validation contain no attacks.
+        prop_assert!(split.train().records().iter().all(|r| !r.is_attack()));
+        prop_assert!(split.validation().records().iter().all(|r| !r.is_attack()));
+        // The test partition is a suffix of the capture.
+        let n = records.len();
+        let test_len = split.test().len();
+        prop_assert_eq!(split.test(), &records[n - test_len..]);
+        // Fragments respect the minimum length.
+        for frag in split.train().iter() {
+            prop_assert!(frag.len() >= Split::MIN_FRAGMENT_LEN);
+        }
+    }
+
+    /// The Modbus codec round-trips arbitrary pipeline states (quantized to
+    /// the wire's fixed-point resolution).
+    #[test]
+    fn modbus_state_round_trip(
+        setpoint in 0.0f64..20.0,
+        gain in 0.0f64..50.0,
+        pressure in 0.0f64..30.0,
+        mode in 0u16..3,
+        scheme in 0u16..2,
+        pump in proptest::bool::ANY,
+        solenoid in proptest::bool::ANY,
+    ) {
+        use icsad_modbus::pipeline::*;
+        let quantize = |v: f64| (v * 100.0).round() / 100.0;
+        let state = PipelineState {
+            pid: PidSettings {
+                setpoint: quantize(setpoint),
+                gain: quantize(gain),
+                ..PidSettings::default()
+            },
+            mode: SystemMode::from_code(mode).unwrap(),
+            scheme: ControlScheme::from_code(scheme).unwrap(),
+            pump_on: pump,
+            solenoid_open: solenoid,
+            pressure: quantize(pressure),
+        };
+        let frame = encode_read_response(4, &state);
+        let wire = frame.encode();
+        let decoded = icsad_modbus::Frame::decode(&wire).unwrap();
+        let back = decode_read_response(&decoded).unwrap();
+        prop_assert_eq!(back, state);
+    }
+}
