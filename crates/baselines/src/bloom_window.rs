@@ -105,9 +105,11 @@ mod tests {
             ..DatasetConfig::default()
         });
         let split = data.split_chronological(0.6, 0.2);
-        let disc =
-            Discretizer::fit(&DiscretizationConfig::paper_defaults(), split.train().records())
-                .unwrap();
+        let disc = Discretizer::fit(
+            &DiscretizationConfig::paper_defaults(),
+            split.train().records(),
+        )
+        .unwrap();
         let train = Windows::over(split.train().records(), 4);
         let test = Windows::over(split.test(), 4);
         let bf = WindowBloomFilter::fit_windows(disc, &train, 0.001).unwrap();

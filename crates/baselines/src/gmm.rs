@@ -59,7 +59,10 @@ impl Gmm {
     /// # Errors
     ///
     /// Returns an error if `train` is empty or the configuration is invalid.
-    pub fn fit_windows(train: &Windows, config: &GmmConfig) -> Result<Self, Box<dyn std::error::Error>> {
+    pub fn fit_windows(
+        train: &Windows,
+        config: &GmmConfig,
+    ) -> Result<Self, Box<dyn std::error::Error>> {
         let features: Vec<Vec<f64>> = train.iter().map(numeric_window_features).collect();
         Gmm::fit_vectors(&features, config)
     }

@@ -54,6 +54,7 @@ mod detector;
 mod gmm;
 mod iforest;
 mod pca;
+pub mod stream;
 mod svdd;
 pub mod window;
 
@@ -63,4 +64,5 @@ pub use detector::{calibrate_fpr, WindowDetector};
 pub use gmm::Gmm;
 pub use iforest::IsolationForest;
 pub use pca::PcaSvd;
+pub use stream::{windowed_decisions, PAPER_WINDOW};
 pub use svdd::Svdd;

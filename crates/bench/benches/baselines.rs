@@ -17,8 +17,11 @@ fn bench_baselines(c: &mut Criterion) {
         ..DatasetConfig::default()
     });
     let split = data.split_chronological(0.6, 0.2);
-    let disc = Discretizer::fit(&DiscretizationConfig::paper_defaults(), split.train().records())
-        .expect("fit");
+    let disc = Discretizer::fit(
+        &DiscretizationConfig::paper_defaults(),
+        split.train().records(),
+    )
+    .expect("fit");
     let train = Windows::over(split.train().records(), 4);
     let test = Windows::over(split.test(), 4);
 

@@ -13,8 +13,7 @@ fn bench_signature(c: &mut Criterion) {
         ..DatasetConfig::default()
     });
     let records = data.records();
-    let disc =
-        Discretizer::fit(&DiscretizationConfig::paper_defaults(), records).expect("fit");
+    let disc = Discretizer::fit(&DiscretizationConfig::paper_defaults(), records).expect("fit");
 
     let mut i = 0usize;
     c.bench_function("discretize_one_package", |b| {

@@ -16,8 +16,11 @@ fn main() {
     banner("Ablation — Bloom filter false-positive budget", &scale);
 
     let split = scale.split();
-    let disc = Discretizer::fit(&DiscretizationConfig::paper_defaults(), split.train().records())
-        .expect("fit discretizer");
+    let disc = Discretizer::fit(
+        &DiscretizationConfig::paper_defaults(),
+        split.train().records(),
+    )
+    .expect("fit discretizer");
     let vocab = SignatureVocabulary::build(&disc, split.train().records());
     println!("|S| = {} signatures\n", vocab.len());
 
@@ -36,10 +39,7 @@ fn main() {
             format!("{:.3}", report.f1_score()),
         ]);
     }
-    print_table(
-        &["bloom fpr", "memory", "precision", "recall", "F1"],
-        &rows,
-    );
+    print_table(&["bloom fpr", "memory", "precision", "recall", "F1"], &rows);
     println!(
         "\nexpected shape: memory shrinks with looser budgets while recall decays\nonly at very loose budgets (aliased anomalies slip through); precision\nis unaffected (no false negatives in a Bloom filter)."
     );

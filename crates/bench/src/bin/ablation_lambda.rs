@@ -39,7 +39,15 @@ fn main() {
         ]);
     }
     print_table(
-        &["lambda", "chosen k", "val err_4", "precision", "recall", "F1", "train time"],
+        &[
+            "lambda",
+            "chosen k",
+            "val err_4",
+            "precision",
+            "recall",
+            "F1",
+            "train time",
+        ],
         &rows,
     );
     println!(

@@ -33,7 +33,16 @@ fn main() {
         ]);
     }
     print_table(
-        &["hidden dims", "k", "val err_4", "precision", "recall", "F1", "memory", "train time"],
+        &[
+            "hidden dims",
+            "k",
+            "val err_4",
+            "precision",
+            "recall",
+            "F1",
+            "memory",
+            "train time",
+        ],
         &rows,
     );
     println!(

@@ -1,0 +1,106 @@
+//! Quick kernel probe: per-record `step` vs batched `forward_batch`
+//! throughput of the stacked LSTM classifier, isolated from detector
+//! training and traffic generation.
+//!
+//! ```sh
+//! cargo run --release -p icsad-bench --bin engine_kernels [LANES] [STEPS]
+//! ```
+//!
+//! Environment: `ICSAD_HIDDEN` (default `256,256`), `ICSAD_CLASSES`
+//! (default `600`), `ICSAD_INPUT` (default `104`).
+
+use std::time::Instant;
+
+use icsad_nn::{LstmClassifier, ModelConfig};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let lanes: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(13);
+    let steps: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(300);
+    let hidden: Vec<usize> = std::env::var("ICSAD_HIDDEN")
+        .unwrap_or_else(|_| "256,256".into())
+        .split(',')
+        .filter_map(|p| p.trim().parse().ok())
+        .collect();
+    let classes = env_usize("ICSAD_CLASSES", 600);
+    let input_dim = env_usize("ICSAD_INPUT", 104);
+
+    let model = LstmClassifier::new(&ModelConfig {
+        input_dim,
+        hidden_dims: hidden.clone(),
+        num_classes: classes,
+        seed: 7,
+    });
+    println!(
+        "model: input {input_dim}, hidden {hidden:?}, classes {classes} \
+         ({} params, {} KB); lanes {lanes}, steps {steps}",
+        model.param_count(),
+        model.memory_bytes() / 1024
+    );
+
+    // One-hot-ish inputs: 14 ones per lane, positions vary per step.
+    let make_xs = |t: usize| -> Vec<f32> {
+        let mut xs = vec![0.0f32; lanes * input_dim];
+        for lane in 0..lanes {
+            for f in 0..14 {
+                xs[lane * input_dim + (t * 31 + lane * 7 + f * 5) % input_dim] = 1.0;
+            }
+        }
+        xs
+    };
+
+    // Per-record streaming.
+    let mut states: Vec<_> = (0..lanes).map(|_| model.new_state()).collect();
+    let mut probs = vec![0.0f32; classes];
+    let t0 = Instant::now();
+    for t in 0..steps {
+        let xs = make_xs(t);
+        for (lane, state) in states.iter_mut().enumerate() {
+            model.step(
+                state,
+                &xs[lane * input_dim..(lane + 1) * input_dim],
+                &mut probs,
+            );
+        }
+    }
+    let per_record = t0.elapsed();
+    let total = (lanes * steps) as f64;
+    println!(
+        "per_record : {:>10.1} steps/s  ({:.1} us/step)",
+        total / per_record.as_secs_f64(),
+        per_record.as_secs_f64() * 1e6 / total
+    );
+
+    // Batched.
+    let mut batch_states: Vec<_> = (0..lanes).map(|_| model.new_state()).collect();
+    let lane_idx: Vec<usize> = (0..lanes).collect();
+    let mut scratch = model.batch_scratch();
+    let mut bprobs = vec![0.0f32; lanes * classes];
+    let t0 = Instant::now();
+    for t in 0..steps {
+        let xs = make_xs(t);
+        model.forward_batch(&mut scratch, &mut batch_states, &lane_idx, &xs, &mut bprobs);
+    }
+    let batched = t0.elapsed();
+    println!(
+        "batched    : {:>10.1} steps/s  ({:.1} us/step)  speedup {:.2}x",
+        total / batched.as_secs_f64(),
+        batched.as_secs_f64() * 1e6 / total,
+        per_record.as_secs_f64() / batched.as_secs_f64()
+    );
+
+    // Equality spot check.
+    let mut p1 = vec![0.0f32; classes];
+    let xs = make_xs(steps);
+    model.step(&mut states[0], &xs[..input_dim], &mut p1);
+    model.forward_batch(&mut scratch, &mut batch_states, &lane_idx, &xs, &mut bprobs);
+    assert_eq!(p1, bprobs[..classes].to_vec(), "batch/stream divergence");
+    println!("equality   : ok");
+}

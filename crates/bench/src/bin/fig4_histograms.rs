@@ -13,7 +13,12 @@ fn print_feature(name: &str, values: &[f64], bins: usize) {
     let hist = Histogram::from_values(values, bins).expect("non-empty feature values");
     let densities = hist.densities();
     println!("\n--- {name} ---");
-    println!("  n = {}, range = [{:.4}, {:.4}]", hist.total(), hist.lo(), hist.hi());
+    println!(
+        "  n = {}, range = [{:.4}, {:.4}]",
+        hist.total(),
+        hist.lo(),
+        hist.hi()
+    );
     // Print the sparkline in 2 lines of 100 bins for terminal width.
     let half = densities.len() / 2;
     println!("  [{}]", sparkline(&densities[..half]));
@@ -38,7 +43,10 @@ fn print_feature(name: &str, values: &[f64], bins: usize) {
 
 fn main() {
     let scale = BenchScale::from_env();
-    banner("Figure 4 — continuous feature histograms (200 bins)", &scale);
+    banner(
+        "Figure 4 — continuous feature histograms (200 bins)",
+        &scale,
+    );
 
     // Normal traffic only, as in the paper's training phase.
     let mut clean = scale.clone();

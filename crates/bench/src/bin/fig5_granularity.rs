@@ -10,7 +10,10 @@ use icsad_features::DiscretizationConfig;
 
 fn main() {
     let scale = BenchScale::from_env();
-    banner("Figure 5 — validation error vs discretization granularity", &scale);
+    banner(
+        "Figure 5 — validation error vs discretization granularity",
+        &scale,
+    );
 
     let split = scale.split();
     let train = split.train().records();

@@ -8,11 +8,17 @@ use icsad_features::{DiscretizationConfig, Discretizer, SignatureVocabulary};
 
 fn main() {
     let scale = BenchScale::from_env();
-    banner("Figure 6 — top-k error with and without probabilistic noise", &scale);
+    banner(
+        "Figure 6 — top-k error with and without probabilistic noise",
+        &scale,
+    );
 
     let split = scale.split();
-    let disc = Discretizer::fit(&DiscretizationConfig::paper_defaults(), split.train().records())
-        .expect("fit discretizer");
+    let disc = Discretizer::fit(
+        &DiscretizationConfig::paper_defaults(),
+        split.train().records(),
+    )
+    .expect("fit discretizer");
     let vocab = SignatureVocabulary::build(&disc, split.train().records());
     println!(
         "train {} / validation {} packages, |S| = {}\n",
@@ -62,10 +68,7 @@ fn main() {
     // Choice of k (paper: θ = 0.05 on the noise-trained model gives k = 4).
     let theta = 0.05;
     let noise_curve = &val_curves[1].1;
-    let chosen = noise_curve
-        .iter()
-        .position(|&e| e < theta)
-        .map(|i| i + 1);
+    let chosen = noise_curve.iter().position(|&e| e < theta).map(|i| i + 1);
     println!();
     match chosen {
         Some(k) => println!(

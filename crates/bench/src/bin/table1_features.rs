@@ -13,8 +13,14 @@ fn main() {
 
     let descriptions: &[(&str, &str)] = &[
         ("address", "The station address of the Modbus slave device"),
-        ("crc_rate", "The Cyclic-Redundant Checksum rate (sliding window)"),
-        ("crc_ok", "Whether this package's checksum verified (derived)"),
+        (
+            "crc_rate",
+            "The Cyclic-Redundant Checksum rate (sliding window)",
+        ),
+        (
+            "crc_ok",
+            "Whether this package's checksum verified (derived)",
+        ),
         ("function", "Modbus function code"),
         ("length", "The length of the Modbus packet"),
         ("setpoint", "The pressure set point for the automatic mode"),
@@ -25,12 +31,21 @@ fn main() {
         ("rate", "PID rate"),
         ("system_mode", "automatic (2), manual (1) or off (0)"),
         ("control_scheme", "Either pump (0) or solenoid (1)"),
-        ("pump", "Pump control - open (1) or off (0); manual mode only"),
-        ("solenoid", "Valve control - open (1) or closed (0); manual mode only"),
+        (
+            "pump",
+            "Pump control - open (1) or off (0); manual mode only",
+        ),
+        (
+            "solenoid",
+            "Valve control - open (1) or closed (0); manual mode only",
+        ),
         ("pressure_measurement", "Pressure measurement"),
         ("command_response", "Command (1) or response (0)"),
         ("time", "Time stamp"),
-        ("time_interval", "Seconds since the previous package (derived)"),
+        (
+            "time_interval",
+            "Seconds since the previous package (derived)",
+        ),
         ("label", "Ground truth: normal or one of 7 attack types"),
     ];
 
@@ -57,7 +72,10 @@ fn main() {
                 "cycle_time" => records.iter().filter(|r| r.cycle_time.is_some()).count(),
                 "rate" => records.iter().filter(|r| r.rate.is_some()).count(),
                 "system_mode" => records.iter().filter(|r| r.system_mode.is_some()).count(),
-                "control_scheme" => records.iter().filter(|r| r.control_scheme.is_some()).count(),
+                "control_scheme" => records
+                    .iter()
+                    .filter(|r| r.control_scheme.is_some())
+                    .count(),
                 "pump" => records.iter().filter(|r| r.pump.is_some()).count(),
                 "solenoid" => records.iter().filter(|r| r.solenoid.is_some()).count(),
                 "pressure_measurement" => records.iter().filter(|r| r.pressure.is_some()).count(),

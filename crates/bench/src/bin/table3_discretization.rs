@@ -47,14 +47,23 @@ fn main() {
         ],
     ];
     print_table(
-        &["feature", "discretization method", "value no. (paper)", "achieved cardinality*"],
+        &[
+            "feature",
+            "discretization method",
+            "value no. (paper)",
+            "achieved cardinality*",
+        ],
         &rows,
     );
     println!("* achieved cardinality includes the out-of-range sentinel and, for payload\n  features, the 'absent' category for packages that do not carry the field.\n  K-means caps at the number of distinct training values (the operator model\n  uses a finite set of PID presets, so the PID clustering saturates early).");
 
     let vocab = SignatureVocabulary::build(&disc, split.train().records());
-    let (err, _) = validation_error(&config, split.train().records(), split.validation().records())
-        .expect("validation error");
+    let (err, _) = validation_error(
+        &config,
+        split.train().records(),
+        split.validation().records(),
+    )
+    .expect("validation error");
     println!();
     println!("signature database size |S|: {} (paper: 613)", vocab.len());
     println!("validation error at this granularity: {err:.4} (paper: < 0.03)");

@@ -27,11 +27,17 @@ fn window_report(det: &dyn WindowDetector, windows: &Windows) -> ClassificationR
 
 fn main() {
     let scale = BenchScale::from_env();
-    banner("Table IV — performance comparison with other models", &scale);
+    banner(
+        "Table IV — performance comparison with other models",
+        &scale,
+    );
 
     let split = scale.split();
-    let disc = Discretizer::fit(&DiscretizationConfig::paper_defaults(), split.train().records())
-        .expect("fit discretizer");
+    let disc = Discretizer::fit(
+        &DiscretizationConfig::paper_defaults(),
+        split.train().records(),
+    )
+    .expect("fit discretizer");
 
     // --- the framework ---
     println!("training the combined framework...");
@@ -111,7 +117,14 @@ fn main() {
         rows.push(fmt_row(name, report, p));
     }
     print_table(
-        &["model", "precision", "recall", "accuracy", "F1-score", "paper (P/R/A/F1)"],
+        &[
+            "model",
+            "precision",
+            "recall",
+            "accuracy",
+            "F1-score",
+            "paper (P/R/A/F1)",
+        ],
         &rows,
     );
     println!(

@@ -27,8 +27,11 @@ fn main() {
     banner("Table V — detected ratio per attack type", &scale);
 
     let split = scale.split();
-    let disc = Discretizer::fit(&DiscretizationConfig::paper_defaults(), split.train().records())
-        .expect("fit discretizer");
+    let disc = Discretizer::fit(
+        &DiscretizationConfig::paper_defaults(),
+        split.train().records(),
+    )
+    .expect("fit discretizer");
 
     println!("training the combined framework...");
     let trained = train_framework(&split, &scale.experiment_config(true)).expect("train framework");

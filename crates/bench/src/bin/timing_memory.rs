@@ -9,7 +9,10 @@ use icsad_core::experiment::train_framework;
 
 fn main() {
     let scale = BenchScale::from_env();
-    banner("§VIII-A — training time, classification latency, model memory", &scale);
+    banner(
+        "§VIII-A — training time, classification latency, model memory",
+        &scale,
+    );
 
     let split = scale.split();
     let t0 = std::time::Instant::now();

@@ -207,7 +207,10 @@ mod tests {
     fn table_prints_without_panicking() {
         print_table(
             &["model", "f1"],
-            &[vec!["BF".into(), "0.73".into()], vec!["BN".into(), "0.73".into()]],
+            &[
+                vec!["BF".into(), "0.73".into()],
+                vec!["BN".into(), "0.73".into()],
+            ],
         );
     }
 }

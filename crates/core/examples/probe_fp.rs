@@ -25,12 +25,12 @@ fn main() {
     let mut normals = 0usize;
     let mut fps = 0usize;
     let mut fp_near_attack = 0usize; // within 8 packages after an attack
-    let mut sentinel_counts = vec![0usize; 13];
+    let mut sentinel_counts = [0usize; 13];
     let mut last_attack_idx: Option<usize> = None;
 
     let names = [
-        "address", "function", "length", "cmdresp", "time_int", "crc_rate",
-        "setpoint", "pressure", "pid", "mode", "scheme", "pump", "solenoid",
+        "address", "function", "length", "cmdresp", "time_int", "crc_rate", "setpoint", "pressure",
+        "pid", "mode", "scheme", "pump", "solenoid",
     ];
 
     for (i, r) in split.test().iter().enumerate() {
@@ -55,9 +55,9 @@ fn main() {
             let card = cards[f];
             let is_payload = (6..=12).contains(&f);
             let sentinel = if is_payload { card - 2 } else { card - 1 };
-            if cat as usize >= sentinel && cat as usize != card - 1 {
-                sentinel_counts[f] += 1;
-            } else if !is_payload && cat as usize == card - 1 {
+            let hit_sentinel = (cat as usize >= sentinel && cat as usize != card - 1)
+                || (!is_payload && cat as usize == card - 1);
+            if hit_sentinel {
                 sentinel_counts[f] += 1;
             }
         }

@@ -62,7 +62,9 @@ fn main() {
 }
 
 fn combined_probe() {
-    for (total, hidden, epochs) in [(150_000usize, 64usize, 20usize)] {
+    // One probe point by default; add entries to sweep.
+    let probe_points = [(150_000usize, 64usize, 20usize)];
+    for (total, hidden, epochs) in probe_points {
         let data = GasPipelineDataset::generate(&DatasetConfig {
             total_packages: total,
             seed: 4,

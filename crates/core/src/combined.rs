@@ -1,12 +1,13 @@
 //! The combined anomaly detection framework (paper §VI, Fig. 3).
 
 use icsad_dataset::Record;
+use icsad_features::DiscreteVector;
 use icsad_simulator::AttackType;
 
 use crate::dynamic_k::DynamicKController;
 use crate::metrics::ClassificationReport;
 use crate::package::PackageLevelDetector;
-use crate::timeseries::{TimeSeriesDetector, TsState};
+use crate::timeseries::{TimeSeriesDetector, TsBatchScratch, TsState};
 
 /// Which level of the framework flagged a package.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,6 +45,34 @@ pub struct CombinedDetector {
 #[derive(Debug, Clone)]
 pub struct CombinedState {
     ts: TsState,
+}
+
+/// A set of independent per-stream lanes plus the scratch buffers that let
+/// [`CombinedDetector::classify_batch`] step all of them through the
+/// framework together.
+///
+/// Lanes are added with [`CombinedDetector::add_lane`]; each lane carries
+/// one stream's [`CombinedState`]. All per-package scratch (discretized
+/// vectors, signature string, one-hot block, LSTM state blocks) is owned
+/// here and reused across flushes, so steady-state batched classification
+/// allocates nothing.
+#[derive(Debug, Clone)]
+pub struct CombinedBatch {
+    states: Vec<TsState>,
+    ts: TsBatchScratch,
+    vectors: Vec<DiscreteVector>,
+    ids: Vec<Option<usize>>,
+    flags: Vec<Option<bool>>,
+    package_hits: Vec<bool>,
+    ts_decisions: Vec<bool>,
+    sig_buf: String,
+}
+
+impl CombinedBatch {
+    /// Number of lanes.
+    pub fn lanes(&self) -> usize {
+        self.states.len()
+    }
 }
 
 impl CombinedDetector {
@@ -98,7 +127,8 @@ impl CombinedDetector {
         if self.package.signature_is_anomalous(&sig) {
             // Bloom-level anomaly: skip the time-series check but still
             // feed the package into the LSTM with its anomaly bit set.
-            self.timeseries.process(&mut state.ts, &vector, None, Some(true));
+            self.timeseries
+                .process(&mut state.ts, &vector, None, Some(true));
             return DetectionLevel::PackageLevel;
         }
         let id = self.timeseries.vocabulary().id_of(&sig);
@@ -108,6 +138,146 @@ impl CombinedDetector {
         } else {
             DetectionLevel::Normal
         }
+    }
+
+    /// Begins a batched classification pass with no lanes; add streams with
+    /// [`CombinedDetector::add_lane`].
+    pub fn begin_batch(&self) -> CombinedBatch {
+        CombinedBatch {
+            states: Vec::new(),
+            ts: self.timeseries.batch_scratch(),
+            vectors: Vec::new(),
+            ids: Vec::new(),
+            flags: Vec::new(),
+            package_hits: Vec::new(),
+            ts_decisions: Vec::new(),
+            sig_buf: String::new(),
+        }
+    }
+
+    /// Adds a fresh stream lane to a batch and returns its lane index.
+    pub fn add_lane(&self, batch: &mut CombinedBatch) -> usize {
+        batch.states.push(self.timeseries.begin());
+        batch.states.len() - 1
+    }
+
+    /// Batched [`CombinedDetector::classify`]: classifies one package for
+    /// each of `lanes.len()` *distinct* stream lanes, in lockstep.
+    ///
+    /// `records[i]` is the next package of the stream on `batch` lane
+    /// `lanes[i]`. The package level (discretization, signature, Bloom
+    /// probe) runs per lane with reused scratch; the time-series level then
+    /// advances every lane through the LSTM as one matrix–matrix product
+    /// ([`TimeSeriesDetector::process_batch`]). Decisions are appended to
+    /// `out` in entry order and match a per-record [`CombinedDetector::classify`]
+    /// loop on each stream exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `records.len() != lanes.len()`, a lane index is out of
+    /// bounds, or (in debug builds) a lane repeats within the call.
+    pub fn classify_batch(
+        &self,
+        batch: &mut CombinedBatch,
+        lanes: &[usize],
+        records: &[Record],
+        out: &mut Vec<DetectionLevel>,
+    ) {
+        assert_eq!(records.len(), lanes.len(), "records/lanes mismatch");
+        debug_assert!(
+            {
+                let mut seen = lanes.to_vec();
+                seen.sort_unstable();
+                seen.windows(2).all(|w| w[0] != w[1])
+            },
+            "lanes must be distinct within one classify_batch call"
+        );
+        let disc = self.package.discretizer();
+        batch.vectors.clear();
+        batch.ids.clear();
+        batch.flags.clear();
+        batch.package_hits.clear();
+        batch.ts_decisions.clear();
+        for r in records {
+            let vector = disc.discretize(r);
+            icsad_features::write_signature(&vector, &mut batch.sig_buf);
+            let package_hit = self.package.key_is_anomalous(&batch.sig_buf);
+            if package_hit {
+                // Bloom-level anomaly: the LSTM still sees the package,
+                // with its anomaly bit forced (paper §VI).
+                batch.ids.push(None);
+                batch.flags.push(Some(true));
+            } else {
+                batch
+                    .ids
+                    .push(self.timeseries.vocabulary().id_of_key(&batch.sig_buf));
+                batch.flags.push(None);
+            }
+            batch.package_hits.push(package_hit);
+            batch.vectors.push(vector);
+        }
+
+        self.timeseries.process_batch(
+            &mut batch.states,
+            lanes,
+            &batch.vectors,
+            &batch.ids,
+            &batch.flags,
+            &mut batch.ts,
+            &mut batch.ts_decisions,
+        );
+
+        out.extend(
+            batch
+                .package_hits
+                .iter()
+                .zip(batch.ts_decisions.iter())
+                .map(|(&package_hit, &ts_hit)| {
+                    if package_hit {
+                        DetectionLevel::PackageLevel
+                    } else if ts_hit {
+                        DetectionLevel::TimeSeriesLevel
+                    } else {
+                        DetectionLevel::Normal
+                    }
+                }),
+        );
+    }
+
+    /// Classifies several independent record streams by stepping them in
+    /// lockstep batches (streams may have different lengths; shorter ones
+    /// simply drop out of later batches). Returns one decision sequence per
+    /// stream, identical to running [`CombinedDetector::classify`] over each
+    /// stream separately.
+    pub fn classify_streams(&self, streams: &[&[Record]]) -> Vec<Vec<DetectionLevel>> {
+        let mut batch = self.begin_batch();
+        for _ in streams {
+            self.add_lane(&mut batch);
+        }
+        let mut results: Vec<Vec<DetectionLevel>> = streams
+            .iter()
+            .map(|s| Vec::with_capacity(s.len()))
+            .collect();
+        let max_len = streams.iter().map(|s| s.len()).max().unwrap_or(0);
+        let mut lanes: Vec<usize> = Vec::with_capacity(streams.len());
+        let mut records: Vec<Record> = Vec::with_capacity(streams.len());
+        let mut decisions: Vec<DetectionLevel> = Vec::with_capacity(streams.len());
+        for t in 0..max_len {
+            lanes.clear();
+            records.clear();
+            decisions.clear();
+            for (lane, stream) in streams.iter().enumerate() {
+                if let Some(r) = stream.get(t) {
+                    lanes.push(lane);
+                    records.push(r.clone());
+                }
+            }
+            self.classify_batch(&mut batch, &lanes, &records, &mut decisions);
+            for (&lane, &level) in lanes.iter().zip(decisions.iter()) {
+                results[lane].push(level);
+            }
+        }
+        results
     }
 
     /// Classifies one package under a dynamic-`k` controller (the paper's
@@ -123,7 +293,8 @@ impl CombinedDetector {
         let vector = self.package.discretizer().discretize(record);
         let sig = icsad_features::signature_of(&vector);
         if self.package.signature_is_anomalous(&sig) {
-            self.timeseries.process(&mut state.ts, &vector, None, Some(true));
+            self.timeseries
+                .process(&mut state.ts, &vector, None, Some(true));
             return DetectionLevel::PackageLevel;
         }
         let id = self.timeseries.vocabulary().id_of(&sig);
@@ -221,9 +392,11 @@ mod tests {
             ..DatasetConfig::default()
         });
         let split = data.split_chronological(0.6, 0.2);
-        let disc =
-            Discretizer::fit(&DiscretizationConfig::paper_defaults(), split.train().records())
-                .unwrap();
+        let disc = Discretizer::fit(
+            &DiscretizationConfig::paper_defaults(),
+            split.train().records(),
+        )
+        .unwrap();
         let vocab = SignatureVocabulary::build(&disc, split.train().records());
         let package = PackageLevelDetector::train(&disc, &vocab, 0.001).unwrap();
         let config = TimeSeriesTrainingConfig {
@@ -282,7 +455,11 @@ mod tests {
         let (det, split) = build(14_000, 4, 8);
         let report = det.evaluate(split.test());
         assert!(report.recall() > 0.4, "recall {}", report.recall());
-        assert!(report.precision() > 0.15, "precision {}", report.precision());
+        assert!(
+            report.precision() > 0.15,
+            "precision {}",
+            report.precision()
+        );
         assert!(report.accuracy() > 0.5, "accuracy {}", report.accuracy());
         assert!(report.f1_score() > 0.25, "f1 {}", report.f1_score());
     }
@@ -332,5 +509,60 @@ mod tests {
             a.classify_stream(&split.test()[..500]),
             b.classify_stream(&split.test()[..500])
         );
+    }
+
+    #[test]
+    fn classify_streams_matches_per_record_loops() {
+        let (det, split) = build(8_000, 9, 2);
+        // Slice the test capture into four unequal "PLC" streams.
+        let test = split.test();
+        let quarter = test.len() / 4;
+        let streams: Vec<&[Record]> = vec![
+            &test[..quarter],
+            &test[quarter..2 * quarter + 7],
+            &test[2 * quarter + 7..3 * quarter],
+            &test[3 * quarter..],
+        ];
+
+        let batched = det.classify_streams(&streams);
+        for (stream, batch_levels) in streams.iter().zip(batched.iter()) {
+            let single = det.classify_stream(stream);
+            assert_eq!(batch_levels, &single);
+        }
+    }
+
+    #[test]
+    fn classify_batch_interleaves_lanes_correctly() {
+        let (det, split) = build(6_000, 10, 1);
+        let records = &split.test()[..40];
+
+        // Reference: two independent streams classified one by one.
+        let (even, odd): (Vec<_>, Vec<_>) = records
+            .iter()
+            .cloned()
+            .enumerate()
+            .partition(|(i, _)| i % 2 == 0);
+        let even: Vec<Record> = even.into_iter().map(|(_, r)| r).collect();
+        let odd: Vec<Record> = odd.into_iter().map(|(_, r)| r).collect();
+        let ref_even = det.classify_stream(&even);
+        let ref_odd = det.classify_stream(&odd);
+
+        // Batched: one lane per stream, one package per lane per flush.
+        let mut batch = det.begin_batch();
+        let lane_even = det.add_lane(&mut batch);
+        let lane_odd = det.add_lane(&mut batch);
+        let mut out = Vec::new();
+        for (e, o) in even.iter().zip(odd.iter()) {
+            det.classify_batch(
+                &mut batch,
+                &[lane_even, lane_odd],
+                &[e.clone(), o.clone()],
+                &mut out,
+            );
+        }
+        let batched_even: Vec<DetectionLevel> = out.iter().copied().step_by(2).collect();
+        let batched_odd: Vec<DetectionLevel> = out.iter().copied().skip(1).step_by(2).collect();
+        assert_eq!(batched_even, ref_even);
+        assert_eq!(batched_odd, ref_odd);
     }
 }

@@ -1,0 +1,98 @@
+//! The unifying detector interface.
+//!
+//! Every anomaly detector in the workspace — the paper's combined two-level
+//! framework and the six Table IV baselines in `icsad-baselines` — answers
+//! the same question: given a chronological stream of packages, which of
+//! them are anomalous? This trait pins that contract down so experiment
+//! harnesses, the streaming engine and the comparison tables can treat all
+//! of them uniformly.
+
+use icsad_dataset::Record;
+
+use crate::combined::CombinedDetector;
+use crate::metrics::ClassificationReport;
+
+/// A stream-level anomaly detector: one boolean decision per package.
+///
+/// Implementations may be stateful internally per call (the combined
+/// framework threads LSTM state through the stream; window baselines group
+/// the stream into fixed windows), but a call always starts from a fresh
+/// stream state, so repeated calls with the same records give the same
+/// decisions.
+pub trait Detector {
+    /// Short display name (as used in Tables IV and V).
+    fn name(&self) -> &'static str;
+
+    /// Classifies a chronological record stream: `true` = anomalous, one
+    /// decision per record.
+    fn detect_stream(&self, records: &[Record]) -> Vec<bool>;
+
+    /// Classifies a stream and scores the decisions against ground-truth
+    /// labels.
+    fn evaluate_stream(&self, records: &[Record]) -> ClassificationReport {
+        let decisions = self.detect_stream(records);
+        let mut report = ClassificationReport::default();
+        for (r, &d) in records.iter().zip(decisions.iter()) {
+            report.record(r.label, d);
+        }
+        report
+    }
+}
+
+impl Detector for CombinedDetector {
+    fn name(&self) -> &'static str {
+        "Combined (BF + LSTM)"
+    }
+
+    fn detect_stream(&self, records: &[Record]) -> Vec<bool> {
+        self.classify_stream(records)
+            .into_iter()
+            .map(|level| level.is_anomalous())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::package::PackageLevelDetector;
+    use crate::timeseries::{TimeSeriesDetector, TimeSeriesTrainingConfig};
+    use icsad_dataset::{DatasetConfig, GasPipelineDataset};
+    use icsad_features::{DiscretizationConfig, Discretizer, SignatureVocabulary};
+
+    #[test]
+    fn combined_detector_reports_through_the_trait() {
+        let data = GasPipelineDataset::generate(&DatasetConfig {
+            total_packages: 5_000,
+            seed: 21,
+            attack_probability: 0.08,
+            ..DatasetConfig::default()
+        });
+        let split = data.split_chronological(0.6, 0.2);
+        let disc = Discretizer::fit(
+            &DiscretizationConfig::paper_defaults(),
+            split.train().records(),
+        )
+        .unwrap();
+        let vocab = SignatureVocabulary::build(&disc, split.train().records());
+        let package = PackageLevelDetector::train(&disc, &vocab, 0.001).unwrap();
+        let config = TimeSeriesTrainingConfig {
+            hidden_dims: vec![12],
+            epochs: 1,
+            seed: 21,
+            ..TimeSeriesTrainingConfig::default()
+        };
+        let (ts, _) = TimeSeriesDetector::train(&disc, &vocab, split.train(), &config).unwrap();
+        let det = CombinedDetector::new(package, ts);
+
+        let boxed: &dyn Detector = &det;
+        assert!(boxed.name().contains("Combined"));
+        let decisions = boxed.detect_stream(split.test());
+        assert_eq!(decisions.len(), split.test().len());
+        let report = boxed.evaluate_stream(split.test());
+        assert_eq!(report.confusion.total(), split.test().len() as u64);
+        // Trait decisions agree with the inherent API.
+        let inherent = det.evaluate(split.test());
+        assert_eq!(report, inherent);
+    }
+}

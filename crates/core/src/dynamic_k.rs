@@ -152,7 +152,11 @@ mod tests {
         for i in 0..64 {
             c.observe_rank(1 + (i % 8));
         }
-        assert!(c.k() >= 7, "rank spread to 8 should push k up, got {}", c.k());
+        assert!(
+            c.k() >= 7,
+            "rank spread to 8 should push k up, got {}",
+            c.k()
+        );
     }
 
     #[test]
@@ -214,7 +218,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "theta")]
     fn invalid_theta_panics() {
-        DynamicKController::new(4, DynamicKConfig { theta: 0.0, ..DynamicKConfig::default() });
+        DynamicKController::new(
+            4,
+            DynamicKConfig {
+                theta: 0.0,
+                ..DynamicKConfig::default()
+            },
+        );
     }
 
     #[test]

@@ -161,7 +161,11 @@ mod tests {
         let config = tiny_config(6);
         let trained = train_framework(&split, &config).unwrap();
         let k = trained.chosen_k;
-        if trained.validation_topk_curve.iter().any(|&e| e < config.theta_k) {
+        if trained
+            .validation_topk_curve
+            .iter()
+            .any(|&e| e < config.theta_k)
+        {
             assert!(trained.validation_topk_curve[k - 1] < config.theta_k);
         } else {
             assert_eq!(k, config.max_k);

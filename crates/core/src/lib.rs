@@ -52,6 +52,7 @@
 #![warn(missing_docs)]
 
 pub mod combined;
+pub mod detector;
 pub mod dynamic_k;
 mod error;
 pub mod experiment;
@@ -59,7 +60,8 @@ pub mod metrics;
 pub mod package;
 pub mod timeseries;
 
-pub use combined::CombinedDetector;
+pub use combined::{CombinedBatch, CombinedDetector};
+pub use detector::Detector;
 pub use dynamic_k::{DynamicKConfig, DynamicKController};
 pub use error::CoreError;
 pub use metrics::{ClassificationReport, ConfusionCounts, PerAttackRecall};

@@ -129,9 +129,13 @@ impl PerAttackRecall {
 
     /// Iterates `(attack, detected, total)` in Table II order.
     pub fn iter(&self) -> impl Iterator<Item = (AttackType, u64, u64)> + '_ {
-        AttackType::ALL
-            .iter()
-            .map(move |&ty| (ty, self.detected[(ty.id() - 1) as usize], self.total[(ty.id() - 1) as usize]))
+        AttackType::ALL.iter().map(move |&ty| {
+            (
+                ty,
+                self.detected[(ty.id() - 1) as usize],
+                self.total[(ty.id() - 1) as usize],
+            )
+        })
     }
 }
 
@@ -150,6 +154,19 @@ impl ClassificationReport {
         self.confusion.record(label.is_some(), predicted);
         if let Some(ty) = label {
             self.per_attack.record(ty, predicted);
+        }
+    }
+
+    /// Folds another report into this one (used by the sharded engine to
+    /// aggregate per-shard results).
+    pub fn merge(&mut self, other: &ClassificationReport) {
+        self.confusion.tp += other.confusion.tp;
+        self.confusion.fp += other.confusion.fp;
+        self.confusion.tn += other.confusion.tn;
+        self.confusion.fn_ += other.confusion.fn_;
+        for i in 0..7 {
+            self.per_attack.detected[i] += other.per_attack.detected[i];
+            self.per_attack.total[i] += other.per_attack.total[i];
         }
     }
 

@@ -80,6 +80,14 @@ impl PackageLevelDetector {
         !self.filter.contains(signature)
     }
 
+    /// Tests a raw signature key (see [`icsad_features::write_signature`])
+    /// against the database — the allocation-free twin of
+    /// [`PackageLevelDetector::signature_is_anomalous`] used by the batched
+    /// and streaming hot paths.
+    pub fn key_is_anomalous(&self, key: &str) -> bool {
+        !self.filter.contains(key)
+    }
+
     /// Classifies one package: `true` = anomalous (`F_p(x) = 1`).
     pub fn is_anomalous(&self, record: &Record) -> bool {
         self.signature_is_anomalous(&self.discretizer.signature(record))
@@ -108,9 +116,11 @@ mod tests {
             ..DatasetConfig::default()
         });
         let split = data.split_chronological(0.6, 0.2);
-        let disc =
-            Discretizer::fit(&DiscretizationConfig::paper_defaults(), split.train().records())
-                .unwrap();
+        let disc = Discretizer::fit(
+            &DiscretizationConfig::paper_defaults(),
+            split.train().records(),
+        )
+        .unwrap();
         let vocab = SignatureVocabulary::build(&disc, split.train().records());
         let det = PackageLevelDetector::train(&disc, &vocab, 0.001).unwrap();
         (det, split)
@@ -208,11 +218,8 @@ mod tests {
             attack_probability: 0.0,
             ..DatasetConfig::default()
         });
-        let disc = Discretizer::fit(
-            &DiscretizationConfig::paper_defaults(),
-            data.records(),
-        )
-        .unwrap();
+        let disc =
+            Discretizer::fit(&DiscretizationConfig::paper_defaults(), data.records()).unwrap();
         let vocab = SignatureVocabulary::default();
         assert!(matches!(
             PackageLevelDetector::train(&disc, &vocab, 0.01),

@@ -107,10 +107,22 @@ pub struct TimeSeriesDetector {
 #[derive(Debug, Clone)]
 pub struct TsState {
     stream: StreamState,
-    /// Prediction for the next package's signature; `None` until the first
-    /// package has been observed.
+    /// Prediction scores for the next package's signature (raw logits —
+    /// softmax is strictly monotone, so the top-`k` rank is the same and
+    /// the hot path skips `|S|` exponentials per package); `None` until
+    /// the first package has been observed.
     prediction: Option<Vec<f32>>,
     scratch: Vec<f32>,
+}
+
+/// Reusable buffers for [`TimeSeriesDetector::process_batch`]: the gathered
+/// LSTM state blocks plus the batched one-hot input and probability blocks,
+/// grown on demand.
+#[derive(Debug, Clone)]
+pub struct TsBatchScratch {
+    nn: icsad_nn::BatchScratch,
+    xs: Vec<f32>,
+    probs: Vec<f32>,
 }
 
 impl TimeSeriesDetector {
@@ -387,7 +399,8 @@ impl TimeSeriesDetector {
         signature_id: Option<usize>,
         flag_noisy: Option<bool>,
     ) -> bool {
-        self.process_with_rank(state, vector, signature_id, flag_noisy).0
+        self.process_with_rank(state, vector, signature_id, flag_noisy)
+            .0
     }
 
     /// Like [`TimeSeriesDetector::process`], additionally returning the
@@ -414,9 +427,110 @@ impl TimeSeriesDetector {
         // anomaly bit per §V-3 / §VI.
         let noisy = flag_noisy.unwrap_or(anomalous);
         let x = self.encoder.encode(vector, noisy);
-        self.model.step(&mut state.stream, &x, &mut state.scratch);
+        self.model
+            .step_logits(&mut state.stream, &x, &mut state.scratch);
         state.prediction = Some(state.scratch.clone());
         (anomalous, rank)
+    }
+
+    /// Fresh (empty) scratch for [`TimeSeriesDetector::process_batch`].
+    pub fn batch_scratch(&self) -> TsBatchScratch {
+        TsBatchScratch {
+            nn: self.model.batch_scratch(),
+            xs: Vec::new(),
+            probs: Vec::new(),
+        }
+    }
+
+    /// Batched [`TimeSeriesDetector::process`]: advances `lanes.len()`
+    /// independent streams by one package each, stepping all of them
+    /// through the LSTM together as matrix–matrix products.
+    ///
+    /// Entry `i` of `vectors` / `signature_ids` / `flag_noisy` belongs to
+    /// stream `states[lanes[i]]`; lane indices must be distinct. Decisions
+    /// are appended to `out` (one `F_t` bool per entry, in order) and every
+    /// lane's state ends up bit-identical to processing it alone with
+    /// [`TimeSeriesDetector::process`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths disagree or a lane index is out of
+    /// bounds.
+    #[allow(clippy::too_many_arguments)] // one parallel slice per per-lane input
+    pub fn process_batch(
+        &self,
+        states: &mut [TsState],
+        lanes: &[usize],
+        vectors: &[DiscreteVector],
+        signature_ids: &[Option<usize>],
+        flag_noisy: &[Option<bool>],
+        scratch: &mut TsBatchScratch,
+        out: &mut Vec<bool>,
+    ) {
+        let batch = lanes.len();
+        assert_eq!(vectors.len(), batch, "vectors/lanes mismatch");
+        assert_eq!(signature_ids.len(), batch, "ids/lanes mismatch");
+        assert_eq!(flag_noisy.len(), batch, "flags/lanes mismatch");
+        if batch == 0 {
+            return;
+        }
+        if batch == 1 {
+            // A one-lane batch gains nothing from the gemm path (and pays
+            // its packing); the streaming step is the same computation.
+            let (anomalous, _) = self.process_with_rank(
+                &mut states[lanes[0]],
+                &vectors[0],
+                signature_ids[0],
+                flag_noisy[0],
+            );
+            out.push(anomalous);
+            return;
+        }
+        let dims = self.encoder.dims();
+        let nc = self.model.num_classes();
+        if scratch.xs.len() < batch * dims {
+            scratch.xs.resize(batch * dims, 0.0);
+        }
+        if scratch.probs.len() < batch * nc {
+            scratch.probs.resize(batch * nc, 0.0);
+        }
+        self.model.reserve_lanes(&mut scratch.nn, batch);
+
+        // Per-lane decision from the rolling prediction, then the batched
+        // feedback step (decision order mirrors `process_with_rank`).
+        for i in 0..batch {
+            let state = &states[lanes[i]];
+            let anomalous = match (&state.prediction, signature_ids[i]) {
+                (_, None) => true,
+                (None, Some(_)) => false,
+                (Some(pred), Some(id)) => loss::rank_of(pred, id) > self.k,
+            };
+            out.push(anomalous);
+            let noisy = flag_noisy[i].unwrap_or(anomalous);
+            self.encoder.encode_into(
+                &vectors[i],
+                noisy,
+                &mut scratch.xs[i * dims..(i + 1) * dims],
+            );
+            self.model.gather_lane(&mut scratch.nn, i, &state.stream);
+        }
+
+        self.model.forward_batch_gathered_logits(
+            &mut scratch.nn,
+            batch,
+            &scratch.xs[..batch * dims],
+            &mut scratch.probs[..batch * nc],
+        );
+
+        for (i, &lane) in lanes.iter().enumerate() {
+            let state = &mut states[lane];
+            self.model.scatter_lane(&scratch.nn, i, &mut state.stream);
+            let row = &scratch.probs[i * nc..(i + 1) * nc];
+            match &mut state.prediction {
+                Some(pred) => pred.copy_from_slice(row),
+                None => state.prediction = Some(row.to_vec()),
+            }
+        }
     }
 }
 
@@ -431,7 +545,15 @@ mod tests {
             hidden_dims: vec![24],
             epochs,
             learning_rate: 1e-2,
-            noise: if noise { Some(NoiseConfig::default()) } else { None },
+            // Accumulate fewer chunks per optimizer step than the
+            // production default so the small test captures still get
+            // enough Adam updates to converge.
+            batch_chunks: 8,
+            noise: if noise {
+                Some(NoiseConfig::default())
+            } else {
+                None
+            },
             seed: 3,
             ..TimeSeriesTrainingConfig::default()
         }
@@ -445,9 +567,11 @@ mod tests {
             ..DatasetConfig::default()
         });
         let split = data.split_chronological(0.6, 0.2);
-        let disc =
-            Discretizer::fit(&DiscretizationConfig::paper_defaults(), split.train().records())
-                .unwrap();
+        let disc = Discretizer::fit(
+            &DiscretizationConfig::paper_defaults(),
+            split.train().records(),
+        )
+        .unwrap();
         let vocab = SignatureVocabulary::build(&disc, split.train().records());
         (disc, vocab, split)
     }
@@ -475,7 +599,10 @@ mod tests {
         let curve = det.top_k_error_curve(split.validation(), 8);
         assert_eq!(curve.len(), 8);
         for w in curve.windows(2) {
-            assert!(w[1] <= w[0] + 1e-12, "curve must be non-increasing: {curve:?}");
+            assert!(
+                w[1] <= w[0] + 1e-12,
+                "curve must be non-increasing: {curve:?}"
+            );
         }
         // Consistency with the single-k computation.
         let e3 = det.top_k_error(split.validation(), 3);
@@ -549,7 +676,7 @@ mod tests {
             .count() as f64
             / split.validation().len() as f64;
         let (det, _) =
-            TimeSeriesDetector::train(&disc, &vocab, split.train(), &fast_config(12, false))
+            TimeSeriesDetector::train(&disc, &vocab, split.train(), &fast_config(16, false))
                 .unwrap();
         let err = det.top_k_error(split.validation(), 8);
         assert!(
@@ -562,8 +689,7 @@ mod tests {
     fn noise_training_runs_and_model_remains_usable() {
         let (disc, vocab, split) = setup(6_000, 7);
         let (det, stats) =
-            TimeSeriesDetector::train(&disc, &vocab, split.train(), &fast_config(6, true))
-                .unwrap();
+            TimeSeriesDetector::train(&disc, &vocab, split.train(), &fast_config(6, true)).unwrap();
         assert_eq!(stats.len(), 6);
         let err = det.top_k_error(split.validation(), 8);
         assert!(err < 0.6, "noise-trained validation error {err}");
@@ -585,12 +711,9 @@ mod tests {
     fn empty_vocabulary_rejected() {
         let (disc, _, split) = setup(4_000, 9);
         let vocab = SignatureVocabulary::default();
-        assert!(TimeSeriesDetector::train(
-            &disc,
-            &vocab,
-            split.train(),
-            &fast_config(1, false)
-        )
-        .is_err());
+        assert!(
+            TimeSeriesDetector::train(&disc, &vocab, split.train(), &fast_config(1, false))
+                .is_err()
+        );
     }
 }

@@ -1,0 +1,84 @@
+//! Property tests: the batched classification path produces exactly the
+//! same `DetectionLevel` sequences as the per-record streaming path.
+
+use std::sync::OnceLock;
+
+use icsad_core::combined::{CombinedDetector, DetectionLevel};
+use icsad_core::experiment::{train_framework, ExperimentConfig};
+use icsad_core::timeseries::TimeSeriesTrainingConfig;
+use icsad_dataset::{DatasetConfig, GasPipelineDataset, Record};
+use proptest::prelude::*;
+
+struct Fixture {
+    detector: CombinedDetector,
+    test_records: Vec<Record>,
+}
+
+/// One trained framework shared by all cases (training dominates runtime).
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let data = GasPipelineDataset::generate(&DatasetConfig {
+            total_packages: 8_000,
+            seed: 42,
+            attack_probability: 0.08,
+            ..DatasetConfig::default()
+        });
+        let split = data.split_chronological(0.6, 0.2);
+        let trained = train_framework(
+            &split,
+            &ExperimentConfig {
+                timeseries: TimeSeriesTrainingConfig {
+                    hidden_dims: vec![16],
+                    epochs: 2,
+                    seed: 42,
+                    ..TimeSeriesTrainingConfig::default()
+                },
+                ..ExperimentConfig::default()
+            },
+        )
+        .unwrap();
+        Fixture {
+            detector: trained.detector,
+            test_records: split.test().to_vec(),
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// `classify_streams` over a random partition of the capture into up
+    /// to six streams equals a per-record `classify` loop on each stream.
+    #[test]
+    fn classify_batch_equals_per_record_loop(
+        num_streams in 1usize..6,
+        offset in 0usize..400,
+        len in 10usize..600,
+        stride_salt in any::<u64>(),
+    ) {
+        let fx = fixture();
+        let records = &fx.test_records;
+        let end = (offset + len).min(records.len());
+        let window = &records[offset.min(end)..end];
+
+        // Deal the window round-robin (with a salted starting stream) into
+        // chronological per-stream substreams.
+        let mut streams: Vec<Vec<Record>> = vec![Vec::new(); num_streams];
+        for (i, r) in window.iter().enumerate() {
+            streams[(i + stride_salt as usize) % num_streams].push(r.clone());
+        }
+        let views: Vec<&[Record]> = streams.iter().map(|s| s.as_slice()).collect();
+
+        let batched = fx.detector.classify_streams(&views);
+
+        for (stream, batch_levels) in views.iter().zip(batched.iter()) {
+            let mut state = fx.detector.begin();
+            let reference: Vec<DetectionLevel> = stream
+                .iter()
+                .map(|r| fx.detector.classify(&mut state, r))
+                .collect();
+            prop_assert_eq!(batch_levels, &reference);
+        }
+    }
+}

@@ -62,7 +62,9 @@ impl fmt::Display for ArffError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ArffError::BadHeader { reason } => write!(f, "bad arff header: {reason}"),
-            ArffError::BadRow { line, reason } => write!(f, "bad arff row at line {line}: {reason}"),
+            ArffError::BadRow { line, reason } => {
+                write!(f, "bad arff row at line {line}: {reason}")
+            }
         }
     }
 }
@@ -156,11 +158,7 @@ pub fn to_arff_string(records: &[Record]) -> String {
     String::from_utf8(buf).expect("arff output is ascii")
 }
 
-fn parse_field<T: std::str::FromStr>(
-    field: &str,
-    line: usize,
-    name: &str,
-) -> Result<T, ArffError> {
+fn parse_field<T: std::str::FromStr>(field: &str, line: usize, name: &str) -> Result<T, ArffError> {
     field.trim().parse().map_err(|_| ArffError::BadRow {
         line,
         reason: format!("cannot parse {name} from {field:?}"),
@@ -229,7 +227,11 @@ pub fn parse_arff(input: &str) -> Result<Vec<Record>, ArffError> {
         if fields.len() != ATTRIBUTES.len() {
             return Err(ArffError::BadRow {
                 line: line_no,
-                reason: format!("expected {} fields, found {}", ATTRIBUTES.len(), fields.len()),
+                reason: format!(
+                    "expected {} fields, found {}",
+                    ATTRIBUTES.len(),
+                    fields.len()
+                ),
             });
         }
         let crc_ok: u8 = parse_field(fields[2], line_no, "crc_ok")?;
@@ -332,10 +334,7 @@ mod tests {
     #[test]
     fn rejects_wrong_attribute_count() {
         let text = "@relation x\n@attribute a numeric\n@data\n1\n";
-        assert!(matches!(
-            parse_arff(text),
-            Err(ArffError::BadHeader { .. })
-        ));
+        assert!(matches!(parse_arff(text), Err(ArffError::BadHeader { .. })));
     }
 
     #[test]
@@ -356,7 +355,14 @@ mod tests {
     fn rejects_unparsable_numbers() {
         let good = to_arff_string(&[Record::empty_at(0.0)]);
         let data_start = good.find("@data").unwrap();
-        let bad = format!("{}@data\nxyz{}", &good[..data_start], &good[data_start + 6..].splitn(2, ',').nth(1).map(|rest| format!(",{rest}")).unwrap_or_default());
+        let bad = format!(
+            "{}@data\nxyz{}",
+            &good[..data_start],
+            &good[data_start + 6..]
+                .split_once(',')
+                .map(|(_, rest)| format!(",{rest}"))
+                .unwrap_or_default()
+        );
         assert!(parse_arff(&bad).is_err());
     }
 

@@ -15,6 +15,92 @@ use crate::record::Record;
 /// Default sliding-window width (in packages) for the `crc rate` feature.
 pub const DEFAULT_CRC_WINDOW: usize = 32;
 
+/// Incremental wire-to-record extractor for one monitored stream.
+///
+/// [`extract_records`] is the batch entry point over a finished capture;
+/// the streaming engine instead feeds frames one at a time, per traffic
+/// stream (slave id), and needs the extractor's state — the CRC sliding
+/// window and the previous package's timestamp — to persist between
+/// packages. One `StreamExtractor` holds exactly that state.
+///
+/// # Examples
+///
+/// ```
+/// use icsad_dataset::extract::{StreamExtractor, DEFAULT_CRC_WINDOW};
+///
+/// let mut ex = StreamExtractor::new(DEFAULT_CRC_WINDOW);
+/// let record = ex.push(0.5, &[0x04, 0x03, 0x00, 0x00], true, None);
+/// assert_eq!(record.time, 0.5);
+/// assert_eq!(record.time_interval, 0.0); // first package has no predecessor
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamExtractor {
+    window: VecDeque<bool>,
+    crc_window: usize,
+    prev_time: Option<f64>,
+}
+
+impl StreamExtractor {
+    /// Creates an extractor with the given CRC sliding-window width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `crc_window == 0`.
+    pub fn new(crc_window: usize) -> Self {
+        assert!(crc_window > 0, "crc window must be positive");
+        StreamExtractor {
+            window: VecDeque::with_capacity(crc_window),
+            crc_window,
+            prev_time: None,
+        }
+    }
+
+    /// Converts one wire package into a feature record, updating the
+    /// stream state (CRC window, inter-package interval).
+    ///
+    /// `label` is carried through for evaluation only, exactly like
+    /// [`Packet::label`].
+    pub fn push(
+        &mut self,
+        time: f64,
+        wire: &[u8],
+        is_command: bool,
+        label: Option<icsad_simulator::AttackType>,
+    ) -> Record {
+        let decoded = Frame::decode_lenient(wire).ok();
+        let crc_ok = decoded.as_ref().is_some_and(|(_, ok)| *ok);
+
+        if self.window.len() == self.crc_window {
+            self.window.pop_front();
+        }
+        self.window.push_back(!crc_ok);
+        let crc_rate =
+            self.window.iter().filter(|&&bad| bad).count() as f64 / self.window.len() as f64;
+
+        let mut record = Record::empty_at(time);
+        record.time_interval = self.prev_time.map_or(0.0, |p| (time - p).max(0.0));
+        record.length = wire.len() as u16;
+        record.crc_ok = crc_ok;
+        record.crc_rate = crc_rate;
+        record.command_response = is_command;
+        record.label = label;
+
+        if let Some((frame, _)) = decoded {
+            record.address = frame.address();
+            record.function = frame.function().code();
+            fill_payload_features(&mut record, &frame, is_command);
+        }
+
+        self.prev_time = Some(time);
+        record
+    }
+
+    /// Converts one simulator packet (see [`StreamExtractor::push`]).
+    pub fn push_packet(&mut self, packet: &Packet) -> Record {
+        self.push(packet.time, &packet.wire, packet.is_command, packet.label)
+    }
+}
+
 /// Extracts feature records from a packet capture.
 ///
 /// `crc_window` is the width of the sliding window used for the `crc rate`
@@ -28,39 +114,8 @@ pub const DEFAULT_CRC_WINDOW: usize = 32;
 ///
 /// Panics if `crc_window == 0`.
 pub fn extract_records(packets: &[Packet], crc_window: usize) -> Vec<Record> {
-    assert!(crc_window > 0, "crc window must be positive");
-    let mut window: VecDeque<bool> = VecDeque::with_capacity(crc_window);
-    let mut out = Vec::with_capacity(packets.len());
-    let mut prev_time: Option<f64> = None;
-
-    for packet in packets {
-        let decoded = Frame::decode_lenient(&packet.wire).ok();
-        let crc_ok = decoded.as_ref().is_some_and(|(_, ok)| *ok);
-
-        if window.len() == crc_window {
-            window.pop_front();
-        }
-        window.push_back(!crc_ok);
-        let crc_rate = window.iter().filter(|&&bad| bad).count() as f64 / window.len() as f64;
-
-        let mut record = Record::empty_at(packet.time);
-        record.time_interval = prev_time.map_or(0.0, |p| (packet.time - p).max(0.0));
-        record.length = packet.wire.len() as u16;
-        record.crc_ok = crc_ok;
-        record.crc_rate = crc_rate;
-        record.command_response = packet.is_command;
-        record.label = packet.label;
-
-        if let Some((frame, _)) = decoded {
-            record.address = frame.address();
-            record.function = frame.function().code();
-            fill_payload_features(&mut record, &frame, packet.is_command);
-        }
-
-        prev_time = Some(packet.time);
-        out.push(record);
-    }
-    out
+    let mut extractor = StreamExtractor::new(crc_window);
+    packets.iter().map(|p| extractor.push_packet(p)).collect()
 }
 
 /// Fills the payload-derived features for the package types that carry them.
@@ -208,7 +263,10 @@ mod tests {
         assert!(attacks > 0);
         let types: std::collections::HashSet<AttackType> =
             records.iter().filter_map(|r| r.label).collect();
-        assert!(types.len() >= 5, "expected most attack types, saw {types:?}");
+        assert!(
+            types.len() >= 5,
+            "expected most attack types, saw {types:?}"
+        );
     }
 
     #[test]

@@ -295,7 +295,10 @@ mod tests {
         for frag in split.train().iter() {
             assert!(frag.len() >= Split::MIN_FRAGMENT_LEN);
         }
-        assert!(split.train().fragment_count() > 1, "attacks should fragment the data");
+        assert!(
+            split.train().fragment_count() > 1,
+            "attacks should fragment the data"
+        );
     }
 
     #[test]

@@ -13,8 +13,9 @@ fn main() {
         let train = split.train().records();
         let val = split.test();
         let t0 = std::time::Instant::now();
-        let (err, sigs) = granularity::validation_error(
-            &DiscretizationConfig::paper_defaults(), train, val).unwrap();
+        let (err, sigs) =
+            granularity::validation_error(&DiscretizationConfig::paper_defaults(), train, val)
+                .unwrap();
         println!("n={n:>7} err={err:.4} sigs={sigs} ({:?})", t0.elapsed());
     }
 }

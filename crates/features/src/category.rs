@@ -50,7 +50,10 @@ impl CategoryMap {
     /// Maps a raw value to its category index (unknown values map to
     /// [`CategoryMap::unknown_index`]).
     pub fn index_of(&self, value: u32) -> u16 {
-        self.map.get(&value).copied().unwrap_or(self.unknown_index())
+        self.map
+            .get(&value)
+            .copied()
+            .unwrap_or(self.unknown_index())
     }
 
     /// Returns `true` if the value was observed during training.

@@ -141,16 +141,16 @@ impl Discretizer {
             self.address_map.cardinality(),
             self.function_map.cardinality(),
             self.length_map.cardinality(),
-            2,                                     // command/response
-            self.time_interval_km.k() + 1,         // + out-of-range
-            self.crc_rate_km.k() + 1,              // + out-of-range
-            self.setpoint_part.bins() + 2,         // + out-of-range + absent
-            self.pressure_part.bins() + 2,         // + out-of-range + absent
-            self.pid_km.k() + 2,                   // + out-of-range + absent
-            5,                                     // mode 0..2 + out-of-domain + absent
-            4,                                     // scheme 0..1 + out-of-domain + absent
-            4,                                     // pump
-            4,                                     // solenoid
+            2,                             // command/response
+            self.time_interval_km.k() + 1, // + out-of-range
+            self.crc_rate_km.k() + 1,      // + out-of-range
+            self.setpoint_part.bins() + 2, // + out-of-range + absent
+            self.pressure_part.bins() + 2, // + out-of-range + absent
+            self.pid_km.k() + 2,           // + out-of-range + absent
+            5,                             // mode 0..2 + out-of-domain + absent
+            4,                             // scheme 0..1 + out-of-domain + absent
+            4,                             // pump
+            4,                             // solenoid
         ]
     }
 
@@ -222,6 +222,19 @@ impl Discretizer {
     /// all their discretized components agree.
     pub fn signature(&self, r: &Record) -> Signature {
         Signature::from_components(&self.discretize(r))
+    }
+
+    /// Discretizes a batch of records into a caller-provided buffer
+    /// (cleared first), producing exactly the same vectors as
+    /// [`Discretizer::discretize`] per record.
+    ///
+    /// The streaming engine and the batched classifier reuse one buffer
+    /// across flushes, so the per-record `Vec` growth disappears from the
+    /// hot path.
+    pub fn discretize_batch(&self, records: &[Record], out: &mut Vec<DiscreteVector>) {
+        out.clear();
+        out.reserve(records.len());
+        out.extend(records.iter().map(|r| self.discretize(r)));
     }
 }
 
@@ -344,6 +357,20 @@ mod tests {
     #[test]
     fn fit_rejects_empty_input() {
         assert!(Discretizer::fit(&DiscretizationConfig::paper_defaults(), &[]).is_err());
+    }
+
+    #[test]
+    fn discretize_batch_matches_per_record() {
+        let (disc, records) = fitted(1_500, 11);
+        let mut batch = Vec::new();
+        disc.discretize_batch(&records, &mut batch);
+        assert_eq!(batch.len(), records.len());
+        for (r, v) in records.iter().zip(batch.iter()) {
+            assert_eq!(*v, disc.discretize(r));
+        }
+        // Buffer reuse clears stale contents.
+        disc.discretize_batch(&records[..10], &mut batch);
+        assert_eq!(batch.len(), 10);
     }
 
     #[test]

@@ -98,17 +98,18 @@ pub fn select(
     w_setpoint: f64,
     theta: f64,
 ) -> Option<&GranularityPoint> {
-    points
-        .iter()
-        .filter(|p| p.error < theta)
-        .max_by(|a, b| {
-            let sa = w_pressure * a.pressure_bins as f64 + w_setpoint * a.setpoint_bins as f64;
-            let sb = w_pressure * b.pressure_bins as f64 + w_setpoint * b.setpoint_bins as f64;
-            sa.partial_cmp(&sb)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                // Prefer lower error on equal scores.
-                .then(b.error.partial_cmp(&a.error).unwrap_or(std::cmp::Ordering::Equal))
-        })
+    points.iter().filter(|p| p.error < theta).max_by(|a, b| {
+        let sa = w_pressure * a.pressure_bins as f64 + w_setpoint * a.setpoint_bins as f64;
+        let sb = w_pressure * b.pressure_bins as f64 + w_setpoint * b.setpoint_bins as f64;
+        sa.partial_cmp(&sb)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            // Prefer lower error on equal scores.
+            .then(
+                b.error
+                    .partial_cmp(&a.error)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
+    })
 }
 
 #[cfg(test)]
@@ -181,9 +182,24 @@ mod tests {
     #[test]
     fn select_maximizes_weighted_granularity_under_budget() {
         let points = vec![
-            GranularityPoint { pressure_bins: 10, setpoint_bins: 10, error: 0.01, signatures: 100 },
-            GranularityPoint { pressure_bins: 20, setpoint_bins: 10, error: 0.02, signatures: 200 },
-            GranularityPoint { pressure_bins: 40, setpoint_bins: 20, error: 0.10, signatures: 900 },
+            GranularityPoint {
+                pressure_bins: 10,
+                setpoint_bins: 10,
+                error: 0.01,
+                signatures: 100,
+            },
+            GranularityPoint {
+                pressure_bins: 20,
+                setpoint_bins: 10,
+                error: 0.02,
+                signatures: 200,
+            },
+            GranularityPoint {
+                pressure_bins: 40,
+                setpoint_bins: 20,
+                error: 0.10,
+                signatures: 900,
+            },
         ];
         // Pressure weighted heavier, budget excludes the finest point.
         let best = select(&points, 2.0, 1.0, 0.03).unwrap();
@@ -203,6 +219,9 @@ mod tests {
         let (train, val) = train_val_sized(60_000);
         let (err, _) =
             validation_error(&DiscretizationConfig::paper_defaults(), &train, &val).unwrap();
-        assert!(err < 0.05, "validation error {err} too high at paper defaults");
+        assert!(
+            err < 0.05,
+            "validation error {err} too high at paper defaults"
+        );
     }
 }

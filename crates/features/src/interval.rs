@@ -32,7 +32,11 @@ impl IntervalPartition {
                 reason: format!("invalid interval bounds [{lo}, {hi}]"),
             });
         }
-        let (lo, hi) = if lo == hi { (lo - 0.5, hi + 0.5) } else { (lo, hi) };
+        let (lo, hi) = if lo == hi {
+            (lo - 0.5, hi + 0.5)
+        } else {
+            (lo, hi)
+        };
         Ok(IntervalPartition { lo, hi, bins })
     }
 

@@ -10,8 +10,8 @@
 //! values that cannot be assigned to any of the clusters".
 
 use rand::Rng;
-use rand_chacha::ChaCha12Rng;
 use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha12Rng;
 
 use crate::error::FeatureError;
 
@@ -35,10 +35,7 @@ pub struct Assignment {
 }
 
 fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
-    a.iter()
-        .zip(b.iter())
-        .map(|(x, y)| (x - y) * (x - y))
-        .sum()
+    a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum()
 }
 
 impl KMeans {
@@ -191,7 +188,12 @@ impl KMeans {
     /// # Errors
     ///
     /// Same as [`KMeans::fit`].
-    pub fn fit_1d(values: &[f64], k: usize, max_iters: usize, seed: u64) -> Result<Self, FeatureError> {
+    pub fn fit_1d(
+        values: &[f64],
+        k: usize,
+        max_iters: usize,
+        seed: u64,
+    ) -> Result<Self, FeatureError> {
         let points: Vec<Vec<f64>> = values.iter().map(|&v| vec![v]).collect();
         KMeans::fit(&points, k, max_iters, seed)
     }

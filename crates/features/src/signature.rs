@@ -1,5 +1,6 @@
 //! Package signatures and the signature database.
 
+use std::borrow::Borrow;
 use std::collections::HashMap;
 use std::fmt;
 
@@ -18,13 +19,8 @@ pub struct Signature(String);
 impl Signature {
     /// Builds a signature from discretized components.
     pub fn from_components(components: &[u16]) -> Self {
-        let mut s = String::with_capacity(components.len() * 3);
-        for (i, c) in components.iter().enumerate() {
-            if i > 0 {
-                s.push('~');
-            }
-            s.push_str(&c.to_string());
-        }
+        let mut s = String::new();
+        write_signature(components, &mut s);
         Signature(s)
     }
 
@@ -54,6 +50,45 @@ impl fmt::Display for Signature {
 impl AsRef<[u8]> for Signature {
     fn as_ref(&self) -> &[u8] {
         self.0.as_bytes()
+    }
+}
+
+/// A [`Signature`] borrows as its key string, so hash maps keyed by
+/// signatures can be probed with a scratch `&str` and no allocation
+/// ([`SignatureVocabulary::id_of_key`]).
+impl Borrow<str> for Signature {
+    fn borrow(&self) -> &str {
+        &self.0
+    }
+}
+
+/// Writes the signature encoding of `components` into `buf` (cleared
+/// first), without allocating beyond the buffer's existing capacity.
+///
+/// This is the allocation-free core of [`Signature::from_components`]: the
+/// streaming hot path keeps one `String` per lane and rewrites it for every
+/// package. The digits are emitted manually — `u16` categories need at most
+/// five — to keep the formatting machinery out of the per-package cost.
+pub fn write_signature(components: &[u16], buf: &mut String) {
+    buf.clear();
+    for (i, &c) in components.iter().enumerate() {
+        if i > 0 {
+            buf.push('~');
+        }
+        let mut digits = [0u8; 5];
+        let mut n = c;
+        let mut len = 0;
+        loop {
+            digits[len] = b'0' + (n % 10) as u8;
+            n /= 10;
+            len += 1;
+            if n == 0 {
+                break;
+            }
+        }
+        for d in digits[..len].iter().rev() {
+            buf.push(char::from(*d));
+        }
     }
 }
 
@@ -100,6 +135,12 @@ impl SignatureVocabulary {
     /// Class id of a signature, or `None` if it is not in the database.
     pub fn id_of(&self, sig: &Signature) -> Option<usize> {
         self.ids.get(sig).copied()
+    }
+
+    /// Class id lookup by raw signature key (see [`write_signature`]),
+    /// avoiding the `Signature` allocation on the streaming hot path.
+    pub fn id_of_key(&self, key: &str) -> Option<usize> {
+        self.ids.get(key).copied()
     }
 
     /// The signature with the given class id.
@@ -200,7 +241,10 @@ mod tests {
             .iter()
             .map(|(i, s, c)| (i, s.as_str().to_string(), c))
             .collect();
-        assert_eq!(items, vec![(0, "5".to_string(), 2), (1, "7".to_string(), 1)]);
+        assert_eq!(
+            items,
+            vec![(0, "5".to_string(), 2), (1, "7".to_string(), 1)]
+        );
     }
 
     #[test]
@@ -208,5 +252,38 @@ mod tests {
         let sig = Signature::from_components(&[1, 2, 3]);
         let bytes: &[u8] = sig.as_ref();
         assert_eq!(bytes, b"1~2~3");
+    }
+
+    #[test]
+    fn write_signature_matches_from_components() {
+        let mut buf = String::new();
+        for components in [
+            vec![],
+            vec![0],
+            vec![7, 0, 65_535, 123, 9],
+            vec![10, 100, 1000, 10_000],
+        ] {
+            write_signature(&components, &mut buf);
+            assert_eq!(buf, Signature::from_components(&components).as_str());
+        }
+    }
+
+    #[test]
+    fn write_signature_reuses_buffer() {
+        let mut buf = String::with_capacity(64);
+        write_signature(&[1, 22, 333], &mut buf);
+        let cap = buf.capacity();
+        write_signature(&[9], &mut buf);
+        assert_eq!(buf, "9");
+        assert_eq!(buf.capacity(), cap, "rewrite must not reallocate");
+    }
+
+    #[test]
+    fn id_of_key_matches_id_of() {
+        let mut v = SignatureVocabulary::default();
+        let a = Signature::from_components(&[3, 14, 15]);
+        v.insert(a.clone());
+        assert_eq!(v.id_of_key(a.as_str()), v.id_of(&a));
+        assert_eq!(v.id_of_key("9~9"), None);
     }
 }

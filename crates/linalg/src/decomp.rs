@@ -115,7 +115,11 @@ fn sorted_eigen(m: Matrix, v: Matrix) -> SymmetricEigen {
     let n = m.rows();
     let mut order: Vec<usize> = (0..n).collect();
     let diag: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
-    order.sort_by(|&i, &j| diag[j].partial_cmp(&diag[i]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&i, &j| {
+        diag[j]
+            .partial_cmp(&diag[i])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let values = order.iter().map(|&i| diag[i]).collect();
     let vectors = Matrix::from_fn(n, n, |r, c| v[(r, order[c])]);
     SymmetricEigen { values, vectors }
@@ -287,33 +291,21 @@ mod tests {
 
     #[test]
     fn eigen_reconstructs_input() {
-        let a = Matrix::from_rows(&[
-            &[4.0, 1.0, 0.5],
-            &[1.0, 3.0, 0.2],
-            &[0.5, 0.2, 2.0],
-        ]);
+        let a = Matrix::from_rows(&[&[4.0, 1.0, 0.5], &[1.0, 3.0, 0.2], &[0.5, 0.2, 2.0]]);
         let eig = symmetric_eigen(&a).unwrap();
         assert!(a.max_abs_diff(&reconstruct_eigen(&eig)) < 1e-9);
     }
 
     #[test]
     fn eigen_values_sorted_descending() {
-        let a = Matrix::from_rows(&[
-            &[1.0, 0.3, 0.1],
-            &[0.3, 5.0, 0.2],
-            &[0.1, 0.2, 3.0],
-        ]);
+        let a = Matrix::from_rows(&[&[1.0, 0.3, 0.1], &[0.3, 5.0, 0.2], &[0.1, 0.2, 3.0]]);
         let eig = symmetric_eigen(&a).unwrap();
         assert!(eig.values.windows(2).all(|w| w[0] >= w[1] - 1e-12));
     }
 
     #[test]
     fn eigenvectors_are_orthonormal() {
-        let a = Matrix::from_rows(&[
-            &[2.0, -1.0, 0.0],
-            &[-1.0, 2.0, -1.0],
-            &[0.0, -1.0, 2.0],
-        ]);
+        let a = Matrix::from_rows(&[&[2.0, -1.0, 0.0], &[-1.0, 2.0, -1.0], &[0.0, -1.0, 2.0]]);
         let eig = symmetric_eigen(&a).unwrap();
         let vtv = eig.vectors.transpose().matmul(&eig.vectors);
         assert!(vtv.max_abs_diff(&Matrix::identity(3)) < 1e-9);
@@ -337,11 +329,7 @@ mod tests {
 
     #[test]
     fn svd_reconstructs_input() {
-        let a = Matrix::from_rows(&[
-            &[1.0, 2.0],
-            &[3.0, 4.0],
-            &[5.0, 6.0],
-        ]);
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
         let s = svd(&a).unwrap();
         let d = Matrix::from_fn(s.singular_values.len(), s.singular_values.len(), |r, c| {
             if r == c {
@@ -393,11 +381,7 @@ mod tests {
 
     #[test]
     fn cholesky_round_trip() {
-        let a = Matrix::from_rows(&[
-            &[25.0, 15.0, -5.0],
-            &[15.0, 18.0, 0.0],
-            &[-5.0, 0.0, 11.0],
-        ]);
+        let a = Matrix::from_rows(&[&[25.0, 15.0, -5.0], &[15.0, 18.0, 0.0], &[-5.0, 0.0, 11.0]]);
         let l = cholesky(&a).unwrap();
         assert!(a.max_abs_diff(&l.matmul(&l.transpose())) < 1e-10);
         // Lower triangular: everything above the diagonal is zero.

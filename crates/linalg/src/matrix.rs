@@ -208,6 +208,27 @@ impl Matrix {
     ///
     /// Returns [`LinalgError::DimensionMismatch`] if `self.cols() != rhs.rows()`.
     pub fn try_matmul(&self, rhs: &Matrix) -> Result<Matrix, LinalgError> {
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        self.matmul_into(rhs, &mut out)?;
+        Ok(out)
+    }
+
+    /// Multiplies `self * rhs` into a caller-provided output matrix without
+    /// allocating — the gemm kernel behind [`Matrix::matmul`] and
+    /// [`Matrix::batch_matvec`].
+    ///
+    /// The loop nest is blocked over the shared `k` dimension so that a
+    /// block of `rhs` rows stays cache-resident while every output row
+    /// accumulates against it; per output element the `k` contributions are
+    /// still added in ascending order, so results are identical to the
+    /// unblocked (i, k, j) product. Zero entries of `self` are skipped,
+    /// which makes one-hot and sparse operands nearly free.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `self.cols() != rhs.rows()`
+    /// or `out` is not `self.rows() x rhs.cols()`.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) -> Result<(), LinalgError> {
         if self.cols != rhs.rows {
             return Err(LinalgError::DimensionMismatch {
                 op: "matmul",
@@ -215,21 +236,34 @@ impl Matrix {
                 right: rhs.dims(),
             });
         }
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
-            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
-            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
+        if out.dims() != (self.rows, rhs.cols) {
+            return Err(LinalgError::DimensionMismatch {
+                op: "matmul_into",
+                left: (self.rows, rhs.cols),
+                right: out.dims(),
+            });
+        }
+        out.data.fill(0.0);
+        // Block size tuned so a block of rhs rows (GEMM_BLOCK x cols f64)
+        // stays in L1/L2 while all output rows stream over it.
+        const GEMM_BLOCK: usize = 64;
+        for kb in (0..self.cols).step_by(GEMM_BLOCK) {
+            let kend = (kb + GEMM_BLOCK).min(self.cols);
+            for i in 0..self.rows {
+                let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
+                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (k, &a) in a_row[kb..kend].iter().enumerate().map(|(o, a)| (kb + o, a)) {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let b_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                    for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                        *o += a * b;
+                    }
                 }
             }
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Multiplies the matrix by a column vector.
@@ -249,6 +283,69 @@ impl Matrix {
             .iter_rows()
             .map(|row| crate::vecops::dot(row, v))
             .collect())
+    }
+
+    /// Applies the matrix to a whole batch of vectors at once: row `b` of
+    /// the result is `self · xs.row(b)`.
+    ///
+    /// This is the gemm-based batched [`Matrix::matvec`]: instead of `B`
+    /// matrix–vector products that each stream the full matrix from memory,
+    /// the batch is computed as one blocked matrix–matrix product
+    /// (`xs · selfᵀ`), amortizing every weight-row load across all `B`
+    /// vectors. Results equal calling [`Matrix::matvec`] per row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `xs.cols() != self.cols()`.
+    pub fn batch_matvec(&self, xs: &Matrix) -> Result<Matrix, LinalgError> {
+        let mut out = Matrix::zeros(xs.rows, self.rows);
+        self.batch_matvec_into(xs, &mut out)?;
+        Ok(out)
+    }
+
+    /// Allocation-free [`Matrix::batch_matvec`]: writes `xs.rows() x
+    /// self.rows()` results into `out`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] on any shape mismatch.
+    pub fn batch_matvec_into(&self, xs: &Matrix, out: &mut Matrix) -> Result<(), LinalgError> {
+        if xs.cols != self.cols {
+            return Err(LinalgError::DimensionMismatch {
+                op: "batch_matvec",
+                left: self.dims(),
+                right: xs.dims(),
+            });
+        }
+        if out.dims() != (xs.rows, self.rows) {
+            return Err(LinalgError::DimensionMismatch {
+                op: "batch_matvec_into",
+                left: (xs.rows, self.rows),
+                right: out.dims(),
+            });
+        }
+        out.data.fill(0.0);
+        // out[b][r] accumulates self[r][k] * xs[b][k] in ascending k, the
+        // same order as vecops::dot, so per-row results match matvec.
+        const GEMM_BLOCK: usize = 64;
+        for kb in (0..self.cols).step_by(GEMM_BLOCK) {
+            let kend = (kb + GEMM_BLOCK).min(self.cols);
+            for b in 0..xs.rows {
+                let x_row = &xs.data[b * xs.cols..(b + 1) * xs.cols];
+                let out_row = &mut out.data[b * self.rows..(b + 1) * self.rows];
+                for (r, o) in out_row.iter_mut().enumerate() {
+                    let a_row = &self.data[r * self.cols..(r + 1) * self.cols];
+                    // Carry the partial sum through the blocks so each
+                    // element sees one sequential ascending-k summation.
+                    let mut acc = *o;
+                    for (&a, &x) in a_row[kb..kend].iter().zip(x_row[kb..kend].iter()) {
+                        acc += a * x;
+                    }
+                    *o = acc;
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Applies `f` to every element, returning a new matrix.
@@ -357,14 +454,20 @@ impl Index<(usize, usize)> for Matrix {
     type Output = f64;
 
     fn index(&self, (r, c): (usize, usize)) -> &f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &self.data[r * self.cols + c]
     }
 }
 
 impl IndexMut<(usize, usize)> for Matrix {
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &mut self.data[r * self.cols + c]
     }
 }
@@ -530,5 +633,85 @@ mod tests {
         let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
         let rows: Vec<&[f64]> = m.iter_rows().collect();
         assert_eq!(rows, vec![&[1.0, 2.0][..], &[3.0, 4.0][..]]);
+    }
+
+    /// Pseudo-random but deterministic matrix content for kernel tests.
+    fn scrambled(rows: usize, cols: usize, salt: u64) -> Matrix {
+        Matrix::from_fn(rows, cols, |r, c| {
+            let mut x = (r as u64)
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(c as u64)
+                .wrapping_add(salt);
+            x ^= x >> 33;
+            x = x.wrapping_mul(0xff51afd7ed558ccd);
+            ((x >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        })
+    }
+
+    #[test]
+    fn blocked_matmul_matches_naive_product_beyond_block_size() {
+        // 70 > GEMM_BLOCK forces multiple k blocks.
+        let a = scrambled(9, 70, 1);
+        let b = scrambled(70, 13, 2);
+        let blocked = a.matmul(&b);
+        let mut naive = Matrix::zeros(9, 13);
+        for i in 0..9 {
+            for j in 0..13 {
+                let mut acc = 0.0;
+                for k in 0..70 {
+                    acc += a[(i, k)] * b[(k, j)];
+                }
+                naive[(i, j)] = acc;
+            }
+        }
+        assert_eq!(blocked, naive, "k-blocking must not reorder accumulation");
+    }
+
+    #[test]
+    fn matmul_into_reuses_output_without_stale_state() {
+        let a = scrambled(4, 5, 3);
+        let b = scrambled(5, 6, 4);
+        let mut out = Matrix::filled(4, 6, 99.0);
+        a.matmul_into(&b, &mut out).unwrap();
+        assert_eq!(out, a.matmul(&b));
+        assert!(matches!(
+            a.matmul_into(&b, &mut Matrix::zeros(3, 6)),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn batch_matvec_matches_per_row_matvec_bitwise() {
+        let w = scrambled(17, 130, 5); // > GEMM_BLOCK columns
+        let xs = scrambled(23, 130, 6);
+        let batched = w.batch_matvec(&xs).unwrap();
+        for b in 0..xs.rows() {
+            let single = w.matvec(xs.row(b)).unwrap();
+            assert_eq!(batched.row(b), single.as_slice(), "row {b}");
+        }
+    }
+
+    #[test]
+    fn batch_matvec_rejects_mismatch() {
+        let w = Matrix::zeros(3, 4);
+        let xs = Matrix::zeros(2, 5);
+        assert!(matches!(
+            w.batch_matvec(&xs),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+        let good = Matrix::zeros(2, 4);
+        let mut out = Matrix::zeros(2, 2);
+        assert!(matches!(
+            w.batch_matvec_into(&good, &mut out),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn batch_matvec_empty_batch() {
+        let w = scrambled(3, 4, 7);
+        let xs = Matrix::zeros(0, 4);
+        let out = w.batch_matvec(&xs).unwrap();
+        assert_eq!(out.dims(), (0, 3));
     }
 }

@@ -275,8 +275,16 @@ impl Standardizer {
     ///
     /// Panics if `sample.len()` differs from the fitted dimensionality.
     pub fn transform_in_place(&self, sample: &mut [f64]) {
-        assert_eq!(sample.len(), self.means.len(), "standardizer width mismatch");
-        for ((x, &m), &s) in sample.iter_mut().zip(self.means.iter()).zip(self.stds.iter()) {
+        assert_eq!(
+            sample.len(),
+            self.means.len(),
+            "standardizer width mismatch"
+        );
+        for ((x, &m), &s) in sample
+            .iter_mut()
+            .zip(self.means.iter())
+            .zip(self.stds.iter())
+        {
             *x = (*x - m) / s;
         }
     }
@@ -328,11 +336,7 @@ mod tests {
 
     #[test]
     fn covariance_of_independent_columns() {
-        let data = Matrix::from_rows(&[
-            &[1.0, 10.0],
-            &[2.0, 10.0],
-            &[3.0, 10.0],
-        ]);
+        let data = Matrix::from_rows(&[&[1.0, 10.0], &[2.0, 10.0], &[3.0, 10.0]]);
         let cov = covariance_matrix(&data).unwrap();
         assert!((cov[(0, 0)] - 1.0).abs() < 1e-12);
         assert_eq!(cov[(1, 1)], 0.0);

@@ -160,7 +160,9 @@ mod tests {
 
     #[test]
     fn round_trip_all_standard_codes() {
-        for raw in [0x01u8, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x0F, 0x10, 0x11, 0x2B] {
+        for raw in [
+            0x01u8, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x0F, 0x10, 0x11, 0x2B,
+        ] {
             let fc = FunctionCode::from(raw);
             assert_eq!(fc.code(), raw);
             assert!(fc.is_standard());

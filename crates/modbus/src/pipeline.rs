@@ -393,9 +393,9 @@ mod tests {
     #[test]
     fn fixed_point_quantizes_to_hundredths() {
         let mut state = sample_state();
-        state.pressure = 3.14159;
+        state.pressure = 3.17159;
         let back = state_from_registers(&state_to_registers(&state)).unwrap();
-        assert!((back.pressure - 3.14).abs() < 1e-9);
+        assert!((back.pressure - 3.17).abs() < 1e-9);
     }
 
     #[test]
@@ -511,9 +511,15 @@ mod tests {
 
     #[test]
     fn error_display_messages() {
-        let e = PayloadError::BadLength { expected: 23, got: 4 };
+        let e = PayloadError::BadLength {
+            expected: 23,
+            got: 4,
+        };
         assert!(e.to_string().contains("23"));
-        let e = PayloadError::BadValue { register: 6, value: 9 };
+        let e = PayloadError::BadValue {
+            register: 6,
+            value: 9,
+        };
         assert!(e.to_string().contains("register 6"));
     }
 }

@@ -20,9 +20,7 @@ pub struct RegisterMap {
 impl RegisterMap {
     /// Creates a register bank with `len` registers, all zero.
     pub fn new(len: usize) -> Self {
-        RegisterMap {
-            regs: vec![0; len],
-        }
+        RegisterMap { regs: vec![0; len] }
     }
 
     /// Number of registers.

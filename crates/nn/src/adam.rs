@@ -77,7 +77,10 @@ impl Adam {
         let c = &self.config;
         let bc1 = 1.0 - c.beta1.powi(self.t as i32);
         let bc2 = 1.0 - c.beta2.powi(self.t as i32);
-        for (slot, (m, v)) in slots.iter_mut().zip(self.m.iter_mut().zip(self.v.iter_mut())) {
+        for (slot, (m, v)) in slots
+            .iter_mut()
+            .zip(self.m.iter_mut().zip(self.v.iter_mut()))
+        {
             let (params, grads) = slot;
             assert_eq!(params.len(), m.len(), "slot length changed");
             assert_eq!(params.len(), grads.len(), "param/grad length mismatch");

@@ -3,7 +3,7 @@
 use rand::Rng;
 use rand_chacha::ChaCha12Rng;
 
-use crate::tensor::{matvec_acc, matvec_t_acc, outer_acc, Tensor2};
+use crate::tensor::{gemm_dense_acc, matvec_acc, matvec_t_acc, outer_acc, Tensor2};
 
 /// A fully connected layer `y = W x + b`.
 #[derive(Debug, Clone, PartialEq)]
@@ -72,6 +72,24 @@ impl Dense {
         assert_eq!(out.len(), self.b.len(), "dense output length mismatch");
         out.copy_from_slice(&self.b);
         matvec_acc(&self.w, x, out);
+    }
+
+    /// Batched projection: computes `out[b] = W x[b] + b` for every lane of
+    /// a `batch x input_dim` block into a `batch x output_dim` block, as one
+    /// register-blocked matrix–matrix product (the projection input is a
+    /// dense hidden activation). Results compare equal to per-lane
+    /// [`Dense::forward`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn forward_batch(&self, batch: usize, x: &[f32], out: &mut [f32]) {
+        let n = self.b.len();
+        assert_eq!(out.len(), batch * n, "dense batch output mismatch");
+        for b in 0..batch {
+            out[b * n..(b + 1) * n].copy_from_slice(&self.b);
+        }
+        gemm_dense_acc(batch, x, &self.w, out);
     }
 
     /// Accumulates parameter gradients and the input gradient for one step.
@@ -172,6 +190,30 @@ mod tests {
     fn param_count() {
         let d = Dense::new(4, 7, &mut rng());
         assert_eq!(d.param_count(), 4 * 7 + 7);
+    }
+
+    #[test]
+    fn forward_batch_matches_per_lane_forward_bitwise() {
+        let d = Dense::new(37, 11, &mut rng());
+        let lanes = 5usize;
+        let xs: Vec<f32> = (0..lanes * 37)
+            .map(|i| match i % 3 {
+                0 => 0.0,
+                1 => 1.0,
+                _ => ((i * 31 % 97) as f32 - 48.0) / 11.0,
+            })
+            .collect();
+        let mut batched = vec![0.0f32; lanes * 11];
+        d.forward_batch(lanes, &xs, &mut batched);
+        let mut single = vec![0.0f32; 11];
+        for lane in 0..lanes {
+            d.forward(&xs[lane * 37..(lane + 1) * 37], &mut single);
+            assert_eq!(
+                &batched[lane * 11..(lane + 1) * 11],
+                single.as_slice(),
+                "lane {lane}"
+            );
+        }
     }
 
     #[test]

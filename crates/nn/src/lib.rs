@@ -18,7 +18,7 @@
 //!   prediction for online detection, plus (de)serialization,
 //! * [`Adam`] — the Adam optimizer,
 //! * [`Trainer`] — truncated-BPTT training over variable-length sequences
-//!   with data-parallel gradient accumulation (crossbeam scoped threads).
+//!   with data-parallel gradient accumulation (std scoped threads).
 //!
 //! # Examples
 //!
@@ -69,8 +69,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod adam;
 pub mod activations;
+mod adam;
 mod dense;
 pub mod loss;
 mod lstm;
@@ -81,5 +81,5 @@ mod trainer;
 pub use adam::{Adam, AdamConfig};
 pub use dense::Dense;
 pub use lstm::{LstmLayer, LstmState};
-pub use model::{Gradients, LstmClassifier, ModelConfig, StreamState};
+pub use model::{BatchScratch, Gradients, LstmClassifier, ModelConfig, StreamState};
 pub use trainer::{EpochStats, Sequence, Trainer, TrainingConfig};

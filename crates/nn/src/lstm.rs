@@ -18,7 +18,7 @@ use rand::Rng;
 use rand_chacha::ChaCha12Rng;
 
 use crate::activations::{sigmoid, sigmoid_deriv_from_output, tanh, tanh_deriv_from_output};
-use crate::tensor::{matvec_acc, matvec_t_acc, outer_acc, Tensor2};
+use crate::tensor::{gemm_acc, gemm_dense_acc, matvec_acc, matvec_t_acc, outer_acc, Tensor2};
 
 /// One LSTM layer's parameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -78,7 +78,10 @@ impl LstmLayer {
     ///
     /// Panics if either dimension is zero.
     pub fn new(input_dim: usize, hidden_dim: usize, rng: &mut ChaCha12Rng) -> Self {
-        assert!(input_dim > 0 && hidden_dim > 0, "lstm dims must be positive");
+        assert!(
+            input_dim > 0 && hidden_dim > 0,
+            "lstm dims must be positive"
+        );
         let scale_w = (6.0 / (input_dim + hidden_dim) as f32).sqrt();
         let scale_u = (6.0 / (2 * hidden_dim) as f32).sqrt();
         let mut init = |rows: usize, cols: usize, scale: f32| {
@@ -175,6 +178,80 @@ impl LstmLayer {
                 c_prev,
                 h_prev,
             });
+        }
+    }
+
+    /// Inference-only single step: advances `state` by one timestep and
+    /// writes `h_t` into `out_h` (the public counterpart of the internal
+    /// training step, without a backprop cache).
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) on dimension mismatch.
+    pub fn forward(&self, x: &[f32], state: &mut LstmState, out_h: &mut [f32]) {
+        self.step(x, state, out_h, None);
+    }
+
+    /// Batched inference step: advances `batch` independent lanes by one
+    /// timestep as matrix–matrix products.
+    ///
+    /// `x` is the `batch x input_dim` input block; `h` and `c` are the
+    /// `batch x hidden_dim` recurrent state blocks (updated in place, `h`
+    /// holding the lane outputs afterwards); `z` is a `batch x 4*hidden_dim`
+    /// scratch block. `sparse_input` selects the zero-skipping kernel for
+    /// the `W x` product (right for one-hot inputs; lower layers of a
+    /// stack should pass `false` so dense activations take the
+    /// register-blocked kernel). Gate preactivations accumulate bias, then
+    /// `W x`, then `U h` in the same order as [`LstmLayer::forward`], so
+    /// every lane's result compares equal to stepping it alone.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn forward_batch(
+        &self,
+        batch: usize,
+        x: &[f32],
+        h: &mut [f32],
+        c: &mut [f32],
+        z: &mut [f32],
+        sparse_input: bool,
+    ) {
+        let hd = self.hidden_dim;
+        assert_eq!(x.len(), batch * self.input_dim, "lstm batch input mismatch");
+        assert_eq!(h.len(), batch * hd, "lstm batch hidden mismatch");
+        assert_eq!(c.len(), batch * hd, "lstm batch cell mismatch");
+        assert_eq!(z.len(), batch * 4 * hd, "lstm batch scratch mismatch");
+
+        // z = b + W x + U h_prev, batched.
+        for b in 0..batch {
+            z[b * 4 * hd..(b + 1) * 4 * hd].copy_from_slice(&self.b);
+        }
+        if sparse_input {
+            gemm_acc(batch, x, &self.w, z);
+        } else {
+            gemm_dense_acc(batch, x, &self.w, z);
+        }
+        gemm_dense_acc(batch, h, &self.u, z);
+
+        for b in 0..batch {
+            let zr = &mut z[b * 4 * hd..(b + 1) * 4 * hd];
+            for v in &mut zr[..3 * hd] {
+                *v = sigmoid(*v);
+            }
+            for v in &mut zr[3 * hd..] {
+                *v = tanh(*v);
+            }
+            let (i_gate, rest) = zr.split_at(hd);
+            let (f_gate, rest) = rest.split_at(hd);
+            let (o_gate, g_gate) = rest.split_at(hd);
+            let cr = &mut c[b * hd..(b + 1) * hd];
+            let hr = &mut h[b * hd..(b + 1) * hd];
+            for j in 0..hd {
+                let c_prev = cr[j];
+                cr[j] = f_gate[j] * c_prev + i_gate[j] * g_gate[j];
+                hr[j] = o_gate[j] * tanh(cr[j]);
+            }
         }
     }
 
@@ -423,5 +500,55 @@ mod tests {
     #[should_panic(expected = "dims must be positive")]
     fn zero_dims_panic() {
         LstmLayer::new(0, 4, &mut rng());
+    }
+
+    #[test]
+    fn forward_batch_matches_single_lane_steps_bitwise() {
+        let layer = LstmLayer::new(5, 40, &mut rng()); // > gemm k block once stacked
+        let lanes = 6usize;
+        let hd = layer.hidden_dim();
+
+        // Reference: step each lane separately for several timesteps.
+        let mut ref_states: Vec<LstmState> = (0..lanes).map(|_| LstmState::zeros(hd)).collect();
+        // Batched: the same lanes in one state block.
+        let mut h = vec![0.0f32; lanes * hd];
+        let mut c = vec![0.0f32; lanes * hd];
+        let mut z = vec![0.0f32; lanes * 4 * hd];
+
+        for t in 0..9 {
+            let xs: Vec<f32> = (0..lanes * 5)
+                .map(|i| match (i + t) % 4 {
+                    0 => 0.0,
+                    1 => 1.0,
+                    _ => (((i * 13 + t * 7) % 19) as f32 - 9.0) / 5.0,
+                })
+                .collect();
+            // Dense-input path: the test inputs mix zeros and reals.
+            layer.forward_batch(lanes, &xs, &mut h, &mut c, &mut z, false);
+            let mut out = vec![0.0f32; hd];
+            for (lane, state) in ref_states.iter_mut().enumerate() {
+                layer.forward(&xs[lane * 5..(lane + 1) * 5], state, &mut out);
+                assert_eq!(
+                    &h[lane * hd..(lane + 1) * hd],
+                    out.as_slice(),
+                    "h lane {lane} t {t}"
+                );
+                assert_eq!(
+                    &c[lane * hd..(lane + 1) * hd],
+                    state.c.as_slice(),
+                    "c lane {lane} t {t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "lstm batch input mismatch")]
+    fn forward_batch_rejects_bad_block() {
+        let layer = LstmLayer::new(3, 4, &mut rng());
+        let mut h = vec![0.0; 8];
+        let mut c = vec![0.0; 8];
+        let mut z = vec![0.0; 32];
+        layer.forward_batch(2, &[0.0; 5], &mut h, &mut c, &mut z, true);
     }
 }

@@ -106,6 +106,28 @@ pub struct StreamState {
     scratch: Vec<Vec<f32>>,
 }
 
+/// Reusable buffers for [`LstmClassifier::forward_batch`]: gathered
+/// per-layer state blocks plus gate scratch, grown on demand so one scratch
+/// serves any batch size up to the high-water mark without reallocating.
+#[derive(Debug, Clone, Default)]
+pub struct BatchScratch {
+    /// Per-layer gathered hidden state, `capacity x hidden_dims[l]`.
+    h: Vec<Vec<f32>>,
+    /// Per-layer gathered cell state, `capacity x hidden_dims[l]`.
+    c: Vec<Vec<f32>>,
+    /// Per-layer gate preactivations, `capacity x 4*hidden_dims[l]`.
+    z: Vec<Vec<f32>>,
+    /// Lanes the buffers currently accommodate.
+    capacity: usize,
+}
+
+impl StreamState {
+    /// The per-layer recurrent `(h, c)` states, bottom layer first.
+    pub fn layer_states(&self) -> &[LstmState] {
+        &self.layers
+    }
+}
+
 impl LstmClassifier {
     /// Builds a randomly initialized classifier.
     ///
@@ -115,7 +137,10 @@ impl LstmClassifier {
     pub fn new(config: &ModelConfig) -> Self {
         assert!(config.input_dim > 0, "input_dim must be positive");
         assert!(config.num_classes > 0, "num_classes must be positive");
-        assert!(!config.hidden_dims.is_empty(), "need at least one LSTM layer");
+        assert!(
+            !config.hidden_dims.is_empty(),
+            "need at least one LSTM layer"
+        );
         let mut rng = ChaCha12Rng::seed_from_u64(config.seed);
         let mut layers = Vec::with_capacity(config.hidden_dims.len());
         let mut in_dim = config.input_dim;
@@ -184,13 +209,27 @@ impl LstmClassifier {
     ///
     /// Panics if `x.len() != input_dim` or `probs.len() != num_classes`.
     pub fn step(&self, state: &mut StreamState, x: &[f32], probs: &mut [f32]) {
+        self.step_logits(state, x, probs);
+        softmax_in_place(probs);
+    }
+
+    /// Like [`LstmClassifier::step`] but leaves the raw logits in `out`
+    /// (no softmax). Softmax is strictly monotone, so top-`k` membership
+    /// and ranks computed on logits equal those computed on probabilities —
+    /// detection hot paths use this variant and skip `num_classes`
+    /// exponentials per package.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != input_dim` or `out.len() != num_classes`.
+    pub fn step_logits(&self, state: &mut StreamState, x: &[f32], out: &mut [f32]) {
         assert_eq!(x.len(), self.config.input_dim, "input dim mismatch");
-        assert_eq!(probs.len(), self.config.num_classes, "probs len mismatch");
+        assert_eq!(out.len(), self.config.num_classes, "probs len mismatch");
         let num_layers = self.layers.len();
         for l in 0..num_layers {
             if l == 0 {
-                let out = &mut state.scratch[0];
-                self.layers[0].step(x, &mut state.layers[0], out, None);
+                let h_out = &mut state.scratch[0];
+                self.layers[0].step(x, &mut state.layers[0], h_out, None);
             } else {
                 // scratch[l-1] (the previous layer's output) and scratch[l]
                 // are disjoint borrows.
@@ -198,8 +237,182 @@ impl LstmClassifier {
                 self.layers[l].step(&below[l - 1], &mut state.layers[l], &mut at[0], None);
             }
         }
-        self.dense.forward(&state.scratch[num_layers - 1], probs);
-        softmax_in_place(probs);
+        self.dense.forward(&state.scratch[num_layers - 1], out);
+    }
+
+    /// Fresh (empty) scratch for [`LstmClassifier::forward_batch`].
+    pub fn batch_scratch(&self) -> BatchScratch {
+        BatchScratch {
+            h: vec![Vec::new(); self.layers.len()],
+            c: vec![Vec::new(); self.layers.len()],
+            z: vec![Vec::new(); self.layers.len()],
+            capacity: 0,
+        }
+    }
+
+    /// Grows `scratch` to hold at least `lanes` gathered lanes.
+    pub fn reserve_lanes(&self, scratch: &mut BatchScratch, lanes: usize) {
+        if scratch.capacity >= lanes && scratch.h.len() == self.layers.len() {
+            return;
+        }
+        let cap = lanes.max(scratch.capacity);
+        scratch.h.resize(self.layers.len(), Vec::new());
+        scratch.c.resize(self.layers.len(), Vec::new());
+        scratch.z.resize(self.layers.len(), Vec::new());
+        for (l, layer) in self.layers.iter().enumerate() {
+            scratch.h[l].resize(cap * layer.hidden_dim(), 0.0);
+            scratch.c[l].resize(cap * layer.hidden_dim(), 0.0);
+            scratch.z[l].resize(cap * 4 * layer.hidden_dim(), 0.0);
+        }
+        scratch.capacity = cap;
+    }
+
+    /// Copies one stream's recurrent state into scratch row `i`
+    /// (growing the scratch if needed).
+    pub fn gather_lane(&self, scratch: &mut BatchScratch, i: usize, state: &StreamState) {
+        self.reserve_lanes(scratch, i + 1);
+        for (l, layer) in self.layers.iter().enumerate() {
+            let hd = layer.hidden_dim();
+            scratch.h[l][i * hd..(i + 1) * hd].copy_from_slice(&state.layers[l].h);
+            scratch.c[l][i * hd..(i + 1) * hd].copy_from_slice(&state.layers[l].c);
+        }
+    }
+
+    /// Copies scratch row `i` back into a stream's recurrent state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is beyond the scratch capacity.
+    pub fn scatter_lane(&self, scratch: &BatchScratch, i: usize, state: &mut StreamState) {
+        for (l, layer) in self.layers.iter().enumerate() {
+            let hd = layer.hidden_dim();
+            state.layers[l]
+                .h
+                .copy_from_slice(&scratch.h[l][i * hd..(i + 1) * hd]);
+            state.layers[l]
+                .c
+                .copy_from_slice(&scratch.c[l][i * hd..(i + 1) * hd]);
+        }
+    }
+
+    /// Advances the `batch` lanes already gathered into `scratch` (rows
+    /// `0..batch`) by one timestep; see [`LstmClassifier::forward_batch`]
+    /// for the block layouts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if block sizes disagree with `batch` or the scratch is too
+    /// small.
+    pub fn forward_batch_gathered(
+        &self,
+        scratch: &mut BatchScratch,
+        batch: usize,
+        xs: &[f32],
+        probs: &mut [f32],
+    ) {
+        self.forward_batch_gathered_logits(scratch, batch, xs, probs);
+        let nc = self.config.num_classes;
+        for i in 0..batch {
+            softmax_in_place(&mut probs[i * nc..(i + 1) * nc]);
+        }
+    }
+
+    /// Batched twin of [`LstmClassifier::step_logits`]: advances the
+    /// gathered lanes and writes raw logits rows (no softmax).
+    ///
+    /// # Panics
+    ///
+    /// Panics if block sizes disagree with `batch` or the scratch is too
+    /// small.
+    pub fn forward_batch_gathered_logits(
+        &self,
+        scratch: &mut BatchScratch,
+        batch: usize,
+        xs: &[f32],
+        probs: &mut [f32],
+    ) {
+        assert_eq!(
+            xs.len(),
+            batch * self.config.input_dim,
+            "batch input mismatch"
+        );
+        assert_eq!(
+            probs.len(),
+            batch * self.config.num_classes,
+            "batch probs mismatch"
+        );
+        if batch == 0 {
+            return;
+        }
+        assert!(scratch.capacity >= batch, "scratch smaller than batch");
+
+        // Step the stack: layer l reads the updated hidden block of layer
+        // l-1 (its freshly computed outputs), exactly like the streaming
+        // path.
+        for l in 0..self.layers.len() {
+            let hd = self.layers[l].hidden_dim();
+            let (below, at) = scratch.h.split_at_mut(l);
+            let x_block: &[f32] = if l == 0 {
+                xs
+            } else {
+                &below[l - 1][..batch * self.layers[l - 1].hidden_dim()]
+            };
+            self.layers[l].forward_batch(
+                batch,
+                x_block,
+                &mut at[0][..batch * hd],
+                &mut scratch.c[l][..batch * hd],
+                &mut scratch.z[l][..batch * 4 * hd],
+                // Only the stack input is one-hot; higher layers consume
+                // dense activations.
+                l == 0,
+            );
+        }
+
+        // Dense head.
+        let top = self.layers.len() - 1;
+        let top_hd = self.layers[top].hidden_dim();
+        self.dense
+            .forward_batch(batch, &scratch.h[top][..batch * top_hd], probs);
+    }
+
+    /// Advances `lanes.len()` independent streams by one timestep as
+    /// matrix–matrix products.
+    ///
+    /// `xs` is the row-major `lanes.len() x input_dim` input block (row `i`
+    /// is the input for `states[lanes[i]]`); `probs` is the row-major
+    /// `lanes.len() x num_classes` output block receiving each lane's class
+    /// distribution. Lane indices must be distinct. States are gathered
+    /// into `scratch`, stepped through every layer and the dense head as
+    /// batched products ([`crate::tensor::gemm_acc`]), and scattered back —
+    /// each lane's state and distribution end up bit-identical to calling
+    /// [`LstmClassifier::step`] on it alone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if block sizes disagree with `lanes.len()`, or a lane index
+    /// is out of bounds.
+    pub fn forward_batch(
+        &self,
+        scratch: &mut BatchScratch,
+        states: &mut [StreamState],
+        lanes: &[usize],
+        xs: &[f32],
+        probs: &mut [f32],
+    ) {
+        let batch = lanes.len();
+        if batch == 0 {
+            assert!(xs.is_empty() && probs.is_empty(), "batch block mismatch");
+            return;
+        }
+        self.reserve_lanes(scratch, batch);
+        for (i, &lane) in lanes.iter().enumerate() {
+            self.gather_lane(scratch, i, &states[lane]);
+        }
+        self.forward_batch_gathered(scratch, batch, xs, probs);
+        for (i, &lane) in lanes.iter().enumerate() {
+            self.scatter_lane(scratch, i, &mut states[lane]);
+        }
     }
 
     /// Stateless prediction over a whole sequence: returns the probability
@@ -269,8 +482,7 @@ impl LstmClassifier {
         let mut loss = 0.0f32;
         let mut correct = 0usize;
         let top = num_layers - 1;
-        let mut d_top: Vec<Vec<f32>> =
-            vec![vec![0.0f32; self.layers[top].hidden_dim()]; steps];
+        let mut d_top: Vec<Vec<f32>> = vec![vec![0.0f32; self.layers[top].hidden_dim()]; steps];
         let mut logits = vec![0.0f32; self.config.num_classes];
         let mut dlogits = vec![0.0f32; self.config.num_classes];
         for t in 0..steps {
@@ -387,10 +599,7 @@ impl LstmClassifier {
             num_classes,
             seed,
         };
-        if config.input_dim == 0
-            || config.num_classes == 0
-            || config.hidden_dims.contains(&0)
-        {
+        if config.input_dim == 0 || config.num_classes == 0 || config.hidden_dims.contains(&0) {
             return None;
         }
         let mut model = LstmClassifier::new(&config);
@@ -541,16 +750,16 @@ mod tests {
         // Check a sample of parameters across every block.
         let analytic: Vec<f32> = {
             let g = &grads;
-            let mut v = Vec::new();
-            v.push(g.layers[0].w.as_slice()[5]);
-            v.push(g.layers[0].u.as_slice()[3]);
-            v.push(g.layers[0].b[2]);
-            v.push(g.layers[1].w.as_slice()[7]);
-            v.push(g.layers[1].u.as_slice()[11]);
-            v.push(g.layers[1].b[9]);
-            v.push(g.dense.w.as_slice()[4]);
-            v.push(g.dense.b[1]);
-            v
+            vec![
+                g.layers[0].w.as_slice()[5],
+                g.layers[0].u.as_slice()[3],
+                g.layers[0].b[2],
+                g.layers[1].w.as_slice()[7],
+                g.layers[1].u.as_slice()[11],
+                g.layers[1].b[9],
+                g.dense.w.as_slice()[4],
+                g.dense.b[1],
+            ]
         };
         let mut numeric = Vec::new();
         {
@@ -632,5 +841,87 @@ mod tests {
         let model = LstmClassifier::new(&small_config());
         let mut probs = vec![0.0; 4];
         model.step(&mut model.new_state(), &[1.0], &mut probs);
+    }
+
+    #[test]
+    fn forward_batch_matches_streaming_steps_bitwise() {
+        let model = LstmClassifier::new(&small_config());
+        let lanes = 5usize;
+        let dim = model.config().input_dim;
+        let nc = model.num_classes();
+
+        let mut batch_states: Vec<StreamState> = (0..lanes).map(|_| model.new_state()).collect();
+        let mut ref_states = batch_states.clone();
+        let mut scratch = model.batch_scratch();
+        let lane_idx: Vec<usize> = (0..lanes).collect();
+        let mut probs = vec![0.0f32; lanes * nc];
+        let mut single = vec![0.0f32; nc];
+
+        for t in 0..11 {
+            // Mix of one-hot and dense inputs across lanes.
+            let xs: Vec<f32> = (0..lanes * dim)
+                .map(|i| {
+                    if (i + t) % dim == t % dim {
+                        1.0
+                    } else if (i + t) % 5 == 0 {
+                        ((i * 7 + t * 3) % 13) as f32 / 13.0
+                    } else {
+                        0.0
+                    }
+                })
+                .collect();
+            model.forward_batch(&mut scratch, &mut batch_states, &lane_idx, &xs, &mut probs);
+            for lane in 0..lanes {
+                model.step(
+                    &mut ref_states[lane],
+                    &xs[lane * dim..(lane + 1) * dim],
+                    &mut single,
+                );
+                assert_eq!(
+                    &probs[lane * nc..(lane + 1) * nc],
+                    single.as_slice(),
+                    "probs lane {lane} t {t}"
+                );
+            }
+        }
+        // Recurrent state blocks agree exactly too.
+        for (a, b) in batch_states.iter().zip(ref_states.iter()) {
+            assert_eq!(a.layers, b.layers);
+        }
+    }
+
+    #[test]
+    fn forward_batch_supports_sparse_lane_subsets() {
+        let model = LstmClassifier::new(&small_config());
+        let dim = model.config().input_dim;
+        let nc = model.num_classes();
+        let mut states: Vec<StreamState> = (0..4).map(|_| model.new_state()).collect();
+        let mut scratch = model.batch_scratch();
+
+        // Step lanes 3 and 1 only, in that order.
+        let xs = vec![0.5f32; 2 * dim];
+        let mut probs = vec![0.0f32; 2 * nc];
+        model.forward_batch(&mut scratch, &mut states, &[3, 1], &xs, &mut probs);
+
+        // Lanes 0 and 2 stay untouched; lanes 1 and 3 advanced identically
+        // (identical inputs), matching a single-lane reference.
+        assert_eq!(states[0], model.new_state());
+        assert_eq!(states[2].layers, model.new_state().layers);
+        let mut reference = model.new_state();
+        let mut single = vec![0.0f32; nc];
+        model.step(&mut reference, &vec![0.5f32; dim], &mut single);
+        assert_eq!(states[1].layers, reference.layers);
+        assert_eq!(states[3].layers, reference.layers);
+        assert_eq!(&probs[..nc], single.as_slice());
+        assert_eq!(&probs[nc..], single.as_slice());
+    }
+
+    #[test]
+    fn forward_batch_empty_lane_set_is_noop() {
+        let model = LstmClassifier::new(&small_config());
+        let mut states: Vec<StreamState> = vec![model.new_state()];
+        let mut scratch = model.batch_scratch();
+        model.forward_batch(&mut scratch, &mut states, &[], &[], &mut []);
+        assert_eq!(states[0], model.new_state());
     }
 }

@@ -103,6 +103,24 @@ impl Tensor2 {
     }
 }
 
+/// Fused multiply-accumulate `acc + xv * wj`, taking the hardware FMA
+/// instruction when the compilation target has one.
+///
+/// Rust never contracts `a + b * c` into an FMA on its own (contraction
+/// changes rounding), which leaves half the floating-point throughput of
+/// FMA hardware unused. All inference kernels — per-record and batched —
+/// route through this one helper, so both paths round identically on every
+/// target and their results stay comparable. Without hardware FMA the
+/// plain two-op form is used (never the libm soft-float `fmaf`).
+#[inline(always)]
+fn fmac(acc: f32, xv: f32, wj: f32) -> f32 {
+    if cfg!(target_feature = "fma") {
+        xv.mul_add(wj, acc)
+    } else {
+        acc + xv * wj
+    }
+}
+
 /// `y += xᵀ · w` where `w` is `(in × out)`, `x` has length `in` and `y` has
 /// length `out`.
 ///
@@ -120,12 +138,13 @@ pub fn matvec_acc(w: &Tensor2, x: &[f32], y: &mut [f32]) {
         }
         let row = w.row(i);
         if xi == 1.0 {
+            // 1.0 * w rounds to w exactly: the plain add equals the fmac.
             for (yj, &wj) in y.iter_mut().zip(row.iter()) {
                 *yj += wj;
             }
         } else {
             for (yj, &wj) in y.iter_mut().zip(row.iter()) {
-                *yj += xi * wj;
+                *yj = fmac(*yj, xi, wj);
             }
         }
     }
@@ -175,6 +194,177 @@ pub fn outer_acc(dw: &mut Tensor2, x: &[f32], dy: &[f32]) {
             }
         }
     }
+}
+
+/// Batched `matvec_acc`: `y[b] += x[b]ᵀ · w` for every row `b` of a
+/// `batch × w.rows()` input block, accumulating into a `batch × w.cols()`
+/// output block (both row-major slices).
+///
+/// This is the matrix–matrix product that lets `B` in-flight sequences step
+/// through a layer together: each weight row is loaded once per `k` block
+/// and reused by all `B` lanes instead of being re-streamed from memory `B`
+/// times. Per output element the `k` contributions are accumulated in the
+/// same ascending order as [`matvec_acc`], and zero entries of `x` are
+/// skipped identically, so results are bit-identical to `B` separate
+/// `matvec_acc` calls.
+///
+/// # Panics
+///
+/// Panics on dimension mismatch.
+pub fn gemm_acc(batch: usize, x: &[f32], w: &Tensor2, y: &mut [f32]) {
+    let k_dim = w.rows();
+    let n = w.cols();
+    assert_eq!(x.len(), batch * k_dim, "gemm_acc: input block mismatch");
+    assert_eq!(y.len(), batch * n, "gemm_acc: output block mismatch");
+    // A block of weight rows (KB x n f32) stays cache-resident while every
+    // lane accumulates against it.
+    const KB: usize = 32;
+    for kb in (0..k_dim).step_by(KB) {
+        let kend = (kb + KB).min(k_dim);
+        for b in 0..batch {
+            let x_row = &x[b * k_dim..(b + 1) * k_dim];
+            let y_row = &mut y[b * n..(b + 1) * n];
+            for (k, &xi) in x_row[kb..kend].iter().enumerate().map(|(o, v)| (kb + o, v)) {
+                if xi == 0.0 {
+                    continue;
+                }
+                let w_row = w.row(k);
+                if xi == 1.0 {
+                    for (yj, &wj) in y_row.iter_mut().zip(w_row.iter()) {
+                        *yj += wj;
+                    }
+                } else {
+                    for (yj, &wj) in y_row.iter_mut().zip(w_row.iter()) {
+                        *yj = fmac(*yj, xi, wj);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Register-blocked batched product for *dense* inputs:
+/// `y[b] += x[b]ᵀ · w` like [`gemm_acc`], but without the zero-skip and
+/// with the output tile held in registers across the whole `k` loop.
+///
+/// The axpy formulation of [`matvec_acc`]/[`gemm_acc`] performs one load +
+/// one store of the output row per `k` step — fine for one-hot inputs
+/// where almost every `k` is skipped, but store-bound for dense inputs
+/// (recurrent state, hidden activations). Here a `LANE_TILE x J_TILE`
+/// output tile accumulates in local arrays (registers after
+/// vectorization), each weight row slice is loaded once and reused by
+/// every lane of the tile, and stores happen once per tile instead of once
+/// per `k`.
+///
+/// Per output element the `k` contributions are still accumulated in one
+/// ascending chain, so results compare equal (`f32 ==`) to per-lane
+/// [`matvec_acc`]; including `xi == 0` terms can only flip the sign of a
+/// zero, which `==` and every downstream consumer treat identically.
+///
+/// # Panics
+///
+/// Panics on dimension mismatch.
+pub fn gemm_dense_acc(batch: usize, x: &[f32], w: &Tensor2, y: &mut [f32]) {
+    let k_dim = w.rows();
+    let n = w.cols();
+    assert_eq!(
+        x.len(),
+        batch * k_dim,
+        "gemm_dense_acc: input block mismatch"
+    );
+    assert_eq!(y.len(), batch * n, "gemm_dense_acc: output block mismatch");
+    // One J_TILE f32 slice is a cache line; the k-major sweep over a fixed
+    // column block touches one line per weight row, so the whole
+    // `k_dim x J_TILE` block (a few KB) stays L1-resident while every lane
+    // tile re-walks it — the weight matrix is streamed once per call, not
+    // once per lane.
+    const LANE_TILE: usize = 4;
+    const J_TILE: usize = 32;
+    let w_data = w.as_slice();
+
+    // Packed copy of one weight column block, contiguous so the inner loop
+    // walks it with exact-sized chunks and no per-row index math. Packing
+    // streams W once per call; every lane tile then re-reads the pack from
+    // L1. The buffer is thread-local so steady-state batched inference
+    // allocates nothing.
+    std::thread_local! {
+        static PACK: std::cell::RefCell<Vec<f32>> = const { std::cell::RefCell::new(Vec::new()) };
+    }
+    PACK.with(|cell| {
+        let mut pack = cell.borrow_mut();
+        if pack.len() < k_dim * J_TILE {
+            pack.resize(k_dim * J_TILE, 0.0);
+        }
+        let pack = &mut pack[..k_dim * J_TILE];
+        let mut j0 = 0;
+        while j0 < n {
+            let jb = J_TILE.min(n - j0);
+            if jb == J_TILE {
+                for (k, dst) in pack.chunks_exact_mut(J_TILE).enumerate() {
+                    dst.copy_from_slice(&w_data[k * n + j0..k * n + j0 + J_TILE]);
+                }
+                let mut b0 = 0;
+                // Quads of lanes take the register-tiled fast path.
+                while b0 + LANE_TILE <= batch {
+                    let (x01, x23) = x[b0 * k_dim..(b0 + 4) * k_dim].split_at(2 * k_dim);
+                    let (x0, x1) = x01.split_at(k_dim);
+                    let (x2, x3) = x23.split_at(k_dim);
+                    let mut acc = [[0.0f32; J_TILE]; LANE_TILE];
+                    for (bi, acc_row) in acc.iter_mut().enumerate() {
+                        acc_row
+                            .copy_from_slice(&y[(b0 + bi) * n + j0..(b0 + bi) * n + j0 + J_TILE]);
+                    }
+                    let lanes = x0.iter().zip(x1.iter()).zip(x2.iter()).zip(x3.iter());
+                    for ((((&a0, &a1), &a2), &a3), w_slice) in lanes.zip(pack.chunks_exact(J_TILE))
+                    {
+                        let ws: &[f32; J_TILE] = w_slice.try_into().expect("packed column tile");
+                        for (a, &wj) in acc[0].iter_mut().zip(ws.iter()) {
+                            *a = fmac(*a, a0, wj);
+                        }
+                        for (a, &wj) in acc[1].iter_mut().zip(ws.iter()) {
+                            *a = fmac(*a, a1, wj);
+                        }
+                        for (a, &wj) in acc[2].iter_mut().zip(ws.iter()) {
+                            *a = fmac(*a, a2, wj);
+                        }
+                        for (a, &wj) in acc[3].iter_mut().zip(ws.iter()) {
+                            *a = fmac(*a, a3, wj);
+                        }
+                    }
+                    for (bi, acc_row) in acc.iter().enumerate() {
+                        y[(b0 + bi) * n + j0..(b0 + bi) * n + j0 + J_TILE].copy_from_slice(acc_row);
+                    }
+                    b0 += LANE_TILE;
+                }
+                // Leftover lanes, one at a time on the same column tile.
+                for b in b0..batch {
+                    let x_row = &x[b * k_dim..(b + 1) * k_dim];
+                    let mut acc = [0.0f32; J_TILE];
+                    acc.copy_from_slice(&y[b * n + j0..b * n + j0 + J_TILE]);
+                    for (&xv, w_slice) in x_row.iter().zip(pack.chunks_exact(J_TILE)) {
+                        let ws: &[f32; J_TILE] = w_slice.try_into().expect("packed column tile");
+                        for (a, &wj) in acc.iter_mut().zip(ws.iter()) {
+                            *a = fmac(*a, xv, wj);
+                        }
+                    }
+                    y[b * n + j0..b * n + j0 + J_TILE].copy_from_slice(&acc);
+                }
+            } else {
+                // Ragged trailing columns: plain per-element chains.
+                for b in 0..batch {
+                    let x_row = &x[b * k_dim..(b + 1) * k_dim];
+                    for jj in j0..j0 + jb {
+                        let mut a = y[b * n + jj];
+                        for (k, &xv) in x_row.iter().enumerate() {
+                            a = fmac(a, xv, w_data[k * n + jj]);
+                        }
+                        y[b * n + jj] = a;
+                    }
+                }
+            }
+            j0 += jb;
+        }
+    });
 }
 
 /// `y += a * x` over slices.
@@ -282,6 +472,97 @@ mod tests {
         let w = w23();
         let mut y = vec![0.0; 2];
         matvec_acc(&w, &[1.0, 2.0], &mut y);
+    }
+
+    #[test]
+    fn gemm_matches_per_row_matvec_bitwise() {
+        // 80 input rows > the internal k block, 7 lanes, mixed zeros/ones.
+        let w = Tensor2::from_vec(
+            80,
+            5,
+            (0..400)
+                .map(|i| ((i * 37 % 101) as f32 - 50.0) / 13.0)
+                .collect(),
+        );
+        let x: Vec<f32> = (0..7 * 80)
+            .map(|i| match i % 5 {
+                0 => 0.0,
+                1 => 1.0,
+                _ => ((i * 29 % 83) as f32 - 41.0) / 7.0,
+            })
+            .collect();
+        let mut batched = vec![0.25f32; 7 * 5];
+        gemm_acc(7, &x, &w, &mut batched);
+        for b in 0..7 {
+            let mut single = vec![0.25f32; 5];
+            matvec_acc(&w, &x[b * 80..(b + 1) * 80], &mut single);
+            assert_eq!(&batched[b * 5..(b + 1) * 5], single.as_slice(), "lane {b}");
+        }
+    }
+
+    #[test]
+    fn gemm_dense_matches_per_row_matvec() {
+        // Sizes straddling the tile boundaries: 70 inputs, 37 outputs,
+        // 6 lanes (one partial lane tile, partial j tile).
+        let w = Tensor2::from_vec(
+            70,
+            37,
+            (0..70 * 37)
+                .map(|i| ((i * 53 % 211) as f32 - 105.0) / 29.0)
+                .collect(),
+        );
+        let x: Vec<f32> = (0..6 * 70)
+            .map(|i| match i % 7 {
+                0 => 0.0, // exact zeros exercise the no-skip equivalence
+                1 => 1.0,
+                _ => ((i * 41 % 173) as f32 - 86.0) / 23.0,
+            })
+            .collect();
+        // Non-zero initial contents stand in for a preloaded bias.
+        let mut batched: Vec<f32> = (0..6 * 37).map(|i| (i % 5) as f32 - 2.0).collect();
+        let reference = batched.clone();
+        gemm_dense_acc(6, &x, &w, &mut batched);
+        for b in 0..6 {
+            let mut single = reference[b * 37..(b + 1) * 37].to_vec();
+            matvec_acc(&w, &x[b * 70..(b + 1) * 70], &mut single);
+            assert_eq!(
+                &batched[b * 37..(b + 1) * 37],
+                single.as_slice(),
+                "lane {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn gemm_dense_empty_batch_is_noop() {
+        let w = w23();
+        let mut y: Vec<f32> = vec![];
+        gemm_dense_acc(0, &[], &w, &mut y);
+        assert!(y.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "gemm_dense_acc")]
+    fn gemm_dense_rejects_bad_block() {
+        let w = w23();
+        let mut y = vec![0.0; 3];
+        gemm_dense_acc(2, &[1.0, 2.0, 3.0], &w, &mut y);
+    }
+
+    #[test]
+    fn gemm_empty_batch_is_noop() {
+        let w = w23();
+        let mut y: Vec<f32> = vec![];
+        gemm_acc(0, &[], &w, &mut y);
+        assert!(y.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "gemm_acc")]
+    fn gemm_rejects_bad_block() {
+        let w = w23();
+        let mut y = vec![0.0; 3];
+        gemm_acc(2, &[1.0, 2.0, 3.0], &w, &mut y);
     }
 
     #[test]

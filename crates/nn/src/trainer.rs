@@ -215,7 +215,7 @@ impl Trainer {
 }
 
 /// Computes gradients for one batch of chunks, splitting the work across
-/// `threads` crossbeam-scoped workers. Returns (summed loss, correct count).
+/// `threads` scoped workers. Returns (summed loss, correct count).
 fn accumulate_batch(
     model: &LstmClassifier,
     sequences: &[Sequence],
@@ -236,10 +236,10 @@ fn accumulate_batch(
         return (loss, correct);
     }
 
-    let results = crossbeam::thread::scope(|scope| {
+    let results = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
         for part in partition(batch, threads) {
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let mut local = model.zero_gradients();
                 let mut loss = 0.0f32;
                 let mut correct = 0usize;
@@ -255,8 +255,7 @@ fn accumulate_batch(
             .into_iter()
             .map(|h| h.join().expect("training worker panicked"))
             .collect::<Vec<_>>()
-    })
-    .expect("crossbeam scope failed");
+    });
 
     let mut loss = 0.0f32;
     let mut correct = 0usize;

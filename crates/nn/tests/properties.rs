@@ -101,4 +101,59 @@ proptest! {
         let sum: f32 = probs.iter().sum();
         prop_assert!((sum - 1.0).abs() < 1e-4);
     }
+
+    /// Batched stepping is bit-identical to per-lane streaming steps:
+    /// random architectures, random lane counts, random (partly sparse)
+    /// inputs, several timesteps deep.
+    #[test]
+    fn forward_batch_bitwise_equals_streaming_steps(
+        h1 in 1usize..10,
+        h2 in 0usize..10,
+        input_dim in 1usize..12,
+        classes in 1usize..12,
+        lanes in 1usize..9,
+        steps in 1usize..6,
+        raw in proptest::collection::vec(-4f32..4.0, 8 * 12 * 6),
+        sparsity in proptest::collection::vec(proptest::bool::ANY, 8 * 12 * 6),
+        seed in any::<u64>(),
+    ) {
+        let hidden_dims = if h2 == 0 { vec![h1] } else { vec![h1, h2] };
+        let model = LstmClassifier::new(&ModelConfig {
+            input_dim,
+            hidden_dims,
+            num_classes: classes,
+            seed,
+        });
+        let mut batch_states: Vec<_> = (0..lanes).map(|_| model.new_state()).collect();
+        let mut ref_states = batch_states.clone();
+        let mut scratch = model.batch_scratch();
+        let lane_idx: Vec<usize> = (0..lanes).collect();
+        let mut probs = vec![0.0f32; lanes * classes];
+        let mut single = vec![0.0f32; classes];
+
+        for t in 0..steps {
+            let xs: Vec<f32> = (0..lanes * input_dim)
+                .map(|i| {
+                    let j = (t * lanes * input_dim + i) % raw.len();
+                    if sparsity[j] { 0.0 } else { raw[j] }
+                })
+                .collect();
+            model.forward_batch(&mut scratch, &mut batch_states, &lane_idx, &xs, &mut probs);
+            for lane in 0..lanes {
+                model.step(
+                    &mut ref_states[lane],
+                    &xs[lane * input_dim..(lane + 1) * input_dim],
+                    &mut single,
+                );
+                prop_assert_eq!(
+                    &probs[lane * classes..(lane + 1) * classes],
+                    single.as_slice(),
+                    "lane {} step {}", lane, t
+                );
+            }
+        }
+        for (a, b) in batch_states.iter().zip(ref_states.iter()) {
+            prop_assert_eq!(a.layer_states(), b.layer_states());
+        }
+    }
 }

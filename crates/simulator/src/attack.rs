@@ -193,7 +193,11 @@ impl AttackInjector {
 }
 
 /// Crafts the NMRI payload: a response with uniformly random pressure.
-pub fn random_pressure_response(genuine: &PipelineState, max_pressure: f64, rng: &mut ChaCha12Rng) -> PipelineState {
+pub fn random_pressure_response(
+    genuine: &PipelineState,
+    max_pressure: f64,
+    rng: &mut ChaCha12Rng,
+) -> PipelineState {
     PipelineState {
         pressure: rng.gen::<f64>() * max_pressure,
         ..*genuine
@@ -241,7 +245,10 @@ pub fn malicious_state_command(genuine: &PipelineState, rng: &mut ChaCha12Rng) -
 }
 
 /// Crafts an MPCI payload: a command with uniformly random parameters.
-pub fn malicious_parameter_command(genuine: &PipelineState, rng: &mut ChaCha12Rng) -> PipelineState {
+pub fn malicious_parameter_command(
+    genuine: &PipelineState,
+    rng: &mut ChaCha12Rng,
+) -> PipelineState {
     let mut cmd = *genuine;
     match rng.gen_range(0..3) {
         0 => {
@@ -443,7 +450,10 @@ mod tests {
                 changed += 1;
             }
         }
-        assert!(changed > 90, "parameters changed in only {changed}/100 cases");
+        assert!(
+            changed > 90,
+            "parameters changed in only {changed}/100 cases"
+        );
     }
 
     #[test]

@@ -174,8 +174,8 @@ impl ScadaMaster {
             let (lo, hi) = self.config.manual_episode_cycles;
             self.manual_cycles_left = rng.gen_range(lo..=hi.max(lo));
             self.command.mode = SystemMode::Manual;
-        } else if roll < self.config.manual_episode_probability
-            + self.config.solenoid_scheme_probability
+        } else if roll
+            < self.config.manual_episode_probability + self.config.solenoid_scheme_probability
         {
             self.command.scheme = match self.command.scheme {
                 ControlScheme::Pump => ControlScheme::Solenoid,
@@ -266,7 +266,10 @@ mod tests {
         for _ in 0..2_000 {
             let _ = m.begin_cycle(&mut r);
             let sp = m.command_state().pid.setpoint;
-            assert!(legal.iter().any(|&s| (s - sp).abs() < 1e-9), "illegal setpoint {sp}");
+            assert!(
+                legal.iter().any(|&s| (s - sp).abs() < 1e-9),
+                "illegal setpoint {sp}"
+            );
         }
     }
 

@@ -84,7 +84,13 @@ impl PipelinePhysics {
     /// # Panics
     ///
     /// Panics if `dt` is not positive.
-    pub fn step(&mut self, pump_on: bool, solenoid_open: bool, dt: f64, rng: &mut ChaCha12Rng) -> f64 {
+    pub fn step(
+        &mut self,
+        pump_on: bool,
+        solenoid_open: bool,
+        dt: f64,
+        rng: &mut ChaCha12Rng,
+    ) -> f64 {
         assert!(dt > 0.0, "dt must be positive");
         let c = &self.config;
         let inflow = if pump_on { c.compressor_rate } else { 0.0 };

@@ -1,8 +1,6 @@
 //! The slave PLC: register bank, control loop and Modbus server.
 
-use icsad_modbus::pipeline::{
-    self, PipelineState, SystemMode,
-};
+use icsad_modbus::pipeline::{self, PipelineState, SystemMode};
 use icsad_modbus::{ExceptionCode, Frame, FunctionCode};
 use rand_chacha::ChaCha12Rng;
 
@@ -50,7 +48,9 @@ impl PipelinePlc {
     pub fn tick(&mut self, dt: f64, rng: &mut ChaCha12Rng) {
         match self.state.mode {
             SystemMode::Auto => {
-                let cmd = self.pid.step(self.physics.pressure(), dt, self.state.scheme);
+                let cmd = self
+                    .pid
+                    .step(self.physics.pressure(), dt, self.state.scheme);
                 self.state.pump_on = cmd.pump_on;
                 self.state.solenoid_open = cmd.solenoid_open;
             }
@@ -82,20 +82,22 @@ impl PipelinePlc {
             FunctionCode::ReadHoldingRegisters => {
                 Some(pipeline::encode_read_response(self.address, &self.state))
             }
-            FunctionCode::WriteMultipleRegisters => {
-                match pipeline::decode_write_command(frame) {
-                    Ok(new_state) => {
-                        self.apply_command(&new_state);
-                        Some(pipeline::encode_write_response(self.address))
-                    }
-                    Err(_) => Some(self.exception(frame.function(), ExceptionCode::IllegalDataValue)),
+            FunctionCode::WriteMultipleRegisters => match pipeline::decode_write_command(frame) {
+                Ok(new_state) => {
+                    self.apply_command(&new_state);
+                    Some(pipeline::encode_write_response(self.address))
                 }
-            }
+                Err(_) => Some(self.exception(frame.function(), ExceptionCode::IllegalDataValue)),
+            },
             FunctionCode::ReportSlaveId => {
                 // Device identification: run indicator + ASCII model id.
                 let mut payload = vec![0xFF];
                 payload.extend_from_slice(b"GASPIPE-PLC-1");
-                Some(Frame::new(self.address, FunctionCode::ReportSlaveId, payload))
+                Some(Frame::new(
+                    self.address,
+                    FunctionCode::ReportSlaveId,
+                    payload,
+                ))
             }
             other => Some(self.exception(other, ExceptionCode::IllegalFunction)),
         }
@@ -225,7 +227,10 @@ mod tests {
             p.tick(0.5, &mut r);
         }
         let pr = p.state().pressure;
-        assert!((pr - 10.0).abs() < 2.5, "pressure {pr} should track setpoint");
+        assert!(
+            (pr - 10.0).abs() < 2.5,
+            "pressure {pr} should track setpoint"
+        );
     }
 
     #[test]

@@ -7,8 +7,8 @@ use icsad_modbus::pipeline::{
 };
 use icsad_modbus::{Frame, FunctionCode};
 use rand::Rng;
-use rand_chacha::ChaCha12Rng;
 use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha12Rng;
 
 use crate::attack::{
     malicious_function_frame, malicious_parameter_command, malicious_state_command,
@@ -225,13 +225,20 @@ impl TrafficGenerator {
                 }
             }
             Some(AttackType::Recon) => {
-                let ident = Frame::new(self.config.slave_address, FunctionCode::ReportSlaveId, vec![]);
+                let ident = Frame::new(
+                    self.config.slave_address,
+                    FunctionCode::ReportSlaveId,
+                    vec![],
+                );
                 self.push(out, &ident, true, Some(AttackType::Recon), inter, 0.0);
                 if let Some(resp) = self.plc.handle_frame(&ident) {
                     self.push(out, &resp, false, Some(AttackType::Recon), intra, 0.0);
                 }
                 // Address sweep: poll a station that does not exist.
-                let foreign = self.config.slave_address.wrapping_add(self.rng.gen_range(1..=3));
+                let foreign = self
+                    .config
+                    .slave_address
+                    .wrapping_add(self.rng.gen_range(1..=3));
                 let probe = encode_read_command(foreign);
                 self.push(out, &probe, true, Some(AttackType::Recon), intra, 0.0);
             }
@@ -260,8 +267,8 @@ impl TrafficGenerator {
         let read_cmd = self.master.read_command();
         self.push(out, &read_cmd, true, None, intra, noise);
         if let Some(genuine_resp) = self.plc.handle_frame(&read_cmd) {
-            let genuine_state = decode_read_response(&genuine_resp)
-                .expect("plc read response must decode");
+            let genuine_state =
+                decode_read_response(&genuine_resp).expect("plc read response must decode");
             match attack {
                 Some(AttackType::Nmri) => {
                     // Naive response injection: the attacker races the slave
@@ -387,15 +394,27 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let mut a = TrafficGenerator::new(TrafficConfig { seed: 9, ..TrafficConfig::default() });
-        let mut b = TrafficGenerator::new(TrafficConfig { seed: 9, ..TrafficConfig::default() });
+        let mut a = TrafficGenerator::new(TrafficConfig {
+            seed: 9,
+            ..TrafficConfig::default()
+        });
+        let mut b = TrafficGenerator::new(TrafficConfig {
+            seed: 9,
+            ..TrafficConfig::default()
+        });
         assert_eq!(a.generate(1_000), b.generate(1_000));
     }
 
     #[test]
     fn different_seeds_differ() {
-        let mut a = TrafficGenerator::new(TrafficConfig { seed: 1, ..TrafficConfig::default() });
-        let mut b = TrafficGenerator::new(TrafficConfig { seed: 2, ..TrafficConfig::default() });
+        let mut a = TrafficGenerator::new(TrafficConfig {
+            seed: 1,
+            ..TrafficConfig::default()
+        });
+        let mut b = TrafficGenerator::new(TrafficConfig {
+            seed: 2,
+            ..TrafficConfig::default()
+        });
         assert_ne!(a.generate(1_000), b.generate(1_000));
     }
 
@@ -414,7 +433,10 @@ mod tests {
             .windows(2)
             .map(|w| w[1].time - w[0].time)
             .fold(0.0, f64::max);
-        assert!(max_gap > 2.0, "DoS should cause long stalls, max gap {max_gap}");
+        assert!(
+            max_gap > 2.0,
+            "DoS should cause long stalls, max gap {max_gap}"
+        );
         assert!(packets.iter().any(|p| p.label == Some(AttackType::Dos)));
     }
 
@@ -431,10 +453,16 @@ mod tests {
         let packets = g.generate(5_000);
         let legal_setpoints = [8.0, 10.0, 12.0];
         let mut saw_illegal = false;
-        for p in packets.iter().filter(|p| p.label == Some(AttackType::Mpci) && p.is_command) {
+        for p in packets
+            .iter()
+            .filter(|p| p.label == Some(AttackType::Mpci) && p.is_command)
+        {
             if let Ok(frame) = Frame::decode(&p.wire) {
                 if let Ok(state) = decode_write_command(&frame) {
-                    if !legal_setpoints.iter().any(|&s| (s - state.pid.setpoint).abs() < 1e-6) {
+                    if !legal_setpoints
+                        .iter()
+                        .any(|&s| (s - state.pid.setpoint).abs() < 1e-6)
+                    {
                         saw_illegal = true;
                     }
                 }
@@ -455,7 +483,10 @@ mod tests {
         });
         let packets = g.generate(5_000);
         let mut foreign = false;
-        for p in packets.iter().filter(|p| p.label == Some(AttackType::Recon)) {
+        for p in packets
+            .iter()
+            .filter(|p| p.label == Some(AttackType::Recon))
+        {
             if let Ok((frame, _)) = Frame::decode_lenient(&p.wire) {
                 if frame.address() != 4 {
                     foreign = true;

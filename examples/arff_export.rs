@@ -46,7 +46,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // A taste of the file.
     println!("\nfirst rows:");
-    for line in text.lines().skip_while(|l| !l.starts_with("@data")).skip(1).take(4) {
+    for line in text
+        .lines()
+        .skip_while(|l| !l.starts_with("@data"))
+        .skip(1)
+        .take(4)
+    {
         println!("  {line}");
     }
     Ok(())

@@ -55,7 +55,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let test_windows = Windows::over(split.test(), 4);
 
     let mut detectors: Vec<Box<dyn WindowDetector>> = vec![
-        Box::new(WindowBloomFilter::fit_windows(disc.clone(), &train_windows, 0.001)?),
+        Box::new(WindowBloomFilter::fit_windows(
+            disc.clone(),
+            &train_windows,
+            0.001,
+        )?),
         Box::new(BayesianNetwork::fit_windows(disc.clone(), &train_windows)),
         Box::new(Svdd::fit_windows(&train_windows, &Default::default())?),
         Box::new(IsolationForest::fit_windows(&train_windows, 100, 256, 5)?),
@@ -67,7 +71,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         calibrate_fpr(det.as_mut(), &val_windows, 0.02);
     }
 
-    println!("\n{:<14} {:>10} {:>8} {:>9} {:>9}", "model", "precision", "recall", "accuracy", "F1-score");
+    println!(
+        "\n{:<14} {:>10} {:>8} {:>9} {:>9}",
+        "model", "precision", "recall", "accuracy", "F1-score"
+    );
     let fr = &framework_report;
     println!(
         "{:<14} {:>10.2} {:>8.2} {:>9.2} {:>9.2}",

@@ -58,6 +58,7 @@ pub use icsad_baselines as baselines;
 pub use icsad_bloom as bloom;
 pub use icsad_core as core;
 pub use icsad_dataset as dataset;
+pub use icsad_engine as engine;
 pub use icsad_features as features;
 pub use icsad_linalg as linalg;
 pub use icsad_modbus as modbus;
@@ -68,15 +69,15 @@ pub use icsad_simulator as simulator;
 pub mod prelude {
     pub use icsad_bloom::BloomFilter;
     pub use icsad_core::{
-        combined::{CombinedDetector, DetectionLevel},
+        combined::{CombinedBatch, CombinedDetector, DetectionLevel},
+        detector::Detector,
         experiment::{train_framework, ExperimentConfig, TrainedFramework},
         metrics::{ClassificationReport, ConfusionCounts, PerAttackRecall},
         package::PackageLevelDetector,
         timeseries::{NoiseConfig, TimeSeriesDetector, TimeSeriesTrainingConfig},
     };
     pub use icsad_dataset::{DatasetConfig, Fragments, GasPipelineDataset, Record, Split};
-    pub use icsad_features::{
-        DiscretizationConfig, Discretizer, Signature, SignatureVocabulary,
-    };
+    pub use icsad_engine::{Engine, EngineConfig, EngineReport, RawFrame};
+    pub use icsad_features::{DiscretizationConfig, Discretizer, Signature, SignatureVocabulary};
     pub use icsad_simulator::{AttackType, Packet, TrafficConfig, TrafficGenerator};
 }

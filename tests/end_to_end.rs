@@ -86,8 +86,7 @@ fn package_level_and_combined_are_consistent() {
 fn determinism_across_the_whole_stack() {
     let a = {
         let split = small_split(3);
-        let trained =
-            icsad_core::experiment::train_framework(&split, &fast_experiment()).unwrap();
+        let trained = icsad_core::experiment::train_framework(&split, &fast_experiment()).unwrap();
         let report = trained.evaluate(split.test());
         (
             trained.chosen_k,
@@ -98,8 +97,7 @@ fn determinism_across_the_whole_stack() {
     };
     let b = {
         let split = small_split(3);
-        let trained =
-            icsad_core::experiment::train_framework(&split, &fast_experiment()).unwrap();
+        let trained = icsad_core::experiment::train_framework(&split, &fast_experiment()).unwrap();
         let report = trained.evaluate(split.test());
         (
             trained.chosen_k,

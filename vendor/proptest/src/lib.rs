@@ -1,0 +1,473 @@
+//! Offline, API-compatible subset of `proptest`.
+//!
+//! The build environment has no network access, so the workspace carries the
+//! slice of the proptest API its property tests use: the [`proptest!`]
+//! macro, `prop_assert!` / `prop_assert_eq!`, [`any`], numeric range
+//! strategies, [`collection::vec`], [`bool::ANY`] and a small
+//! regex-like string strategy (`.`/`[class]` atoms with `{n}`/`{n,m}`
+//! quantifiers).
+//!
+//! Differences from upstream: cases are generated from a seed derived from
+//! the test name (fully deterministic), there is no shrinking, and failures
+//! surface as ordinary panics showing the failing inputs via the assertion
+//! message. Case count defaults to 64 and honours `PROPTEST_CASES`.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy {
+    //! The [`Strategy`] trait: a recipe for generating values.
+
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating random values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! impl_numeric_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.rng().gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.rng().gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_numeric_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    /// Strategy for a fixed value (upstream `Just`).
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// A `&str` pattern is a strategy for `String`s matching a small regex
+    /// subset: atoms `.` (printable ASCII) or `[...]` character classes
+    /// (literals and `a-z` ranges), each optionally quantified by `{n}` or
+    /// `{n,m}`; other characters match themselves.
+    impl Strategy for &str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let atoms = parse_pattern(self);
+            let mut out = String::new();
+            for (atom, lo, hi) in &atoms {
+                let n = if lo == hi {
+                    *lo
+                } else {
+                    rng.rng().gen_range(*lo..=*hi)
+                };
+                for _ in 0..n {
+                    out.push(atom.sample(rng));
+                }
+            }
+            out
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    enum Atom {
+        Any,
+        Class(Vec<(char, char)>),
+        Literal(char),
+    }
+
+    impl Atom {
+        fn sample(&self, rng: &mut TestRng) -> char {
+            match self {
+                Atom::Any => {
+                    // Printable ASCII.
+                    char::from(rng.rng().gen_range(0x20u8..0x7f))
+                }
+                Atom::Class(ranges) => {
+                    let total: u32 = ranges
+                        .iter()
+                        .map(|&(a, b)| (b as u32) - (a as u32) + 1)
+                        .sum();
+                    let mut pick = rng.rng().gen_range(0..total);
+                    for &(a, b) in ranges {
+                        let span = (b as u32) - (a as u32) + 1;
+                        if pick < span {
+                            return char::from_u32(a as u32 + pick).unwrap_or(a);
+                        }
+                        pick -= span;
+                    }
+                    ranges[0].0
+                }
+                Atom::Literal(c) => *c,
+            }
+        }
+    }
+
+    fn parse_pattern(pattern: &str) -> Vec<(Atom, usize, usize)> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let atom = match chars[i] {
+                '.' => {
+                    i += 1;
+                    Atom::Any
+                }
+                '[' => {
+                    let close = chars[i + 1..]
+                        .iter()
+                        .position(|&c| c == ']')
+                        .map(|p| p + i + 1)
+                        .expect("unterminated character class");
+                    let mut ranges = Vec::new();
+                    let body = &chars[i + 1..close];
+                    let mut j = 0;
+                    while j < body.len() {
+                        if j + 2 < body.len() && body[j + 1] == '-' {
+                            ranges.push((body[j], body[j + 2]));
+                            j += 3;
+                        } else {
+                            ranges.push((body[j], body[j]));
+                            j += 1;
+                        }
+                    }
+                    i = close + 1;
+                    Atom::Class(ranges)
+                }
+                c => {
+                    i += 1;
+                    Atom::Literal(c)
+                }
+            };
+            let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+                let close = chars[i + 1..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .map(|p| p + i + 1)
+                    .expect("unterminated quantifier");
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((a, b)) => (
+                        a.trim().parse().expect("quantifier lower bound"),
+                        b.trim().parse().expect("quantifier upper bound"),
+                    ),
+                    None => {
+                        let n = body.trim().parse().expect("quantifier count");
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            out.push((atom, lo, hi));
+        }
+        out
+    }
+}
+
+pub mod arbitrary {
+    //! The [`Arbitrary`] trait backing [`crate::any`].
+
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Generates an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.rng().gen::<$t>()
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.rng().gen::<bool>()
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.rng().gen::<f32>()
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.rng().gen::<f64>()
+        }
+    }
+}
+
+/// Strategy producing any value of `T` (see [`any`]).
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: arbitrary::Arbitrary> strategy::Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut test_runner::TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T` (upstream `proptest::prelude::any`).
+pub fn any<T: arbitrary::Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+pub mod bool {
+    //! Boolean strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Strategy type for [`ANY`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct BoolAny;
+
+    impl Strategy for BoolAny {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.rng().gen::<bool>()
+        }
+    }
+
+    /// Uniformly random booleans.
+    pub const ANY: BoolAny = BoolAny;
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// A length specification: exact, or uniformly drawn from a range.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length in `size`.
+    pub struct VecStrategy<S: Strategy> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors of values drawn from `element` with a length drawn
+    /// from `size` (exact `usize` or `lo..hi`).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.size.lo + 1 >= self.size.hi {
+                self.size.lo
+            } else {
+                rng.rng().gen_range(self.size.lo..self.size.hi)
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Deterministic case generation.
+
+    use rand_chacha::rand_core::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    /// Per-test random source, seeded from the test name.
+    pub struct TestRng {
+        inner: ChaCha12Rng,
+    }
+
+    impl TestRng {
+        /// Creates the generator for a named test.
+        pub fn for_test(name: &str) -> Self {
+            // FNV-1a over the test name keeps runs reproducible.
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            TestRng {
+                inner: ChaCha12Rng::seed_from_u64(h),
+            }
+        }
+
+        /// The underlying RNG.
+        pub fn rng(&mut self) -> &mut ChaCha12Rng {
+            &mut self.inner
+        }
+    }
+
+    /// Number of cases per property (env `PROPTEST_CASES`, default 64).
+    pub fn cases() -> usize {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64)
+    }
+
+    /// Per-block configuration (upstream `ProptestConfig`).
+    #[derive(Clone, Copy, Debug)]
+    pub struct ProptestConfig {
+        /// Cases to run per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+}
+
+/// Runs each property as `test_runner::cases()` deterministic random cases.
+/// An optional leading `#![proptest_config(ProptestConfig::with_cases(n))]`
+/// overrides the case count for the block.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($(#[$meta:meta])* fn $name:ident ( $($arg:pat in $strat:expr),+ $(,)? ) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                for __case in 0..(__config.cases as usize) {
+                    let _ = __case;
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                    { $body }
+                }
+            }
+        )+
+    };
+    ($($(#[$meta:meta])* fn $name:ident ( $($arg:pat in $strat:expr),+ $(,)? ) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                for __case in 0..$crate::test_runner::cases() {
+                    let _ = __case;
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                    { $body }
+                }
+            }
+        )+
+    };
+}
+
+/// Asserts a property-test condition (panics like `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts property-test equality (panics like `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts property-test inequality (panics like `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skips the current case when its inputs are uninteresting.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+pub mod prelude {
+    //! One-stop imports for property tests.
+
+    pub use crate::arbitrary::Arbitrary;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn string_patterns_match_shape() {
+        let mut rng = TestRng::for_test("string_patterns_match_shape");
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-z0-9]{1,10}", &mut rng);
+            assert!((1..=10).contains(&s.len()));
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+            let t = Strategy::generate(&".{0,20}", &mut rng);
+            assert!(t.len() <= 20);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_round_trip(v in crate::collection::vec(0u16..500, 1..20), b in crate::bool::ANY) {
+            prop_assert!(v.len() < 20 && !v.is_empty());
+            prop_assert!(v.iter().all(|&x| x < 500));
+            let _ = b;
+        }
+    }
+}
