@@ -1,0 +1,81 @@
+//! Criterion bench: commissioning-artifact encode/decode and engine
+//! cold-start latency — the cost of the train-offline / load-online split.
+//!
+//! Scale knobs (environment):
+//!
+//! | variable | default | meaning |
+//! |---|---|---|
+//! | `ICSAD_ARTIFACT_HIDDEN` | `256,256` | LSTM stack widths (paper scale) |
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use icsad_core::experiment::{train_framework, ExperimentConfig};
+use icsad_core::timeseries::TimeSeriesTrainingConfig;
+use icsad_core::CombinedDetector;
+use icsad_dataset::{DatasetConfig, GasPipelineDataset};
+
+fn env_hidden(name: &str, default: &[usize]) -> Vec<usize> {
+    std::env::var(name)
+        .ok()
+        .map(|v| {
+            v.split(',')
+                .filter_map(|p| p.trim().parse().ok())
+                .collect::<Vec<usize>>()
+        })
+        .filter(|v| !v.is_empty())
+        .unwrap_or_else(|| default.to_vec())
+}
+
+fn train_detector(hidden: Vec<usize>, seed: u64) -> CombinedDetector {
+    let data = GasPipelineDataset::generate(&DatasetConfig {
+        total_packages: 8_000,
+        seed,
+        attack_probability: 0.0,
+        ..DatasetConfig::default()
+    });
+    let split = data.split_chronological(0.7, 0.2);
+    let trained = train_framework(
+        &split,
+        &ExperimentConfig {
+            timeseries: TimeSeriesTrainingConfig {
+                hidden_dims: hidden,
+                epochs: 1, // weights only need realistic shape, not accuracy
+                seed,
+                ..TimeSeriesTrainingConfig::default()
+            },
+            ..ExperimentConfig::default()
+        },
+    )
+    .expect("bench detector training failed");
+    trained.detector
+}
+
+fn bench_artifact(c: &mut Criterion) {
+    let hidden = env_hidden("ICSAD_ARTIFACT_HIDDEN", &[256, 256]);
+    let detector = train_detector(hidden, 9);
+    let artifact = detector.to_bytes();
+    let path = std::env::temp_dir().join(format!("icsad-bench-{}.icsa", std::process::id()));
+    detector.save(&path).expect("bench artifact save failed");
+
+    let mut group = c.benchmark_group("artifact");
+    group.throughput(Throughput::Bytes(artifact.len() as u64));
+
+    group.bench_function("to_bytes", |b| {
+        b.iter(|| black_box(&detector).to_bytes().len())
+    });
+
+    group.bench_function("from_bytes", |b| {
+        b.iter(|| CombinedDetector::from_bytes(black_box(&artifact)).expect("valid artifact"))
+    });
+
+    // The full cold-start path a restarting monitor pays: file read +
+    // checksum + decode + cross-validation.
+    group.bench_function("load_file", |b| {
+        b.iter(|| CombinedDetector::load(black_box(&path)).expect("valid artifact file"))
+    });
+
+    group.finish();
+    std::fs::remove_file(&path).ok();
+}
+
+criterion_group!(benches, bench_artifact);
+criterion_main!(benches);

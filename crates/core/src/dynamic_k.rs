@@ -95,8 +95,21 @@ impl DynamicKController {
     /// accepted package's true signature and returns the updated `k`.
     ///
     /// Ranks of packages *flagged* as anomalous must not be recorded —
-    /// they would teach the controller to tolerate attacks.
+    /// they would teach the controller to tolerate attacks. A rank above
+    /// [`DynamicKController::max_k`] is by definition anomalous traffic, so
+    /// feeding one is a contract violation: it panics in debug builds
+    /// (`debug_assert`) and is ignored — the window and `k` stay unchanged
+    /// — in release builds, where it would otherwise inflate the rolling
+    /// quantile and pin `k` at `max_k`.
     pub fn observe_rank(&mut self, rank: usize) -> usize {
+        debug_assert!(
+            rank <= self.config.max_k,
+            "rank {rank} exceeds max_k {}: anomalous ranks must not feed the controller",
+            self.config.max_k
+        );
+        if rank > self.config.max_k {
+            return self.current_k;
+        }
         if self.ranks.len() == self.config.window {
             self.ranks.pop_front();
         }
@@ -174,10 +187,38 @@ mod tests {
             c.observe_rank(1);
         }
         assert_eq!(c.k(), 3);
+        // Diffuse-but-legal ranks (at the max_k bound) push k to its cap.
         for _ in 0..32 {
-            c.observe_rank(50);
+            c.observe_rank(6);
         }
         assert_eq!(c.k(), 6);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "exceeds max_k")]
+    fn rank_above_max_k_panics_in_debug() {
+        // Regression: ranks above max_k used to be accepted silently,
+        // inflating the rolling quantile with traffic the controller's own
+        // contract excludes.
+        controller(64, 0.05).observe_rank(11);
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn rank_above_max_k_is_ignored_in_release() {
+        // Regression twin of `rank_above_max_k_panics_in_debug` for
+        // release builds: the out-of-contract observation must leave the
+        // window and the current k untouched.
+        let mut c = controller(64, 0.05);
+        for _ in 0..64 {
+            c.observe_rank(1);
+        }
+        assert_eq!(c.k(), 1);
+        let before = c.observations();
+        assert_eq!(c.observe_rank(11), 1);
+        assert_eq!(c.k(), 1, "out-of-contract rank must not move k");
+        assert_eq!(c.observations(), before);
     }
 
     #[test]

@@ -51,6 +51,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod artifact;
 pub mod combined;
 pub mod detector;
 pub mod dynamic_k;
@@ -60,6 +61,7 @@ pub mod metrics;
 pub mod package;
 pub mod timeseries;
 
+pub use artifact::{ArtifactError, ARTIFACT_MAGIC, ARTIFACT_VERSION};
 pub use combined::{CombinedBatch, CombinedDetector};
 pub use detector::Detector;
 pub use dynamic_k::{DynamicKConfig, DynamicKController};

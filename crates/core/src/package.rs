@@ -60,6 +60,38 @@ impl PackageLevelDetector {
         })
     }
 
+    /// Reassembles a trained detector from its serialized parts (the
+    /// artifact load path; see [`crate::artifact`]).
+    pub(crate) fn from_parts(
+        discretizer: Discretizer,
+        filter: BloomFilter,
+        signature_count: usize,
+    ) -> Result<Self, String> {
+        if signature_count == 0 {
+            return Err("signature database is empty".into());
+        }
+        // Training inserts each distinct signature exactly once, so a
+        // filter whose insertion count disagrees with the vocabulary was
+        // built over a different signature database.
+        if filter.len() != signature_count as u64 {
+            return Err(format!(
+                "bloom filter holds {} insertions but the vocabulary holds {} signatures",
+                filter.len(),
+                signature_count
+            ));
+        }
+        Ok(PackageLevelDetector {
+            discretizer,
+            filter,
+            signature_count,
+        })
+    }
+
+    /// The Bloom filter holding the signature database.
+    pub(crate) fn filter(&self) -> &BloomFilter {
+        &self.filter
+    }
+
     /// The fitted discretizer.
     pub fn discretizer(&self) -> &Discretizer {
         &self.discretizer

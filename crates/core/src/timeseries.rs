@@ -257,6 +257,50 @@ impl TimeSeriesDetector {
             .collect()
     }
 
+    /// Reassembles a trained detector from its serialized parts (the
+    /// artifact load path; see [`crate::artifact`]), rebuilding the one-hot
+    /// encoder from the discretizer and cross-checking that the model's
+    /// dimensions actually fit the feature layout and vocabulary.
+    pub(crate) fn from_parts(
+        discretizer: Discretizer,
+        vocabulary: SignatureVocabulary,
+        model: LstmClassifier,
+        k: usize,
+    ) -> Result<Self, String> {
+        if vocabulary.is_empty() {
+            return Err("signature vocabulary is empty".into());
+        }
+        // `k > vocabulary.len()` is deliberately allowed: `choose_k` falls
+        // back to `max_k` when no k meets the error budget, and a tiny
+        // vocabulary makes that fallback exceed |S| in legitimately
+        // trained detectors — rejecting it here would break round-trip.
+        if k == 0 {
+            return Err("k must be positive".into());
+        }
+        if model.num_classes() != vocabulary.len() {
+            return Err(format!(
+                "model predicts {} classes but the vocabulary holds {} signatures",
+                model.num_classes(),
+                vocabulary.len()
+            ));
+        }
+        let encoder = OneHotEncoder::new(&discretizer);
+        if encoder.dims() != model.config().input_dim {
+            return Err(format!(
+                "model expects {}-dimensional inputs but the discretizer encodes {} dims",
+                model.config().input_dim,
+                encoder.dims()
+            ));
+        }
+        Ok(TimeSeriesDetector {
+            discretizer,
+            vocabulary,
+            encoder,
+            model,
+            k,
+        })
+    }
+
     /// The signature database this detector predicts over.
     pub fn vocabulary(&self) -> &SignatureVocabulary {
         &self.vocabulary

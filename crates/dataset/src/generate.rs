@@ -39,7 +39,7 @@ pub struct DatasetStats {
     /// Number of normal packages.
     pub normal: usize,
     /// Number of attack packages per attack type, indexed by
-    /// [`AttackType::ALL`].
+    /// [`icsad_simulator::AttackType::ALL`].
     pub per_attack: [usize; 7],
 }
 

@@ -13,6 +13,7 @@
 //! ```text
 //!                  ┌────────── Engine ──────────────────────────────┐
 //!  RawFrame ──────►│ router: slave id % shards                      │
+//!                  │   │ (malformed frames → quarantine counter)    │
 //!                  │   │            │                               │
 //!                  │   ▼            ▼                               │
 //!                  │ bounded ch   bounded ch      (backpressure)    │
@@ -24,6 +25,12 @@
 //!                                  ▼
 //!                     EngineReport (merged per-shard reports)
 //! ```
+//!
+//! The detector an engine wraps can come from an in-process training run
+//! ([`Engine::start`]) or from a commissioning artifact saved by
+//! [`icsad_core::CombinedDetector::save`]
+//! ([`Engine::start_from_artifact`]) — the train-offline / monitor-online
+//! deployment the paper assumes.
 //!
 //! Decisions are identical to running every stream through
 //! [`icsad_core::CombinedDetector::classify`] one package at a time: the
@@ -38,6 +45,7 @@ use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+use icsad_core::artifact::ArtifactError;
 use icsad_core::combined::{CombinedBatch, CombinedDetector, DetectionLevel};
 use icsad_core::metrics::ClassificationReport;
 use icsad_dataset::extract::{StreamExtractor, DEFAULT_CRC_WINDOW};
@@ -57,11 +65,25 @@ pub struct RawFrame {
     pub label: Option<AttackType>,
 }
 
+/// Fewest wire bytes a well-formed Modbus RTU frame can carry (station
+/// address + function code + CRC16). Shorter frames cannot name a stream
+/// and are quarantined by the engine instead of being routed.
+pub const MIN_FRAME_LEN: usize = 4;
+
 impl RawFrame {
-    /// The Modbus slave/unit id this frame belongs to (first wire byte;
-    /// `0` for empty frames). Streams are keyed — and routed — by it.
-    pub fn unit_id(&self) -> u8 {
-        self.wire.first().copied().unwrap_or(0)
+    /// The Modbus slave/unit id this frame belongs to (first wire byte), or
+    /// `None` for an empty frame that carries no address at all. Streams
+    /// are keyed — and routed — by it.
+    pub fn unit_id(&self) -> Option<u8> {
+        self.wire.first().copied()
+    }
+
+    /// Whether the frame is long enough ([`MIN_FRAME_LEN`]) to be a Modbus
+    /// RTU frame at all. Shorter fragments used to be routed to unit `0`,
+    /// silently polluting that PLC's CRC window and LSTM state; the engine
+    /// now quarantines them (see [`EngineReport::quarantined`]).
+    pub fn is_well_formed(&self) -> bool {
+        self.wire.len() >= MIN_FRAME_LEN
     }
 }
 
@@ -148,6 +170,10 @@ pub struct EngineReport {
     pub total: ClassificationReport,
     /// Per-shard breakdown.
     pub shards: Vec<ShardReport>,
+    /// Malformed frames (shorter than [`MIN_FRAME_LEN`]) dropped at ingest
+    /// instead of being merged into some stream. They never reach a shard,
+    /// an extractor, or the classifier.
+    pub quarantined: u64,
 }
 
 impl EngineReport {
@@ -174,6 +200,7 @@ pub struct Engine {
     buffers: Vec<Vec<RawFrame>>,
     workers: Vec<JoinHandle<ShardReport>>,
     ingested: AtomicU64,
+    quarantined: AtomicU64,
 }
 
 /// Frames per channel message (amortizes the per-send synchronization).
@@ -215,7 +242,30 @@ impl Engine {
             senders,
             workers,
             ingested: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
         }
+    }
+
+    /// Cold-starts an engine from a commissioning artifact file (see
+    /// [`icsad_core::artifact`]): loads the trained
+    /// [`CombinedDetector`] saved by [`CombinedDetector::save`] and spawns
+    /// the shard workers around it — the train-offline / monitor-online
+    /// split the paper's deployment model assumes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ArtifactError`] if the file cannot be read or its
+    /// contents are corrupt; no threads are spawned on failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero `config` field, exactly like [`Engine::start`].
+    pub fn start_from_artifact(
+        path: impl AsRef<std::path::Path>,
+        config: EngineConfig,
+    ) -> Result<Engine, ArtifactError> {
+        let detector = CombinedDetector::load(path)?;
+        Ok(Engine::start(Arc::new(detector), config))
     }
 
     /// Number of shards.
@@ -228,20 +278,37 @@ impl Engine {
         usize::from(unit_id) % self.senders.len()
     }
 
-    /// Frames ingested so far.
+    /// Frames ingested (routed to a shard) so far; quarantined frames are
+    /// counted separately by [`Engine::quarantined`].
     pub fn ingested(&self) -> u64 {
         self.ingested.load(Ordering::Relaxed)
     }
 
+    /// Malformed frames quarantined at ingest so far.
+    pub fn quarantined(&self) -> u64 {
+        self.quarantined.load(Ordering::Relaxed)
+    }
+
     /// Routes one frame to its stream's shard. Frames travel in chunks of
-    /// [`INGEST_CHUNK`]; a full chunk blocks when the shard's channel is
-    /// full (backpressure).
+    /// `INGEST_CHUNK` (64); a full chunk blocks when the shard's channel
+    /// is full (backpressure).
+    ///
+    /// Frames too short to be Modbus RTU at all ([`RawFrame::is_well_formed`])
+    /// are quarantined — dropped and counted — rather than merged into
+    /// unit 0's stream, where they would corrupt that PLC's CRC window and
+    /// LSTM state.
     ///
     /// # Panics
     ///
     /// Panics if the target shard worker has terminated.
     pub fn ingest(&mut self, frame: RawFrame) {
-        let shard = self.shard_of(frame.unit_id());
+        let shard = match frame.unit_id() {
+            Some(unit) if frame.is_well_formed() => self.shard_of(unit),
+            _ => {
+                self.quarantined.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        };
         self.buffers[shard].push(frame);
         if self.buffers[shard].len() >= INGEST_CHUNK {
             let chunk =
@@ -294,7 +361,11 @@ impl Engine {
         for s in &shards {
             total.merge(&s.report);
         }
-        EngineReport { total, shards }
+        EngineReport {
+            total,
+            shards,
+            quarantined: self.quarantined.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -348,7 +419,11 @@ impl ShardWorker {
     }
 
     fn enqueue(&mut self, frame: RawFrame) {
-        let unit = frame.unit_id();
+        // `Engine::ingest` quarantines everything shorter than a minimal
+        // frame, so routed frames always carry an address byte.
+        let unit = frame
+            .unit_id()
+            .expect("only well-formed frames reach a shard");
         let lane = match self.lanes_by_unit.get(&unit) {
             Some(&lane) => lane,
             None => {
@@ -622,6 +697,111 @@ mod tests {
         engine.ingest_packets(&packets);
         let report = engine.finish();
         assert_eq!(report.frames(), 800);
+    }
+
+    #[test]
+    fn malformed_frames_are_quarantined_not_merged_into_unit_zero() {
+        let detector = small_detector(36);
+        let packets = multi_plc_capture(&[4, 7], 300, 36);
+
+        let run = |with_garbage: bool| {
+            let mut engine = Engine::start(
+                Arc::clone(&detector),
+                EngineConfig {
+                    num_shards: 2,
+                    batch_size: 8,
+                    channel_capacity: 64,
+                    ..EngineConfig::default()
+                },
+            );
+            let mut malformed = 0u64;
+            for (i, p) in packets.iter().enumerate() {
+                engine.ingest(RawFrame::from(p));
+                if with_garbage && i % 50 == 0 {
+                    // Empty, fragment, and one-short-of-minimal frames.
+                    for wire in [vec![], vec![0x00], vec![0x00, 0x03, 0x01]] {
+                        engine.ingest(RawFrame {
+                            time: p.time,
+                            wire,
+                            is_command: true,
+                            label: None,
+                        });
+                        malformed += 1;
+                    }
+                }
+            }
+            assert_eq!(engine.quarantined(), malformed);
+            assert_eq!(engine.ingested(), packets.len() as u64);
+            (engine.finish(), malformed)
+        };
+
+        let (clean, _) = run(false);
+        let (dirty, malformed) = run(true);
+        assert!(malformed > 0);
+        // Quarantined garbage must not perturb any stream's decisions —
+        // before the fix it merged into unit 0's extractor and LSTM state.
+        assert_eq!(dirty.total, clean.total);
+        assert_eq!(dirty.frames(), clean.frames());
+        assert_eq!(dirty.quarantined, malformed);
+        assert_eq!(clean.quarantined, 0);
+        let streams = |r: &EngineReport| r.shards.iter().map(|s| s.streams).sum::<usize>();
+        assert_eq!(streams(&dirty), streams(&clean), "no phantom unit-0 stream");
+    }
+
+    #[test]
+    fn cold_start_from_artifact_matches_live_detector() {
+        let detector = small_detector(37);
+        let packets = multi_plc_capture(&[3, 5, 8], 400, 37);
+        let config = EngineConfig {
+            num_shards: 2,
+            batch_size: 8,
+            channel_capacity: 64,
+            ..EngineConfig::default()
+        };
+
+        let path = std::env::temp_dir().join(format!(
+            "icsad-engine-coldstart-{}.icsa",
+            std::process::id()
+        ));
+        detector.save(&path).unwrap();
+
+        let mut live = Engine::start(Arc::clone(&detector), config.clone());
+        live.ingest_packets(&packets);
+        let live_report = live.finish();
+
+        let mut cold = Engine::start_from_artifact(&path, config).unwrap();
+        cold.ingest_packets(&packets);
+        let cold_report = cold.finish();
+        std::fs::remove_file(&path).ok();
+
+        // Flush counts depend on frame arrival timing (see
+        // `engine_is_deterministic_across_runs`); every decision-derived
+        // quantity must match exactly.
+        assert_eq!(cold_report.total, live_report.total);
+        assert_eq!(cold_report.quarantined, live_report.quarantined);
+        for (c, l) in cold_report.shards.iter().zip(live_report.shards.iter()) {
+            assert_eq!(c.shard, l.shard);
+            assert_eq!(c.frames, l.frames);
+            assert_eq!(c.streams, l.streams);
+            assert_eq!(c.alarms, l.alarms);
+            assert_eq!(c.report, l.report);
+        }
+    }
+
+    #[test]
+    fn start_from_artifact_surfaces_artifact_errors() {
+        let path = std::env::temp_dir().join(format!(
+            "icsad-engine-badartifact-{}.icsa",
+            std::process::id()
+        ));
+        std::fs::write(&path, b"definitely not an artifact").unwrap();
+        let result = Engine::start_from_artifact(&path, EngineConfig::default());
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(result, Err(ArtifactError::BadMagic)));
+        assert!(matches!(
+            Engine::start_from_artifact("/nonexistent/icsad.icsa", EngineConfig::default()),
+            Err(ArtifactError::Io(_))
+        ));
     }
 
     #[test]

@@ -8,6 +8,8 @@
 
 use std::collections::BTreeMap;
 
+use crate::codec::{put_u32, put_usize, Reader};
+
 /// A mapping from observed raw values to dense category indices
 /// `0..observed()`, with unseen values mapping to the index `observed()`.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -60,6 +62,51 @@ impl CategoryMap {
     pub fn contains(&self, value: u32) -> bool {
         self.map.contains_key(&value)
     }
+
+    /// Serializes the map (observed keys in ascending order; the dense
+    /// indices are implied by position).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.write_into(&mut out);
+        out
+    }
+
+    /// Deserializes a map produced by [`CategoryMap::to_bytes`].
+    ///
+    /// Returns `None` if the buffer is malformed (wrong length, keys not
+    /// strictly ascending, or more keys than the `u16` index space holds).
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        let mut r = Reader::new(bytes);
+        let map = Self::read_from(&mut r)?;
+        r.finish()?;
+        Some(map)
+    }
+
+    pub(crate) fn write_into(&self, out: &mut Vec<u8>) {
+        put_usize(out, self.map.len());
+        for &key in self.map.keys() {
+            put_u32(out, key);
+        }
+    }
+
+    pub(crate) fn read_from(r: &mut Reader<'_>) -> Option<Self> {
+        let n = r.usize_()?;
+        // The unknown sentinel is `n as u16`, so n itself must fit.
+        if n > usize::from(u16::MAX) {
+            return None;
+        }
+        let mut map = BTreeMap::new();
+        let mut prev: Option<u32> = None;
+        for i in 0..n {
+            let key = r.u32()?;
+            if prev.is_some_and(|p| key <= p) {
+                return None; // keys must be strictly ascending (canonical)
+            }
+            prev = Some(key);
+            map.insert(key, i as u16);
+        }
+        Some(CategoryMap { map })
+    }
 }
 
 #[cfg(test)]
@@ -98,5 +145,32 @@ mod tests {
         let a = CategoryMap::fit(vec![5, 1, 9]);
         let b = CategoryMap::fit(vec![9, 5, 1, 1]);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn serialization_round_trip() {
+        for values in [vec![], vec![7], vec![16, 3, 3, 17, u32::MAX]] {
+            let m = CategoryMap::fit(values);
+            assert_eq!(CategoryMap::from_bytes(&m.to_bytes()), Some(m));
+        }
+    }
+
+    #[test]
+    fn deserialization_rejects_garbage() {
+        assert!(CategoryMap::from_bytes(&[]).is_none());
+        // Truncated key list.
+        let mut bytes = CategoryMap::fit(vec![1, 2, 3]).to_bytes();
+        bytes.pop();
+        assert!(CategoryMap::from_bytes(&bytes).is_none());
+        // Trailing garbage.
+        let mut bytes = CategoryMap::fit(vec![1]).to_bytes();
+        bytes.push(0);
+        assert!(CategoryMap::from_bytes(&bytes).is_none());
+        // Non-ascending keys (non-canonical encoding).
+        let mut out = Vec::new();
+        crate::codec::put_usize(&mut out, 2);
+        crate::codec::put_u32(&mut out, 9);
+        crate::codec::put_u32(&mut out, 9);
+        assert!(CategoryMap::from_bytes(&out).is_none());
     }
 }

@@ -1,5 +1,6 @@
 //! Discretization configuration (paper Table III).
 
+use crate::codec::{put_u64, put_usize, Reader};
 use crate::error::FeatureError;
 
 /// Granularity settings for the continuous-feature discretization.
@@ -45,28 +46,86 @@ impl DiscretizationConfig {
         }
     }
 
-    /// Validates that every granularity is positive.
+    /// Validates that every granularity is positive and fits the `u16`
+    /// category space ([`crate::DiscreteVector`] components and their
+    /// sentinels are `u16`, and serialized discretizers enforce the same
+    /// bound on load — an over-wide granularity would train a detector
+    /// whose artifact could never be read back).
     ///
     /// # Errors
     ///
     /// Returns [`FeatureError::InvalidConfig`] naming the offending field.
     pub fn validate(&self) -> Result<(), FeatureError> {
-        let fields = [
+        // Leave room for the out-of-range and absent sentinels.
+        let max_granularity = usize::from(u16::MAX) - 1;
+        let granularities = [
             ("time_interval_clusters", self.time_interval_clusters),
             ("crc_rate_clusters", self.crc_rate_clusters),
             ("pressure_bins", self.pressure_bins),
             ("setpoint_bins", self.setpoint_bins),
             ("pid_clusters", self.pid_clusters),
-            ("kmeans_iters", self.kmeans_iters),
         ];
-        for (name, value) in fields {
+        for (name, value) in granularities {
             if value == 0 {
                 return Err(FeatureError::InvalidConfig {
                     reason: format!("{name} must be positive"),
                 });
             }
+            if value > max_granularity {
+                return Err(FeatureError::InvalidConfig {
+                    reason: format!("{name} exceeds the u16 category space ({max_granularity})"),
+                });
+            }
+        }
+        if self.kmeans_iters == 0 {
+            return Err(FeatureError::InvalidConfig {
+                reason: "kmeans_iters must be positive".into(),
+            });
         }
         Ok(())
+    }
+
+    /// Serializes the configuration.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.write_into(&mut out);
+        out
+    }
+
+    /// Deserializes a configuration produced by
+    /// [`DiscretizationConfig::to_bytes`].
+    ///
+    /// Returns `None` if the buffer is malformed or the configuration fails
+    /// [`DiscretizationConfig::validate`].
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        let mut r = Reader::new(bytes);
+        let config = Self::read_from(&mut r)?;
+        r.finish()?;
+        Some(config)
+    }
+
+    pub(crate) fn write_into(&self, out: &mut Vec<u8>) {
+        put_usize(out, self.time_interval_clusters);
+        put_usize(out, self.crc_rate_clusters);
+        put_usize(out, self.pressure_bins);
+        put_usize(out, self.setpoint_bins);
+        put_usize(out, self.pid_clusters);
+        put_usize(out, self.kmeans_iters);
+        put_u64(out, self.seed);
+    }
+
+    pub(crate) fn read_from(r: &mut Reader<'_>) -> Option<Self> {
+        let config = DiscretizationConfig {
+            time_interval_clusters: r.usize_()?,
+            crc_rate_clusters: r.usize_()?,
+            pressure_bins: r.usize_()?,
+            setpoint_bins: r.usize_()?,
+            pid_clusters: r.usize_()?,
+            kmeans_iters: r.usize_()?,
+            seed: r.u64()?,
+        };
+        config.validate().ok()?;
+        Some(config)
     }
 }
 
@@ -92,6 +151,23 @@ mod tests {
     }
 
     #[test]
+    fn serialization_round_trip_and_rejection() {
+        let c = DiscretizationConfig {
+            seed: 0xFEED,
+            ..DiscretizationConfig::paper_defaults()
+        };
+        assert_eq!(DiscretizationConfig::from_bytes(&c.to_bytes()), Some(c));
+        assert!(DiscretizationConfig::from_bytes(&[]).is_none());
+        let mut bytes = DiscretizationConfig::paper_defaults().to_bytes();
+        bytes.pop();
+        assert!(DiscretizationConfig::from_bytes(&bytes).is_none());
+        // A zero granularity is rejected even when well-framed.
+        let mut invalid = DiscretizationConfig::paper_defaults();
+        invalid.pressure_bins = 0;
+        assert!(DiscretizationConfig::from_bytes(&invalid.to_bytes()).is_none());
+    }
+
+    #[test]
     fn zero_granularities_rejected() {
         let mut c = DiscretizationConfig::paper_defaults();
         c.pressure_bins = 0;
@@ -99,5 +175,25 @@ mod tests {
         let mut c = DiscretizationConfig::paper_defaults();
         c.pid_clusters = 0;
         assert!(c.validate().is_err());
+        let mut c = DiscretizationConfig::paper_defaults();
+        c.kmeans_iters = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn oversized_granularities_rejected() {
+        // Granularities beyond the u16 category space would train a
+        // detector whose serialized artifact the decoders (correctly)
+        // refuse — fail at configuration time instead.
+        let mut c = DiscretizationConfig::paper_defaults();
+        c.pressure_bins = usize::from(u16::MAX);
+        assert!(c.validate().is_err());
+        let mut c = DiscretizationConfig::paper_defaults();
+        c.pid_clusters = usize::MAX;
+        assert!(c.validate().is_err());
+        // The widest legal granularity still validates.
+        let mut c = DiscretizationConfig::paper_defaults();
+        c.setpoint_bins = usize::from(u16::MAX) - 1;
+        assert!(c.validate().is_ok());
     }
 }

@@ -3,6 +3,7 @@
 use icsad_dataset::Record;
 
 use crate::category::CategoryMap;
+use crate::codec::Reader;
 use crate::config::DiscretizationConfig;
 use crate::error::FeatureError;
 use crate::interval::IntervalPartition;
@@ -25,7 +26,7 @@ pub type DiscreteVector = [u16; FEATURE_COUNT];
 /// clustered features, even intervals otherwise); every feature has an extra
 /// sentinel for out-of-range values, and payload features additionally have
 /// an *absent* category for packages that do not carry them.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Discretizer {
     config: DiscretizationConfig,
     address_map: CategoryMap,
@@ -236,6 +237,55 @@ impl Discretizer {
         out.reserve(records.len());
         out.extend(records.iter().map(|r| self.discretize(r)));
     }
+
+    /// Serializes the fitted discretizer — configuration plus every fitted
+    /// component (category maps, k-means models, interval partitions) — so
+    /// a commissioned deployment can reload it without retraining.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.config.write_into(&mut out);
+        self.address_map.write_into(&mut out);
+        self.function_map.write_into(&mut out);
+        self.length_map.write_into(&mut out);
+        self.time_interval_km.write_into(&mut out);
+        self.crc_rate_km.write_into(&mut out);
+        self.setpoint_part.write_into(&mut out);
+        self.pressure_part.write_into(&mut out);
+        self.pid_km.write_into(&mut out);
+        out
+    }
+
+    /// Deserializes a discretizer produced by [`Discretizer::to_bytes`].
+    ///
+    /// Returns `None` if the buffer is malformed or any component fails its
+    /// own validation — including k-means models whose dimensionality does
+    /// not match the feature they discretize (scalar features are 1-D, the
+    /// joint PID vector 5-D), which would otherwise panic at assign time;
+    /// a successfully decoded discretizer produces exactly the same
+    /// [`DiscreteVector`]s as the one that was serialized.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        let mut r = Reader::new(bytes);
+        let disc = Discretizer {
+            config: DiscretizationConfig::read_from(&mut r)?,
+            address_map: CategoryMap::read_from(&mut r)?,
+            function_map: CategoryMap::read_from(&mut r)?,
+            length_map: CategoryMap::read_from(&mut r)?,
+            time_interval_km: KMeans::read_from(&mut r)?,
+            crc_rate_km: KMeans::read_from(&mut r)?,
+            setpoint_part: IntervalPartition::read_from(&mut r)?,
+            pressure_part: IntervalPartition::read_from(&mut r)?,
+            pid_km: KMeans::read_from(&mut r)?,
+        };
+        r.finish()?;
+        if disc.time_interval_km.dim() != 1 || disc.crc_rate_km.dim() != 1 {
+            return None;
+        }
+        if disc.pid_km.dim() != 5 {
+            // `Record::pid_vector` is the jointly clustered [f64; 5].
+            return None;
+        }
+        Some(disc)
+    }
 }
 
 #[cfg(test)]
@@ -371,6 +421,54 @@ mod tests {
         // Buffer reuse clears stale contents.
         disc.discretize_batch(&records[..10], &mut batch);
         assert_eq!(batch.len(), 10);
+    }
+
+    #[test]
+    fn serialization_round_trips_exactly() {
+        let (disc, records) = fitted(2_000, 21);
+        let bytes = disc.to_bytes();
+        let back = Discretizer::from_bytes(&bytes).unwrap();
+        assert_eq!(back, disc);
+        // Bit-identical discretization and signatures for every record.
+        for r in &records {
+            assert_eq!(back.discretize(r), disc.discretize(r));
+        }
+        assert_eq!(back.cardinalities(), disc.cardinalities());
+        // Canonical encoding: re-serializing yields the same bytes.
+        assert_eq!(back.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn deserialization_rejects_wrong_kmeans_dimensionality() {
+        // A structurally valid encoding whose k-means dimensionality does
+        // not fit its feature would panic in `assign` at classify time;
+        // the decoder must refuse it up front.
+        let (disc, _) = fitted(1_000, 23);
+        let points: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64, -(i as f64)]).collect();
+        let two_d = crate::kmeans::KMeans::fit(&points, 2, 20, 0).unwrap();
+        let mut hacked = disc.clone();
+        hacked.time_interval_km = two_d.clone();
+        assert!(Discretizer::from_bytes(&hacked.to_bytes()).is_none());
+        let mut hacked = disc.clone();
+        hacked.pid_km = two_d;
+        assert!(Discretizer::from_bytes(&hacked.to_bytes()).is_none());
+        // The untouched encoding still decodes.
+        assert!(Discretizer::from_bytes(&disc.to_bytes()).is_some());
+    }
+
+    #[test]
+    fn deserialization_rejects_corrupt_buffers() {
+        let (disc, _) = fitted(1_000, 22);
+        let bytes = disc.to_bytes();
+        assert!(Discretizer::from_bytes(&[]).is_none());
+        // Truncation anywhere must fail cleanly, never panic.
+        for cut in [1, 8, bytes.len() / 3, bytes.len() - 1] {
+            assert!(Discretizer::from_bytes(&bytes[..cut]).is_none());
+        }
+        // Trailing garbage.
+        let mut longer = bytes.clone();
+        longer.push(0xAB);
+        assert!(Discretizer::from_bytes(&longer).is_none());
     }
 
     #[test]

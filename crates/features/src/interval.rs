@@ -1,6 +1,7 @@
 //! Even-interval partitioning for continuous features without natural
 //! clusters (paper Table III: pressure measurement and set point).
 
+use crate::codec::{put_f64, put_usize, Reader};
 use crate::error::FeatureError;
 
 /// An even partition of a closed training range `[lo, hi]` into `bins`
@@ -20,7 +21,10 @@ impl IntervalPartition {
     ///
     /// Returns [`FeatureError::InvalidConfig`] if `bins == 0`, the bounds are
     /// not finite, or `lo > hi`. A degenerate range (`lo == hi`) is widened
-    /// by ±0.5 so that the observed constant maps in-range.
+    /// by ±0.5 so that the observed constant maps in-range; if the bound's
+    /// magnitude is so large that the widening is absorbed by rounding
+    /// (e.g. `1e308`), the partition stays zero-width and degenerates to a
+    /// single in-range bin (see [`IntervalPartition::assign`]).
     pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Self, FeatureError> {
         if bins == 0 {
             return Err(FeatureError::InvalidConfig {
@@ -89,8 +93,59 @@ impl IntervalPartition {
             return None;
         }
         let width = (self.hi - self.lo) / self.bins as f64;
+        if width <= 0.0 {
+            // Zero-width partition: fitting a constant whose magnitude
+            // absorbed the ±0.5 widening (`lo == hi`). The only in-range
+            // value is that constant; binning it through the division
+            // above would compute `0.0 / 0.0 = NaN` and rely on the
+            // saturating NaN→0 cast, so map it to bin 0 explicitly.
+            return Some(0);
+        }
         let idx = ((value - self.lo) / width).floor() as usize;
         Some(idx.min(self.bins - 1))
+    }
+
+    /// Serializes the partition (bounds as exact bit patterns).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.write_into(&mut out);
+        out
+    }
+
+    /// Deserializes a partition produced by [`IntervalPartition::to_bytes`].
+    ///
+    /// Returns `None` if the buffer is malformed or encodes an invalid
+    /// partition (`bins == 0`, non-finite bounds, or `lo > hi`).
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        let mut r = Reader::new(bytes);
+        let p = Self::read_from(&mut r)?;
+        r.finish()?;
+        Some(p)
+    }
+
+    pub(crate) fn write_into(&self, out: &mut Vec<u8>) {
+        put_f64(out, self.lo);
+        put_f64(out, self.hi);
+        put_usize(out, self.bins);
+    }
+
+    pub(crate) fn read_from(r: &mut Reader<'_>) -> Option<Self> {
+        let lo = r.f64()?;
+        let hi = r.f64()?;
+        let bins = r.usize_()?;
+        // Stored bounds are already widened, so `lo == hi` is legal here
+        // only as the absorbed-widening degenerate case handled by
+        // `assign`; everything else must satisfy the `new` invariants.
+        if bins == 0 || !lo.is_finite() || !hi.is_finite() || lo > hi {
+            return None;
+        }
+        // The discretizer casts bin indices (and the `bins + 1` absent
+        // sentinel) to u16; a count beyond that space would silently
+        // truncate categories or overflow the cardinality sums.
+        if bins > usize::from(u16::MAX) - 1 {
+            return None;
+        }
+        Some(IntervalPartition { lo, hi, bins })
     }
 }
 
@@ -145,6 +200,69 @@ mod tests {
         let p = IntervalPartition::fit(vec![5.0, 5.0], 3).unwrap();
         assert!(p.assign(5.0).is_some());
         assert!(p.lo() < 5.0 && p.hi() > 5.0);
+    }
+
+    #[test]
+    fn huge_constant_degenerates_to_a_single_safe_bin() {
+        // 1e308 - 0.5 == 1e308 in f64: the ±0.5 widening of the degenerate
+        // range is absorbed and the fitted partition is zero-width. The
+        // observed constant must still map in-range (bin 0) without the
+        // NaN-producing 0/0 division, and everything else stays out of
+        // range.
+        let p = IntervalPartition::fit(vec![1e308, 1e308, 1e308], 4).unwrap();
+        assert_eq!(p.lo(), p.hi(), "widening is absorbed at this magnitude");
+        assert_eq!(p.assign(1e308), Some(0));
+        assert_eq!(p.assign(1e307), None);
+        assert_eq!(p.assign(-1e308), None);
+        assert_eq!(p.assign(f64::NAN), None);
+        // Same through `new` directly.
+        let p = IntervalPartition::new(-1e308, -1e308, 7).unwrap();
+        assert_eq!(p.assign(-1e308), Some(0));
+        assert_eq!(p.assign(0.0), None);
+    }
+
+    #[test]
+    fn serialization_round_trip() {
+        for p in [
+            IntervalPartition::new(0.0, 10.0, 10).unwrap(),
+            IntervalPartition::fit(vec![5.0, 5.0], 3).unwrap(),
+            IntervalPartition::fit(vec![1e308], 4).unwrap(),
+        ] {
+            assert_eq!(IntervalPartition::from_bytes(&p.to_bytes()), Some(p));
+        }
+    }
+
+    #[test]
+    fn deserialization_rejects_garbage() {
+        assert!(IntervalPartition::from_bytes(&[]).is_none());
+        let p = IntervalPartition::new(0.0, 1.0, 2).unwrap();
+        let mut bytes = p.to_bytes();
+        bytes.pop();
+        assert!(IntervalPartition::from_bytes(&bytes).is_none());
+        bytes.push(0);
+        bytes.push(0);
+        assert!(IntervalPartition::from_bytes(&bytes).is_none());
+        // bins == 0.
+        let mut out = Vec::new();
+        crate::codec::put_f64(&mut out, 0.0);
+        crate::codec::put_f64(&mut out, 1.0);
+        crate::codec::put_usize(&mut out, 0);
+        assert!(IntervalPartition::from_bytes(&out).is_none());
+        // lo > hi.
+        let mut out = Vec::new();
+        crate::codec::put_f64(&mut out, 2.0);
+        crate::codec::put_f64(&mut out, 1.0);
+        crate::codec::put_usize(&mut out, 2);
+        assert!(IntervalPartition::from_bytes(&out).is_none());
+        // A bin count beyond the u16 category space (would overflow the
+        // cardinality sums / truncate `as u16` casts downstream).
+        for bins in [usize::from(u16::MAX), usize::MAX - 1] {
+            let mut out = Vec::new();
+            crate::codec::put_f64(&mut out, 0.0);
+            crate::codec::put_f64(&mut out, 1.0);
+            crate::codec::put_usize(&mut out, bins);
+            assert!(IntervalPartition::from_bytes(&out).is_none());
+        }
     }
 
     #[test]

@@ -13,6 +13,7 @@ use rand::Rng;
 use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha12Rng;
 
+use crate::codec::{put_f64, put_usize, Reader};
 use crate::error::FeatureError;
 
 /// A fitted k-means model over points of fixed dimensionality.
@@ -203,6 +204,11 @@ impl KMeans {
         self.centroids.len()
     }
 
+    /// Dimensionality of the fitted points (every centroid's length).
+    pub fn dim(&self) -> usize {
+        self.centroids[0].len()
+    }
+
     /// The fitted centroids.
     pub fn centroids(&self) -> &[Vec<f64>] {
         &self.centroids
@@ -239,6 +245,79 @@ impl KMeans {
     /// Assigns a 1-dimensional value.
     pub fn assign_1d(&self, value: f64) -> Assignment {
         self.assign(&[value])
+    }
+
+    /// Serializes the fitted model (centroids and outlier radii; floats as
+    /// exact bit patterns).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.write_into(&mut out);
+        out
+    }
+
+    /// Deserializes a model produced by [`KMeans::to_bytes`].
+    ///
+    /// Returns `None` if the buffer is malformed or encodes an invalid
+    /// model (zero clusters/dimensions, non-finite coordinates, or negative
+    /// radii).
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        let mut r = Reader::new(bytes);
+        let km = Self::read_from(&mut r)?;
+        r.finish()?;
+        Some(km)
+    }
+
+    pub(crate) fn write_into(&self, out: &mut Vec<u8>) {
+        put_usize(out, self.centroids.len());
+        put_usize(out, self.centroids[0].len());
+        for c in &self.centroids {
+            for &x in c {
+                put_f64(out, x);
+            }
+        }
+        for &radius in &self.radii {
+            put_f64(out, radius);
+        }
+    }
+
+    pub(crate) fn read_from(r: &mut Reader<'_>) -> Option<Self> {
+        let k = r.usize_()?;
+        let dim = r.usize_()?;
+        if k == 0 || dim == 0 || k.checked_mul(dim)? > (1 << 24) {
+            return None;
+        }
+        // Cluster indices (and the `k + 1` absent sentinel) travel as u16
+        // categories downstream; a larger k would silently truncate.
+        if k > usize::from(u16::MAX) - 1 {
+            return None;
+        }
+        // A corrupt header could claim huge counts with no payload behind
+        // them; check the bytes exist before allocating for them.
+        let need = k.checked_mul(dim.checked_add(1)?)?.checked_mul(8)?;
+        if r.remaining() < need {
+            return None;
+        }
+        let mut centroids = Vec::with_capacity(k);
+        for _ in 0..k {
+            let mut c = Vec::with_capacity(dim);
+            for _ in 0..dim {
+                let x = r.f64()?;
+                if !x.is_finite() {
+                    return None;
+                }
+                c.push(x);
+            }
+            centroids.push(c);
+        }
+        let mut radii = Vec::with_capacity(k);
+        for _ in 0..k {
+            let radius = r.f64()?;
+            if !radius.is_finite() || radius < 0.0 {
+                return None;
+            }
+            radii.push(radius);
+        }
+        Some(KMeans { centroids, radii })
     }
 }
 
@@ -336,6 +415,58 @@ mod tests {
     fn assign_wrong_dims_panics() {
         let km = KMeans::fit_1d(&[1.0, 2.0], 2, 10, 0).unwrap();
         km.assign(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn serialization_round_trip_preserves_assignments() {
+        let values: Vec<f64> = (0..120).map(|i| ((i * 13) % 29) as f64 * 0.37).collect();
+        let km = KMeans::fit_1d(&values, 5, 100, 11).unwrap();
+        let back = KMeans::from_bytes(&km.to_bytes()).unwrap();
+        assert_eq!(back, km);
+        for &v in &values {
+            assert_eq!(back.assign_1d(v), km.assign_1d(v));
+        }
+        // Multi-dimensional too.
+        let points: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![i as f64, (i % 3) as f64, -0.5 * i as f64])
+            .collect();
+        let km = KMeans::fit(&points, 4, 50, 12).unwrap();
+        assert_eq!(KMeans::from_bytes(&km.to_bytes()), Some(km));
+    }
+
+    #[test]
+    fn deserialization_rejects_garbage() {
+        assert!(KMeans::from_bytes(&[]).is_none());
+        let km = KMeans::fit_1d(&[1.0, 2.0, 3.0], 2, 50, 0).unwrap();
+        let mut bytes = km.to_bytes();
+        bytes.pop();
+        assert!(KMeans::from_bytes(&bytes).is_none());
+        bytes.push(0);
+        bytes.push(0);
+        assert!(KMeans::from_bytes(&bytes).is_none());
+        // Non-finite centroid coordinate.
+        let mut bytes = km.to_bytes();
+        bytes[16..24].copy_from_slice(&f64::NAN.to_bits().to_le_bytes());
+        assert!(KMeans::from_bytes(&bytes).is_none());
+        // A header claiming a huge cluster count with no payload behind it
+        // must be rejected before anything is allocated for it.
+        let mut huge = Vec::new();
+        crate::codec::put_usize(&mut huge, 1 << 24);
+        crate::codec::put_usize(&mut huge, 1);
+        assert!(KMeans::from_bytes(&huge).is_none());
+        // A cluster count beyond the u16 category space is rejected even
+        // when the payload bytes are all present.
+        let k = usize::from(u16::MAX);
+        let mut wide = Vec::new();
+        crate::codec::put_usize(&mut wide, k);
+        crate::codec::put_usize(&mut wide, 1);
+        for _ in 0..k {
+            crate::codec::put_f64(&mut wide, 0.0);
+        }
+        for _ in 0..k {
+            crate::codec::put_f64(&mut wide, 0.0);
+        }
+        assert!(KMeans::from_bytes(&wide).is_none());
     }
 
     #[test]

@@ -48,6 +48,7 @@
 #![warn(missing_docs)]
 
 pub mod category;
+mod codec;
 mod config;
 mod discretizer;
 pub mod encoding;

@@ -6,6 +6,7 @@ use std::fmt;
 
 use icsad_dataset::Record;
 
+use crate::codec::{put_u32, put_u64, put_usize, Reader};
 use crate::discretizer::{DiscreteVector, Discretizer};
 
 /// A package signature: the unique encoding of a discretized feature vector.
@@ -183,6 +184,48 @@ impl SignatureVocabulary {
     pub fn total_count(&self) -> u64 {
         self.counts.iter().sum()
     }
+
+    /// Serializes the database: every signature in class-id order with its
+    /// occurrence count.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_usize(&mut out, self.sigs.len());
+        for (_, sig, count) in self.iter() {
+            let key = sig.as_str().as_bytes();
+            put_u32(&mut out, key.len() as u32);
+            out.extend_from_slice(key);
+            put_u64(&mut out, count);
+        }
+        out
+    }
+
+    /// Deserializes a database produced by
+    /// [`SignatureVocabulary::to_bytes`], restoring the exact class-id
+    /// assignment.
+    ///
+    /// Returns `None` if the buffer is malformed (truncated, trailing
+    /// bytes, invalid UTF-8, a zero count, or duplicate signatures).
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        let mut r = Reader::new(bytes);
+        let n = r.usize_()?;
+        let mut vocab = SignatureVocabulary::default();
+        for id in 0..n {
+            let len = r.u32()? as usize;
+            let key = std::str::from_utf8(r.take(len)?).ok()?;
+            let count = r.u64()?;
+            if count == 0 {
+                return None;
+            }
+            let sig = Signature(key.to_string());
+            if vocab.ids.insert(sig.clone(), id).is_some() {
+                return None; // duplicate signature
+            }
+            vocab.sigs.push(sig);
+            vocab.counts.push(count);
+        }
+        r.finish()?;
+        Some(vocab)
+    }
 }
 
 /// Builds the signature of a discretized vector directly.
@@ -276,6 +319,49 @@ mod tests {
         write_signature(&[9], &mut buf);
         assert_eq!(buf, "9");
         assert_eq!(buf.capacity(), cap, "rewrite must not reallocate");
+    }
+
+    #[test]
+    fn vocabulary_serialization_round_trip() {
+        let mut v = SignatureVocabulary::default();
+        for components in [vec![1, 2], vec![3], vec![1, 2], vec![65_535, 0]] {
+            v.insert(Signature::from_components(&components));
+        }
+        let back = SignatureVocabulary::from_bytes(&v.to_bytes()).unwrap();
+        assert_eq!(back, v);
+        // Ids, counts and lookups all survive.
+        for (id, sig, count) in v.iter() {
+            assert_eq!(back.id_of(sig), Some(id));
+            assert_eq!(back.count(id), count);
+        }
+        // Empty database round trips too.
+        let empty = SignatureVocabulary::default();
+        assert_eq!(
+            SignatureVocabulary::from_bytes(&empty.to_bytes()),
+            Some(empty)
+        );
+    }
+
+    #[test]
+    fn vocabulary_deserialization_rejects_garbage() {
+        assert!(SignatureVocabulary::from_bytes(&[]).is_none());
+        let mut v = SignatureVocabulary::default();
+        v.insert(Signature::from_components(&[4, 2]));
+        let bytes = v.to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(
+                SignatureVocabulary::from_bytes(&bytes[..cut]).is_none(),
+                "truncation at {cut} must fail"
+            );
+        }
+        let mut longer = bytes.clone();
+        longer.push(7);
+        assert!(SignatureVocabulary::from_bytes(&longer).is_none());
+        // A zero occurrence count is invalid.
+        let mut zero_count = bytes.clone();
+        let at = bytes.len() - 8;
+        zero_count[at..].copy_from_slice(&0u64.to_le_bytes());
+        assert!(SignatureVocabulary::from_bytes(&zero_count).is_none());
     }
 
     #[test]

@@ -69,6 +69,7 @@ pub use icsad_simulator as simulator;
 pub mod prelude {
     pub use icsad_bloom::BloomFilter;
     pub use icsad_core::{
+        artifact::ArtifactError,
         combined::{CombinedBatch, CombinedDetector, DetectionLevel},
         detector::Detector,
         experiment::{train_framework, ExperimentConfig, TrainedFramework},
