@@ -64,5 +64,5 @@ pub use detector::{calibrate_fpr, WindowDetector};
 pub use gmm::Gmm;
 pub use iforest::IsolationForest;
 pub use pca::PcaSvd;
-pub use stream::{windowed_decisions, PAPER_WINDOW};
+pub use stream::{windowed_decisions, WindowedBackend, PAPER_WINDOW};
 pub use svdd::Svdd;

@@ -1,5 +1,6 @@
-//! Stream-level adapter: every window baseline is also an
-//! [`icsad_core::Detector`].
+//! Stream-level adapters: every window baseline is also an
+//! [`icsad_core::Detector`] (offline) and, via [`WindowedBackend`], an
+//! [`icsad_core::StreamingDetector`] the engine can host (online).
 //!
 //! The paper's comparison protocol (§VIII-C) groups four consecutive
 //! packages — one command–response cycle — into one sample for the baseline
@@ -8,8 +9,19 @@
 //! scored once, and the window's decision is attributed to each of its
 //! packages. Trailing packages that do not fill a window are conservatively
 //! passed as normal (the windowed models never see them).
+//!
+//! The streaming adapter applies the identical protocol *per lane*: records
+//! buffer until a lane's window completes, then the window's decision
+//! resolves for all of its packages at once (deferred decisions, see
+//! [`icsad_core::StreamingSession::classify_batch`]), and trailing partial
+//! windows resolve as normal at [`icsad_core::StreamingSession::finish`].
+//! Per stream, the decisions reproduce [`windowed_decisions`] exactly —
+//! Table IV live, through the engine.
 
-use icsad_core::Detector;
+use std::sync::Arc;
+
+use icsad_core::streaming::{LaneDecision, StreamingSession, SwapError};
+use icsad_core::{CombinedDetector, Detector, StreamingDetector};
 use icsad_dataset::Record;
 
 use crate::detector::WindowDetector;
@@ -59,6 +71,115 @@ impl_stream_detector!(
     PcaSvd,
 );
 
+/// Engine adapter: any trained [`WindowDetector`] as a streaming backend.
+///
+/// Wraps the detector with the §VIII-C window width (default
+/// [`PAPER_WINDOW`]) so the engine can host it per shard exactly like the
+/// combined framework — the apples-to-apples streaming comparison of
+/// Table IV. Decisions per stream are identical to the offline
+/// [`windowed_decisions`] protocol; hot-reload is refused
+/// ([`SwapError::UnsupportedBackend`]) since there is no `ICSA` artifact a
+/// window baseline could load.
+#[derive(Debug, Clone)]
+pub struct WindowedBackend<D> {
+    detector: D,
+    width: usize,
+}
+
+impl<D: WindowDetector + Send + Sync + 'static> WindowedBackend<D> {
+    /// Wraps `detector` with the paper's window width ([`PAPER_WINDOW`]).
+    pub fn new(detector: D) -> Self {
+        WindowedBackend {
+            detector,
+            width: PAPER_WINDOW,
+        }
+    }
+
+    /// Wraps `detector` with an explicit window width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    pub fn with_width(detector: D, width: usize) -> Self {
+        assert!(width > 0, "window width must be positive");
+        WindowedBackend { detector, width }
+    }
+
+    /// The wrapped window detector.
+    pub fn detector(&self) -> &D {
+        &self.detector
+    }
+
+    /// The window width applied per lane.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+}
+
+impl<D: WindowDetector + Send + Sync + 'static> StreamingDetector for WindowedBackend<D> {
+    fn name(&self) -> &str {
+        WindowDetector::name(&self.detector)
+    }
+
+    fn begin_session(self: Arc<Self>) -> Box<dyn StreamingSession> {
+        Box::new(WindowedSession {
+            backend: self,
+            buffers: Vec::new(),
+        })
+    }
+}
+
+/// Per-shard session of a [`WindowedBackend`]: one window buffer per lane.
+struct WindowedSession<D> {
+    backend: Arc<WindowedBackend<D>>,
+    buffers: Vec<Vec<Record>>,
+}
+
+impl<D: WindowDetector + Send + Sync + 'static> StreamingSession for WindowedSession<D> {
+    fn add_lane(&mut self) -> usize {
+        self.buffers.push(Vec::with_capacity(self.backend.width));
+        self.buffers.len() - 1
+    }
+
+    fn lanes(&self) -> usize {
+        self.buffers.len()
+    }
+
+    fn classify_batch(&mut self, lanes: &[usize], records: &[Record], out: &mut Vec<LaneDecision>) {
+        assert_eq!(records.len(), lanes.len(), "records/lanes mismatch");
+        let width = self.backend.width;
+        for (&lane, record) in lanes.iter().zip(records.iter()) {
+            let buffer = &mut self.buffers[lane];
+            buffer.push(record.clone());
+            if buffer.len() == width {
+                // Window complete: one score decides all of its packages
+                // (the offline protocol attributes the window's decision to
+                // each package, including the earlier ones).
+                let anomalous = self.backend.detector.is_anomalous(buffer);
+                out.extend(std::iter::repeat_n(LaneDecision { lane, anomalous }, width));
+                buffer.clear();
+            }
+        }
+    }
+
+    fn finish(&mut self, out: &mut Vec<LaneDecision>) {
+        for (lane, buffer) in self.buffers.iter_mut().enumerate() {
+            // Trailing packages that never filled a window pass as normal,
+            // mirroring `windowed_decisions`.
+            out.extend(buffer.drain(..).map(|_| LaneDecision {
+                lane,
+                anomalous: false,
+            }));
+        }
+    }
+
+    fn swap_combined(&mut self, _detector: Arc<CombinedDetector>) -> Result<(), SwapError> {
+        Err(SwapError::UnsupportedBackend {
+            backend: self.backend.name().to_string(),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -91,6 +212,94 @@ mod tests {
         }
         let report = det.evaluate_stream(split.test());
         assert_eq!(report.confusion.total(), split.test().len() as u64);
+    }
+
+    #[test]
+    fn streaming_backend_matches_windowed_decisions_per_stream() {
+        let data = GasPipelineDataset::generate(&DatasetConfig {
+            total_packages: 2_410, // trailing partial windows on both lanes
+            seed: 7,
+            attack_probability: 0.1,
+            ..DatasetConfig::default()
+        });
+        let split = data.split_chronological(0.6, 0.2);
+        let train = Windows::over(split.train().records(), PAPER_WINDOW);
+        let mut forest = IsolationForest::fit_windows(&train, 25, 64, 9).unwrap();
+        calibrate_fpr(&mut forest, &train, 0.05);
+
+        // Two interleaved lanes of different lengths.
+        let test = split.test();
+        let cut = test.len() * 2 / 3;
+        let streams: Vec<&[icsad_dataset::Record]> = vec![&test[..cut], &test[cut..]];
+
+        let backend = Arc::new(WindowedBackend::new(forest));
+        assert!(!StreamingDetector::supports_hot_swap(&*backend));
+        let mut session = Arc::clone(&backend).begin_session();
+        let mut resolved: Vec<Vec<bool>> = vec![Vec::new(); streams.len()];
+        for _ in &streams {
+            session.add_lane();
+        }
+        let mut out = Vec::new();
+        let max_len = streams.iter().map(|s| s.len()).max().unwrap();
+        for t in 0..max_len {
+            let mut lanes = Vec::new();
+            let mut records = Vec::new();
+            for (lane, stream) in streams.iter().enumerate() {
+                if let Some(r) = stream.get(t) {
+                    lanes.push(lane);
+                    records.push(r.clone());
+                }
+            }
+            out.clear();
+            session.classify_batch(&lanes, &records, &mut out);
+            for d in &out {
+                resolved[d.lane].push(d.anomalous);
+            }
+        }
+        out.clear();
+        session.finish(&mut out);
+        for d in &out {
+            resolved[d.lane].push(d.anomalous);
+        }
+
+        for (stream, decisions) in streams.iter().zip(resolved.iter()) {
+            let reference = windowed_decisions(backend.detector(), stream, PAPER_WINDOW);
+            assert_eq!(decisions, &reference);
+        }
+
+        // Hot-reload is meaningless for a window baseline and must refuse.
+        let err = session
+            .swap_combined(dummy_combined())
+            .expect_err("baselines cannot hot-swap");
+        assert!(matches!(err, SwapError::UnsupportedBackend { .. }));
+    }
+
+    /// The smallest trainable combined detector, only used to exercise the
+    /// swap-refusal path.
+    fn dummy_combined() -> Arc<CombinedDetector> {
+        use icsad_core::experiment::{train_framework, ExperimentConfig};
+        use icsad_core::timeseries::TimeSeriesTrainingConfig;
+        let data = GasPipelineDataset::generate(&DatasetConfig {
+            total_packages: 2_000,
+            seed: 11,
+            attack_probability: 0.0,
+            ..DatasetConfig::default()
+        });
+        let split = data.split_chronological(0.6, 0.2);
+        let trained = train_framework(
+            &split,
+            &ExperimentConfig {
+                timeseries: TimeSeriesTrainingConfig {
+                    hidden_dims: vec![8],
+                    epochs: 1,
+                    seed: 11,
+                    ..TimeSeriesTrainingConfig::default()
+                },
+                ..ExperimentConfig::default()
+            },
+        )
+        .unwrap();
+        Arc::new(trained.detector)
     }
 
     #[test]

@@ -16,10 +16,10 @@ use std::sync::Arc;
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use icsad_core::experiment::{train_framework, ExperimentConfig};
 use icsad_core::timeseries::TimeSeriesTrainingConfig;
-use icsad_core::CombinedDetector;
+use icsad_core::{CombinedDetector, DynamicKConfig};
 use icsad_dataset::extract::{extract_records, DEFAULT_CRC_WINDOW};
 use icsad_dataset::{DatasetConfig, GasPipelineDataset, Record};
-use icsad_engine::{Engine, EngineConfig};
+use icsad_engine::{Engine, EngineConfig, EngineMode};
 use icsad_simulator::{Packet, TrafficConfig, TrafficGenerator};
 
 fn env_usize(name: &str, default: usize) -> usize {
@@ -52,7 +52,7 @@ fn multi_plc_capture(plcs: usize, per_plc: usize, seed: u64) -> Vec<Packet> {
         });
         all.extend(generator.generate(per_plc));
     }
-    all.sort_by(|a, b| a.time.partial_cmp(&b.time).unwrap());
+    all.sort_by(|a, b| a.time.total_cmp(&b.time));
     all
 }
 
@@ -139,20 +139,33 @@ fn bench_engine(c: &mut Criterion) {
 
     // Sharded engine: raw frames in, merged report out (includes feature
     // extraction, routing and channel traffic).
+    let engine_config = EngineConfig {
+        num_shards: if shards == 0 {
+            EngineConfig::default().num_shards
+        } else {
+            shards
+        },
+        batch_size: batch,
+        ..EngineConfig::default()
+    };
     group.bench_function("sharded_engine", |b| {
         b.iter(|| {
-            let mut engine = Engine::start(
-                Arc::clone(&detector),
-                EngineConfig {
-                    num_shards: if shards == 0 {
-                        EngineConfig::default().num_shards
-                    } else {
-                        shards
-                    },
-                    batch_size: batch,
-                    ..EngineConfig::default()
-                },
-            );
+            let mut engine = Engine::start(Arc::clone(&detector), engine_config.clone());
+            engine.ingest_packets(black_box(&packets));
+            engine.finish().alarms()
+        })
+    });
+
+    // Same engine with per-stream dynamic-k controllers: tracks the
+    // controller's overhead (rank bookkeeping + rolling quantile) on the
+    // hot path relative to `sharded_engine`.
+    group.bench_function("sharded_engine_adaptive_k", |b| {
+        let adaptive_config = EngineConfig {
+            mode: EngineMode::AdaptiveK(DynamicKConfig::default()),
+            ..engine_config.clone()
+        };
+        b.iter(|| {
+            let mut engine = Engine::start(Arc::clone(&detector), adaptive_config.clone());
             engine.ingest_packets(black_box(&packets));
             engine.finish().alarms()
         })

@@ -65,6 +65,7 @@ pub struct CombinedBatch {
     flags: Vec<Option<bool>>,
     package_hits: Vec<bool>,
     ts_decisions: Vec<bool>,
+    ranks: Vec<Option<usize>>,
     sig_buf: String,
 }
 
@@ -151,6 +152,7 @@ impl CombinedDetector {
             flags: Vec::new(),
             package_hits: Vec::new(),
             ts_decisions: Vec::new(),
+            ranks: Vec::new(),
             sig_buf: String::new(),
         }
     }
@@ -183,6 +185,111 @@ impl CombinedDetector {
         records: &[Record],
         out: &mut Vec<DetectionLevel>,
     ) {
+        self.package_stage(batch, lanes, records);
+
+        self.timeseries.process_batch(
+            &mut batch.states,
+            lanes,
+            &batch.vectors,
+            &batch.ids,
+            &batch.flags,
+            &mut batch.ts,
+            &mut batch.ts_decisions,
+        );
+
+        out.extend(
+            batch
+                .package_hits
+                .iter()
+                .zip(batch.ts_decisions.iter())
+                .map(|(&package_hit, &ts_hit)| {
+                    if package_hit {
+                        DetectionLevel::PackageLevel
+                    } else if ts_hit {
+                        DetectionLevel::TimeSeriesLevel
+                    } else {
+                        DetectionLevel::Normal
+                    }
+                }),
+        );
+    }
+
+    /// Batched [`CombinedDetector::classify_adaptive`]: like
+    /// [`CombinedDetector::classify_batch`], but each lane's top-`k`
+    /// decision uses that lane's [`DynamicKController`] (`controllers[lane]`,
+    /// one per batch lane) instead of the fixed `k`, and every in-bound
+    /// rank feeds back into the lane's controller.
+    ///
+    /// The signature ranks are the ones the batched LSTM step computes
+    /// anyway ([`TimeSeriesDetector::process_batch_with_ranks`]), so the
+    /// adaptive rule adds no extra model work. The LSTM feedback bit stays
+    /// the *fixed*-`k` decision — exactly as in the per-record
+    /// [`CombinedDetector::classify_adaptive`] — so decisions and every
+    /// lane's state are bit-identical to a per-record adaptive loop on each
+    /// stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `controllers.len() != batch.lanes()`, plus everything
+    /// [`CombinedDetector::classify_batch`] panics on.
+    pub fn classify_batch_adaptive(
+        &self,
+        batch: &mut CombinedBatch,
+        lanes: &[usize],
+        records: &[Record],
+        controllers: &mut [DynamicKController],
+        out: &mut Vec<DetectionLevel>,
+    ) {
+        assert_eq!(
+            controllers.len(),
+            batch.lanes(),
+            "one controller per batch lane"
+        );
+        self.package_stage(batch, lanes, records);
+
+        batch.ranks.clear();
+        self.timeseries.process_batch_with_ranks(
+            &mut batch.states,
+            lanes,
+            &batch.vectors,
+            &batch.ids,
+            &batch.flags,
+            &mut batch.ts,
+            &mut batch.ts_decisions,
+            &mut batch.ranks,
+        );
+
+        for (i, &lane) in lanes.iter().enumerate() {
+            if batch.package_hits[i] {
+                // Bloom-level anomalies bypass the top-k rule entirely; the
+                // controller never sees them (classify_adaptive likewise).
+                out.push(DetectionLevel::PackageLevel);
+                continue;
+            }
+            let controller = &mut controllers[lane];
+            let rank = batch.ranks[i];
+            // Decide with the controller's current k, then feed the rank
+            // back — same order as the per-record path.
+            let anomalous = match rank {
+                Some(rank) => rank > controller.k(),
+                None => batch.ids[i].is_none(),
+            };
+            if let Some(rank) = rank {
+                if rank <= controller.max_k() {
+                    controller.observe_rank(rank);
+                }
+            }
+            out.push(if anomalous {
+                DetectionLevel::TimeSeriesLevel
+            } else {
+                DetectionLevel::Normal
+            });
+        }
+    }
+
+    /// The package level of one batched flush: discretize, signature,
+    /// Bloom probe — filling the batch's per-entry scratch columns.
+    fn package_stage(&self, batch: &mut CombinedBatch, lanes: &[usize], records: &[Record]) {
         assert_eq!(records.len(), lanes.len(), "records/lanes mismatch");
         debug_assert!(
             {
@@ -216,32 +323,6 @@ impl CombinedDetector {
             batch.package_hits.push(package_hit);
             batch.vectors.push(vector);
         }
-
-        self.timeseries.process_batch(
-            &mut batch.states,
-            lanes,
-            &batch.vectors,
-            &batch.ids,
-            &batch.flags,
-            &mut batch.ts,
-            &mut batch.ts_decisions,
-        );
-
-        out.extend(
-            batch
-                .package_hits
-                .iter()
-                .zip(batch.ts_decisions.iter())
-                .map(|(&package_hit, &ts_hit)| {
-                    if package_hit {
-                        DetectionLevel::PackageLevel
-                    } else if ts_hit {
-                        DetectionLevel::TimeSeriesLevel
-                    } else {
-                        DetectionLevel::Normal
-                    }
-                }),
-        );
     }
 
     /// Classifies several independent record streams by stepping them in

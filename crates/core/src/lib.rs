@@ -25,6 +25,9 @@
 //!   (paper §V),
 //! * [`combined`] — the combined framework with anomaly-bit feedback
 //!   (paper §VI),
+//! * [`streaming`] — the pluggable streaming-backend abstraction the
+//!   engine hosts (fixed-`k`, per-stream dynamic-`k`, window baselines)
+//!   with hot-reload support,
 //! * [`metrics`] — precision/recall/accuracy/F1 and per-attack-type recall
 //!   (papers §VIII-B, Tables IV/V),
 //! * [`experiment`] — the end-to-end train-validate-test pipeline used by
@@ -59,6 +62,7 @@ mod error;
 pub mod experiment;
 pub mod metrics;
 pub mod package;
+pub mod streaming;
 pub mod timeseries;
 
 pub use artifact::{ArtifactError, ARTIFACT_MAGIC, ARTIFACT_VERSION};
@@ -68,4 +72,7 @@ pub use dynamic_k::{DynamicKConfig, DynamicKController};
 pub use error::CoreError;
 pub use metrics::{ClassificationReport, ConfusionCounts, PerAttackRecall};
 pub use package::PackageLevelDetector;
+pub use streaming::{
+    AdaptiveCombined, LaneDecision, StreamingDetector, StreamingSession, SwapError,
+};
 pub use timeseries::{NoiseConfig, TimeSeriesDetector, TimeSeriesTrainingConfig};

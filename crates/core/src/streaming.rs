@@ -1,0 +1,439 @@
+//! The streaming backend abstraction: pluggable detectors for the engine.
+//!
+//! The offline [`Detector`](crate::Detector) trait answers "which packages
+//! of this finished capture are anomalous?". An *online* monitor needs the
+//! same question answered incrementally, over many interleaved streams at
+//! once, which adds three requirements the offline trait cannot express:
+//!
+//! * **per-stream state** — each monitored PLC carries its own detector
+//!   state (LSTM state, dynamic-k controller, window buffer),
+//! * **batched stepping** — the engine advances many streams per round and
+//!   wants one matrix–matrix LSTM step, not one matrix–vector step per
+//!   stream,
+//! * **deferred decisions** — window models (the Table IV baselines) can
+//!   only judge a package once its window completes, so a decision may
+//!   resolve several rounds after its package was pushed.
+//!
+//! [`StreamingDetector`] + [`StreamingSession`] pin that contract down.
+//! Three backend families implement it:
+//!
+//! | backend | built on | decisions |
+//! |---|---|---|
+//! | [`CombinedDetector`] | `classify_batch` | immediate, fixed top-`k` |
+//! | [`AdaptiveCombined`] | `classify_batch_adaptive` | immediate, per-stream dynamic `k` |
+//! | `icsad_baselines::stream::WindowedBackend` | §VIII-C window protocol | deferred per window |
+//!
+//! Sessions hosting a [`CombinedDetector`] additionally support
+//! **hot-reload** ([`StreamingSession::swap_combined`]): a freshly
+//! commissioned artifact replaces the running detector at a round boundary,
+//! resetting every lane's stream state — the engine builds its
+//! `swap_artifact` path on this.
+
+use std::sync::Arc;
+
+use icsad_dataset::Record;
+
+use crate::combined::{CombinedBatch, CombinedDetector, DetectionLevel};
+use crate::dynamic_k::{DynamicKConfig, DynamicKController};
+
+/// One resolved per-package decision, attributed to a session lane.
+///
+/// Backends that decide immediately emit one `LaneDecision` per record
+/// pushed; window backends emit none until a lane's window completes, then
+/// one per buffered record. Within a lane, decisions always resolve in the
+/// order the records were pushed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaneDecision {
+    /// The session lane (stream) the decision belongs to.
+    pub lane: usize,
+    /// `true` = anomalous.
+    pub anomalous: bool,
+}
+
+/// Why a [`StreamingSession::swap_combined`] hot-reload was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SwapError {
+    /// The session's backend does not host a [`CombinedDetector`] (e.g. a
+    /// window baseline), so there is nothing an `ICSA` artifact could
+    /// replace.
+    UnsupportedBackend {
+        /// Display name of the refusing backend.
+        backend: String,
+    },
+}
+
+impl std::fmt::Display for SwapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SwapError::UnsupportedBackend { backend } => {
+                write!(f, "backend {backend:?} does not support hot-reload")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SwapError {}
+
+/// A streaming anomaly-detection backend: the factory for per-shard
+/// [`StreamingSession`]s.
+///
+/// A backend is immutable shared configuration (trained model, window
+/// width, dynamic-k bounds); all mutable per-stream state lives in the
+/// sessions it opens. One backend is typically shared by every shard of an
+/// engine via `Arc`.
+pub trait StreamingDetector: Send + Sync {
+    /// Short display name (mirrors [`Detector::name`](crate::Detector::name)
+    /// for backends that also implement the offline trait).
+    fn name(&self) -> &str;
+
+    /// Opens a fresh session with no lanes; add one lane per stream with
+    /// [`StreamingSession::add_lane`].
+    fn begin_session(self: Arc<Self>) -> Box<dyn StreamingSession>;
+
+    /// Whether sessions opened by this backend accept
+    /// [`StreamingSession::swap_combined`] (hot-reload from an `ICSA`
+    /// artifact). `false` unless the backend hosts a [`CombinedDetector`].
+    fn supports_hot_swap(&self) -> bool {
+        false
+    }
+}
+
+/// Mutable per-shard state of a [`StreamingDetector`]: a set of independent
+/// stream lanes stepped in batches.
+pub trait StreamingSession: Send {
+    /// Adds a fresh stream lane and returns its index.
+    fn add_lane(&mut self) -> usize;
+
+    /// Number of lanes added so far.
+    fn lanes(&self) -> usize;
+
+    /// Steps one record per *distinct* lane: `records[i]` is the next
+    /// package of the stream on lane `lanes[i]`. Every decision that
+    /// becomes resolvable — possibly none, possibly covering records pushed
+    /// in earlier calls — is appended to `out`; per lane, decisions resolve
+    /// in push order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `records.len() != lanes.len()` or a lane index is out of
+    /// bounds. Lanes must not repeat within one call.
+    fn classify_batch(&mut self, lanes: &[usize], records: &[Record], out: &mut Vec<LaneDecision>);
+
+    /// End of stream: resolves every still-pending decision (window
+    /// backends pass trailing partial windows as normal, mirroring the
+    /// offline `windowed_decisions` protocol; immediate backends have
+    /// nothing pending).
+    fn finish(&mut self, out: &mut Vec<LaneDecision>);
+
+    /// Hot-reload: installs a newly commissioned [`CombinedDetector`],
+    /// resetting every lane to a fresh stream state (LSTM state, rolling
+    /// prediction and dynamic-k controller all restart — the swap point is
+    /// a per-stream re-commissioning boundary). Lane indices remain valid.
+    ///
+    /// Contract for implementers that accept the swap: no decision may be
+    /// left deferred across it — the engine calls
+    /// [`StreamingSession::finish`] immediately before swapping (ending
+    /// the pre-swap streams exactly like a shutdown), and after `finish`
+    /// every record pushed so far must have resolved, or post-swap
+    /// decisions would be paired with stale pre-swap packages.
+    ///
+    /// Backends not built on the combined framework refuse with
+    /// [`SwapError::UnsupportedBackend`]; see
+    /// [`StreamingDetector::supports_hot_swap`].
+    fn swap_combined(&mut self, detector: Arc<CombinedDetector>) -> Result<(), SwapError>;
+}
+
+/// Session shared by the two combined-framework backends: fixed top-`k`
+/// ([`CombinedDetector`]) and per-stream dynamic-`k` ([`AdaptiveCombined`]).
+struct CombinedSession {
+    detector: Arc<CombinedDetector>,
+    batch: CombinedBatch,
+    /// `Some` in adaptive mode: the controller config plus one controller
+    /// per lane.
+    adaptive: Option<(DynamicKConfig, Vec<DynamicKController>)>,
+    levels: Vec<DetectionLevel>,
+}
+
+impl CombinedSession {
+    fn new(detector: Arc<CombinedDetector>, adaptive: Option<DynamicKConfig>) -> Self {
+        CombinedSession {
+            batch: detector.begin_batch(),
+            adaptive: adaptive.map(|config| (config, Vec::new())),
+            detector,
+            levels: Vec::new(),
+        }
+    }
+}
+
+impl StreamingSession for CombinedSession {
+    fn add_lane(&mut self) -> usize {
+        let lane = self.detector.add_lane(&mut self.batch);
+        if let Some((config, controllers)) = &mut self.adaptive {
+            controllers.push(DynamicKController::new(self.detector.k(), *config));
+            debug_assert_eq!(controllers.len(), lane + 1);
+        }
+        lane
+    }
+
+    fn lanes(&self) -> usize {
+        self.batch.lanes()
+    }
+
+    fn classify_batch(&mut self, lanes: &[usize], records: &[Record], out: &mut Vec<LaneDecision>) {
+        self.levels.clear();
+        match &mut self.adaptive {
+            None => self
+                .detector
+                .classify_batch(&mut self.batch, lanes, records, &mut self.levels),
+            Some((_, controllers)) => self.detector.classify_batch_adaptive(
+                &mut self.batch,
+                lanes,
+                records,
+                controllers,
+                &mut self.levels,
+            ),
+        }
+        out.extend(
+            lanes
+                .iter()
+                .zip(self.levels.iter())
+                .map(|(&lane, level)| LaneDecision {
+                    lane,
+                    anomalous: level.is_anomalous(),
+                }),
+        );
+    }
+
+    fn finish(&mut self, _out: &mut Vec<LaneDecision>) {
+        // Every decision resolves at push time; nothing is pending.
+    }
+
+    fn swap_combined(&mut self, detector: Arc<CombinedDetector>) -> Result<(), SwapError> {
+        let lanes = self.batch.lanes();
+        let mut batch = detector.begin_batch();
+        for _ in 0..lanes {
+            detector.add_lane(&mut batch);
+        }
+        if let Some((config, controllers)) = &mut self.adaptive {
+            *controllers = (0..lanes)
+                .map(|_| DynamicKController::new(detector.k(), *config))
+                .collect();
+        }
+        self.batch = batch;
+        self.detector = detector;
+        Ok(())
+    }
+}
+
+impl StreamingDetector for CombinedDetector {
+    fn name(&self) -> &str {
+        "Combined (BF + LSTM)"
+    }
+
+    fn begin_session(self: Arc<Self>) -> Box<dyn StreamingSession> {
+        Box::new(CombinedSession::new(self, None))
+    }
+
+    fn supports_hot_swap(&self) -> bool {
+        true
+    }
+}
+
+/// The combined framework with per-stream dynamic-`k` controllers: every
+/// lane carries its own [`DynamicKController`] seeded at the detector's
+/// commissioned `k`, and decisions follow
+/// [`CombinedDetector::classify_batch_adaptive`] — bit-identical to a
+/// per-record [`CombinedDetector::classify_adaptive`] loop on each stream.
+#[derive(Debug, Clone)]
+pub struct AdaptiveCombined {
+    detector: Arc<CombinedDetector>,
+    config: DynamicKConfig,
+}
+
+impl AdaptiveCombined {
+    /// Wraps a trained detector with a dynamic-k configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is degenerate (same contract as
+    /// [`DynamicKController::new`]).
+    pub fn new(detector: Arc<CombinedDetector>, config: DynamicKConfig) -> Self {
+        // Validate the config eagerly (the controller constructor holds the
+        // invariants) instead of at first add_lane inside a shard thread.
+        let _ = DynamicKController::new(detector.k(), config);
+        AdaptiveCombined { detector, config }
+    }
+
+    /// The wrapped detector.
+    pub fn detector(&self) -> &Arc<CombinedDetector> {
+        &self.detector
+    }
+
+    /// The controller configuration applied to every lane.
+    pub fn config(&self) -> DynamicKConfig {
+        self.config
+    }
+}
+
+impl StreamingDetector for AdaptiveCombined {
+    fn name(&self) -> &str {
+        "Combined (BF + LSTM, dynamic k)"
+    }
+
+    fn begin_session(self: Arc<Self>) -> Box<dyn StreamingSession> {
+        Box::new(CombinedSession::new(
+            Arc::clone(&self.detector),
+            Some(self.config),
+        ))
+    }
+
+    fn supports_hot_swap(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{train_framework, ExperimentConfig};
+    use crate::timeseries::TimeSeriesTrainingConfig;
+    use icsad_dataset::{DatasetConfig, GasPipelineDataset};
+
+    fn small_detector(seed: u64) -> (Arc<CombinedDetector>, Vec<Record>) {
+        let data = GasPipelineDataset::generate(&DatasetConfig {
+            total_packages: 5_000,
+            seed,
+            attack_probability: 0.06,
+            ..DatasetConfig::default()
+        });
+        let split = data.split_chronological(0.6, 0.2);
+        let trained = train_framework(
+            &split,
+            &ExperimentConfig {
+                timeseries: TimeSeriesTrainingConfig {
+                    hidden_dims: vec![12],
+                    epochs: 1,
+                    seed,
+                    ..TimeSeriesTrainingConfig::default()
+                },
+                ..ExperimentConfig::default()
+            },
+        )
+        .unwrap();
+        (Arc::new(trained.detector), split.test().to_vec())
+    }
+
+    /// Drives a session over interleaved streams and collects per-stream
+    /// decision sequences.
+    fn drive(session: &mut dyn StreamingSession, streams: &[&[Record]]) -> Vec<Vec<bool>> {
+        let mut results: Vec<Vec<bool>> = streams.iter().map(|_| Vec::new()).collect();
+        for _ in streams {
+            session.add_lane();
+        }
+        let max_len = streams.iter().map(|s| s.len()).max().unwrap_or(0);
+        let mut out = Vec::new();
+        for t in 0..max_len {
+            let mut lanes = Vec::new();
+            let mut records = Vec::new();
+            for (lane, stream) in streams.iter().enumerate() {
+                if let Some(r) = stream.get(t) {
+                    lanes.push(lane);
+                    records.push(r.clone());
+                }
+            }
+            out.clear();
+            session.classify_batch(&lanes, &records, &mut out);
+            for d in &out {
+                results[d.lane].push(d.anomalous);
+            }
+        }
+        out.clear();
+        session.finish(&mut out);
+        for d in &out {
+            results[d.lane].push(d.anomalous);
+        }
+        results
+    }
+
+    #[test]
+    fn combined_session_matches_per_record_classify() {
+        let (detector, records) = small_detector(51);
+        let half = records.len() / 2;
+        let streams: Vec<&[Record]> = vec![&records[..half], &records[half..]];
+
+        let mut session = Arc::clone(&detector).begin_session();
+        let sessions = drive(session.as_mut(), &streams);
+
+        for (stream, session_decisions) in streams.iter().zip(sessions.iter()) {
+            let mut state = detector.begin();
+            let reference: Vec<bool> = stream
+                .iter()
+                .map(|r| detector.classify(&mut state, r).is_anomalous())
+                .collect();
+            assert_eq!(session_decisions, &reference);
+        }
+    }
+
+    #[test]
+    fn adaptive_session_matches_per_record_classify_adaptive() {
+        let (detector, records) = small_detector(52);
+        let third = records.len() / 3;
+        let streams: Vec<&[Record]> = vec![
+            &records[..third],
+            &records[third..2 * third + 5],
+            &records[2 * third + 5..],
+        ];
+        let config = DynamicKConfig {
+            window: 64,
+            ..DynamicKConfig::default()
+        };
+
+        let backend = Arc::new(AdaptiveCombined::new(Arc::clone(&detector), config));
+        assert!(backend.supports_hot_swap());
+        let mut session = backend.begin_session();
+        let sessions = drive(session.as_mut(), &streams);
+
+        for (stream, session_decisions) in streams.iter().zip(sessions.iter()) {
+            let mut state = detector.begin();
+            let mut controller = DynamicKController::new(detector.k(), config);
+            let reference: Vec<bool> = stream
+                .iter()
+                .map(|r| {
+                    detector
+                        .classify_adaptive(&mut state, &mut controller, r)
+                        .is_anomalous()
+                })
+                .collect();
+            assert_eq!(session_decisions, &reference);
+        }
+    }
+
+    #[test]
+    fn swap_resets_lanes_to_cold_state() {
+        let (detector_a, records) = small_detector(53);
+        let (detector_b, _) = small_detector(54);
+        let (first, second) = records.split_at(records.len() / 2);
+
+        let mut session = Arc::clone(&detector_a).begin_session();
+        let lane = session.add_lane();
+        let mut out = Vec::new();
+        for r in first {
+            session.classify_batch(&[lane], std::slice::from_ref(r), &mut out);
+        }
+        out.clear();
+        session.swap_combined(Arc::clone(&detector_b)).unwrap();
+        assert_eq!(session.lanes(), 1, "lane indices survive the swap");
+        for r in second {
+            session.classify_batch(&[lane], std::slice::from_ref(r), &mut out);
+        }
+        let swapped: Vec<bool> = out.iter().map(|d| d.anomalous).collect();
+
+        // Cold reference: detector B from scratch on the post-swap stream.
+        let mut state = detector_b.begin();
+        let reference: Vec<bool> = second
+            .iter()
+            .map(|r| detector_b.classify(&mut state, r).is_anomalous())
+            .collect();
+        assert_eq!(swapped, reference);
+    }
+}

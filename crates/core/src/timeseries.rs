@@ -511,6 +511,66 @@ impl TimeSeriesDetector {
         scratch: &mut TsBatchScratch,
         out: &mut Vec<bool>,
     ) {
+        self.process_batch_inner(
+            states,
+            lanes,
+            vectors,
+            signature_ids,
+            flag_noisy,
+            scratch,
+            out,
+            None,
+        );
+    }
+
+    /// [`TimeSeriesDetector::process_batch`] that additionally appends the
+    /// pre-step 1-based rank of each entry's signature in its lane's
+    /// rolling prediction to `ranks` (`None` for a stream's first package
+    /// or an unknown signature) — exactly the rank
+    /// [`TimeSeriesDetector::process_with_rank`] returns per record. The
+    /// rank is computed once and shared with the fixed-`k` decision, so
+    /// dynamic-`k` callers ([`crate::combined::CombinedDetector::classify_batch_adaptive`])
+    /// pay nothing extra on the hot path.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`TimeSeriesDetector::process_batch`].
+    #[allow(clippy::too_many_arguments)] // one parallel slice per per-lane input
+    pub fn process_batch_with_ranks(
+        &self,
+        states: &mut [TsState],
+        lanes: &[usize],
+        vectors: &[DiscreteVector],
+        signature_ids: &[Option<usize>],
+        flag_noisy: &[Option<bool>],
+        scratch: &mut TsBatchScratch,
+        out: &mut Vec<bool>,
+        ranks: &mut Vec<Option<usize>>,
+    ) {
+        self.process_batch_inner(
+            states,
+            lanes,
+            vectors,
+            signature_ids,
+            flag_noisy,
+            scratch,
+            out,
+            Some(ranks),
+        );
+    }
+
+    #[allow(clippy::too_many_arguments)] // one parallel slice per per-lane input
+    fn process_batch_inner(
+        &self,
+        states: &mut [TsState],
+        lanes: &[usize],
+        vectors: &[DiscreteVector],
+        signature_ids: &[Option<usize>],
+        flag_noisy: &[Option<bool>],
+        scratch: &mut TsBatchScratch,
+        out: &mut Vec<bool>,
+        mut ranks: Option<&mut Vec<Option<usize>>>,
+    ) {
         let batch = lanes.len();
         assert_eq!(vectors.len(), batch, "vectors/lanes mismatch");
         assert_eq!(signature_ids.len(), batch, "ids/lanes mismatch");
@@ -521,13 +581,16 @@ impl TimeSeriesDetector {
         if batch == 1 {
             // A one-lane batch gains nothing from the gemm path (and pays
             // its packing); the streaming step is the same computation.
-            let (anomalous, _) = self.process_with_rank(
+            let (anomalous, rank) = self.process_with_rank(
                 &mut states[lanes[0]],
                 &vectors[0],
                 signature_ids[0],
                 flag_noisy[0],
             );
             out.push(anomalous);
+            if let Some(ranks) = ranks {
+                ranks.push(rank);
+            }
             return;
         }
         let dims = self.encoder.dims();
@@ -544,12 +607,18 @@ impl TimeSeriesDetector {
         // feedback step (decision order mirrors `process_with_rank`).
         for i in 0..batch {
             let state = &states[lanes[i]];
-            let anomalous = match (&state.prediction, signature_ids[i]) {
-                (_, None) => true,
-                (None, Some(_)) => false,
-                (Some(pred), Some(id)) => loss::rank_of(pred, id) > self.k,
+            let (anomalous, rank) = match (&state.prediction, signature_ids[i]) {
+                (_, None) => (true, None),
+                (None, Some(_)) => (false, None),
+                (Some(pred), Some(id)) => {
+                    let rank = loss::rank_of(pred, id);
+                    (rank > self.k, Some(rank))
+                }
             };
             out.push(anomalous);
+            if let Some(ranks) = ranks.as_deref_mut() {
+                ranks.push(rank);
+            }
             let noisy = flag_noisy[i].unwrap_or(anomalous);
             self.encoder.encode_into(
                 &vectors[i],

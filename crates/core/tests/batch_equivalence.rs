@@ -6,6 +6,7 @@ use std::sync::OnceLock;
 use icsad_core::combined::{CombinedDetector, DetectionLevel};
 use icsad_core::experiment::{train_framework, ExperimentConfig};
 use icsad_core::timeseries::TimeSeriesTrainingConfig;
+use icsad_core::{DynamicKConfig, DynamicKController};
 use icsad_dataset::{DatasetConfig, GasPipelineDataset, Record};
 use proptest::prelude::*;
 
@@ -79,6 +80,84 @@ proptest! {
                 .map(|r| fx.detector.classify(&mut state, r))
                 .collect();
             prop_assert_eq!(batch_levels, &reference);
+        }
+    }
+
+    /// `classify_batch_adaptive` over interleaved multi-PLC lanes (uneven
+    /// lengths, so later rounds carry fewer lanes) equals a per-record
+    /// `classify_adaptive` loop with one controller per stream — decisions
+    /// *and* each controller's final k.
+    #[test]
+    fn classify_batch_adaptive_equals_per_record_adaptive_loop(
+        num_streams in 1usize..6,
+        offset in 0usize..400,
+        len in 10usize..600,
+        stride_salt in any::<u64>(),
+        window in 16usize..128,
+        max_k in 2usize..12,
+    ) {
+        let fx = fixture();
+        let records = &fx.test_records;
+        let end = (offset + len).min(records.len());
+        let window_slice = &records[offset.min(end)..end];
+        let config = DynamicKConfig {
+            min_k: 1,
+            max_k,
+            window,
+            theta: 0.05,
+        };
+
+        // Deal round-robin with a salted start, then truncate streams to
+        // different lengths so lanes drop out of later batches.
+        let mut streams: Vec<Vec<Record>> = vec![Vec::new(); num_streams];
+        for (i, r) in window_slice.iter().enumerate() {
+            streams[(i + stride_salt as usize) % num_streams].push(r.clone());
+        }
+        for (lane, stream) in streams.iter_mut().enumerate() {
+            let keep = stream.len() - (lane * stream.len() / (2 * num_streams)).min(stream.len());
+            stream.truncate(keep);
+        }
+
+        // Batched: one controller per lane, lockstep rounds.
+        let mut batch = fx.detector.begin_batch();
+        let mut controllers: Vec<DynamicKController> = Vec::new();
+        for _ in 0..num_streams {
+            fx.detector.add_lane(&mut batch);
+            controllers.push(DynamicKController::new(fx.detector.k(), config));
+        }
+        let mut batched: Vec<Vec<DetectionLevel>> = vec![Vec::new(); num_streams];
+        let max_len = streams.iter().map(|s| s.len()).max().unwrap_or(0);
+        let mut lanes = Vec::new();
+        let mut round = Vec::new();
+        let mut out = Vec::new();
+        for t in 0..max_len {
+            lanes.clear();
+            round.clear();
+            out.clear();
+            for (lane, stream) in streams.iter().enumerate() {
+                if let Some(r) = stream.get(t) {
+                    lanes.push(lane);
+                    round.push(r.clone());
+                }
+            }
+            fx.detector
+                .classify_batch_adaptive(&mut batch, &lanes, &round, &mut controllers, &mut out);
+            for (&lane, &level) in lanes.iter().zip(out.iter()) {
+                batched[lane].push(level);
+            }
+        }
+
+        // Reference: independent per-record adaptive loops.
+        for (lane, stream) in streams.iter().enumerate() {
+            let mut state = fx.detector.begin();
+            let mut controller = DynamicKController::new(fx.detector.k(), config);
+            let reference: Vec<DetectionLevel> = stream
+                .iter()
+                .map(|r| fx.detector.classify_adaptive(&mut state, &mut controller, r))
+                .collect();
+            prop_assert_eq!(&batched[lane], &reference);
+            prop_assert_eq!(controllers[lane].k(), controller.k());
+            prop_assert_eq!(controllers[lane].observations(), controller.observations());
         }
     }
 }

@@ -1,53 +1,70 @@
-//! Sharded, batched streaming detection engine.
+//! Sharded, batched streaming detection engine with pluggable backends.
 //!
 //! The paper frames its detector as an online monitor sitting on the
 //! control network; this crate is the production-shaped runtime for that
 //! role. Raw Modbus frames are ingested as they appear on the wire, routed
 //! by slave/unit id to a fixed set of shard workers over bounded channels,
 //! converted to feature records with per-stream
-//! [`icsad_dataset::extract::StreamExtractor`]s, and classified through the
-//! combined two-level framework in batches: every flush steps all of a
-//! shard's in-flight streams through the LSTM together as matrix–matrix
-//! products ([`icsad_core::CombinedDetector::classify_batch`]).
+//! [`icsad_dataset::extract::StreamExtractor`]s, and classified through a
+//! pluggable **streaming backend** ([`icsad_core::StreamingDetector`]) in
+//! batches: every flush steps all of a shard's in-flight streams through
+//! the backend together.
 //!
 //! ```text
 //!                  ┌────────── Engine ──────────────────────────────┐
 //!  RawFrame ──────►│ router: slave id % shards                      │
-//!                  │   │ (malformed frames → quarantine counter)    │
-//!                  │   │            │                               │
+//!                  │   │ (malformed / non-finite-time frames        │
+//!                  │   │            │     → quarantine counter)     │
 //!                  │   ▼            ▼                               │
 //!                  │ bounded ch   bounded ch      (backpressure)    │
 //!                  │   │            │                               │
 //!                  │ shard 0      shard 1     … one thread each     │
-//!                  │  per-stream lanes → CombinedBatch flushes      │
+//!                  │  per-stream lanes → StreamingSession flushes   │
 //!                  │  StreamExtractor → classify_batch → report     │
 //!                  └───────────────┬────────────────────────────────┘
 //!                                  ▼
 //!                     EngineReport (merged per-shard reports)
 //! ```
 //!
-//! The detector an engine wraps can come from an in-process training run
+//! Three backend families plug into the shard loop:
+//!
+//! | backend | entry point | decision rule |
+//! |---|---|---|
+//! | combined framework | [`Engine::start`] ([`EngineMode::FixedK`]) | fixed top-`k` |
+//! | combined + dynamic-`k` | [`Engine::start`] ([`EngineMode::AdaptiveK`]) | per-stream [`DynamicKController`](icsad_core::DynamicKController) |
+//! | Table IV window baselines | [`Engine::start_backend`] + `icsad_baselines::WindowedBackend` | §VIII-C window protocol |
+//!
+//! The combined backends can come from an in-process training run
 //! ([`Engine::start`]) or from a commissioning artifact saved by
 //! [`icsad_core::CombinedDetector::save`]
 //! ([`Engine::start_from_artifact`]) — the train-offline / monitor-online
-//! deployment the paper assumes.
+//! deployment the paper assumes. A *running* engine can additionally
+//! **hot-reload** a freshly commissioned artifact without dropping
+//! in-flight streams: [`Engine::swap_artifact`] installs the new detector
+//! in every shard at a round boundary (see its docs for the exact
+//! protocol).
 //!
-//! Decisions are identical to running every stream through
-//! [`icsad_core::CombinedDetector::classify`] one package at a time: the
-//! batching is a throughput optimization, not a semantic change.
+//! Decisions are identical to running every stream through the backend's
+//! offline path one package at a time — for the combined framework, a
+//! per-record [`icsad_core::CombinedDetector::classify`] (or
+//! `classify_adaptive`) loop; for the baselines, the offline
+//! `windowed_decisions` protocol. The batching and sharding are throughput
+//! optimizations, not semantic changes.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use icsad_core::artifact::ArtifactError;
-use icsad_core::combined::{CombinedBatch, CombinedDetector, DetectionLevel};
+use icsad_core::combined::CombinedDetector;
+use icsad_core::dynamic_k::DynamicKConfig;
 use icsad_core::metrics::ClassificationReport;
+use icsad_core::streaming::{AdaptiveCombined, LaneDecision, StreamingDetector, StreamingSession};
 use icsad_dataset::extract::{StreamExtractor, DEFAULT_CRC_WINDOW};
 use icsad_dataset::Record;
 use icsad_simulator::{AttackType, Packet};
@@ -79,11 +96,14 @@ impl RawFrame {
     }
 
     /// Whether the frame is long enough ([`MIN_FRAME_LEN`]) to be a Modbus
-    /// RTU frame at all. Shorter fragments used to be routed to unit `0`,
-    /// silently polluting that PLC's CRC window and LSTM state; the engine
-    /// now quarantines them (see [`EngineReport::quarantined`]).
+    /// RTU frame at all *and* carries a finite capture timestamp. Short
+    /// fragments used to be routed to unit `0`, silently polluting that
+    /// PLC's CRC window and LSTM state; a NaN/infinite timestamp would
+    /// poison the stream's inter-arrival features (and panic time-ordered
+    /// comparisons downstream). The engine quarantines both (see
+    /// [`EngineReport::quarantined`]).
     pub fn is_well_formed(&self) -> bool {
-        self.wire.len() >= MIN_FRAME_LEN
+        self.wire.len() >= MIN_FRAME_LEN && self.time.is_finite()
     }
 }
 
@@ -109,8 +129,23 @@ impl From<Packet> for RawFrame {
     }
 }
 
+/// How a combined-framework engine applies the top-`k` rule
+/// (see [`EngineConfig::mode`]).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum EngineMode {
+    /// The commissioned fixed `k` of the artifact
+    /// ([`icsad_core::CombinedDetector::classify_batch`]).
+    #[default]
+    FixedK,
+    /// Per-stream dynamic-`k` controllers seeded at the commissioned `k`
+    /// (paper §VIII-D future work;
+    /// [`icsad_core::CombinedDetector::classify_batch_adaptive`]). Each
+    /// stream lane adapts its own `k` to its recent prediction ranks.
+    AdaptiveK(DynamicKConfig),
+}
+
 /// Engine tuning knobs.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EngineConfig {
     /// Worker shards (threads). Streams are pinned to shards by unit id.
     pub num_shards: usize,
@@ -127,6 +162,11 @@ pub struct EngineConfig {
     pub channel_capacity: usize,
     /// CRC sliding-window width for feature extraction (per stream).
     pub crc_window: usize,
+    /// Top-`k` mode for the combined backends started through
+    /// [`Engine::start`] / [`Engine::start_from_artifact`]. Ignored by
+    /// [`Engine::start_backend`], whose backend already fixes its own
+    /// decision rule.
+    pub mode: EngineMode,
 }
 
 impl Default for EngineConfig {
@@ -142,7 +182,50 @@ impl Default for EngineConfig {
             batch_size: 64,
             channel_capacity: 1024,
             crc_window: DEFAULT_CRC_WINDOW,
+            mode: EngineMode::FixedK,
         }
+    }
+}
+
+/// Why [`Engine::swap_artifact`] failed. The running engine is unchanged:
+/// no shard saw the rejected artifact and every stream keeps its state.
+#[derive(Debug)]
+pub enum ReloadError {
+    /// The artifact file failed to load or validate
+    /// (see [`icsad_core::artifact`]).
+    Artifact(ArtifactError),
+    /// The engine's backend does not host a combined detector (e.g. a
+    /// window baseline), so there is nothing an `ICSA` artifact could
+    /// replace.
+    UnsupportedBackend {
+        /// Display name of the running backend.
+        backend: String,
+    },
+}
+
+impl std::fmt::Display for ReloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReloadError::Artifact(e) => write!(f, "artifact rejected: {e}"),
+            ReloadError::UnsupportedBackend { backend } => {
+                write!(f, "backend {backend:?} does not support hot-reload")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReloadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReloadError::Artifact(e) => Some(e),
+            ReloadError::UnsupportedBackend { .. } => None,
+        }
+    }
+}
+
+impl From<ArtifactError> for ReloadError {
+    fn from(e: ArtifactError) -> Self {
+        ReloadError::Artifact(e)
     }
 }
 
@@ -157,8 +240,14 @@ pub struct ShardReport {
     pub streams: usize,
     /// Classification flushes executed.
     pub flushes: u64,
-    /// Alarms raised (either detection level).
+    /// Alarms raised.
     pub alarms: u64,
+    /// Hot-reloads this shard applied ([`Engine::swap_artifact`]).
+    pub reloads: u64,
+    /// The flush-round count at which each hot-reload was applied: the
+    /// swap happened on the boundary after round `swap_rounds[i]`, with
+    /// the backlog fully drained through the outgoing detector first.
+    pub swap_rounds: Vec<u64>,
     /// Evaluation against the frames' ground-truth labels.
     pub report: ClassificationReport,
 }
@@ -170,10 +259,14 @@ pub struct EngineReport {
     pub total: ClassificationReport,
     /// Per-shard breakdown.
     pub shards: Vec<ShardReport>,
-    /// Malformed frames (shorter than [`MIN_FRAME_LEN`]) dropped at ingest
-    /// instead of being merged into some stream. They never reach a shard,
-    /// an extractor, or the classifier.
+    /// Malformed frames (shorter than [`MIN_FRAME_LEN`] or with a
+    /// non-finite timestamp) dropped at ingest instead of being merged
+    /// into some stream. They never reach a shard, an extractor, or the
+    /// classifier.
     pub quarantined: u64,
+    /// Successful [`Engine::swap_artifact`] hot-reloads over the engine's
+    /// lifetime (each one reached every shard).
+    pub reloads: u64,
 }
 
 impl EngineReport {
@@ -188,32 +281,68 @@ impl EngineReport {
     }
 }
 
+/// Control-plane message to a shard worker: a chunk of routed frames, or a
+/// hot-reload to apply at the next round boundary.
+enum ShardMsg {
+    Frames(Vec<RawFrame>),
+    Swap(Arc<CombinedDetector>),
+}
+
 /// The running engine: a router handle over the shard workers.
 ///
-/// Create with [`Engine::start`], feed frames with [`Engine::ingest`] (or
-/// [`Engine::ingest_packets`] from the simulator), then call
-/// [`Engine::finish`] to drain the pipelines and collect the report.
+/// Create with [`Engine::start`] (combined framework, fixed or adaptive
+/// `k`), [`Engine::start_from_artifact`] (the same, cold-started from a
+/// commissioning file) or [`Engine::start_backend`] (any
+/// [`StreamingDetector`], e.g. a Table IV window baseline). Feed frames
+/// with [`Engine::ingest`] (or [`Engine::ingest_packets`] from the
+/// simulator), optionally hot-reload with [`Engine::swap_artifact`], then
+/// call [`Engine::finish`] to drain the pipelines and collect the report.
 pub struct Engine {
-    senders: Vec<SyncSender<Vec<RawFrame>>>,
+    backend: Arc<dyn StreamingDetector>,
+    senders: Vec<SyncSender<ShardMsg>>,
     /// Per-shard ingest buffers: frames are shipped in chunks to amortize
     /// channel synchronization over many frames.
     buffers: Vec<Vec<RawFrame>>,
     workers: Vec<JoinHandle<ShardReport>>,
     ingested: AtomicU64,
     quarantined: AtomicU64,
+    reloads: u64,
 }
 
 /// Frames per channel message (amortizes the per-send synchronization).
 const INGEST_CHUNK: usize = 64;
 
 impl Engine {
-    /// Spawns the shard workers and returns the ingest handle.
+    /// Spawns the shard workers around the combined framework and returns
+    /// the ingest handle. [`EngineConfig::mode`] selects the top-`k` rule:
+    /// the commissioned fixed `k`, or per-stream dynamic-`k` controllers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_shards`, `batch_size`, `channel_capacity` or
+    /// `crc_window` is zero, or if an [`EngineMode::AdaptiveK`] config is
+    /// degenerate.
+    pub fn start(detector: Arc<CombinedDetector>, config: EngineConfig) -> Engine {
+        let backend: Arc<dyn StreamingDetector> = match config.mode {
+            EngineMode::FixedK => detector,
+            EngineMode::AdaptiveK(k_config) => Arc::new(AdaptiveCombined::new(detector, k_config)),
+        };
+        Engine::start_backend(backend, config)
+    }
+
+    /// Spawns the shard workers around an arbitrary streaming backend —
+    /// the combined framework, its dynamic-`k` wrapper, or one of the six
+    /// Table IV window baselines (`icsad_baselines::WindowedBackend`) for
+    /// apples-to-apples streaming comparisons.
+    ///
+    /// [`EngineConfig::mode`] is ignored here: the backend itself fixes
+    /// the decision rule.
     ///
     /// # Panics
     ///
     /// Panics if `num_shards`, `batch_size`, `channel_capacity` or
     /// `crc_window` is zero.
-    pub fn start(detector: Arc<CombinedDetector>, config: EngineConfig) -> Engine {
+    pub fn start_backend(backend: Arc<dyn StreamingDetector>, config: EngineConfig) -> Engine {
         assert!(config.num_shards > 0, "need at least one shard");
         assert!(config.batch_size > 0, "batch_size must be positive");
         assert!(
@@ -227,22 +356,27 @@ impl Engine {
         // Channel capacity counts chunks; keep the frame-level depth.
         let chunk_capacity = config.channel_capacity.div_ceil(INGEST_CHUNK).max(1);
         for shard in 0..config.num_shards {
-            let (tx, rx) = sync_channel::<Vec<RawFrame>>(chunk_capacity);
-            let detector = Arc::clone(&detector);
+            let (tx, rx) = sync_channel::<ShardMsg>(chunk_capacity);
+            let backend = Arc::clone(&backend);
             let config = config.clone();
             let handle = std::thread::Builder::new()
                 .name(format!("icsad-shard-{shard}"))
-                .spawn(move || shard_worker(shard, detector, config, rx))
+                .spawn(move || {
+                    let session = backend.begin_session();
+                    ShardWorker::new(session, config).run(shard, rx)
+                })
                 .expect("failed to spawn shard worker");
             senders.push(tx);
             workers.push(handle);
         }
         Engine {
+            backend,
             buffers: vec![Vec::with_capacity(INGEST_CHUNK); config.num_shards],
             senders,
             workers,
             ingested: AtomicU64::new(0),
             quarantined: AtomicU64::new(0),
+            reloads: 0,
         }
     }
 
@@ -251,6 +385,7 @@ impl Engine {
     /// [`CombinedDetector`] saved by [`CombinedDetector::save`] and spawns
     /// the shard workers around it — the train-offline / monitor-online
     /// split the paper's deployment model assumes.
+    /// [`EngineConfig::mode`] applies exactly as in [`Engine::start`].
     ///
     /// # Errors
     ///
@@ -266,6 +401,71 @@ impl Engine {
     ) -> Result<Engine, ArtifactError> {
         let detector = CombinedDetector::load(path)?;
         Ok(Engine::start(Arc::new(detector), config))
+    }
+
+    /// Hot-reloads a freshly commissioned artifact into the running engine
+    /// without dropping in-flight streams.
+    ///
+    /// The artifact is loaded and validated against the running
+    /// configuration first: it must decode to a structurally consistent
+    /// [`CombinedDetector`] (every [`ArtifactError`] check) and the
+    /// engine's backend must host a combined detector
+    /// ([`StreamingDetector::supports_hot_swap`]) — a window-baseline
+    /// engine refuses with [`ReloadError::UnsupportedBackend`]. On any
+    /// error the engine is untouched.
+    ///
+    /// On success, every shard applies the swap at its next **round
+    /// boundary**: pending ingest chunks are flushed so all previously
+    /// ingested frames travel ahead of the swap message, the shard drains
+    /// its whole backlog through the outgoing detector, then exchanges the
+    /// detector `Arc` inside its session and resets each stream lane — the
+    /// LSTM state, rolling prediction, dynamic-`k` controller *and*
+    /// feature extractor all restart, making the swap point a per-stream
+    /// re-commissioning boundary. Frames ingested after `swap_artifact`
+    /// returns are therefore classified exactly as a cold-started engine
+    /// on the new artifact would classify them, while every frame ingested
+    /// before is classified by the old detector (pinned by the engine's
+    /// hot-reload equivalence test).
+    ///
+    /// The swap is recorded on the reports: [`EngineReport::reloads`]
+    /// counts engine-wide reloads and each [`ShardReport::swap_rounds`]
+    /// entry names the flush round its shard swapped after.
+    ///
+    /// # Errors
+    ///
+    /// [`ReloadError::Artifact`] if the file is unreadable or corrupt,
+    /// [`ReloadError::UnsupportedBackend`] if the backend cannot swap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shard worker has terminated.
+    pub fn swap_artifact(&mut self, path: impl AsRef<std::path::Path>) -> Result<(), ReloadError> {
+        if !self.backend.supports_hot_swap() {
+            return Err(ReloadError::UnsupportedBackend {
+                backend: self.backend.name().to_string(),
+            });
+        }
+        let detector = Arc::new(CombinedDetector::load(path)?);
+        // Everything ingested so far must reach the shards ahead of the
+        // swap message, so the old detector classifies it.
+        self.flush_ingest();
+        for sender in &self.senders {
+            sender
+                .send(ShardMsg::Swap(Arc::clone(&detector)))
+                .expect("shard worker terminated");
+        }
+        self.reloads += 1;
+        Ok(())
+    }
+
+    /// Display name of the running backend.
+    pub fn backend_name(&self) -> String {
+        self.backend.name().to_string()
+    }
+
+    /// Successful hot-reloads dispatched so far.
+    pub fn reloads(&self) -> u64 {
+        self.reloads
     }
 
     /// Number of shards.
@@ -293,10 +493,10 @@ impl Engine {
     /// `INGEST_CHUNK` (64); a full chunk blocks when the shard's channel
     /// is full (backpressure).
     ///
-    /// Frames too short to be Modbus RTU at all ([`RawFrame::is_well_formed`])
-    /// are quarantined — dropped and counted — rather than merged into
-    /// unit 0's stream, where they would corrupt that PLC's CRC window and
-    /// LSTM state.
+    /// Frames too short to be Modbus RTU at all, or carrying a non-finite
+    /// capture timestamp ([`RawFrame::is_well_formed`]), are quarantined —
+    /// dropped and counted — rather than merged into unit 0's stream or a
+    /// PLC's inter-arrival features, which they would silently corrupt.
     ///
     /// # Panics
     ///
@@ -314,7 +514,7 @@ impl Engine {
             let chunk =
                 std::mem::replace(&mut self.buffers[shard], Vec::with_capacity(INGEST_CHUNK));
             self.senders[shard]
-                .send(chunk)
+                .send(ShardMsg::Frames(chunk))
                 .expect("shard worker terminated");
         }
         self.ingested.fetch_add(1, Ordering::Relaxed);
@@ -328,9 +528,9 @@ impl Engine {
     }
 
     /// Ships any partially filled ingest chunks to their shards
-    /// immediately (also done by [`Engine::finish`]). Call when a live
-    /// source goes quiet and pending frames should not wait for a full
-    /// chunk.
+    /// immediately (also done by [`Engine::finish`] and
+    /// [`Engine::swap_artifact`]). Call when a live source goes quiet and
+    /// pending frames should not wait for a full chunk.
     ///
     /// # Panics
     ///
@@ -340,7 +540,7 @@ impl Engine {
             if !buffer.is_empty() {
                 let chunk = std::mem::take(buffer);
                 self.senders[shard]
-                    .send(chunk)
+                    .send(ShardMsg::Frames(chunk))
                     .expect("shard worker terminated");
             }
         }
@@ -365,48 +565,55 @@ impl Engine {
             total,
             shards,
             quarantined: self.quarantined.load(Ordering::Relaxed),
+            reloads: self.reloads,
         }
     }
 }
 
 /// The shard worker: per-stream extraction and queueing, round-based
-/// batched classification.
+/// batched classification through a [`StreamingSession`].
 ///
-/// Each stream owns a FIFO of extracted records. A classification *round*
-/// pops the front record of every non-empty queue and classifies them as
-/// one batch — per-stream order is preserved (and decisions are
-/// per-stream, so cross-stream interleaving is semantically free), while
-/// adjacent packages of the same stream no longer degrade the batch to a
-/// single lane. Rounds run when the backlog reaches `batch_size`, when the
-/// channel momentarily drains, and at shutdown.
+/// Each stream owns a FIFO of extracted records plus a FIFO of their
+/// labels. A classification *round* pops the front record of every
+/// non-empty queue and steps them through the session as one batch —
+/// per-stream order is preserved (and decisions are per-stream, so
+/// cross-stream interleaving is semantically free), while adjacent
+/// packages of the same stream no longer degrade the batch to a single
+/// lane. Backends may *defer* decisions (window baselines resolve a whole
+/// window at once); the label FIFOs pair every resolved decision with its
+/// package again. Rounds run when the backlog reaches `batch_size`, when
+/// the channel momentarily drains, and at shutdown.
 struct ShardWorker {
-    detector: Arc<CombinedDetector>,
+    session: Box<dyn StreamingSession>,
     config: EngineConfig,
-    batch: CombinedBatch,
     /// unit id -> lane index.
     lanes_by_unit: HashMap<u8, usize>,
     extractors: Vec<StreamExtractor>,
-    queues: Vec<std::collections::VecDeque<Record>>,
+    queues: Vec<VecDeque<Record>>,
+    /// Labels of packages pushed into the session whose decisions have not
+    /// resolved yet, per lane, in push order.
+    pending_labels: Vec<VecDeque<Option<AttackType>>>,
     queued: usize,
     pending_lanes: Vec<usize>,
     pending_records: Vec<Record>,
-    decisions: Vec<DetectionLevel>,
+    decisions: Vec<LaneDecision>,
     report: ClassificationReport,
     frames: u64,
     flushes: u64,
     alarms: u64,
+    reloads: u64,
+    swap_rounds: Vec<u64>,
 }
 
 impl ShardWorker {
-    fn new(detector: Arc<CombinedDetector>, config: EngineConfig) -> Self {
-        let batch = detector.begin_batch();
+    fn new(session: Box<dyn StreamingSession>, config: EngineConfig) -> Self {
         ShardWorker {
-            detector,
+            session,
             config,
-            batch,
             lanes_by_unit: HashMap::new(),
             extractors: Vec::new(),
             queues: Vec::new(),
+            pending_labels: Vec::new(),
             queued: 0,
             pending_lanes: Vec::new(),
             pending_records: Vec::new(),
@@ -415,6 +622,8 @@ impl ShardWorker {
             frames: 0,
             flushes: 0,
             alarms: 0,
+            reloads: 0,
+            swap_rounds: Vec::new(),
         }
     }
 
@@ -427,11 +636,12 @@ impl ShardWorker {
         let lane = match self.lanes_by_unit.get(&unit) {
             Some(&lane) => lane,
             None => {
-                let lane = self.detector.add_lane(&mut self.batch);
+                let lane = self.session.add_lane();
                 self.lanes_by_unit.insert(unit, lane);
                 self.extractors
                     .push(StreamExtractor::new(self.config.crc_window));
-                self.queues.push(std::collections::VecDeque::new());
+                self.queues.push(VecDeque::new());
+                self.pending_labels.push(VecDeque::new());
                 lane
             }
         };
@@ -452,24 +662,66 @@ impl ShardWorker {
         self.decisions.clear();
         for (lane, queue) in self.queues.iter_mut().enumerate() {
             if let Some(record) = queue.pop_front() {
+                self.pending_labels[lane].push_back(record.label);
                 self.pending_lanes.push(lane);
                 self.pending_records.push(record);
             }
         }
         self.queued -= self.pending_lanes.len();
-        self.detector.classify_batch(
-            &mut self.batch,
+        self.session.classify_batch(
             &self.pending_lanes,
             &self.pending_records,
             &mut self.decisions,
         );
-        for (record, level) in self.pending_records.iter().zip(self.decisions.iter()) {
-            if level.is_anomalous() {
+        self.absorb_decisions();
+        self.flushes += 1;
+    }
+
+    /// Scores every decision the session resolved, pairing it with its
+    /// package's label (per-lane FIFO order).
+    fn absorb_decisions(&mut self) {
+        let mut decisions = std::mem::take(&mut self.decisions);
+        for d in decisions.drain(..) {
+            let label = self.pending_labels[d.lane]
+                .pop_front()
+                .expect("backend resolved a decision with no pending package");
+            if d.anomalous {
                 self.alarms += 1;
             }
-            self.report.record(record.label, level.is_anomalous());
+            self.report.record(label, d.anomalous);
         }
-        self.flushes += 1;
+        self.decisions = decisions;
+    }
+
+    /// Applies a hot-reload at a round boundary: drains the whole backlog
+    /// through the outgoing detector, then swaps and resets every stream.
+    fn apply_swap(&mut self, detector: Arc<CombinedDetector>) {
+        while self.queued > 0 {
+            self.flush_round();
+        }
+        // Resolve decisions the backend is still deferring before its lane
+        // state resets: the swap point ends the pre-swap stream exactly
+        // like a shutdown would (a no-op for the combined backends, which
+        // defer nothing — but it keeps the label FIFOs honest for any
+        // swappable backend that buffers).
+        self.decisions.clear();
+        self.session.finish(&mut self.decisions);
+        self.absorb_decisions();
+        self.session
+            .swap_combined(detector)
+            .expect("engine pre-validates hot-swap support");
+        debug_assert!(
+            self.pending_labels.iter().all(|q| q.is_empty()),
+            "session.finish must resolve every pending decision"
+        );
+        // The extractors are part of per-stream state: resetting them makes
+        // the post-swap stream identical to a cold start on the new
+        // artifact (CRC window and inter-arrival features restart too).
+        for extractor in &mut self.extractors {
+            *extractor = StreamExtractor::new(self.config.crc_window);
+        }
+        self.reloads += 1;
+        self.swap_rounds.push(self.flushes);
     }
 
     fn enqueue_chunk(&mut self, chunk: Vec<RawFrame>) {
@@ -481,57 +733,65 @@ impl ShardWorker {
         }
     }
 
-    fn run(mut self, shard: usize, rx: Receiver<Vec<RawFrame>>) -> ShardReport {
+    fn handle(&mut self, msg: ShardMsg) {
+        match msg {
+            ShardMsg::Frames(chunk) => self.enqueue_chunk(chunk),
+            ShardMsg::Swap(detector) => self.apply_swap(detector),
+        }
+    }
+
+    fn run(mut self, shard: usize, rx: Receiver<ShardMsg>) -> ShardReport {
         'ingest: loop {
             // Soak whatever is already buffered so rounds see a backlog of
             // streams, flushing whenever the backlog is deep enough.
             loop {
                 match rx.try_recv() {
-                    Ok(chunk) => self.enqueue_chunk(chunk),
+                    Ok(msg) => self.handle(msg),
                     Err(std::sync::mpsc::TryRecvError::Empty) => break,
                     Err(std::sync::mpsc::TryRecvError::Disconnected) => break 'ingest,
                 }
             }
             // Channel momentarily empty: work through the backlog, then
-            // block for the next chunk.
+            // block for the next message.
             self.flush_round();
             if self.queued == 0 {
                 match rx.recv() {
-                    Ok(chunk) => self.enqueue_chunk(chunk),
+                    Ok(msg) => self.handle(msg),
                     Err(_) => break 'ingest,
                 }
             }
         }
-        // Ingest closed: drain everything still queued.
+        // Ingest closed: drain everything still queued, then let the
+        // backend resolve decisions it deferred (window tails).
         while self.queued > 0 {
             self.flush_round();
         }
+        self.decisions.clear();
+        self.session.finish(&mut self.decisions);
+        self.absorb_decisions();
         ShardReport {
             shard,
             frames: self.frames,
             streams: self.lanes_by_unit.len(),
             flushes: self.flushes,
             alarms: self.alarms,
+            reloads: self.reloads,
+            swap_rounds: self.swap_rounds,
             report: self.report,
         }
     }
 }
 
-/// Entry point for one shard thread.
-fn shard_worker(
-    shard: usize,
-    detector: Arc<CombinedDetector>,
-    config: EngineConfig,
-    rx: Receiver<Vec<RawFrame>>,
-) -> ShardReport {
-    ShardWorker::new(detector, config).run(shard, rx)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use icsad_baselines::{
+        calibrate_fpr, window::Windows, windowed_decisions, IsolationForest, WindowedBackend,
+        PAPER_WINDOW,
+    };
     use icsad_core::experiment::{train_framework, ExperimentConfig};
     use icsad_core::timeseries::TimeSeriesTrainingConfig;
+    use icsad_core::{DynamicKConfig, DynamicKController};
     use icsad_dataset::extract::extract_records;
     use icsad_dataset::{DatasetConfig, GasPipelineDataset};
     use icsad_simulator::{TrafficConfig, TrafficGenerator};
@@ -572,8 +832,22 @@ mod tests {
             });
             all.extend(generator.generate(per_plc));
         }
-        all.sort_by(|a, b| a.time.partial_cmp(&b.time).unwrap());
+        // total_cmp, not partial_cmp().unwrap(): a NaN timestamp in a
+        // capture must not panic the harness (the engine quarantines such
+        // frames; the sort just needs a total order).
+        all.sort_by(|a, b| a.time.total_cmp(&b.time));
         all
+    }
+
+    /// Partitions a capture by unit id, as the engine's router does.
+    fn by_unit(packets: &[Packet]) -> HashMap<u8, Vec<Packet>> {
+        let mut map: HashMap<u8, Vec<Packet>> = HashMap::new();
+        for p in packets {
+            map.entry(p.wire.first().copied().unwrap_or(0))
+                .or_default()
+                .push(p.clone());
+        }
+        map
     }
 
     /// The engine must agree exactly with per-stream, per-record
@@ -586,14 +860,8 @@ mod tests {
         // Reference: partition by unit id, extract per stream, classify
         // each stream with the per-record API.
         let mut reference = ClassificationReport::default();
-        let mut by_unit: HashMap<u8, Vec<Packet>> = HashMap::new();
-        for p in &packets {
-            by_unit
-                .entry(p.wire.first().copied().unwrap_or(0))
-                .or_default()
-                .push(p.clone());
-        }
-        for stream_packets in by_unit.values() {
+        let streams = by_unit(&packets);
+        for stream_packets in streams.values() {
             let records = extract_records(stream_packets, DEFAULT_CRC_WINDOW);
             let mut state = detector.begin();
             for r in &records {
@@ -619,11 +887,138 @@ mod tests {
         assert_eq!(report.frames(), packets.len() as u64);
         assert_eq!(report.total, reference);
         assert_eq!(report.shards.len(), 2);
+        assert_eq!(report.reloads, 0);
         // At least the three configured PLCs; attack traffic (e.g. recon
         // scans) may introduce additional unit ids, each its own stream.
-        let streams: usize = report.shards.iter().map(|s| s.streams).sum();
-        assert!(streams >= 3, "expected >= 3 streams, saw {streams}");
-        assert_eq!(streams, by_unit.len());
+        let stream_count: usize = report.shards.iter().map(|s| s.streams).sum();
+        assert!(
+            stream_count >= 3,
+            "expected >= 3 streams, saw {stream_count}"
+        );
+        assert_eq!(stream_count, streams.len());
+    }
+
+    /// Engine-level dynamic-k: decisions must be bit-identical to a
+    /// per-record `classify_adaptive` loop with one controller per stream.
+    #[test]
+    fn adaptive_engine_matches_per_record_adaptive_reference() {
+        let detector = small_detector(41);
+        let packets = multi_plc_capture(&[2, 5, 9], 600, 41);
+        let k_config = DynamicKConfig {
+            window: 64,
+            ..DynamicKConfig::default()
+        };
+
+        let mut reference = ClassificationReport::default();
+        let mut reference_alarms = 0u64;
+        for stream_packets in by_unit(&packets).values() {
+            let records = extract_records(stream_packets, DEFAULT_CRC_WINDOW);
+            let mut state = detector.begin();
+            let mut controller = DynamicKController::new(detector.k(), k_config);
+            for r in &records {
+                let level = detector.classify_adaptive(&mut state, &mut controller, r);
+                if level.is_anomalous() {
+                    reference_alarms += 1;
+                }
+                reference.record(r.label, level.is_anomalous());
+            }
+        }
+
+        let run = |shards: usize, batch: usize| {
+            let mut engine = Engine::start(
+                Arc::clone(&detector),
+                EngineConfig {
+                    num_shards: shards,
+                    batch_size: batch,
+                    channel_capacity: 64,
+                    mode: EngineMode::AdaptiveK(k_config),
+                    ..EngineConfig::default()
+                },
+            );
+            assert!(engine.backend_name().contains("dynamic k"));
+            engine.ingest_packets(&packets);
+            engine.finish()
+        };
+
+        let sharded = run(2, 8);
+        assert_eq!(sharded.total, reference);
+        assert_eq!(sharded.alarms(), reference_alarms);
+        // Shard count and batch size stay throughput knobs in adaptive
+        // mode too.
+        let single = run(1, 32);
+        assert_eq!(single.total, reference);
+    }
+
+    /// A detector commissioned on clean traffic from the *same* PLCs the
+    /// engine will watch, so live signatures are mostly in-vocabulary and
+    /// the top-k rule actually decides.
+    fn stream_trained_detector(slaves: &[u8], seed: u64) -> Arc<CombinedDetector> {
+        let mut train_records: Vec<Record> = Vec::new();
+        for (i, &slave) in slaves.iter().enumerate() {
+            let mut generator = TrafficGenerator::new(TrafficConfig {
+                seed: seed + i as u64,
+                slave_address: slave,
+                attack_probability: 0.0,
+                ..TrafficConfig::default()
+            });
+            let packets = generator.generate(2_500);
+            train_records.extend(extract_records(&packets, DEFAULT_CRC_WINDOW));
+        }
+        train_records.sort_by(|a, b| a.time.total_cmp(&b.time));
+        let clean = GasPipelineDataset::from_records(train_records);
+        let split = clean.split_chronological(0.7, 0.2);
+        let trained = train_framework(
+            &split,
+            &ExperimentConfig {
+                timeseries: TimeSeriesTrainingConfig {
+                    hidden_dims: vec![12],
+                    epochs: 2,
+                    seed,
+                    ..TimeSeriesTrainingConfig::default()
+                },
+                ..ExperimentConfig::default()
+            },
+        )
+        .unwrap();
+        Arc::new(trained.detector)
+    }
+
+    /// The adaptive rule must actually differ from the fixed rule on some
+    /// traffic — otherwise the mode is dead weight and the equivalence
+    /// test above proves nothing.
+    #[test]
+    fn adaptive_mode_is_not_the_fixed_rule_in_disguise() {
+        let detector = stream_trained_detector(&[3, 8], 460);
+        let packets = multi_plc_capture(&[3, 8], 700, 46);
+        // Controller bounds pinned away from the commissioned k: every
+        // package whose rank falls between the two ks decides differently.
+        let k_config = DynamicKConfig {
+            min_k: detector.k() + 4,
+            max_k: detector.k() + 4,
+            window: 32,
+            theta: 0.05,
+        };
+        let run = |mode: EngineMode| {
+            let mut engine = Engine::start(
+                Arc::clone(&detector),
+                EngineConfig {
+                    num_shards: 1,
+                    batch_size: 8,
+                    channel_capacity: 64,
+                    mode,
+                    ..EngineConfig::default()
+                },
+            );
+            engine.ingest_packets(&packets);
+            engine.finish()
+        };
+        let fixed = run(EngineMode::FixedK);
+        let adaptive = run(EngineMode::AdaptiveK(k_config));
+        assert_eq!(fixed.frames(), adaptive.frames());
+        assert_ne!(
+            fixed.total, adaptive.total,
+            "dynamic k should change decisions under a tight theta"
+        );
     }
 
     #[test]
@@ -746,6 +1141,335 @@ mod tests {
         assert_eq!(clean.quarantined, 0);
         let streams = |r: &EngineReport| r.shards.iter().map(|s| s.streams).sum::<usize>();
         assert_eq!(streams(&dirty), streams(&clean), "no phantom unit-0 stream");
+    }
+
+    /// A frame with a NaN/infinite timestamp must be quarantined at ingest
+    /// instead of poisoning its unit's inter-arrival features.
+    #[test]
+    fn non_finite_timestamps_are_quarantined() {
+        let detector = small_detector(38);
+        let packets = multi_plc_capture(&[3, 6], 300, 38);
+
+        let run = |with_bad_times: bool| {
+            let mut engine = Engine::start(
+                Arc::clone(&detector),
+                EngineConfig {
+                    num_shards: 2,
+                    batch_size: 8,
+                    channel_capacity: 64,
+                    ..EngineConfig::default()
+                },
+            );
+            let mut injected = 0u64;
+            for (i, p) in packets.iter().enumerate() {
+                engine.ingest(RawFrame::from(p));
+                if with_bad_times && i % 40 == 0 {
+                    // Well-formed wire bytes, broken clock.
+                    for time in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+                        engine.ingest(RawFrame {
+                            time,
+                            wire: p.wire.clone(),
+                            is_command: p.is_command,
+                            label: None,
+                        });
+                        injected += 1;
+                    }
+                }
+            }
+            assert_eq!(engine.quarantined(), injected);
+            assert_eq!(engine.ingested(), packets.len() as u64);
+            (engine.finish(), injected)
+        };
+
+        let (clean, _) = run(false);
+        let (dirty, injected) = run(true);
+        assert!(injected > 0);
+        assert_eq!(dirty.total, clean.total);
+        assert_eq!(dirty.frames(), clean.frames());
+        assert_eq!(dirty.quarantined, injected);
+    }
+
+    /// Hot-reload: pre-swap frames are classified by the old artifact,
+    /// post-swap frames exactly as a cold-started engine on the new one;
+    /// nothing is dropped.
+    #[test]
+    fn hot_reload_matches_cold_start_without_dropping_streams() {
+        let detector_a = small_detector(42);
+        let detector_b = small_detector(43);
+        // Overlapping but distinct unit sets across the swap: unit 4 lives
+        // through it (its state must reset), unit 7 goes quiet, unit 9 is
+        // new.
+        let capture_1 = multi_plc_capture(&[4, 7], 400, 42);
+        let capture_2 = multi_plc_capture(&[4, 9], 400, 44);
+        let config = EngineConfig {
+            num_shards: 2,
+            batch_size: 8,
+            channel_capacity: 64,
+            ..EngineConfig::default()
+        };
+
+        let dir = std::env::temp_dir();
+        let path_a = dir.join(format!("icsad-hot-reload-a-{}.icsa", std::process::id()));
+        let path_b = dir.join(format!("icsad-hot-reload-b-{}.icsa", std::process::id()));
+        detector_a.save(&path_a).unwrap();
+        detector_b.save(&path_b).unwrap();
+
+        // Live engine: run on A, swap to B mid-shift, keep running.
+        let mut live = Engine::start_from_artifact(&path_a, config.clone()).unwrap();
+        live.ingest_packets(&capture_1);
+        live.swap_artifact(&path_b).unwrap();
+        assert_eq!(live.reloads(), 1);
+        live.ingest_packets(&capture_2);
+        let live_report = live.finish();
+
+        // References: A over capture 1 alone, B cold-started over capture 2
+        // alone.
+        let mut ref_a = Engine::start(Arc::clone(&detector_a), config.clone());
+        ref_a.ingest_packets(&capture_1);
+        let ref_a = ref_a.finish();
+        let mut ref_b = Engine::start_from_artifact(&path_b, config.clone()).unwrap();
+        ref_b.ingest_packets(&capture_2);
+        let ref_b = ref_b.finish();
+        std::fs::remove_file(&path_a).ok();
+        std::fs::remove_file(&path_b).ok();
+
+        let mut expected = ref_a.total.clone();
+        expected.merge(&ref_b.total);
+        assert_eq!(live_report.total, expected);
+        assert_eq!(
+            live_report.frames(),
+            (capture_1.len() + capture_2.len()) as u64
+        );
+        assert_eq!(live_report.alarms(), ref_a.alarms() + ref_b.alarms());
+        assert_eq!(live_report.reloads, 1);
+        for shard in &live_report.shards {
+            assert_eq!(shard.reloads, 1, "every shard applies the swap");
+            assert_eq!(shard.swap_rounds.len(), 1);
+            // The swap round sits inside the shard's round sequence.
+            assert!(shard.swap_rounds[0] <= shard.flushes);
+        }
+        // Per-shard frame conservation: routing is stable across the swap.
+        for ((live_shard, a_shard), b_shard) in live_report
+            .shards
+            .iter()
+            .zip(ref_a.shards.iter())
+            .zip(ref_b.shards.iter())
+        {
+            assert_eq!(live_shard.frames, a_shard.frames + b_shard.frames);
+        }
+    }
+
+    /// Repeated swaps keep working (each one a fresh recommissioning).
+    #[test]
+    fn repeated_hot_reloads_accumulate_on_the_report() {
+        let detector = small_detector(45);
+        let packets = multi_plc_capture(&[2, 6], 200, 45);
+        let path = std::env::temp_dir().join(format!(
+            "icsad-hot-reload-repeat-{}.icsa",
+            std::process::id()
+        ));
+        detector.save(&path).unwrap();
+
+        let mut engine = Engine::start(
+            Arc::clone(&detector),
+            EngineConfig {
+                num_shards: 2,
+                batch_size: 8,
+                channel_capacity: 64,
+                ..EngineConfig::default()
+            },
+        );
+        let third = packets.len() / 3;
+        engine.ingest_packets(&packets[..third]);
+        engine.swap_artifact(&path).unwrap();
+        engine.ingest_packets(&packets[third..2 * third]);
+        engine.swap_artifact(&path).unwrap();
+        engine.ingest_packets(&packets[2 * third..]);
+        let report = engine.finish();
+        std::fs::remove_file(&path).ok();
+
+        assert_eq!(report.reloads, 2);
+        assert_eq!(report.frames(), packets.len() as u64);
+        for shard in &report.shards {
+            assert_eq!(shard.reloads, 2);
+            assert_eq!(shard.swap_rounds.len(), 2);
+            assert!(shard.swap_rounds[0] <= shard.swap_rounds[1]);
+        }
+    }
+
+    /// Swapping in adaptive mode resets the per-stream controllers too:
+    /// the swapped engine still matches a cold adaptive reference on the
+    /// post-swap capture.
+    #[test]
+    fn hot_reload_in_adaptive_mode_resets_controllers() {
+        let detector_a = small_detector(47);
+        let detector_b = small_detector(48);
+        let capture_1 = multi_plc_capture(&[1, 5], 300, 47);
+        let capture_2 = multi_plc_capture(&[1, 5], 300, 49);
+        let k_config = DynamicKConfig {
+            window: 64,
+            ..DynamicKConfig::default()
+        };
+        let config = EngineConfig {
+            num_shards: 2,
+            batch_size: 8,
+            channel_capacity: 64,
+            mode: EngineMode::AdaptiveK(k_config),
+            ..EngineConfig::default()
+        };
+        let path_b = std::env::temp_dir().join(format!(
+            "icsad-hot-reload-adaptive-{}.icsa",
+            std::process::id()
+        ));
+        detector_b.save(&path_b).unwrap();
+
+        let mut live = Engine::start(Arc::clone(&detector_a), config.clone());
+        live.ingest_packets(&capture_1);
+        live.swap_artifact(&path_b).unwrap();
+        live.ingest_packets(&capture_2);
+        let live_report = live.finish();
+
+        let mut ref_a = Engine::start(Arc::clone(&detector_a), config.clone());
+        ref_a.ingest_packets(&capture_1);
+        let ref_a = ref_a.finish();
+        let mut ref_b = Engine::start(Arc::clone(&detector_b), config.clone());
+        ref_b.ingest_packets(&capture_2);
+        let ref_b = ref_b.finish();
+        std::fs::remove_file(&path_b).ok();
+
+        let mut expected = ref_a.total.clone();
+        expected.merge(&ref_b.total);
+        assert_eq!(live_report.total, expected);
+    }
+
+    /// Table IV live: a window baseline hosted by the engine reproduces
+    /// its offline `windowed_decisions` output exactly, trailing partial
+    /// windows included.
+    #[test]
+    fn baseline_backend_reproduces_offline_windowed_decisions() {
+        let data = GasPipelineDataset::generate(&DatasetConfig {
+            total_packages: 4_000,
+            seed: 50,
+            attack_probability: 0.0,
+            ..DatasetConfig::default()
+        });
+        let split = data.split_chronological(0.7, 0.2);
+        let train = Windows::over(split.train().records(), PAPER_WINDOW);
+        let mut forest = IsolationForest::fit_windows(&train, 25, 64, 9).unwrap();
+        calibrate_fpr(&mut forest, &train, 0.05);
+        let backend = Arc::new(WindowedBackend::new(forest));
+
+        // 401 packages per PLC: every stream ends on a partial window.
+        let packets = multi_plc_capture(&[1, 6, 8], 401, 50);
+        let mut reference = ClassificationReport::default();
+        let mut reference_alarms = 0u64;
+        for stream_packets in by_unit(&packets).values() {
+            let records = extract_records(stream_packets, DEFAULT_CRC_WINDOW);
+            let decisions = windowed_decisions(backend.detector(), &records, PAPER_WINDOW);
+            for (r, &d) in records.iter().zip(decisions.iter()) {
+                if d {
+                    reference_alarms += 1;
+                }
+                reference.record(r.label, d);
+            }
+        }
+
+        let mut engine = Engine::start_backend(
+            Arc::clone(&backend) as Arc<dyn StreamingDetector>,
+            EngineConfig {
+                num_shards: 2,
+                batch_size: 8,
+                channel_capacity: 64,
+                ..EngineConfig::default()
+            },
+        );
+        assert_eq!(engine.backend_name(), "IF");
+        engine.ingest_packets(&packets);
+        let report = engine.finish();
+
+        assert_eq!(report.frames(), packets.len() as u64);
+        assert_eq!(report.total, reference);
+        assert_eq!(report.alarms(), reference_alarms);
+    }
+
+    /// Hot-reload only makes sense for combined backends; a baseline
+    /// engine refuses it and keeps running.
+    #[test]
+    fn swap_artifact_is_refused_for_baseline_backends() {
+        let data = GasPipelineDataset::generate(&DatasetConfig {
+            total_packages: 2_000,
+            seed: 51,
+            attack_probability: 0.0,
+            ..DatasetConfig::default()
+        });
+        let split = data.split_chronological(0.7, 0.2);
+        let train = Windows::over(split.train().records(), PAPER_WINDOW);
+        let mut forest = IsolationForest::fit_windows(&train, 10, 32, 1).unwrap();
+        calibrate_fpr(&mut forest, &train, 0.05);
+
+        let detector = small_detector(52);
+        let path =
+            std::env::temp_dir().join(format!("icsad-swap-refused-{}.icsa", std::process::id()));
+        detector.save(&path).unwrap();
+
+        let packets = multi_plc_capture(&[2, 7], 100, 52);
+        let mut engine = Engine::start_backend(
+            Arc::new(WindowedBackend::new(forest)),
+            EngineConfig {
+                num_shards: 1,
+                batch_size: 8,
+                channel_capacity: 64,
+                ..EngineConfig::default()
+            },
+        );
+        engine.ingest_packets(&packets[..50]);
+        let err = engine
+            .swap_artifact(&path)
+            .expect_err("baselines cannot swap");
+        assert!(matches!(err, ReloadError::UnsupportedBackend { .. }));
+        // A failed swap never reaches the shards and never shows on the
+        // report; the engine keeps classifying.
+        engine.ingest_packets(&packets[50..]);
+        let report = engine.finish();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(report.frames(), packets.len() as u64);
+        assert_eq!(report.reloads, 0);
+        for shard in &report.shards {
+            assert_eq!(shard.reloads, 0);
+            assert!(shard.swap_rounds.is_empty());
+        }
+    }
+
+    /// A corrupt artifact fails the swap validation without touching the
+    /// running engine.
+    #[test]
+    fn swap_artifact_surfaces_artifact_errors_and_keeps_running() {
+        let detector = small_detector(53);
+        let packets = multi_plc_capture(&[3, 4], 100, 53);
+        let path =
+            std::env::temp_dir().join(format!("icsad-swap-corrupt-{}.icsa", std::process::id()));
+        std::fs::write(&path, b"definitely not an artifact").unwrap();
+
+        let mut engine = Engine::start(
+            Arc::clone(&detector),
+            EngineConfig {
+                num_shards: 2,
+                batch_size: 8,
+                channel_capacity: 64,
+                ..EngineConfig::default()
+            },
+        );
+        engine.ingest_packets(&packets[..50]);
+        let err = engine.swap_artifact(&path).expect_err("corrupt artifact");
+        assert!(matches!(
+            err,
+            ReloadError::Artifact(ArtifactError::BadMagic)
+        ));
+        std::fs::remove_file(&path).ok();
+        engine.ingest_packets(&packets[50..]);
+        let report = engine.finish();
+        assert_eq!(report.frames(), packets.len() as u64);
+        assert_eq!(report.reloads, 0);
     }
 
     #[test]

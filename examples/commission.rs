@@ -32,7 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let packets = generator.generate(4_000);
         train_records.extend(extract_records(&packets, DEFAULT_CRC_WINDOW));
     }
-    train_records.sort_by(|a, b| a.time.partial_cmp(&b.time).expect("finite times"));
+    train_records.sort_by(|a, b| a.time.total_cmp(&b.time));
     let clean = GasPipelineDataset::from_records(train_records);
     let split = clean.split_chronological(0.75, 0.2);
     let trained = train_framework(

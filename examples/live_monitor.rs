@@ -1,16 +1,25 @@
 //! Live monitoring: attach a trained detector to a running SCADA plant and
-//! raise alarms in real time — now through the full commissioning
-//! lifecycle: train on clean traffic, **save** the detector as a versioned
-//! `ICSA` artifact, then **cold-start** the sharded streaming engine from
-//! that artifact ([`icsad::engine::Engine::start_from_artifact`]) and
-//! replay a *new* (attack-bearing) multi-PLC capture as raw Modbus frames.
-//! The engine demultiplexes streams by unit id, batches in-flight streams
-//! through the LSTM together and aggregates per-shard reports.
+//! raise alarms in real time — through the full operational lifecycle:
 //!
-//! In a real deployment the two phases run in different processes — often
-//! on different machines: commissioning happens once where training
-//! horsepower lives, and every monitor restart afterwards loads the
-//! artifact in milliseconds instead of retraining for minutes.
+//! 1. **Commission**: train on clean traffic, save the detector as a
+//!    versioned `ICSA` artifact (twice — the second artifact models a
+//!    re-commissioning with a retuned top-`k`).
+//! 2. **Cold-start**: spawn the sharded streaming engine from the first
+//!    artifact ([`icsad::engine::Engine::start_from_artifact`]) in
+//!    **adaptive-`k` mode** ([`icsad::engine::EngineMode::AdaptiveK`]):
+//!    every PLC stream carries its own dynamic-`k` controller.
+//! 3. **Monitor**: replay an attack-bearing multi-PLC capture as raw
+//!    Modbus frames; the engine demultiplexes streams by unit id and
+//!    batches in-flight streams through the LSTM together. Garbage frames
+//!    (fragments, broken clocks) are quarantined at ingest.
+//! 4. **Hot-reload**: swap the re-commissioned artifact into the running
+//!    engine mid-shift ([`icsad::engine::Engine::swap_artifact`]) without
+//!    dropping a single in-flight stream.
+//!
+//! In a real deployment the phases run in different processes — often on
+//! different machines: commissioning happens where training horsepower
+//! lives, and every monitor restart afterwards loads an artifact in
+//! milliseconds instead of retraining for minutes.
 //!
 //! Run with:
 //!
@@ -38,7 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let packets = generator.generate(7_500);
         train_records.extend(extract_records(&packets, DEFAULT_CRC_WINDOW));
     }
-    train_records.sort_by(|a, b| a.time.partial_cmp(&b.time).expect("finite times"));
+    train_records.sort_by(|a, b| a.time.total_cmp(&b.time));
     let clean = GasPipelineDataset::from_records(train_records);
     let split = clean.split_chronological(0.75, 0.2);
     let trained = train_framework(
@@ -53,7 +62,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ..ExperimentConfig::default()
         },
     )?;
-    let detector = trained.detector;
+    let mut detector = trained.detector;
     println!(
         "  ready: |S| = {}, k = {}, {} KB resident",
         trained.signature_count,
@@ -62,19 +71,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Persist the commissioning artifact — the hand-off point between the
-    // (offline) training phase and the (online) monitor.
-    let artifact_path =
-        std::env::temp_dir().join(format!("icsad-live-monitor-{}.icsa", std::process::id()));
-    detector.save(&artifact_path)?;
+    // (offline) training phase and the (online) monitor. A second artifact
+    // with a retuned k stands in for a later re-commissioning: the hot
+    // patch an operator rolls out after reviewing the validation curve.
+    let dir = std::env::temp_dir();
+    let artifact_v1 = dir.join(format!("icsad-live-monitor-v1-{}.icsa", std::process::id()));
+    let artifact_v2 = dir.join(format!("icsad-live-monitor-v2-{}.icsa", std::process::id()));
+    detector.save(&artifact_v1)?;
+    detector.set_k(trained.chosen_k + 1);
+    detector.save(&artifact_v2)?;
     println!(
-        "  artifact saved: {} ({} KB)",
-        artifact_path.display(),
-        std::fs::metadata(&artifact_path)?.len() / 1024
+        "  artifacts saved: {} ({} KB, k={}) and re-commissioned k={}",
+        artifact_v1.display(),
+        std::fs::metadata(&artifact_v1)?.len() / 1024,
+        trained.chosen_k,
+        trained.chosen_k + 1,
     );
-    drop(detector); // the monitor below only knows the artifact file
+    drop(detector); // the monitor below only knows the artifact files
 
     // Go live: four PLCs on the same control network, attacker active.
-    println!("\ngoing live (4 PLCs, attacker active)...\n");
+    println!("\ngoing live (4 PLCs, attacker active, dynamic-k mode)...\n");
     let mut packets: Vec<Packet> = Vec::new();
     for plc in 0..4u8 {
         let mut live = TrafficGenerator::new(TrafficConfig {
@@ -85,26 +101,58 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         });
         packets.extend(live.generate(2_000));
     }
-    packets.sort_by(|a, b| a.time.partial_cmp(&b.time).expect("finite times"));
+    packets.sort_by(|a, b| a.time.total_cmp(&b.time));
 
     // Cold-start the engine straight from the artifact, as a monitor
-    // process restarting in the field would.
+    // process restarting in the field would — in adaptive-k mode, so each
+    // stream's k follows its own recent prediction ranks (paper §VIII-D).
     let t_cold = std::time::Instant::now();
     let mut engine = Engine::start_from_artifact(
-        &artifact_path,
+        &artifact_v1,
         EngineConfig {
             num_shards: 2,
             batch_size: 32,
+            mode: EngineMode::AdaptiveK(DynamicKConfig::default()),
             ..EngineConfig::default()
         },
     )?;
     println!(
-        "engine cold-started from artifact in {:.1} ms\n",
-        t_cold.elapsed().as_secs_f64() * 1e3
+        "engine cold-started from artifact in {:.1} ms (backend: {})\n",
+        t_cold.elapsed().as_secs_f64() * 1e3,
+        engine.backend_name(),
     );
 
     let t0 = std::time::Instant::now();
-    engine.ingest_packets(&packets);
+    let half = packets.len() / 2;
+    engine.ingest_packets(&packets[..half]);
+
+    // A corrupted tap: one truncated fragment and one frame with a broken
+    // clock. Both are quarantined at ingest, not merged into a stream.
+    engine.ingest(RawFrame {
+        time: packets[half].time,
+        wire: vec![0x04],
+        is_command: true,
+        label: None,
+    });
+    engine.ingest(RawFrame {
+        time: f64::NAN,
+        wire: packets[half].wire.clone(),
+        is_command: packets[half].is_command,
+        label: None,
+    });
+
+    // Mid-shift hot-reload: the re-commissioned artifact replaces the
+    // running detector at each shard's next round boundary. In-flight
+    // streams are kept; their state restarts as a cold engine on the new
+    // artifact would.
+    let t_swap = std::time::Instant::now();
+    engine.swap_artifact(&artifact_v2)?;
+    println!(
+        "hot-reloaded re-commissioned artifact in {:.1} ms (no streams dropped)\n",
+        t_swap.elapsed().as_secs_f64() * 1e3
+    );
+
+    engine.ingest_packets(&packets[half..]);
     let report = engine.finish();
     let elapsed = t0.elapsed();
 
@@ -117,8 +165,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     for shard in &report.shards {
         println!(
-            "    shard {}: {} frames, {} streams, {} flushes, {} alarms",
-            shard.shard, shard.frames, shard.streams, shard.flushes, shard.alarms
+            "    shard {}: {} frames, {} streams, {} flushes, {} alarms, swapped after round {:?}",
+            shard.shard,
+            shard.frames,
+            shard.streams,
+            shard.flushes,
+            shard.alarms,
+            shard.swap_rounds
         );
     }
     let confusion = &report.total.confusion;
@@ -138,9 +191,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.frames() as f64 / elapsed.as_secs_f64(),
         elapsed.as_secs_f64() * 1e3 / report.frames() as f64
     );
-    if report.quarantined > 0 {
-        println!("  {} malformed frames quarantined", report.quarantined);
-    }
-    std::fs::remove_file(&artifact_path).ok();
+    println!(
+        "  {} hot-reloads applied, {} malformed frames quarantined",
+        report.reloads, report.quarantined
+    );
+    std::fs::remove_file(&artifact_v1).ok();
+    std::fs::remove_file(&artifact_v2).ok();
     Ok(())
 }

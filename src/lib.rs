@@ -67,18 +67,21 @@ pub use icsad_simulator as simulator;
 
 /// Convenience re-exports of the most commonly used types.
 pub mod prelude {
+    pub use icsad_baselines::WindowedBackend;
     pub use icsad_bloom::BloomFilter;
     pub use icsad_core::{
         artifact::ArtifactError,
         combined::{CombinedBatch, CombinedDetector, DetectionLevel},
         detector::Detector,
+        dynamic_k::{DynamicKConfig, DynamicKController},
         experiment::{train_framework, ExperimentConfig, TrainedFramework},
         metrics::{ClassificationReport, ConfusionCounts, PerAttackRecall},
         package::PackageLevelDetector,
+        streaming::{AdaptiveCombined, StreamingDetector, StreamingSession},
         timeseries::{NoiseConfig, TimeSeriesDetector, TimeSeriesTrainingConfig},
     };
     pub use icsad_dataset::{DatasetConfig, Fragments, GasPipelineDataset, Record, Split};
-    pub use icsad_engine::{Engine, EngineConfig, EngineReport, RawFrame};
+    pub use icsad_engine::{Engine, EngineConfig, EngineMode, EngineReport, RawFrame, ReloadError};
     pub use icsad_features::{DiscretizationConfig, Discretizer, Signature, SignatureVocabulary};
     pub use icsad_simulator::{AttackType, Packet, TrafficConfig, TrafficGenerator};
 }
