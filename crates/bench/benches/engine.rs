@@ -137,6 +137,25 @@ fn bench_engine(c: &mut Criterion) {
         })
     });
 
+    // The same lockstep batch with the kernel layer forced to the scalar
+    // backend (same FMA policy, so decisions are bit-identical): the
+    // SIMD-vs-scalar ratio of the whole classify hot path.
+    let auto_kernels = icsad_simd::current();
+    icsad_simd::force(icsad_simd::Selection {
+        backend: icsad_simd::Backend::Scalar,
+        fma: auto_kernels.fma,
+    });
+    group.bench_function("classify_batch_lockstep_scalar_kernels", |b| {
+        b.iter(|| {
+            let results = detector.classify_streams(black_box(&views));
+            results
+                .iter()
+                .map(|levels| levels.iter().filter(|l| l.is_anomalous()).count() as u64)
+                .sum::<u64>()
+        })
+    });
+    icsad_simd::reset();
+
     // Sharded engine: raw frames in, merged report out (includes feature
     // extraction, routing and channel traffic).
     let engine_config = EngineConfig {
@@ -155,6 +174,21 @@ fn bench_engine(c: &mut Criterion) {
             engine.finish().alarms()
         })
     });
+
+    // Sharded engine on scalar kernels (same FMA policy): what the engine
+    // would run at without the explicit SIMD layer.
+    icsad_simd::force(icsad_simd::Selection {
+        backend: icsad_simd::Backend::Scalar,
+        fma: auto_kernels.fma,
+    });
+    group.bench_function("sharded_engine_scalar_kernels", |b| {
+        b.iter(|| {
+            let mut engine = Engine::start(Arc::clone(&detector), engine_config.clone());
+            engine.ingest_packets(black_box(&packets));
+            engine.finish().alarms()
+        })
+    });
+    icsad_simd::reset();
 
     // Same engine with per-stream dynamic-k controllers: tracks the
     // controller's overhead (rank bookkeeping + rolling quantile) on the

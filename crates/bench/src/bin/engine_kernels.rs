@@ -1,23 +1,89 @@
 //! Quick kernel probe: per-record `step` vs batched `forward_batch`
 //! throughput of the stacked LSTM classifier, isolated from detector
-//! training and traffic generation.
+//! training and traffic generation — plus a SIMD-backend comparison
+//! sweep.
 //!
 //! ```sh
 //! cargo run --release -p icsad-bench --bin engine_kernels [LANES] [STEPS]
 //! ```
 //!
 //! Environment: `ICSAD_HIDDEN` (default `256,256`), `ICSAD_CLASSES`
-//! (default `600`), `ICSAD_INPUT` (default `104`).
+//! (default `600`), `ICSAD_INPUT` (default `104`), and
+//! `ICSAD_COMPARE=1` to sweep every supported kernel backend at
+//! B ∈ {1, 32, 96} instead of the default single-configuration probe
+//! (`ICSAD_KERNEL_BACKEND`/`ICSAD_KERNEL_FMA` force a backend for the
+//! default mode).
 
 use std::time::Instant;
 
-use icsad_nn::{LstmClassifier, ModelConfig};
+use icsad_nn::{BatchScratch, LstmClassifier, ModelConfig, StreamState};
 
 fn env_usize(name: &str, default: usize) -> usize {
     std::env::var(name)
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+/// One-hot-ish inputs: 14 ones per lane, positions vary per step.
+fn make_xs(lanes: usize, input_dim: usize, t: usize) -> Vec<f32> {
+    let mut xs = vec![0.0f32; lanes * input_dim];
+    for lane in 0..lanes {
+        for f in 0..14 {
+            xs[lane * input_dim + (t * 31 + lane * 7 + f * 5) % input_dim] = 1.0;
+        }
+    }
+    xs
+}
+
+/// Steps `lanes` batched lanes `steps` times; returns steps/sec.
+fn batched_throughput(
+    model: &LstmClassifier,
+    states: &mut [StreamState],
+    scratch: &mut BatchScratch,
+    lanes: usize,
+    steps: usize,
+) -> f64 {
+    let input_dim = model.config().input_dim;
+    let lane_idx: Vec<usize> = (0..lanes).collect();
+    let mut probs = vec![0.0f32; lanes * model.num_classes()];
+    let t0 = Instant::now();
+    for t in 0..steps {
+        let xs = make_xs(lanes, input_dim, t);
+        model.forward_batch(scratch, states, &lane_idx, &xs, &mut probs);
+    }
+    (lanes * steps) as f64 / t0.elapsed().as_secs_f64()
+}
+
+fn compare_backends(model: &LstmClassifier, steps: usize) {
+    println!("\nbackend comparison (batched steps/s; speedup vs scalar of the same FMA policy):");
+    for lanes in [1usize, 32, 96] {
+        println!("  B = {lanes}:");
+        let mut scalar_rate = [None::<f64>; 2]; // per FMA policy
+        for sel in icsad_simd::supported_selections() {
+            let effective = icsad_simd::force(sel);
+            assert_eq!(effective, sel);
+            let mut states: Vec<_> = (0..lanes).map(|_| model.new_state()).collect();
+            let mut scratch = model.batch_scratch();
+            // Warmup pass so pack buffers and caches settle.
+            batched_throughput(model, &mut states, &mut scratch, lanes, steps / 10 + 1);
+            let rate = batched_throughput(model, &mut states, &mut scratch, lanes, steps);
+            let slot = usize::from(sel.fma);
+            if sel.backend == icsad_simd::Backend::Scalar {
+                scalar_rate[slot] = Some(rate);
+            }
+            match scalar_rate[slot] {
+                Some(s) if s > 0.0 => println!(
+                    "    {:<12} {:>12.0} steps/s   {:>5.2}x",
+                    sel.label(),
+                    rate,
+                    rate / s
+                ),
+                _ => println!("    {:<12} {:>12.0} steps/s", sel.label(), rate),
+            }
+        }
+    }
+    icsad_simd::reset();
 }
 
 fn main() {
@@ -40,28 +106,23 @@ fn main() {
     });
     println!(
         "model: input {input_dim}, hidden {hidden:?}, classes {classes} \
-         ({} params, {} KB); lanes {lanes}, steps {steps}",
+         ({} params, {} KB); lanes {lanes}, steps {steps}; kernels: {}",
         model.param_count(),
-        model.memory_bytes() / 1024
+        model.memory_bytes() / 1024,
+        icsad_simd::current().label(),
     );
 
-    // One-hot-ish inputs: 14 ones per lane, positions vary per step.
-    let make_xs = |t: usize| -> Vec<f32> {
-        let mut xs = vec![0.0f32; lanes * input_dim];
-        for lane in 0..lanes {
-            for f in 0..14 {
-                xs[lane * input_dim + (t * 31 + lane * 7 + f * 5) % input_dim] = 1.0;
-            }
-        }
-        xs
-    };
+    if std::env::var("ICSAD_COMPARE").is_ok_and(|v| v == "1") {
+        compare_backends(&model, steps);
+        return;
+    }
 
     // Per-record streaming.
     let mut states: Vec<_> = (0..lanes).map(|_| model.new_state()).collect();
     let mut probs = vec![0.0f32; classes];
     let t0 = Instant::now();
     for t in 0..steps {
-        let xs = make_xs(t);
+        let xs = make_xs(lanes, input_dim, t);
         for (lane, state) in states.iter_mut().enumerate() {
             model.step(
                 state,
@@ -85,7 +146,7 @@ fn main() {
     let mut bprobs = vec![0.0f32; lanes * classes];
     let t0 = Instant::now();
     for t in 0..steps {
-        let xs = make_xs(t);
+        let xs = make_xs(lanes, input_dim, t);
         model.forward_batch(&mut scratch, &mut batch_states, &lane_idx, &xs, &mut bprobs);
     }
     let batched = t0.elapsed();
@@ -98,7 +159,7 @@ fn main() {
 
     // Equality spot check.
     let mut p1 = vec![0.0f32; classes];
-    let xs = make_xs(steps);
+    let xs = make_xs(lanes, input_dim, steps);
     model.step(&mut states[0], &xs[..input_dim], &mut p1);
     model.forward_batch(&mut scratch, &mut batch_states, &lane_idx, &xs, &mut bprobs);
     assert_eq!(p1, bprobs[..classes].to_vec(), "batch/stream divergence");

@@ -267,6 +267,10 @@ pub struct EngineReport {
     /// Successful [`Engine::swap_artifact`] hot-reloads over the engine's
     /// lifetime (each one reached every shard).
     pub reloads: u64,
+    /// The SIMD kernel backend the numeric hot path ran on (selected once
+    /// by runtime CPU detection when the engine started — see
+    /// [`icsad_simd::current`]), e.g. `"avx512+fma"` or `"scalar"`.
+    pub kernel_backend: &'static str,
 }
 
 impl EngineReport {
@@ -299,6 +303,7 @@ enum ShardMsg {
 /// call [`Engine::finish`] to drain the pipelines and collect the report.
 pub struct Engine {
     backend: Arc<dyn StreamingDetector>,
+    kernel_backend: &'static str,
     senders: Vec<SyncSender<ShardMsg>>,
     /// Per-shard ingest buffers: frames are shipped in chunks to amortize
     /// channel synchronization over many frames.
@@ -351,6 +356,11 @@ impl Engine {
         );
         assert!(config.crc_window > 0, "crc_window must be positive");
 
+        // Resolve the SIMD kernel dispatch once, before any shard spawns:
+        // every worker inherits the same backend, and the report can name
+        // the configuration the decisions were computed on.
+        let kernel_backend = icsad_simd::current().label();
+
         let mut senders = Vec::with_capacity(config.num_shards);
         let mut workers = Vec::with_capacity(config.num_shards);
         // Channel capacity counts chunks; keep the frame-level depth.
@@ -371,6 +381,7 @@ impl Engine {
         }
         Engine {
             backend,
+            kernel_backend,
             buffers: vec![Vec::with_capacity(INGEST_CHUNK); config.num_shards],
             senders,
             workers,
@@ -461,6 +472,12 @@ impl Engine {
     /// Display name of the running backend.
     pub fn backend_name(&self) -> String {
         self.backend.name().to_string()
+    }
+
+    /// The SIMD kernel backend the engine's numeric hot path runs on
+    /// (resolved once at startup), e.g. `"avx512+fma"` or `"scalar"`.
+    pub fn kernel_backend(&self) -> &'static str {
+        self.kernel_backend
     }
 
     /// Successful hot-reloads dispatched so far.
@@ -566,6 +583,7 @@ impl Engine {
             shards,
             quarantined: self.quarantined.load(Ordering::Relaxed),
             reloads: self.reloads,
+            kernel_backend: self.kernel_backend,
         }
     }
 }
@@ -882,9 +900,11 @@ mod tests {
         );
         engine.ingest_packets(&packets);
         assert_eq!(engine.ingested(), packets.len() as u64);
+        assert_eq!(engine.kernel_backend(), icsad_simd::current().label());
         let report = engine.finish();
 
         assert_eq!(report.frames(), packets.len() as u64);
+        assert_eq!(report.kernel_backend, icsad_simd::current().label());
         assert_eq!(report.total, reference);
         assert_eq!(report.shards.len(), 2);
         assert_eq!(report.reloads, 0);

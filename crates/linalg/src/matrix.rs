@@ -217,12 +217,14 @@ impl Matrix {
     /// allocating — the gemm kernel behind [`Matrix::matmul`] and
     /// [`Matrix::batch_matvec`].
     ///
-    /// The loop nest is blocked over the shared `k` dimension so that a
-    /// block of `rhs` rows stays cache-resident while every output row
-    /// accumulates against it; per output element the `k` contributions are
-    /// still added in ascending order, so results are identical to the
-    /// unblocked (i, k, j) product. Zero entries of `self` are skipped,
-    /// which makes one-hot and sparse operands nearly free.
+    /// Delegates to the runtime-dispatched SIMD kernel layer
+    /// ([`icsad_simd::matmul_acc_f64`]), which vectorizes along the output
+    /// columns only: per output element the `k` contributions are added in
+    /// ascending order with plain (non-contracted) `f64` arithmetic on
+    /// every backend, so results are identical to the naive (i, k, j)
+    /// product — and bitwise identical across backends. Zero entries of
+    /// `self` are skipped, which makes one-hot and sparse operands nearly
+    /// free.
     ///
     /// # Errors
     ///
@@ -244,25 +246,14 @@ impl Matrix {
             });
         }
         out.data.fill(0.0);
-        // Block size tuned so a block of rhs rows (GEMM_BLOCK x cols f64)
-        // stays in L1/L2 while all output rows stream over it.
-        const GEMM_BLOCK: usize = 64;
-        for kb in (0..self.cols).step_by(GEMM_BLOCK) {
-            let kend = (kb + GEMM_BLOCK).min(self.cols);
-            for i in 0..self.rows {
-                let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
-                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-                for (k, &a) in a_row[kb..kend].iter().enumerate().map(|(o, a)| (kb + o, a)) {
-                    if a == 0.0 {
-                        continue;
-                    }
-                    let b_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-                    for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                        *o += a * b;
-                    }
-                }
-            }
-        }
+        icsad_simd::matmul_acc_f64(
+            self.rows,
+            &self.data,
+            self.cols,
+            &rhs.data,
+            rhs.cols,
+            &mut out.data,
+        );
         Ok(())
     }
 
@@ -326,25 +317,17 @@ impl Matrix {
         }
         out.data.fill(0.0);
         // out[b][r] accumulates self[r][k] * xs[b][k] in ascending k, the
-        // same order as vecops::dot, so per-row results match matvec.
-        const GEMM_BLOCK: usize = 64;
-        for kb in (0..self.cols).step_by(GEMM_BLOCK) {
-            let kend = (kb + GEMM_BLOCK).min(self.cols);
-            for b in 0..xs.rows {
-                let x_row = &xs.data[b * xs.cols..(b + 1) * xs.cols];
-                let out_row = &mut out.data[b * self.rows..(b + 1) * self.rows];
-                for (r, o) in out_row.iter_mut().enumerate() {
-                    let a_row = &self.data[r * self.cols..(r + 1) * self.cols];
-                    // Carry the partial sum through the blocks so each
-                    // element sees one sequential ascending-k summation.
-                    let mut acc = *o;
-                    for (&a, &x) in a_row[kb..kend].iter().zip(x_row[kb..kend].iter()) {
-                        acc += a * x;
-                    }
-                    *o = acc;
-                }
-            }
-        }
+        // same order as vecops::dot, so per-row results match matvec; the
+        // dispatched kernel transpose-packs `self` and vectorizes across
+        // output rows only, preserving that order bitwise on every backend.
+        icsad_simd::batch_matvec_acc_f64(
+            xs.rows,
+            &xs.data,
+            self.cols,
+            &self.data,
+            self.rows,
+            &mut out.data,
+        );
         Ok(())
     }
 

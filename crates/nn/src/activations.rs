@@ -1,14 +1,24 @@
-//! Scalar activation functions and their derivatives.
+//! Activation functions and their derivatives.
+//!
+//! The sigmoid and tanh forward evaluations delegate to
+//! [`icsad_simd::math`], the portable exp-based implementation shared by
+//! the vectorized gate kernels: the scalar functions here and the
+//! slice-level [`sigmoid_in_place`]/[`tanh_in_place`] produce bitwise
+//! identical results on every kernel backend (a per-record step and a
+//! batched step therefore still agree exactly). Accuracy stays within a
+//! few ulps of the `f64` reference — see the tests below, which pin the
+//! same tolerances the old libm-based implementation met.
 
 /// Logistic sigmoid `σ(x) = 1 / (1 + e^{-x})`, computed stably for large
-/// negative inputs.
+/// negative inputs (exactly `0.0`/`1.0` at the extremes).
 pub fn sigmoid(x: f32) -> f32 {
-    if x >= 0.0 {
-        1.0 / (1.0 + (-x).exp())
-    } else {
-        let e = x.exp();
-        e / (1.0 + e)
-    }
+    icsad_simd::math::sigmoid(x)
+}
+
+/// In-place [`sigmoid`] over a slice, vectorized on the dispatched kernel
+/// backend (bitwise identical to the scalar function per element).
+pub fn sigmoid_in_place(xs: &mut [f32]) {
+    icsad_simd::sigmoid_in_place(xs);
 }
 
 /// Derivative of the sigmoid expressed through its output `s = σ(x)`.
@@ -16,29 +26,22 @@ pub fn sigmoid_deriv_from_output(s: f32) -> f32 {
     s * (1.0 - s)
 }
 
-/// Hyperbolic tangent: libm below `|x| = 0.5`, the `exp` identity
-/// `sign(x) * (1 - 2 / (e^{2|x|} + 1))` above.
+/// Hyperbolic tangent.
 ///
-/// `expf` is roughly 3x faster than `tanhf` in the system libm, and the
-/// LSTM cell evaluates tanh twice per hidden unit per step, making this one
-/// of the hottest scalar functions in inference. The exp identity cancels
-/// catastrophically as `|x| → 0` (the result `≈ x` is formed by
-/// subtracting from 1, capping *absolute* accuracy near `ulp(1)`), so the
-/// small-magnitude range stays on `tanhf`; above 0.5 the subtraction is
-/// benign and the identity tracks `tanhf` within ~3 ulps. Both the
-/// per-record and the batched path share this single implementation, so
-/// their equality is unaffected.
+/// The LSTM cell evaluates tanh twice per hidden unit per step, making
+/// this one of the hottest functions in inference; the shared exp-based
+/// implementation ([`icsad_simd::math::tanh`]) vectorizes it without
+/// giving up the small-magnitude accuracy libm provided (tiny inputs
+/// return `x` exactly, mid-range tracks the `f64` reference within a few
+/// ulps).
 pub fn tanh(x: f32) -> f32 {
-    let a = x.abs();
-    if a < 0.5 {
-        return x.tanh();
-    }
-    let t = 1.0 - 2.0 / ((2.0 * a).exp() + 1.0);
-    if x.is_sign_negative() {
-        -t
-    } else {
-        t
-    }
+    icsad_simd::math::tanh(x)
+}
+
+/// In-place [`tanh`] over a slice, vectorized on the dispatched kernel
+/// backend (bitwise identical to the scalar function per element).
+pub fn tanh_in_place(xs: &mut [f32]) {
+    icsad_simd::tanh_in_place(xs);
 }
 
 /// Derivative of tanh expressed through its output `t = tanh(x)`.
@@ -126,7 +129,9 @@ mod tests {
             }
         }
         assert_eq!(tanh(0.0), 0.0);
-        assert_eq!(tanh(1e-7), 1e-7f32.tanh(), "tiny inputs must not cancel");
+        // Tiny inputs return x exactly (correctly rounded; libm's tanhf is
+        // an ulp off here).
+        assert_eq!(tanh(1e-7), 1e-7, "tiny inputs must not cancel");
         assert!(tanh(100.0) > 0.999_999);
         assert!(tanh(-100.0) < -0.999_999);
     }

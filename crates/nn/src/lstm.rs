@@ -17,7 +17,9 @@
 use rand::Rng;
 use rand_chacha::ChaCha12Rng;
 
-use crate::activations::{sigmoid, sigmoid_deriv_from_output, tanh, tanh_deriv_from_output};
+use crate::activations::{
+    sigmoid_deriv_from_output, sigmoid_in_place, tanh_deriv_from_output, tanh_in_place,
+};
 use crate::tensor::{gemm_acc, gemm_dense_acc, matvec_acc, matvec_t_acc, outer_acc, Tensor2};
 
 /// One LSTM layer's parameters.
@@ -151,25 +153,27 @@ impl LstmLayer {
         let c_prev = state.c.clone();
         let h_prev = state.h.clone();
 
-        // Gate nonlinearities in place: [i, f, o] sigmoid, [g] tanh.
-        for v in &mut z[..3 * hd] {
-            *v = sigmoid(*v);
-        }
-        for v in &mut z[3 * hd..] {
-            *v = tanh(*v);
-        }
+        // Gate nonlinearities in place: [i, f, o] sigmoid, [g] tanh —
+        // vectorized through the same dispatched kernels as the batched
+        // path, so per-record ≡ batched stays bitwise.
+        sigmoid_in_place(&mut z[..3 * hd]);
+        tanh_in_place(&mut z[3 * hd..]);
 
         let (i_gate, rest) = z.split_at(hd);
         let (f_gate, rest) = rest.split_at(hd);
         let (o_gate, g_gate) = rest.split_at(hd);
 
         let mut tc = vec![0.0f32; hd];
-        for j in 0..hd {
-            state.c[j] = f_gate[j] * c_prev[j] + i_gate[j] * g_gate[j];
-            tc[j] = tanh(state.c[j]);
-            state.h[j] = o_gate[j] * tc[j];
-            out_h[j] = state.h[j];
-        }
+        icsad_simd::lstm_cell_f32(
+            i_gate,
+            f_gate,
+            o_gate,
+            g_gate,
+            &mut state.c,
+            &mut state.h,
+            Some(&mut tc),
+        );
+        out_h.copy_from_slice(&state.h);
 
         if let Some(cache) = cache {
             cache.push(StepCache {
@@ -236,22 +240,14 @@ impl LstmLayer {
 
         for b in 0..batch {
             let zr = &mut z[b * 4 * hd..(b + 1) * 4 * hd];
-            for v in &mut zr[..3 * hd] {
-                *v = sigmoid(*v);
-            }
-            for v in &mut zr[3 * hd..] {
-                *v = tanh(*v);
-            }
+            sigmoid_in_place(&mut zr[..3 * hd]);
+            tanh_in_place(&mut zr[3 * hd..]);
             let (i_gate, rest) = zr.split_at(hd);
             let (f_gate, rest) = rest.split_at(hd);
             let (o_gate, g_gate) = rest.split_at(hd);
             let cr = &mut c[b * hd..(b + 1) * hd];
             let hr = &mut h[b * hd..(b + 1) * hd];
-            for j in 0..hd {
-                let c_prev = cr[j];
-                cr[j] = f_gate[j] * c_prev + i_gate[j] * g_gate[j];
-                hr[j] = o_gate[j] * tanh(cr[j]);
-            }
+            icsad_simd::lstm_cell_f32(i_gate, f_gate, o_gate, g_gate, cr, hr, None);
         }
     }
 

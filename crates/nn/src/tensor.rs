@@ -1,9 +1,18 @@
 //! A minimal `f32` matrix and the kernels an LSTM needs.
 //!
-//! All hot paths operate on single sequences (batch size 1), so the kernels
-//! are vector/matrix products laid out for sequential memory access:
-//! weights are stored row-major with the *input* dimension as rows, making
-//! `y += xᵀ·W` a series of axpy operations over contiguous rows.
+//! The forward (inference) kernels — [`matvec_acc`], [`gemm_acc`],
+//! [`gemm_dense_acc`], [`axpy`] — are thin shape-checked fronts over the
+//! runtime-dispatched SIMD kernel layer in [`icsad_simd`]: one backend
+//! (scalar / SSE2 / AVX2+FMA / AVX-512) is selected per process by CPU
+//! detection, and every backend produces bitwise-identical results under
+//! the dispatched FMA policy (pinned by `icsad-simd`'s parity proptests).
+//! Weights are stored row-major with the *input* dimension as rows, so
+//! `y += xᵀ·W` walks contiguous weight rows and vectorizes along the
+//! output columns only — every `y[j]` accumulates its `k` contributions in
+//! ascending order, which keeps batched ≡ per-record bit-identical.
+//!
+//! The backward kernels ([`matvec_t_acc`], [`outer_acc`]) only run during
+//! offline training and stay scalar.
 
 /// A dense row-major `f32` matrix.
 #[derive(Debug, Clone, PartialEq)]
@@ -103,28 +112,17 @@ impl Tensor2 {
     }
 }
 
-/// Fused multiply-accumulate `acc + xv * wj`, taking the hardware FMA
-/// instruction when the compilation target has one.
-///
-/// Rust never contracts `a + b * c` into an FMA on its own (contraction
-/// changes rounding), which leaves half the floating-point throughput of
-/// FMA hardware unused. All inference kernels — per-record and batched —
-/// route through this one helper, so both paths round identically on every
-/// target and their results stay comparable. Without hardware FMA the
-/// plain two-op form is used (never the libm soft-float `fmaf`).
-#[inline(always)]
-fn fmac(acc: f32, xv: f32, wj: f32) -> f32 {
-    if cfg!(target_feature = "fma") {
-        xv.mul_add(wj, acc)
-    } else {
-        acc + xv * wj
-    }
-}
-
 /// `y += xᵀ · w` where `w` is `(in × out)`, `x` has length `in` and `y` has
 /// length `out`.
 ///
 /// Skips zero entries of `x`, which makes one-hot inputs nearly free.
+///
+/// Whether `acc + x·w` contracts into a fused multiply-add used to be a
+/// compile-time `cfg!(target_feature = "fma")` decision; it now travels
+/// with the runtime-dispatched backend ([`icsad_simd::current`]), so a
+/// portable binary on FMA hardware rounds identically on the scalar and
+/// SIMD paths (`mul_add` is correctly rounded with or without the
+/// hardware instruction).
 ///
 /// # Panics
 ///
@@ -132,22 +130,7 @@ fn fmac(acc: f32, xv: f32, wj: f32) -> f32 {
 pub fn matvec_acc(w: &Tensor2, x: &[f32], y: &mut [f32]) {
     assert_eq!(w.rows(), x.len(), "matvec_acc: input length mismatch");
     assert_eq!(w.cols(), y.len(), "matvec_acc: output length mismatch");
-    for (i, &xi) in x.iter().enumerate() {
-        if xi == 0.0 {
-            continue;
-        }
-        let row = w.row(i);
-        if xi == 1.0 {
-            // 1.0 * w rounds to w exactly: the plain add equals the fmac.
-            for (yj, &wj) in y.iter_mut().zip(row.iter()) {
-                *yj += wj;
-            }
-        } else {
-            for (yj, &wj) in y.iter_mut().zip(row.iter()) {
-                *yj = fmac(*yj, xi, wj);
-            }
-        }
-    }
+    icsad_simd::gemm_acc_f32(1, x, w.rows(), w.as_slice(), w.cols(), y);
 }
 
 /// `dx += w · dy` (the transpose product): `dx[i] += dot(w.row(i), dy)`.
@@ -200,13 +183,12 @@ pub fn outer_acc(dw: &mut Tensor2, x: &[f32], dy: &[f32]) {
 /// `batch × w.rows()` input block, accumulating into a `batch × w.cols()`
 /// output block (both row-major slices).
 ///
-/// This is the matrix–matrix product that lets `B` in-flight sequences step
-/// through a layer together: each weight row is loaded once per `k` block
-/// and reused by all `B` lanes instead of being re-streamed from memory `B`
-/// times. Per output element the `k` contributions are accumulated in the
-/// same ascending order as [`matvec_acc`], and zero entries of `x` are
-/// skipped identically, so results are bit-identical to `B` separate
-/// `matvec_acc` calls.
+/// This is the matrix–matrix product that lets `B` in-flight sequences
+/// step through a layer together. Per output element the `k` contributions
+/// are accumulated in the same ascending order as [`matvec_acc`], and zero
+/// entries of `x` are skipped identically, so results are bit-identical to
+/// `B` separate `matvec_acc` calls — on every SIMD backend, which
+/// vectorizes along the output columns only.
 ///
 /// # Panics
 ///
@@ -216,31 +198,7 @@ pub fn gemm_acc(batch: usize, x: &[f32], w: &Tensor2, y: &mut [f32]) {
     let n = w.cols();
     assert_eq!(x.len(), batch * k_dim, "gemm_acc: input block mismatch");
     assert_eq!(y.len(), batch * n, "gemm_acc: output block mismatch");
-    // A block of weight rows (KB x n f32) stays cache-resident while every
-    // lane accumulates against it.
-    const KB: usize = 32;
-    for kb in (0..k_dim).step_by(KB) {
-        let kend = (kb + KB).min(k_dim);
-        for b in 0..batch {
-            let x_row = &x[b * k_dim..(b + 1) * k_dim];
-            let y_row = &mut y[b * n..(b + 1) * n];
-            for (k, &xi) in x_row[kb..kend].iter().enumerate().map(|(o, v)| (kb + o, v)) {
-                if xi == 0.0 {
-                    continue;
-                }
-                let w_row = w.row(k);
-                if xi == 1.0 {
-                    for (yj, &wj) in y_row.iter_mut().zip(w_row.iter()) {
-                        *yj += wj;
-                    }
-                } else {
-                    for (yj, &wj) in y_row.iter_mut().zip(w_row.iter()) {
-                        *yj = fmac(*yj, xi, wj);
-                    }
-                }
-            }
-        }
-    }
+    icsad_simd::gemm_acc_f32(batch, x, k_dim, w.as_slice(), n, y);
 }
 
 /// Register-blocked batched product for *dense* inputs:
@@ -250,11 +208,11 @@ pub fn gemm_acc(batch: usize, x: &[f32], w: &Tensor2, y: &mut [f32]) {
 /// The axpy formulation of [`matvec_acc`]/[`gemm_acc`] performs one load +
 /// one store of the output row per `k` step — fine for one-hot inputs
 /// where almost every `k` is skipped, but store-bound for dense inputs
-/// (recurrent state, hidden activations). Here a `LANE_TILE x J_TILE`
-/// output tile accumulates in local arrays (registers after
-/// vectorization), each weight row slice is loaded once and reused by
-/// every lane of the tile, and stores happen once per tile instead of once
-/// per `k`.
+/// (recurrent state, hidden activations). The dispatched kernel
+/// ([`icsad_simd::gemm_dense_acc_f32`]) holds a register tile of four
+/// lanes × two vectors over a packed weight column block, so each packed
+/// weight vector is loaded once per tile and output stores happen once per
+/// tile instead of once per `k`.
 ///
 /// Per output element the `k` contributions are still accumulated in one
 /// ascending chain, so results compare equal (`f32 ==`) to per-lane
@@ -273,110 +231,16 @@ pub fn gemm_dense_acc(batch: usize, x: &[f32], w: &Tensor2, y: &mut [f32]) {
         "gemm_dense_acc: input block mismatch"
     );
     assert_eq!(y.len(), batch * n, "gemm_dense_acc: output block mismatch");
-    // One J_TILE f32 slice is a cache line; the k-major sweep over a fixed
-    // column block touches one line per weight row, so the whole
-    // `k_dim x J_TILE` block (a few KB) stays L1-resident while every lane
-    // tile re-walks it — the weight matrix is streamed once per call, not
-    // once per lane.
-    const LANE_TILE: usize = 4;
-    const J_TILE: usize = 32;
-    let w_data = w.as_slice();
-
-    // Packed copy of one weight column block, contiguous so the inner loop
-    // walks it with exact-sized chunks and no per-row index math. Packing
-    // streams W once per call; every lane tile then re-reads the pack from
-    // L1. The buffer is thread-local so steady-state batched inference
-    // allocates nothing.
-    std::thread_local! {
-        static PACK: std::cell::RefCell<Vec<f32>> = const { std::cell::RefCell::new(Vec::new()) };
-    }
-    PACK.with(|cell| {
-        let mut pack = cell.borrow_mut();
-        if pack.len() < k_dim * J_TILE {
-            pack.resize(k_dim * J_TILE, 0.0);
-        }
-        let pack = &mut pack[..k_dim * J_TILE];
-        let mut j0 = 0;
-        while j0 < n {
-            let jb = J_TILE.min(n - j0);
-            if jb == J_TILE {
-                for (k, dst) in pack.chunks_exact_mut(J_TILE).enumerate() {
-                    dst.copy_from_slice(&w_data[k * n + j0..k * n + j0 + J_TILE]);
-                }
-                let mut b0 = 0;
-                // Quads of lanes take the register-tiled fast path.
-                while b0 + LANE_TILE <= batch {
-                    let (x01, x23) = x[b0 * k_dim..(b0 + 4) * k_dim].split_at(2 * k_dim);
-                    let (x0, x1) = x01.split_at(k_dim);
-                    let (x2, x3) = x23.split_at(k_dim);
-                    let mut acc = [[0.0f32; J_TILE]; LANE_TILE];
-                    for (bi, acc_row) in acc.iter_mut().enumerate() {
-                        acc_row
-                            .copy_from_slice(&y[(b0 + bi) * n + j0..(b0 + bi) * n + j0 + J_TILE]);
-                    }
-                    let lanes = x0.iter().zip(x1.iter()).zip(x2.iter()).zip(x3.iter());
-                    for ((((&a0, &a1), &a2), &a3), w_slice) in lanes.zip(pack.chunks_exact(J_TILE))
-                    {
-                        let ws: &[f32; J_TILE] = w_slice.try_into().expect("packed column tile");
-                        for (a, &wj) in acc[0].iter_mut().zip(ws.iter()) {
-                            *a = fmac(*a, a0, wj);
-                        }
-                        for (a, &wj) in acc[1].iter_mut().zip(ws.iter()) {
-                            *a = fmac(*a, a1, wj);
-                        }
-                        for (a, &wj) in acc[2].iter_mut().zip(ws.iter()) {
-                            *a = fmac(*a, a2, wj);
-                        }
-                        for (a, &wj) in acc[3].iter_mut().zip(ws.iter()) {
-                            *a = fmac(*a, a3, wj);
-                        }
-                    }
-                    for (bi, acc_row) in acc.iter().enumerate() {
-                        y[(b0 + bi) * n + j0..(b0 + bi) * n + j0 + J_TILE].copy_from_slice(acc_row);
-                    }
-                    b0 += LANE_TILE;
-                }
-                // Leftover lanes, one at a time on the same column tile.
-                for b in b0..batch {
-                    let x_row = &x[b * k_dim..(b + 1) * k_dim];
-                    let mut acc = [0.0f32; J_TILE];
-                    acc.copy_from_slice(&y[b * n + j0..b * n + j0 + J_TILE]);
-                    for (&xv, w_slice) in x_row.iter().zip(pack.chunks_exact(J_TILE)) {
-                        let ws: &[f32; J_TILE] = w_slice.try_into().expect("packed column tile");
-                        for (a, &wj) in acc.iter_mut().zip(ws.iter()) {
-                            *a = fmac(*a, xv, wj);
-                        }
-                    }
-                    y[b * n + j0..b * n + j0 + J_TILE].copy_from_slice(&acc);
-                }
-            } else {
-                // Ragged trailing columns: plain per-element chains.
-                for b in 0..batch {
-                    let x_row = &x[b * k_dim..(b + 1) * k_dim];
-                    for jj in j0..j0 + jb {
-                        let mut a = y[b * n + jj];
-                        for (k, &xv) in x_row.iter().enumerate() {
-                            a = fmac(a, xv, w_data[k * n + jj]);
-                        }
-                        y[b * n + jj] = a;
-                    }
-                }
-            }
-            j0 += jb;
-        }
-    });
+    icsad_simd::gemm_dense_acc_f32(batch, x, k_dim, w.as_slice(), n, y);
 }
 
-/// `y += a * x` over slices.
+/// `y += a * x` over slices (under the dispatched FMA policy).
 ///
 /// # Panics
 ///
 /// Panics if lengths differ.
 pub fn axpy(a: f32, x: &[f32], y: &mut [f32]) {
-    assert_eq!(x.len(), y.len(), "axpy length mismatch");
-    for (yi, &xi) in y.iter_mut().zip(x.iter()) {
-        *yi += a * xi;
-    }
+    icsad_simd::axpy_f32(a, x, y);
 }
 
 #[cfg(test)]

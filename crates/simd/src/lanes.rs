@@ -1,0 +1,239 @@
+//! The portable lane abstraction the kernels are generic over.
+//!
+//! A [`Lanes`] type is a fixed-width vector of [`Element`]s (`f32` or
+//! `f64`) with exactly the operations the kernel bodies need. Every backend
+//! — including the scalar fallback, which is simply `WIDTH = 1` — runs the
+//! *same* generic kernel code, so two backends can only differ in how many
+//! elements they process per instruction, never in which floating-point
+//! operations they apply to an element. Combined with the crate-wide rule
+//! that kernels vectorize along the independent output dimension only, this
+//! is what makes SIMD ≡ scalar a *bitwise* identity rather than a tolerance.
+//!
+//! The FMA policy (whether `fmac` contracts `acc + x*w` into a fused
+//! multiply-add) is part of the lane *type*, not of the surrounding code:
+//! `ScalarLane<f32, true>` and the AVX2 lanes both round `fmac` once,
+//! `ScalarLane<f32, false>` and the plain SSE2 lanes round twice. A fused
+//! scalar `fmac` uses [`f32::mul_add`], which is correctly rounded whether
+//! it lowers to a hardware FMA or to the libm soft implementation — so a
+//! binary compiled *without* `target-feature=+fma` still reproduces the FMA
+//! backends' results exactly.
+
+/// A scalar element (`f32` or `f64`) with the constants and fallback
+/// arithmetic the generic kernels need for remainder lanes.
+pub trait Element: Copy + PartialEq + std::fmt::Debug + 'static {
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// `acc + x * w` with two roundings (no contraction).
+    fn fmac_plain(acc: Self, x: Self, w: Self) -> Self;
+    /// `x.mul_add(w, acc)`: one rounding, hardware FMA or libm — the result
+    /// is the correctly rounded fused product either way.
+    fn fmac_fused(acc: Self, x: Self, w: Self) -> Self;
+    /// Plain addition.
+    fn add(self, o: Self) -> Self;
+    /// Plain multiplication.
+    fn mul(self, o: Self) -> Self;
+}
+
+impl Element for f32 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    #[inline(always)]
+    fn fmac_plain(acc: Self, x: Self, w: Self) -> Self {
+        acc + x * w
+    }
+    #[inline(always)]
+    fn fmac_fused(acc: Self, x: Self, w: Self) -> Self {
+        x.mul_add(w, acc)
+    }
+    #[inline(always)]
+    fn add(self, o: Self) -> Self {
+        self + o
+    }
+    #[inline(always)]
+    fn mul(self, o: Self) -> Self {
+        self * o
+    }
+}
+
+impl Element for f64 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    #[inline(always)]
+    fn fmac_plain(acc: Self, x: Self, w: Self) -> Self {
+        acc + x * w
+    }
+    #[inline(always)]
+    fn fmac_fused(acc: Self, x: Self, w: Self) -> Self {
+        x.mul_add(w, acc)
+    }
+    #[inline(always)]
+    fn add(self, o: Self) -> Self {
+        self + o
+    }
+    #[inline(always)]
+    fn mul(self, o: Self) -> Self {
+        self * o
+    }
+}
+
+/// A fixed-width vector of elements: the interface the gemm/axpy kernel
+/// bodies are generic over.
+pub trait Lanes: Copy {
+    /// Element type.
+    type Elem: Element;
+    /// Lanes per vector (1 for the scalar fallback).
+    const WIDTH: usize;
+    /// Whether `fmac` rounds once (fused) or twice (mul then add).
+    const FUSED: bool;
+
+    /// Broadcasts one element to every lane.
+    fn splat(v: Self::Elem) -> Self;
+    /// Loads `WIDTH` elements from the front of `src`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src.len() < WIDTH`.
+    fn load(src: &[Self::Elem]) -> Self;
+    /// Stores the lanes to the front of `dst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst.len() < WIDTH`.
+    fn store(self, dst: &mut [Self::Elem]);
+    /// Lanewise addition.
+    fn add(self, o: Self) -> Self;
+    /// Lanewise multiplication.
+    fn mul(self, o: Self) -> Self;
+    /// Lanewise `self + x * w` under this type's FMA policy.
+    fn fmac(self, x: Self, w: Self) -> Self;
+
+    /// The element-level `fmac` under the same policy, for remainder lanes.
+    #[inline(always)]
+    fn fmac_e(acc: Self::Elem, x: Self::Elem, w: Self::Elem) -> Self::Elem {
+        if Self::FUSED {
+            Self::Elem::fmac_fused(acc, x, w)
+        } else {
+            Self::Elem::fmac_plain(acc, x, w)
+        }
+    }
+}
+
+/// Extra `f32` lane operations the activation math needs (the gate
+/// nonlinearities are only evaluated in `f32`).
+///
+/// NaN caveats (the math code only relies on these exact semantics):
+/// [`F32Lanes::max`]/[`F32Lanes::min`] return `o` when `self` is NaN and
+/// must only be called with a non-NaN `o` (the x86 `maxps`/`minps`
+/// source-operand rule, matched by the scalar implementation);
+/// [`F32Lanes::select_lt`] treats a NaN comparison as *false*.
+pub trait F32Lanes: Lanes<Elem = f32> {
+    /// Lanewise subtraction.
+    fn sub(self, o: Self) -> Self;
+    /// Lanewise division.
+    fn div(self, o: Self) -> Self;
+    /// Lanewise absolute value (clears the sign bit).
+    fn abs(self) -> Self;
+    /// Lanewise maximum; returns `o` where `self` is NaN (`o` must not be).
+    fn max(self, o: Self) -> Self;
+    /// Lanewise minimum; returns `o` where `self` is NaN (`o` must not be).
+    fn min(self, o: Self) -> Self;
+    /// Lanewise `if a < b { t } else { f }` (NaN comparisons pick `f`).
+    fn select_lt(a: Self, b: Self, t: Self, f: Self) -> Self;
+    /// `2^n` for integer-valued lanes `n` in `[-126, 127]`, built by bit
+    /// manipulation of the exponent field.
+    fn exp2i(n: Self) -> Self;
+    /// Magnitude of `self` with the sign of `src`.
+    fn copysign(self, src: Self) -> Self;
+    /// Replaces lanes of `self` with the corresponding lane of `src`
+    /// wherever `src` is NaN (payload preserved): NaN propagation for the
+    /// math functions, whose clamps would otherwise sanitize NaN inputs.
+    fn merge_nan(self, src: Self) -> Self;
+}
+
+/// The scalar fallback: one element per "vector", FMA policy in the type.
+#[derive(Clone, Copy, Debug)]
+pub struct ScalarLane<E, const FUSED: bool>(pub(crate) E);
+
+impl<E: Element, const FUSED: bool> Lanes for ScalarLane<E, FUSED> {
+    type Elem = E;
+    const WIDTH: usize = 1;
+    const FUSED: bool = FUSED;
+
+    #[inline(always)]
+    fn splat(v: E) -> Self {
+        ScalarLane(v)
+    }
+    #[inline(always)]
+    fn load(src: &[E]) -> Self {
+        ScalarLane(src[0])
+    }
+    #[inline(always)]
+    fn store(self, dst: &mut [E]) {
+        dst[0] = self.0;
+    }
+    #[inline(always)]
+    fn add(self, o: Self) -> Self {
+        ScalarLane(self.0.add(o.0))
+    }
+    #[inline(always)]
+    fn mul(self, o: Self) -> Self {
+        ScalarLane(self.0.mul(o.0))
+    }
+    #[inline(always)]
+    fn fmac(self, x: Self, w: Self) -> Self {
+        ScalarLane(Self::fmac_e(self.0, x.0, w.0))
+    }
+}
+
+impl<const FUSED: bool> F32Lanes for ScalarLane<f32, FUSED> {
+    #[inline(always)]
+    fn sub(self, o: Self) -> Self {
+        ScalarLane(self.0 - o.0)
+    }
+    #[inline(always)]
+    fn div(self, o: Self) -> Self {
+        ScalarLane(self.0 / o.0)
+    }
+    #[inline(always)]
+    fn abs(self) -> Self {
+        ScalarLane(f32::from_bits(self.0.to_bits() & 0x7fff_ffff))
+    }
+    #[inline(always)]
+    fn max(self, o: Self) -> Self {
+        // x86 maxps semantics: NaN in `self` yields `o`.
+        ScalarLane(if self.0 > o.0 { self.0 } else { o.0 })
+    }
+    #[inline(always)]
+    fn min(self, o: Self) -> Self {
+        ScalarLane(if self.0 < o.0 { self.0 } else { o.0 })
+    }
+    #[inline(always)]
+    fn select_lt(a: Self, b: Self, t: Self, f: Self) -> Self {
+        if a.0 < b.0 {
+            t
+        } else {
+            f
+        }
+    }
+    #[inline(always)]
+    fn exp2i(n: Self) -> Self {
+        let i = n.0 as i32;
+        ScalarLane(f32::from_bits(((i + 127) << 23) as u32))
+    }
+    #[inline(always)]
+    fn copysign(self, src: Self) -> Self {
+        ScalarLane(f32::from_bits(
+            (self.0.to_bits() & 0x7fff_ffff) | (src.0.to_bits() & 0x8000_0000),
+        ))
+    }
+    #[inline(always)]
+    fn merge_nan(self, src: Self) -> Self {
+        if src.0.is_nan() {
+            src
+        } else {
+            self
+        }
+    }
+}

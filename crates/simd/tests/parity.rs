@@ -1,0 +1,310 @@
+//! SIMD ≡ scalar bitwise-parity suite.
+//!
+//! Every kernel is driven through every backend this CPU supports, at odd
+//! batch sizes and remainder-heavy widths (`1 ..= 3×16 + 1` spans one to
+//! three vectors of the widest backend, ± ragged tails), and the results
+//! are compared **bitwise** against the scalar backend under the same FMA
+//! policy. This is the contract the whole numeric stack leans on: the
+//! dispatcher may pick any backend at startup without changing a single
+//! decision bit.
+
+use icsad_simd::{
+    axpy_f32_with, batch_matvec_acc_f64_with, gemm_acc_f32_with, gemm_dense_acc_f32_with,
+    lstm_cell_f32_with, matmul_acc_f64_with, sigmoid_in_place_with, supported_selections,
+    tanh_in_place_with, Backend, Selection,
+};
+use proptest::prelude::*;
+
+/// Interprets selector bytes as a value stream with exact zeros and ones
+/// mixed in (the sparse kernel branches on both).
+fn mix(selectors: &[u8], raw: &[f32]) -> Vec<f32> {
+    selectors
+        .iter()
+        .zip(raw.iter())
+        .map(|(&s, &r)| match s % 5 {
+            0 => 0.0,
+            1 => 1.0,
+            _ => r,
+        })
+        .collect()
+}
+
+fn mix_f64(selectors: &[u8], raw: &[f64]) -> Vec<f64> {
+    selectors
+        .iter()
+        .zip(raw.iter())
+        .map(|(&s, &r)| match s % 5 {
+            0 => 0.0,
+            1 => 1.0,
+            _ => r,
+        })
+        .collect()
+}
+
+/// The non-scalar selections to check, each paired with its scalar
+/// reference (same FMA policy).
+fn pairs() -> Vec<(Selection, Selection)> {
+    supported_selections()
+        .into_iter()
+        .filter(|sel| sel.backend != Backend::Scalar)
+        .map(|sel| {
+            (
+                sel,
+                Selection {
+                    backend: Backend::Scalar,
+                    fma: sel.fma,
+                },
+            )
+        })
+        .collect()
+}
+
+fn assert_bits_eq(got: &[f32], want: &[f32], what: &str) {
+    for (i, (g, w)) in got.iter().zip(want.iter()).enumerate() {
+        assert_eq!(
+            g.to_bits(),
+            w.to_bits(),
+            "{what}: element {i} diverges ({g} vs {w})"
+        );
+    }
+}
+
+fn assert_bits_eq_f64(got: &[f64], want: &[f64], what: &str) {
+    for (i, (g, w)) in got.iter().zip(want.iter()).enumerate() {
+        assert_eq!(
+            g.to_bits(),
+            w.to_bits(),
+            "{what}: element {i} diverges ({g} vs {w})"
+        );
+    }
+}
+
+proptest! {
+    #[test]
+    fn gemm_acc_matches_scalar_bitwise(
+        batch in 1usize..=13,
+        k_dim in 1usize..=49,
+        n in 1usize..=49,
+        sx in proptest::collection::vec(0u8..=255, batch * k_dim),
+        rx in proptest::collection::vec(-8f32..8.0, batch * k_dim),
+        sw in proptest::collection::vec(0u8..=255, k_dim * n),
+        rw in proptest::collection::vec(-8f32..8.0, k_dim * n),
+        y0 in proptest::collection::vec(-4f32..4.0, batch * n),
+    ) {
+        let x = mix(&sx, &rx);
+        let w = mix(&sw, &rw);
+        for (sel, scalar) in pairs() {
+            let mut got = y0.clone();
+            gemm_acc_f32_with(sel, batch, &x, k_dim, &w, n, &mut got);
+            let mut want = y0.clone();
+            gemm_acc_f32_with(scalar, batch, &x, k_dim, &w, n, &mut want);
+            assert_bits_eq(&got, &want, sel.label());
+        }
+    }
+
+    #[test]
+    fn gemm_dense_acc_matches_scalar_bitwise(
+        batch in 1usize..=13,
+        k_dim in 1usize..=49,
+        n in 1usize..=49,
+        sx in proptest::collection::vec(0u8..=255, batch * k_dim),
+        rx in proptest::collection::vec(-8f32..8.0, batch * k_dim),
+        sw in proptest::collection::vec(0u8..=255, k_dim * n),
+        rw in proptest::collection::vec(-8f32..8.0, k_dim * n),
+        y0 in proptest::collection::vec(-4f32..4.0, batch * n),
+    ) {
+        let x = mix(&sx, &rx);
+        let w = mix(&sw, &rw);
+        for (sel, scalar) in pairs() {
+            let mut got = y0.clone();
+            gemm_dense_acc_f32_with(sel, batch, &x, k_dim, &w, n, &mut got);
+            let mut want = y0.clone();
+            gemm_dense_acc_f32_with(scalar, batch, &x, k_dim, &w, n, &mut want);
+            assert_bits_eq(&got, &want, sel.label());
+        }
+    }
+
+    /// The zero-skip is bitwise-neutral (skipped terms only contribute ±0):
+    /// the layers rely on mixing the sparse and dense kernels freely.
+    #[test]
+    fn dense_equals_sparse_on_every_backend(
+        batch in 1usize..=13,
+        k_dim in 1usize..=49,
+        n in 1usize..=49,
+        sx in proptest::collection::vec(0u8..=255, batch * k_dim),
+        rx in proptest::collection::vec(-8f32..8.0, batch * k_dim),
+        sw in proptest::collection::vec(0u8..=255, k_dim * n),
+        rw in proptest::collection::vec(-8f32..8.0, k_dim * n),
+    ) {
+        let x = mix(&sx, &rx);
+        let w = mix(&sw, &rw);
+        for sel in supported_selections() {
+            let mut dense = vec![0.25f32; batch * n];
+            gemm_dense_acc_f32_with(sel, batch, &x, k_dim, &w, n, &mut dense);
+            let mut sparse = vec![0.25f32; batch * n];
+            gemm_acc_f32_with(sel, batch, &x, k_dim, &w, n, &mut sparse);
+            assert_bits_eq(&dense, &sparse, sel.label());
+        }
+    }
+
+    #[test]
+    fn axpy_matches_scalar_bitwise(
+        n in 1usize..=49,
+        a in -8f32..8.0,
+        x in proptest::collection::vec(-8f32..8.0, n),
+        y0 in proptest::collection::vec(-8f32..8.0, n),
+    ) {
+        for (sel, scalar) in pairs() {
+            let mut got = y0.clone();
+            axpy_f32_with(sel, a, &x, &mut got);
+            let mut want = y0.clone();
+            axpy_f32_with(scalar, a, &x, &mut want);
+            assert_bits_eq(&got, &want, sel.label());
+        }
+    }
+
+    #[test]
+    fn activations_match_scalar_bitwise(
+        n in 1usize..=49,
+        raw in proptest::collection::vec(-90f32..90.0, n),
+        special in proptest::collection::vec(0u8..=255, n),
+    ) {
+        // Splice in the non-finite specials the NaN-propagation contract
+        // covers (parity must hold bit-for-bit there too).
+        let xs: Vec<f32> = raw
+            .iter()
+            .zip(special.iter())
+            .map(|(&r, &s)| match s % 11 {
+                0 => f32::NAN,
+                1 => f32::INFINITY,
+                2 => f32::NEG_INFINITY,
+                _ => r,
+            })
+            .collect();
+        for (sel, scalar) in pairs() {
+            let mut got = xs.clone();
+            sigmoid_in_place_with(sel, &mut got);
+            let mut want = xs.clone();
+            sigmoid_in_place_with(scalar, &mut want);
+            assert_bits_eq(&got, &want, sel.label());
+
+            let mut got = xs.clone();
+            tanh_in_place_with(sel, &mut got);
+            let mut want = xs.clone();
+            tanh_in_place_with(scalar, &mut want);
+            assert_bits_eq(&got, &want, sel.label());
+        }
+    }
+
+    #[test]
+    fn lstm_cell_matches_scalar_bitwise(
+        hd in 1usize..=49,
+        gates in proptest::collection::vec(-1f32..1.0, 4 * hd),
+        c0 in proptest::collection::vec(-2f32..2.0, hd),
+    ) {
+        let (i_g, rest) = gates.split_at(hd);
+        let (f_g, rest) = rest.split_at(hd);
+        let (o_g, g_g) = rest.split_at(hd);
+        for (sel, scalar) in pairs() {
+            let mut c_got = c0.clone();
+            let mut h_got = vec![0.0f32; hd];
+            let mut tc_got = vec![0.0f32; hd];
+            lstm_cell_f32_with(sel, i_g, f_g, o_g, g_g, &mut c_got, &mut h_got, Some(&mut tc_got));
+            let mut c_want = c0.clone();
+            let mut h_want = vec![0.0f32; hd];
+            let mut tc_want = vec![0.0f32; hd];
+            lstm_cell_f32_with(
+                scalar, i_g, f_g, o_g, g_g, &mut c_want, &mut h_want, Some(&mut tc_want),
+            );
+            assert_bits_eq(&c_got, &c_want, sel.label());
+            assert_bits_eq(&h_got, &h_want, sel.label());
+            assert_bits_eq(&tc_got, &tc_want, sel.label());
+            // The no-tc variant computes the same cell and hidden state.
+            let mut c_no = c0.clone();
+            let mut h_no = vec![0.0f32; hd];
+            lstm_cell_f32_with(sel, i_g, f_g, o_g, g_g, &mut c_no, &mut h_no, None);
+            assert_bits_eq(&c_no, &c_got, "no-tc cell");
+            assert_bits_eq(&h_no, &h_got, "no-tc hidden");
+        }
+    }
+
+    #[test]
+    fn matmul_f64_matches_scalar_bitwise(
+        m in 1usize..=13,
+        k_dim in 1usize..=49,
+        n in 1usize..=27,
+        sa in proptest::collection::vec(0u8..=255, m * k_dim),
+        ra in proptest::collection::vec(-8f64..8.0, m * k_dim),
+        b in proptest::collection::vec(-8f64..8.0, k_dim * n),
+    ) {
+        let a = mix_f64(&sa, &ra);
+        for (sel, scalar) in pairs() {
+            let mut got = vec![0.0f64; m * n];
+            matmul_acc_f64_with(sel, m, &a, k_dim, &b, n, &mut got);
+            let mut want = vec![0.0f64; m * n];
+            matmul_acc_f64_with(scalar, m, &a, k_dim, &b, n, &mut want);
+            assert_bits_eq_f64(&got, &want, sel.label());
+        }
+    }
+
+    #[test]
+    fn batch_matvec_f64_matches_scalar_bitwise(
+        batch in 1usize..=13,
+        k_dim in 1usize..=49,
+        rows in 1usize..=27,
+        a in proptest::collection::vec(-8f64..8.0, rows * k_dim),
+        xs in proptest::collection::vec(-8f64..8.0, batch * k_dim),
+    ) {
+        for (sel, scalar) in pairs() {
+            let mut got = vec![0.0f64; batch * rows];
+            batch_matvec_acc_f64_with(sel, batch, &xs, k_dim, &a, rows, &mut got);
+            let mut want = vec![0.0f64; batch * rows];
+            batch_matvec_acc_f64_with(scalar, batch, &xs, k_dim, &a, rows, &mut want);
+            assert_bits_eq_f64(&got, &want, sel.label());
+        }
+    }
+}
+
+/// The satellite fix this layer exists for: on FMA hardware, a binary
+/// compiled *without* `target-feature=+fma` must not diverge between the
+/// scalar path and the FMA vector backends. The fused scalar policy goes
+/// through `mul_add` (libm on such builds) and must reproduce the hardware
+/// FMA bit-for-bit — while the two *policies* genuinely differ, which is
+/// exactly why the policy has to travel with the dispatched backend
+/// instead of with `cfg!(target_feature = "fma")`.
+#[test]
+fn fma_policy_is_explicit_and_scalar_reproduces_it() {
+    // acc + x*x where the square needs the extra rounding: (1+2^-12)² =
+    // 1 + 2^-11 + 2^-24, whose tail is beyond the f32 mantissa; a fused
+    // accumulate with acc = 2^-25 rounds differently from mul-then-add.
+    let x = [1.0f32 + 2f32.powi(-12)];
+    let acc0 = 2f32.powi(-25);
+
+    let scalar_plain = Selection {
+        backend: Backend::Scalar,
+        fma: false,
+    };
+    let scalar_fused = Selection {
+        backend: Backend::Scalar,
+        fma: true,
+    };
+    let mut plain = [acc0];
+    axpy_f32_with(scalar_plain, x[0], &x, &mut plain);
+    let mut fused = [acc0];
+    axpy_f32_with(scalar_fused, x[0], &x, &mut fused);
+    assert_ne!(
+        plain[0].to_bits(),
+        fused[0].to_bits(),
+        "the two FMA policies must be distinguishable on this input"
+    );
+
+    // Every supported backend agrees with the scalar run of its policy —
+    // in particular avx2+fma / avx512+fma against mul_add-based scalar.
+    for (sel, scalar) in pairs() {
+        let mut got = [acc0];
+        axpy_f32_with(sel, x[0], &x, &mut got);
+        let mut want = [acc0];
+        axpy_f32_with(scalar, x[0], &x, &mut want);
+        assert_eq!(got[0].to_bits(), want[0].to_bits(), "{}", sel.label());
+    }
+}

@@ -20,7 +20,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     });
 
     // ── Phase 1: commission. Train on a clean multi-PLC capture. ──────
-    println!("commissioning: training on clean traffic from 3 PLCs...");
+    println!(
+        "commissioning: training on clean traffic from 3 PLCs... (kernels: {})",
+        icsad::simd::current().label()
+    );
     let mut train_records: Vec<Record> = Vec::new();
     for plc in 0..3u8 {
         let mut generator = TrafficGenerator::new(TrafficConfig {

@@ -117,9 +117,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
     )?;
     println!(
-        "engine cold-started from artifact in {:.1} ms (backend: {})\n",
+        "engine cold-started from artifact in {:.1} ms (backend: {}, kernels: {})\n",
         t_cold.elapsed().as_secs_f64() * 1e3,
         engine.backend_name(),
+        engine.kernel_backend(),
     );
 
     let t0 = std::time::Instant::now();
@@ -187,9 +188,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         100.0 * report.total.precision()
     );
     println!(
-        "  throughput: {:.0} packages/sec ({:.4} ms mean latency)",
+        "  throughput: {:.0} packages/sec ({:.4} ms mean latency) on {} kernels",
         report.frames() as f64 / elapsed.as_secs_f64(),
-        elapsed.as_secs_f64() * 1e3 / report.frames() as f64
+        elapsed.as_secs_f64() * 1e3 / report.frames() as f64,
+        report.kernel_backend
     );
     println!(
         "  {} hot-reloads applied, {} malformed frames quarantined",

@@ -63,6 +63,7 @@ pub use icsad_features as features;
 pub use icsad_linalg as linalg;
 pub use icsad_modbus as modbus;
 pub use icsad_nn as nn;
+pub use icsad_simd as simd;
 pub use icsad_simulator as simulator;
 
 /// Convenience re-exports of the most commonly used types.
