@@ -40,8 +40,22 @@ use crate::dynamic_k::{DynamicKConfig, DynamicKController};
 ///
 /// Backends that decide immediately emit one `LaneDecision` per record
 /// pushed; window backends emit none until a lane's window completes, then
-/// one per buffered record. Within a lane, decisions always resolve in the
-/// order the records were pushed.
+/// one per buffered record.
+///
+/// # Ordering contract
+///
+/// Within a lane, decisions always resolve **in the order the records were
+/// pushed**, and the decision for a record depends only on that lane's
+/// record prefix — never on which other lanes shared its batch, how calls
+/// were sized, or when `classify_batch` ran. This is the invariant that
+/// lets the engine pair decisions with labels through plain per-lane
+/// FIFOs, and the reason its async runtime can reschedule, steal and
+/// re-batch work freely while staying bit-identical to the per-record
+/// path (pinned by the engine's deterministic-interleaving property
+/// tests). Implementations are checked against the call-shape half of the
+/// contract by debug assertions in [`StreamingSession::classify_batch`]
+/// implementations (distinct, in-bounds lanes per call; immediate backends
+/// emit exactly one in-order decision per pushed record).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LaneDecision {
     /// The session lane (stream) the decision belongs to.
@@ -180,6 +194,24 @@ impl StreamingSession for CombinedSession {
     }
 
     fn classify_batch(&mut self, lanes: &[usize], records: &[Record], out: &mut Vec<LaneDecision>) {
+        // Debug-check the caller's half of the `LaneDecision` ordering
+        // contract: one record per *distinct*, in-bounds lane per call.
+        // A repeated lane would silently reorder that stream's records
+        // within the batch and desynchronize the caller's label FIFOs.
+        #[cfg(debug_assertions)]
+        {
+            let mut seen = vec![false; self.batch.lanes()];
+            for &lane in lanes {
+                assert!(
+                    lane < seen.len(),
+                    "lane {lane} out of bounds ({} lanes)",
+                    seen.len()
+                );
+                assert!(!seen[lane], "lane {lane} repeated within one batch call");
+                seen[lane] = true;
+            }
+        }
+        let emitted_from = out.len();
         self.levels.clear();
         match &mut self.adaptive {
             None => self
@@ -201,6 +233,13 @@ impl StreamingSession for CombinedSession {
                     lane,
                     anomalous: level.is_anomalous(),
                 }),
+        );
+        // The provider's half of the contract: an immediate backend
+        // resolves exactly one decision per pushed record, in push order.
+        debug_assert_eq!(
+            out.len() - emitted_from,
+            lanes.len(),
+            "combined backends decide every record at push time"
         );
     }
 
@@ -406,6 +445,36 @@ mod tests {
                 .collect();
             assert_eq!(session_decisions, &reference);
         }
+    }
+
+    /// The `LaneDecision` ordering contract's call-shape half: a repeated
+    /// lane within one call would reorder that stream's records and is
+    /// rejected (debug builds only — the guard compiles out in release,
+    /// so these tests do too).
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "repeated within one batch call")]
+    fn duplicate_lanes_within_a_call_are_rejected_in_debug() {
+        let (detector, records) = small_detector(55);
+        let mut session = detector.begin_session();
+        let lane = session.add_lane();
+        let mut out = Vec::new();
+        session.classify_batch(
+            &[lane, lane],
+            &[records[0].clone(), records[1].clone()],
+            &mut out,
+        );
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_lane_is_rejected_in_debug() {
+        let (detector, records) = small_detector(56);
+        let mut session = detector.begin_session();
+        let _ = session.add_lane();
+        let mut out = Vec::new();
+        session.classify_batch(&[3], std::slice::from_ref(&records[0]), &mut out);
     }
 
     #[test]

@@ -18,7 +18,8 @@
 //!                  │   ▼            ▼                               │
 //!                  │ bounded ch   bounded ch      (backpressure)    │
 //!                  │   │            │                               │
-//!                  │ shard 0      shard 1     … one thread each     │
+//!                  │ shard 0      shard 1   … (one thread each, or  │
+//!                  │                        a work-stealing pool)   │
 //!                  │  per-stream lanes → StreamingSession flushes   │
 //!                  │  StreamExtractor → classify_batch → report     │
 //!                  └───────────────┬────────────────────────────────┘
@@ -50,13 +51,28 @@
 //! `classify_adaptive`) loop; for the baselines, the offline
 //! `windowed_decisions` protocol. The batching and sharding are throughput
 //! optimizations, not semantic changes.
+//!
+//! # Ingest runtimes
+//!
+//! *How* shards are driven is a second, equally semantic-free knob
+//! ([`EngineConfig::ingest`]): [`IngestMode::Threads`] dedicates one OS
+//! thread per shard (lowest latency, but idle shards cost threads), while
+//! [`IngestMode::Async`] multiplexes every shard onto a fixed
+//! work-stealing worker pool from [`icsad_runtime`] — one engine can then
+//! host thousands of mostly idle streams on `available_parallelism`
+//! threads, and a hot shard's batched flush migrates to whichever worker
+//! is free. Both drivers run the same shard core, so decisions are
+//! bit-identical across modes and schedules — pinned by seeded
+//! deterministic-interleaving property tests
+//! ([`IngestMode::AsyncDeterministic`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::collections::{HashMap, VecDeque};
+mod shard;
+
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -64,10 +80,14 @@ use icsad_core::artifact::ArtifactError;
 use icsad_core::combined::CombinedDetector;
 use icsad_core::dynamic_k::DynamicKConfig;
 use icsad_core::metrics::ClassificationReport;
-use icsad_core::streaming::{AdaptiveCombined, LaneDecision, StreamingDetector, StreamingSession};
-use icsad_dataset::extract::{StreamExtractor, DEFAULT_CRC_WINDOW};
-use icsad_dataset::Record;
+use icsad_core::streaming::{AdaptiveCombined, StreamingDetector};
+use icsad_dataset::extract::DEFAULT_CRC_WINDOW;
+use icsad_runtime::{Executor, IngestQueue, Schedule, TryPushError};
 use icsad_simulator::{AttackType, Packet};
+
+pub use icsad_runtime::TestSchedule;
+
+use shard::{run_threaded, ShardCore, ShardMsg, ShardTask};
 
 /// One raw frame on the monitored wire, before feature extraction.
 #[derive(Debug, Clone, PartialEq)]
@@ -80,6 +100,12 @@ pub struct RawFrame {
     pub is_command: bool,
     /// Ground-truth label, carried through for evaluation only.
     pub label: Option<AttackType>,
+    /// Capture link the frame was tapped from — a serial segment, TCP
+    /// connection, or remote tap id. Streams are keyed by *(link, unit
+    /// id)*, so one engine can monitor many physical networks whose unit
+    /// ids collide. Single-link captures (including every
+    /// [`Packet`]-derived frame) use link `0`.
+    pub link: u32,
 }
 
 /// Fewest wire bytes a well-formed Modbus RTU frame can carry (station
@@ -90,9 +116,15 @@ pub const MIN_FRAME_LEN: usize = 4;
 impl RawFrame {
     /// The Modbus slave/unit id this frame belongs to (first wire byte), or
     /// `None` for an empty frame that carries no address at all. Streams
-    /// are keyed — and routed — by it.
+    /// are keyed — and routed — by it together with [`RawFrame::link`].
     pub fn unit_id(&self) -> Option<u8> {
         self.wire.first().copied()
+    }
+
+    /// The stream key this frame is routed by: `(link, unit id)`, or `None`
+    /// for an empty frame.
+    pub fn stream_key(&self) -> Option<(u32, u8)> {
+        self.unit_id().map(|unit| (self.link, unit))
     }
 
     /// Whether the frame is long enough ([`MIN_FRAME_LEN`]) to be a Modbus
@@ -114,6 +146,7 @@ impl From<&Packet> for RawFrame {
             wire: p.wire.clone(),
             is_command: p.is_command,
             label: p.label,
+            link: 0,
         }
     }
 }
@@ -125,6 +158,7 @@ impl From<Packet> for RawFrame {
             wire: p.wire,
             is_command: p.is_command,
             label: p.label,
+            link: 0,
         }
     }
 }
@@ -144,10 +178,91 @@ pub enum EngineMode {
     AdaptiveK(DynamicKConfig),
 }
 
+/// How shard workers are scheduled (see [`EngineConfig::ingest`]).
+///
+/// Both modes drive the *same* shard core through the same per-shard FIFO
+/// of messages, so decisions are bit-identical across modes — the choice
+/// only trades threads for scheduling:
+///
+/// | mode | OS threads | best for |
+/// |---|---|---|
+/// | [`IngestMode::Threads`] | one per shard | few, uniformly busy shards |
+/// | [`IngestMode::Async`] | fixed pool (`available_parallelism` by default; explicit counts honored, capped at `num_shards`) | many shards, sparse/bursty traffic |
+/// | [`IngestMode::AsyncDeterministic`] | one | seed-replayable schedules (tests) |
+///
+/// The environment can override the configured mode at
+/// [`Engine::start_backend`] time — `ICSAD_INGEST_MODE=threads|async` plus
+/// `ICSAD_INGEST_WORKERS=n` — so a CI leg can run any suite on either
+/// runtime. [`IngestMode::AsyncDeterministic`] configs are exempt (a seeded
+/// schedule would be meaningless on another runtime).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IngestMode {
+    /// One dedicated OS thread per shard, blocking on its channel.
+    #[default]
+    Threads,
+    /// Cooperative shard tasks on a fixed work-stealing worker pool
+    /// ([`icsad_runtime`]): idle shards cost no thread, and a hot shard's
+    /// flush migrates to an idle worker.
+    Async {
+        /// Pool threads; `0` sizes the pool to
+        /// `available_parallelism().min(num_shards)`.
+        workers: usize,
+    },
+    /// The async runtime on one thread, replaying worker/steal/budget
+    /// choices from a seed — the deterministic-interleaving test harness.
+    AsyncDeterministic(TestSchedule),
+}
+
+/// Why an [`EngineConfig`] was rejected by [`EngineConfig::validate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineConfigError {
+    /// `num_shards` was zero: there would be no worker to route to.
+    ZeroShards,
+    /// `batch_size` was zero: no backlog depth could ever trigger a
+    /// classification round.
+    ZeroBatchSize,
+    /// `channel_capacity` was zero: every ingest would deadlock waiting
+    /// for queue space that cannot exist.
+    ZeroChannelCapacity,
+    /// `crc_window` was zero: the per-stream CRC feature needs at least one
+    /// frame of history.
+    ZeroCrcWindow,
+    /// An [`IngestMode::AsyncDeterministic`] schedule with zero virtual
+    /// workers.
+    ZeroScheduleWorkers,
+    /// An [`IngestMode::AsyncDeterministic`] schedule with a zero poll
+    /// budget.
+    ZeroScheduleBudget,
+}
+
+impl std::fmt::Display for EngineConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineConfigError::ZeroShards => write!(f, "num_shards must be positive"),
+            EngineConfigError::ZeroBatchSize => write!(f, "batch_size must be positive"),
+            EngineConfigError::ZeroChannelCapacity => {
+                write!(f, "channel_capacity must be positive")
+            }
+            EngineConfigError::ZeroCrcWindow => write!(f, "crc_window must be positive"),
+            EngineConfigError::ZeroScheduleWorkers => {
+                write!(f, "deterministic schedule needs at least one worker")
+            }
+            EngineConfigError::ZeroScheduleBudget => {
+                write!(f, "deterministic schedule needs a positive poll budget")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineConfigError {}
+
 /// Engine tuning knobs.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EngineConfig {
-    /// Worker shards (threads). Streams are pinned to shards by unit id.
+    /// Worker shards. Streams are pinned to shards by their `(link, unit
+    /// id)` stream key. Under [`IngestMode::Threads`] each shard is an OS
+    /// thread; under [`IngestMode::Async`] shards are tasks and threads are
+    /// the (smaller) worker pool.
     pub num_shards: usize,
     /// Backlog (queued packages across a shard's streams) that triggers a
     /// classification round. Larger backlogs let a round cover more
@@ -155,10 +270,13 @@ pub struct EngineConfig {
     /// single-stream traffic degrades gracefully to per-record stepping.
     pub batch_size: usize,
     /// Approximate bounded depth (in frames) of each shard's ingest
-    /// channel; a full channel blocks [`Engine::ingest`] (backpressure
-    /// instead of unbounded buffering). Frames travel in chunks of 64, so
-    /// the effective bound is rounded up to whole chunks (at least one —
-    /// up to ~`channel_capacity + 63` frames may be in flight).
+    /// channel. **Saturation behavior:** a full channel blocks
+    /// [`Engine::ingest`] until the shard drains (backpressure instead of
+    /// unbounded buffering — every such stall is counted on
+    /// [`RuntimeStats::blocked_pushes`]); frames are never dropped. Frames
+    /// travel in chunks of 64, so the effective bound is rounded up to
+    /// whole chunks (at least one — up to ~`channel_capacity + 63` frames
+    /// may be in flight).
     pub channel_capacity: usize,
     /// CRC sliding-window width for feature extraction (per stream).
     pub crc_window: usize,
@@ -167,6 +285,9 @@ pub struct EngineConfig {
     /// [`Engine::start_backend`], whose backend already fixes its own
     /// decision rule.
     pub mode: EngineMode,
+    /// How shard workers are scheduled; purely a throughput/footprint
+    /// knob, never a decision change.
+    pub ingest: IngestMode,
 }
 
 impl Default for EngineConfig {
@@ -183,7 +304,39 @@ impl Default for EngineConfig {
             channel_capacity: 1024,
             crc_window: DEFAULT_CRC_WINDOW,
             mode: EngineMode::FixedK,
+            ingest: IngestMode::Threads,
         }
+    }
+}
+
+impl EngineConfig {
+    /// Checks every capacity/sizing field up front, so a bad configuration
+    /// is a typed error at startup instead of a deadlock (zero queue
+    /// capacity), a dead engine (zero shards), or a panic deep inside a
+    /// worker. [`Engine::try_start`]/[`Engine::try_start_backend`] run this
+    /// before spawning anything.
+    pub fn validate(&self) -> Result<(), EngineConfigError> {
+        if self.num_shards == 0 {
+            return Err(EngineConfigError::ZeroShards);
+        }
+        if self.batch_size == 0 {
+            return Err(EngineConfigError::ZeroBatchSize);
+        }
+        if self.channel_capacity == 0 {
+            return Err(EngineConfigError::ZeroChannelCapacity);
+        }
+        if self.crc_window == 0 {
+            return Err(EngineConfigError::ZeroCrcWindow);
+        }
+        if let IngestMode::AsyncDeterministic(schedule) = self.ingest {
+            if schedule.workers == 0 {
+                return Err(EngineConfigError::ZeroScheduleWorkers);
+            }
+            if schedule.max_budget == 0 {
+                return Err(EngineConfigError::ZeroScheduleBudget);
+            }
+        }
+        Ok(())
     }
 }
 
@@ -252,6 +405,29 @@ pub struct ShardReport {
     pub report: ClassificationReport,
 }
 
+/// Ingest-runtime accounting for one engine run: which scheduler drove the
+/// shards, on how many threads, and how hard the flow control worked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuntimeStats {
+    /// The resolved ingest mode: `"threads"`, `"async"` or
+    /// `"async-deterministic"` (after any `ICSAD_INGEST_MODE` override).
+    pub mode: &'static str,
+    /// OS threads the engine spawned to drive shards (excludes the caller's
+    /// ingest thread): `num_shards` under [`IngestMode::Threads`], the pool
+    /// size under [`IngestMode::Async`], 1 under
+    /// [`IngestMode::AsyncDeterministic`].
+    pub ingest_threads: usize,
+    /// Times [`Engine::ingest`]/[`Engine::flush_ingest`] found a shard's
+    /// channel full and had to wait — the backpressure counter. Zero means
+    /// the shards always kept ahead of the tap.
+    pub blocked_pushes: u64,
+    /// Shard tasks taken from another worker's run queue (async modes
+    /// only): how often a hot shard's work migrated to an idle worker.
+    pub steals: u64,
+    /// Task polls executed (async modes only).
+    pub polls: u64,
+}
+
 /// Aggregated engine outcome: the merged evaluation plus per-shard detail.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EngineReport {
@@ -271,6 +447,8 @@ pub struct EngineReport {
     /// by runtime CPU detection when the engine started — see
     /// [`icsad_simd::current`]), e.g. `"avx512+fma"` or `"scalar"`.
     pub kernel_backend: &'static str,
+    /// Ingest-runtime accounting (mode, threads, backpressure, stealing).
+    pub runtime: RuntimeStats,
 }
 
 impl EngineReport {
@@ -285,11 +463,103 @@ impl EngineReport {
     }
 }
 
-/// Control-plane message to a shard worker: a chunk of routed frames, or a
-/// hot-reload to apply at the next round boundary.
-enum ShardMsg {
-    Frames(Vec<RawFrame>),
-    Swap(Arc<CombinedDetector>),
+/// The running ingest machinery behind an [`Engine`]: either dedicated
+/// per-shard threads or the shared work-stealing pool. Every variant
+/// presents the same per-shard FIFO contract, which is what keeps the two
+/// runtimes decision-identical.
+enum IngestDriver {
+    Threads {
+        senders: Vec<SyncSender<ShardMsg>>,
+        workers: Vec<JoinHandle<ShardReport>>,
+    },
+    Async {
+        queues: Vec<Arc<IngestQueue<ShardMsg>>>,
+        executor: Executor<ShardTask>,
+        mode: &'static str,
+    },
+}
+
+/// A shard's worker terminated (panicked) before the message could be
+/// delivered.
+struct ShardGone;
+
+impl IngestDriver {
+    fn mode(&self) -> &'static str {
+        match self {
+            IngestDriver::Threads { .. } => "threads",
+            IngestDriver::Async { mode, .. } => mode,
+        }
+    }
+
+    fn num_shards(&self) -> usize {
+        match self {
+            IngestDriver::Threads { senders, .. } => senders.len(),
+            IngestDriver::Async { queues, .. } => queues.len(),
+        }
+    }
+
+    fn ingest_threads(&self) -> usize {
+        match self {
+            IngestDriver::Threads { workers, .. } => workers.len(),
+            IngestDriver::Async { executor, .. } => executor.threads(),
+        }
+    }
+
+    /// Delivers one message to a shard's FIFO, blocking under backpressure
+    /// (counted on `blocked`).
+    fn send(&self, shard: usize, msg: ShardMsg, blocked: &AtomicU64) -> Result<(), ShardGone> {
+        match self {
+            IngestDriver::Threads { senders, .. } => match senders[shard].try_send(msg) {
+                Ok(()) => Ok(()),
+                Err(TrySendError::Full(msg)) => {
+                    blocked.fetch_add(1, Ordering::Relaxed);
+                    senders[shard].send(msg).map_err(|_| ShardGone)
+                }
+                Err(TrySendError::Disconnected(_)) => Err(ShardGone),
+            },
+            IngestDriver::Async {
+                queues, executor, ..
+            } => {
+                let pushed = match queues[shard].try_push(msg) {
+                    Ok(()) => Ok(()),
+                    Err(TryPushError::Full(msg)) => {
+                        blocked.fetch_add(1, Ordering::Relaxed);
+                        queues[shard].push(msg).map_err(|_| ShardGone)
+                    }
+                    Err(TryPushError::Closed(_)) => Err(ShardGone),
+                };
+                if pushed.is_ok() {
+                    executor.notify(shard);
+                }
+                pushed
+            }
+        }
+    }
+
+    /// Closes ingest and joins every worker, **even when some panicked**:
+    /// all handles are joined before any result is inspected, so one
+    /// panicking shard can no longer leak the surviving workers. Panics are
+    /// returned as `Err` payloads in shard order, plus the async scheduler
+    /// counters.
+    fn into_results(self) -> (Vec<std::thread::Result<ShardReport>>, u64, u64) {
+        match self {
+            IngestDriver::Threads { senders, workers } => {
+                drop(senders);
+                let results = workers.into_iter().map(|w| w.join()).collect();
+                (results, 0, 0)
+            }
+            IngestDriver::Async {
+                queues, executor, ..
+            } => {
+                for (shard, queue) in queues.iter().enumerate() {
+                    queue.close();
+                    executor.notify(shard);
+                }
+                let (results, stats) = executor.join();
+                (results, stats.steals, stats.polls)
+            }
+        }
+    }
 }
 
 /// The running engine: a router handle over the shard workers.
@@ -301,21 +571,75 @@ enum ShardMsg {
 /// with [`Engine::ingest`] (or [`Engine::ingest_packets`] from the
 /// simulator), optionally hot-reload with [`Engine::swap_artifact`], then
 /// call [`Engine::finish`] to drain the pipelines and collect the report.
+///
+/// Dropping an engine without calling [`Engine::finish`] still tears the
+/// runtime down cleanly: ingest closes and every worker is joined (their
+/// reports, and any panic payloads, are discarded).
 pub struct Engine {
     backend: Arc<dyn StreamingDetector>,
     kernel_backend: &'static str,
-    senders: Vec<SyncSender<ShardMsg>>,
+    /// `Some` until [`Engine::finish`] consumes it (`Option` only so the
+    /// `Drop` impl can also tear it down).
+    driver: Option<IngestDriver>,
     /// Per-shard ingest buffers: frames are shipped in chunks to amortize
     /// channel synchronization over many frames.
     buffers: Vec<Vec<RawFrame>>,
-    workers: Vec<JoinHandle<ShardReport>>,
     ingested: AtomicU64,
     quarantined: AtomicU64,
+    blocked_pushes: AtomicU64,
     reloads: u64,
 }
 
 /// Frames per channel message (amortizes the per-send synchronization).
 const INGEST_CHUNK: usize = 64;
+
+/// Resolves the effective ingest mode: the `ICSAD_INGEST_MODE` /
+/// `ICSAD_INGEST_WORKERS` environment overrides win over the configured
+/// mode (mirroring `ICSAD_KERNEL_BACKEND`), so a CI leg can run any suite
+/// on either runtime. Deterministic schedules are exempt — a seeded
+/// interleaving test means nothing on a different runtime.
+fn resolve_ingest_mode(configured: IngestMode) -> IngestMode {
+    if matches!(configured, IngestMode::AsyncDeterministic(_)) {
+        return configured;
+    }
+    let workers = match std::env::var("ICSAD_INGEST_WORKERS") {
+        Ok(raw) => match raw.trim().parse::<usize>() {
+            Ok(n) => Some(n),
+            Err(_) => {
+                eprintln!("icsad-engine: ignoring unrecognized ICSAD_INGEST_WORKERS={raw:?}");
+                None
+            }
+        },
+        Err(_) => None,
+    };
+    // Without an explicit ICSAD_INGEST_WORKERS, an `async` override keeps a
+    // configured Async pool size (the env var then only confirms the mode);
+    // anything else defaults to host-sized.
+    let configured_workers = match configured {
+        IngestMode::Async { workers } => workers,
+        _ => 0,
+    };
+    match std::env::var("ICSAD_INGEST_MODE") {
+        Ok(raw) => match raw.trim().to_ascii_lowercase().as_str() {
+            "threads" => IngestMode::Threads,
+            "async" => IngestMode::Async {
+                workers: workers.unwrap_or(configured_workers),
+            },
+            _ => {
+                eprintln!(
+                    "icsad-engine: ignoring unrecognized ICSAD_INGEST_MODE={raw:?} \
+                     (expected \"threads\" or \"async\")"
+                );
+                configured
+            }
+        },
+        Err(_) => match (configured, workers) {
+            // ICSAD_INGEST_WORKERS alone re-sizes an already-async config.
+            (IngestMode::Async { .. }, Some(workers)) => IngestMode::Async { workers },
+            _ => configured,
+        },
+    }
+}
 
 impl Engine {
     /// Spawns the shard workers around the combined framework and returns
@@ -324,15 +648,25 @@ impl Engine {
     ///
     /// # Panics
     ///
-    /// Panics if `num_shards`, `batch_size`, `channel_capacity` or
-    /// `crc_window` is zero, or if an [`EngineMode::AdaptiveK`] config is
-    /// degenerate.
+    /// Panics if the config fails [`EngineConfig::validate`] (use
+    /// [`Engine::try_start`] for a typed error) or if an
+    /// [`EngineMode::AdaptiveK`] config is degenerate.
     pub fn start(detector: Arc<CombinedDetector>, config: EngineConfig) -> Engine {
+        Engine::try_start(detector, config).unwrap_or_else(|e| panic!("invalid EngineConfig: {e}"))
+    }
+
+    /// [`Engine::start`] with the configuration check surfaced as a typed
+    /// [`EngineConfigError`] instead of a panic. Nothing is spawned on
+    /// error.
+    pub fn try_start(
+        detector: Arc<CombinedDetector>,
+        config: EngineConfig,
+    ) -> Result<Engine, EngineConfigError> {
         let backend: Arc<dyn StreamingDetector> = match config.mode {
             EngineMode::FixedK => detector,
             EngineMode::AdaptiveK(k_config) => Arc::new(AdaptiveCombined::new(detector, k_config)),
         };
-        Engine::start_backend(backend, config)
+        Engine::try_start_backend(backend, config)
     }
 
     /// Spawns the shard workers around an arbitrary streaming backend —
@@ -345,50 +679,104 @@ impl Engine {
     ///
     /// # Panics
     ///
-    /// Panics if `num_shards`, `batch_size`, `channel_capacity` or
-    /// `crc_window` is zero.
+    /// Panics if the config fails [`EngineConfig::validate`] (use
+    /// [`Engine::try_start_backend`] for a typed error).
     pub fn start_backend(backend: Arc<dyn StreamingDetector>, config: EngineConfig) -> Engine {
-        assert!(config.num_shards > 0, "need at least one shard");
-        assert!(config.batch_size > 0, "batch_size must be positive");
-        assert!(
-            config.channel_capacity > 0,
-            "channel_capacity must be positive"
-        );
-        assert!(config.crc_window > 0, "crc_window must be positive");
+        Engine::try_start_backend(backend, config)
+            .unwrap_or_else(|e| panic!("invalid EngineConfig: {e}"))
+    }
+
+    /// [`Engine::start_backend`] with the configuration check surfaced as
+    /// a typed [`EngineConfigError`] instead of a panic. Nothing is
+    /// spawned on error.
+    pub fn try_start_backend(
+        backend: Arc<dyn StreamingDetector>,
+        config: EngineConfig,
+    ) -> Result<Engine, EngineConfigError> {
+        config.validate()?;
 
         // Resolve the SIMD kernel dispatch once, before any shard spawns:
         // every worker inherits the same backend, and the report can name
         // the configuration the decisions were computed on.
         let kernel_backend = icsad_simd::current().label();
 
-        let mut senders = Vec::with_capacity(config.num_shards);
-        let mut workers = Vec::with_capacity(config.num_shards);
+        let num_shards = config.num_shards;
         // Channel capacity counts chunks; keep the frame-level depth.
         let chunk_capacity = config.channel_capacity.div_ceil(INGEST_CHUNK).max(1);
-        for shard in 0..config.num_shards {
-            let (tx, rx) = sync_channel::<ShardMsg>(chunk_capacity);
-            let backend = Arc::clone(&backend);
-            let config = config.clone();
-            let handle = std::thread::Builder::new()
-                .name(format!("icsad-shard-{shard}"))
-                .spawn(move || {
-                    let session = backend.begin_session();
-                    ShardWorker::new(session, config).run(shard, rx)
-                })
-                .expect("failed to spawn shard worker");
-            senders.push(tx);
-            workers.push(handle);
-        }
-        Engine {
+        let driver = match resolve_ingest_mode(config.ingest) {
+            IngestMode::Threads => {
+                let mut senders = Vec::with_capacity(num_shards);
+                let mut workers = Vec::with_capacity(num_shards);
+                for shard in 0..num_shards {
+                    let (tx, rx) = sync_channel::<ShardMsg>(chunk_capacity);
+                    let backend = Arc::clone(&backend);
+                    let config = config.clone();
+                    let handle = std::thread::Builder::new()
+                        .name(format!("icsad-shard-{shard}"))
+                        .spawn(move || {
+                            let session = backend.begin_session();
+                            run_threaded(ShardCore::new(session, config), shard, rx)
+                        })
+                        .expect("failed to spawn shard worker");
+                    senders.push(tx);
+                    workers.push(handle);
+                }
+                IngestDriver::Threads { senders, workers }
+            }
+            async_mode => {
+                let queues: Vec<Arc<IngestQueue<ShardMsg>>> = (0..num_shards)
+                    .map(|_| Arc::new(IngestQueue::bounded(chunk_capacity)))
+                    .collect();
+                let tasks: Vec<ShardTask> = queues
+                    .iter()
+                    .enumerate()
+                    .map(|(shard, queue)| {
+                        let session = Arc::clone(&backend).begin_session();
+                        ShardTask::new(
+                            ShardCore::new(session, config.clone()),
+                            Arc::clone(queue),
+                            shard,
+                        )
+                    })
+                    .collect();
+                let (schedule, mode) = match async_mode {
+                    IngestMode::Async { workers } => {
+                        // A fixed pool: `available_parallelism` by default,
+                        // never more threads than shards (extra workers
+                        // would only ever steal).
+                        let workers = if workers == 0 {
+                            std::thread::available_parallelism()
+                                .map(|n| n.get())
+                                .unwrap_or(1)
+                        } else {
+                            workers
+                        }
+                        .min(num_shards)
+                        .max(1);
+                        (Schedule::Pool { workers }, "async")
+                    }
+                    IngestMode::AsyncDeterministic(schedule) => {
+                        (Schedule::Deterministic(schedule), "async-deterministic")
+                    }
+                    IngestMode::Threads => unreachable!("handled above"),
+                };
+                IngestDriver::Async {
+                    queues,
+                    executor: Executor::start(tasks, schedule),
+                    mode,
+                }
+            }
+        };
+        Ok(Engine {
             backend,
             kernel_backend,
-            buffers: vec![Vec::with_capacity(INGEST_CHUNK); config.num_shards],
-            senders,
-            workers,
+            buffers: vec![Vec::with_capacity(INGEST_CHUNK); num_shards],
+            driver: Some(driver),
             ingested: AtomicU64::new(0),
             quarantined: AtomicU64::new(0),
+            blocked_pushes: AtomicU64::new(0),
             reloads: 0,
-        }
+        })
     }
 
     /// Cold-starts an engine from a commissioning artifact file (see
@@ -460,10 +848,15 @@ impl Engine {
         // Everything ingested so far must reach the shards ahead of the
         // swap message, so the old detector classifies it.
         self.flush_ingest();
-        for sender in &self.senders {
-            sender
-                .send(ShardMsg::Swap(Arc::clone(&detector)))
-                .expect("shard worker terminated");
+        let driver = self.driver.as_ref().expect("engine finished");
+        for shard in 0..driver.num_shards() {
+            driver
+                .send(
+                    shard,
+                    ShardMsg::Swap(Arc::clone(&detector)),
+                    &self.blocked_pushes,
+                )
+                .unwrap_or_else(|_| panic!("shard worker terminated"));
         }
         self.reloads += 1;
         Ok(())
@@ -487,12 +880,42 @@ impl Engine {
 
     /// Number of shards.
     pub fn num_shards(&self) -> usize {
-        self.senders.len()
+        self.buffers.len()
     }
 
-    /// The shard a unit id is pinned to.
+    /// OS threads the engine spawned to drive its shards: `num_shards`
+    /// under [`IngestMode::Threads`], the pool size under
+    /// [`IngestMode::Async`] (`available_parallelism` when `workers` is
+    /// `0`; an explicit count is honored as given, capped only at
+    /// `num_shards`), and 1 under [`IngestMode::AsyncDeterministic`]. The
+    /// idle-stream soak test pins the async engine's thread footprint
+    /// with this.
+    pub fn ingest_threads(&self) -> usize {
+        self.driver
+            .as_ref()
+            .map(|d| d.ingest_threads())
+            .unwrap_or(0)
+    }
+
+    /// The resolved ingest mode: `"threads"`, `"async"` or
+    /// `"async-deterministic"` (after any `ICSAD_INGEST_MODE` override).
+    pub fn ingest_mode(&self) -> &'static str {
+        self.driver.as_ref().map(|d| d.mode()).unwrap_or("finished")
+    }
+
+    /// The shard a single-link (link `0`) unit id is pinned to.
     pub fn shard_of(&self, unit_id: u8) -> usize {
-        usize::from(unit_id) % self.senders.len()
+        self.shard_of_stream(0, unit_id)
+    }
+
+    /// The shard a `(link, unit id)` stream key is pinned to. For link `0`
+    /// this reduces to `unit_id % num_shards`, keeping single-link routing
+    /// stable across engine versions.
+    pub fn shard_of_stream(&self, link: u32, unit_id: u8) -> usize {
+        (link as usize)
+            .wrapping_mul(31)
+            .wrapping_add(usize::from(unit_id))
+            % self.num_shards()
     }
 
     /// Frames ingested (routed to a shard) so far; quarantined frames are
@@ -508,7 +931,7 @@ impl Engine {
 
     /// Routes one frame to its stream's shard. Frames travel in chunks of
     /// `INGEST_CHUNK` (64); a full chunk blocks when the shard's channel
-    /// is full (backpressure).
+    /// is full (backpressure, counted on [`RuntimeStats::blocked_pushes`]).
     ///
     /// Frames too short to be Modbus RTU at all, or carrying a non-finite
     /// capture timestamp ([`RawFrame::is_well_formed`]), are quarantined —
@@ -519,8 +942,8 @@ impl Engine {
     ///
     /// Panics if the target shard worker has terminated.
     pub fn ingest(&mut self, frame: RawFrame) {
-        let shard = match frame.unit_id() {
-            Some(unit) if frame.is_well_formed() => self.shard_of(unit),
+        let shard = match frame.stream_key() {
+            Some((link, unit)) if frame.is_well_formed() => self.shard_of_stream(link, unit),
             _ => {
                 self.quarantined.fetch_add(1, Ordering::Relaxed);
                 return;
@@ -530,9 +953,11 @@ impl Engine {
         if self.buffers[shard].len() >= INGEST_CHUNK {
             let chunk =
                 std::mem::replace(&mut self.buffers[shard], Vec::with_capacity(INGEST_CHUNK));
-            self.senders[shard]
-                .send(ShardMsg::Frames(chunk))
-                .expect("shard worker terminated");
+            self.driver
+                .as_ref()
+                .expect("engine finished")
+                .send(shard, ShardMsg::Frames(chunk), &self.blocked_pushes)
+                .unwrap_or_else(|_| panic!("shard worker terminated"));
         }
         self.ingested.fetch_add(1, Ordering::Relaxed);
     }
@@ -553,26 +978,61 @@ impl Engine {
     ///
     /// Panics if a shard worker has terminated.
     pub fn flush_ingest(&mut self) {
+        if self.flush_ingest_inner().is_err() {
+            panic!("shard worker terminated");
+        }
+    }
+
+    /// The flush used by [`Engine::finish`] and `Drop`: a dead shard is
+    /// reported, not panicked over, so its original panic can surface from
+    /// the join instead of being masked by a send failure.
+    fn flush_ingest_inner(&mut self) -> Result<(), ShardGone> {
+        let driver = self.driver.as_ref().expect("engine finished");
+        let mut result = Ok(());
         for (shard, buffer) in self.buffers.iter_mut().enumerate() {
             if !buffer.is_empty() {
                 let chunk = std::mem::take(buffer);
-                self.senders[shard]
-                    .send(ShardMsg::Frames(chunk))
-                    .expect("shard worker terminated");
+                if driver
+                    .send(shard, ShardMsg::Frames(chunk), &self.blocked_pushes)
+                    .is_err()
+                {
+                    result = Err(ShardGone);
+                }
             }
         }
+        result
     }
 
     /// Closes the ingest side, drains every shard and returns the merged
     /// report.
+    ///
+    /// # Panics
+    ///
+    /// If a shard worker panicked mid-round, its panic is re-raised here —
+    /// but only **after every other worker has been joined**, so a single
+    /// failing shard can no longer leak threads or strand its siblings'
+    /// work (pinned by the panic-injection test).
     pub fn finish(mut self) -> EngineReport {
-        self.flush_ingest();
-        drop(self.senders);
-        let mut shards: Vec<ShardReport> = self
-            .workers
-            .into_iter()
-            .map(|w| w.join().expect("shard worker panicked"))
-            .collect();
+        // A dead shard must not abort the flush: the join below surfaces
+        // its original panic instead.
+        let _ = self.flush_ingest_inner();
+        let driver = self.driver.take().expect("finish called once");
+        let mode = driver.mode();
+        let ingest_threads = driver.ingest_threads();
+        let (results, steals, polls) = driver.into_results();
+        let mut shards: Vec<ShardReport> = Vec::with_capacity(results.len());
+        let mut panic = None;
+        for result in results {
+            match result {
+                Ok(report) => shards.push(report),
+                Err(payload) => {
+                    panic.get_or_insert(payload);
+                }
+            }
+        }
+        if let Some(payload) = panic {
+            std::panic::resume_unwind(payload);
+        }
         shards.sort_by_key(|s| s.shard);
         let mut total = ClassificationReport::default();
         for s in &shards {
@@ -584,218 +1044,26 @@ impl Engine {
             quarantined: self.quarantined.load(Ordering::Relaxed),
             reloads: self.reloads,
             kernel_backend: self.kernel_backend,
+            runtime: RuntimeStats {
+                mode,
+                ingest_threads,
+                blocked_pushes: self.blocked_pushes.load(Ordering::Relaxed),
+                steals,
+                polls,
+            },
         }
     }
 }
 
-/// The shard worker: per-stream extraction and queueing, round-based
-/// batched classification through a [`StreamingSession`].
-///
-/// Each stream owns a FIFO of extracted records plus a FIFO of their
-/// labels. A classification *round* pops the front record of every
-/// non-empty queue and steps them through the session as one batch —
-/// per-stream order is preserved (and decisions are per-stream, so
-/// cross-stream interleaving is semantically free), while adjacent
-/// packages of the same stream no longer degrade the batch to a single
-/// lane. Backends may *defer* decisions (window baselines resolve a whole
-/// window at once); the label FIFOs pair every resolved decision with its
-/// package again. Rounds run when the backlog reaches `batch_size`, when
-/// the channel momentarily drains, and at shutdown.
-struct ShardWorker {
-    session: Box<dyn StreamingSession>,
-    config: EngineConfig,
-    /// unit id -> lane index.
-    lanes_by_unit: HashMap<u8, usize>,
-    extractors: Vec<StreamExtractor>,
-    queues: Vec<VecDeque<Record>>,
-    /// Labels of packages pushed into the session whose decisions have not
-    /// resolved yet, per lane, in push order.
-    pending_labels: Vec<VecDeque<Option<AttackType>>>,
-    queued: usize,
-    pending_lanes: Vec<usize>,
-    pending_records: Vec<Record>,
-    decisions: Vec<LaneDecision>,
-    report: ClassificationReport,
-    frames: u64,
-    flushes: u64,
-    alarms: u64,
-    reloads: u64,
-    swap_rounds: Vec<u64>,
-}
-
-impl ShardWorker {
-    fn new(session: Box<dyn StreamingSession>, config: EngineConfig) -> Self {
-        ShardWorker {
-            session,
-            config,
-            lanes_by_unit: HashMap::new(),
-            extractors: Vec::new(),
-            queues: Vec::new(),
-            pending_labels: Vec::new(),
-            queued: 0,
-            pending_lanes: Vec::new(),
-            pending_records: Vec::new(),
-            decisions: Vec::new(),
-            report: ClassificationReport::default(),
-            frames: 0,
-            flushes: 0,
-            alarms: 0,
-            reloads: 0,
-            swap_rounds: Vec::new(),
-        }
-    }
-
-    fn enqueue(&mut self, frame: RawFrame) {
-        // `Engine::ingest` quarantines everything shorter than a minimal
-        // frame, so routed frames always carry an address byte.
-        let unit = frame
-            .unit_id()
-            .expect("only well-formed frames reach a shard");
-        let lane = match self.lanes_by_unit.get(&unit) {
-            Some(&lane) => lane,
-            None => {
-                let lane = self.session.add_lane();
-                self.lanes_by_unit.insert(unit, lane);
-                self.extractors
-                    .push(StreamExtractor::new(self.config.crc_window));
-                self.queues.push(VecDeque::new());
-                self.pending_labels.push(VecDeque::new());
-                lane
-            }
-        };
-        let record =
-            self.extractors[lane].push(frame.time, &frame.wire, frame.is_command, frame.label);
-        self.queues[lane].push_back(record);
-        self.queued += 1;
-        self.frames += 1;
-    }
-
-    /// Classifies one round: the front record of every non-empty queue.
-    fn flush_round(&mut self) {
-        if self.queued == 0 {
-            return;
-        }
-        self.pending_lanes.clear();
-        self.pending_records.clear();
-        self.decisions.clear();
-        for (lane, queue) in self.queues.iter_mut().enumerate() {
-            if let Some(record) = queue.pop_front() {
-                self.pending_labels[lane].push_back(record.label);
-                self.pending_lanes.push(lane);
-                self.pending_records.push(record);
-            }
-        }
-        self.queued -= self.pending_lanes.len();
-        self.session.classify_batch(
-            &self.pending_lanes,
-            &self.pending_records,
-            &mut self.decisions,
-        );
-        self.absorb_decisions();
-        self.flushes += 1;
-    }
-
-    /// Scores every decision the session resolved, pairing it with its
-    /// package's label (per-lane FIFO order).
-    fn absorb_decisions(&mut self) {
-        let mut decisions = std::mem::take(&mut self.decisions);
-        for d in decisions.drain(..) {
-            let label = self.pending_labels[d.lane]
-                .pop_front()
-                .expect("backend resolved a decision with no pending package");
-            if d.anomalous {
-                self.alarms += 1;
-            }
-            self.report.record(label, d.anomalous);
-        }
-        self.decisions = decisions;
-    }
-
-    /// Applies a hot-reload at a round boundary: drains the whole backlog
-    /// through the outgoing detector, then swaps and resets every stream.
-    fn apply_swap(&mut self, detector: Arc<CombinedDetector>) {
-        while self.queued > 0 {
-            self.flush_round();
-        }
-        // Resolve decisions the backend is still deferring before its lane
-        // state resets: the swap point ends the pre-swap stream exactly
-        // like a shutdown would (a no-op for the combined backends, which
-        // defer nothing — but it keeps the label FIFOs honest for any
-        // swappable backend that buffers).
-        self.decisions.clear();
-        self.session.finish(&mut self.decisions);
-        self.absorb_decisions();
-        self.session
-            .swap_combined(detector)
-            .expect("engine pre-validates hot-swap support");
-        debug_assert!(
-            self.pending_labels.iter().all(|q| q.is_empty()),
-            "session.finish must resolve every pending decision"
-        );
-        // The extractors are part of per-stream state: resetting them makes
-        // the post-swap stream identical to a cold start on the new
-        // artifact (CRC window and inter-arrival features restart too).
-        for extractor in &mut self.extractors {
-            *extractor = StreamExtractor::new(self.config.crc_window);
-        }
-        self.reloads += 1;
-        self.swap_rounds.push(self.flushes);
-    }
-
-    fn enqueue_chunk(&mut self, chunk: Vec<RawFrame>) {
-        for frame in chunk {
-            self.enqueue(frame);
-            if self.queued >= self.config.batch_size {
-                self.flush_round();
-            }
-        }
-    }
-
-    fn handle(&mut self, msg: ShardMsg) {
-        match msg {
-            ShardMsg::Frames(chunk) => self.enqueue_chunk(chunk),
-            ShardMsg::Swap(detector) => self.apply_swap(detector),
-        }
-    }
-
-    fn run(mut self, shard: usize, rx: Receiver<ShardMsg>) -> ShardReport {
-        'ingest: loop {
-            // Soak whatever is already buffered so rounds see a backlog of
-            // streams, flushing whenever the backlog is deep enough.
-            loop {
-                match rx.try_recv() {
-                    Ok(msg) => self.handle(msg),
-                    Err(std::sync::mpsc::TryRecvError::Empty) => break,
-                    Err(std::sync::mpsc::TryRecvError::Disconnected) => break 'ingest,
-                }
-            }
-            // Channel momentarily empty: work through the backlog, then
-            // block for the next message.
-            self.flush_round();
-            if self.queued == 0 {
-                match rx.recv() {
-                    Ok(msg) => self.handle(msg),
-                    Err(_) => break 'ingest,
-                }
-            }
-        }
-        // Ingest closed: drain everything still queued, then let the
-        // backend resolve decisions it deferred (window tails).
-        while self.queued > 0 {
-            self.flush_round();
-        }
-        self.decisions.clear();
-        self.session.finish(&mut self.decisions);
-        self.absorb_decisions();
-        ShardReport {
-            shard,
-            frames: self.frames,
-            streams: self.lanes_by_unit.len(),
-            flushes: self.flushes,
-            alarms: self.alarms,
-            reloads: self.reloads,
-            swap_rounds: self.swap_rounds,
-            report: self.report,
+impl Drop for Engine {
+    fn drop(&mut self) {
+        // An engine dropped without `finish` (including mid-unwind after an
+        // ingest panic) still closes ingest and joins every worker — no
+        // detached shard threads outlive the handle. Reports and panic
+        // payloads are deliberately discarded here; `finish` is the path
+        // that surfaces them.
+        if let Some(driver) = self.driver.take() {
+            let _ = driver.into_results();
         }
     }
 }
@@ -811,8 +1079,10 @@ mod tests {
     use icsad_core::timeseries::TimeSeriesTrainingConfig;
     use icsad_core::{DynamicKConfig, DynamicKController};
     use icsad_dataset::extract::extract_records;
+    use icsad_dataset::Record;
     use icsad_dataset::{DatasetConfig, GasPipelineDataset};
     use icsad_simulator::{TrafficConfig, TrafficGenerator};
+    use std::collections::HashMap;
 
     fn small_detector(seed: u64) -> Arc<CombinedDetector> {
         let data = GasPipelineDataset::generate(&DatasetConfig {
@@ -1140,6 +1410,7 @@ mod tests {
                             wire,
                             is_command: true,
                             label: None,
+                            link: 0,
                         });
                         malformed += 1;
                     }
@@ -1191,6 +1462,7 @@ mod tests {
                             wire: p.wire.clone(),
                             is_command: p.is_command,
                             label: None,
+                            link: 0,
                         });
                         injected += 1;
                     }

@@ -1,0 +1,350 @@
+//! The shard loop, split into a runtime-agnostic core and two drivers.
+//!
+//! [`ShardCore`] owns everything a shard does between scheduling points:
+//! per-stream extraction and queueing, round-based batched classification
+//! through a [`StreamingSession`], label FIFOs pairing deferred decisions
+//! back with their packages, and the round-boundary hot-swap protocol. It
+//! never blocks and never touches a channel — *when* it runs is entirely
+//! the driver's business, which is what makes the two drivers
+//! decision-equivalent by construction:
+//!
+//! * [`run_threaded`] — the classic one-OS-thread-per-shard loop over a
+//!   blocking `std::sync::mpsc` receiver ([`IngestMode::Threads`]).
+//! * [`ShardTask`] — the same core as a cooperatively scheduled
+//!   [`icsad_runtime::Task`] over an [`IngestQueue`] inbox, polled by the
+//!   work-stealing pool ([`IngestMode::Async`]).
+//!
+//! Per-stream decisions depend only on the per-shard message order (frames
+//! and swaps arrive through one FIFO per shard) and on each lane's record
+//! order (preserved by the per-lane queues) — not on when rounds run, how
+//! large they are, or which worker runs them. That is the ordering argument
+//! behind the engine's schedule-invariance tests; `ARCHITECTURE.md` spells
+//! it out.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::mpsc::Receiver;
+use std::sync::Arc;
+
+use icsad_core::combined::CombinedDetector;
+use icsad_core::metrics::ClassificationReport;
+use icsad_core::streaming::{LaneDecision, StreamingSession};
+use icsad_dataset::extract::StreamExtractor;
+use icsad_dataset::Record;
+use icsad_runtime::{IngestQueue, Poll, Pop, Task};
+use icsad_simulator::AttackType;
+
+use crate::{EngineConfig, RawFrame, ShardReport};
+
+/// Control-plane message to a shard: a chunk of routed frames, or a
+/// hot-reload to apply at the next round boundary.
+pub(crate) enum ShardMsg {
+    Frames(Vec<RawFrame>),
+    Swap(Arc<CombinedDetector>),
+}
+
+/// The runtime-agnostic shard state machine: per-stream extraction and
+/// queueing, round-based batched classification through a
+/// [`StreamingSession`].
+///
+/// Each stream owns a FIFO of extracted records plus a FIFO of their
+/// labels. A classification *round* pops the front record of every
+/// non-empty queue and steps them through the session as one batch —
+/// per-stream order is preserved (and decisions are per-stream, so
+/// cross-stream interleaving is semantically free), while adjacent
+/// packages of the same stream no longer degrade the batch to a single
+/// lane. Backends may *defer* decisions (window baselines resolve a whole
+/// window at once); the label FIFOs pair every resolved decision with its
+/// package again. Rounds run when the backlog reaches `batch_size`, when
+/// ingest momentarily drains, and at shutdown.
+pub(crate) struct ShardCore {
+    session: Box<dyn StreamingSession>,
+    config: EngineConfig,
+    /// Stream key (link, unit id) -> lane index.
+    lanes_by_stream: HashMap<(u32, u8), usize>,
+    extractors: Vec<StreamExtractor>,
+    queues: Vec<VecDeque<Record>>,
+    /// Labels of packages pushed into the session whose decisions have not
+    /// resolved yet, per lane, in push order.
+    pending_labels: Vec<VecDeque<Option<AttackType>>>,
+    queued: usize,
+    pending_lanes: Vec<usize>,
+    pending_records: Vec<Record>,
+    decisions: Vec<LaneDecision>,
+    report: ClassificationReport,
+    frames: u64,
+    flushes: u64,
+    alarms: u64,
+    reloads: u64,
+    swap_rounds: Vec<u64>,
+}
+
+impl ShardCore {
+    pub(crate) fn new(session: Box<dyn StreamingSession>, config: EngineConfig) -> Self {
+        ShardCore {
+            session,
+            config,
+            lanes_by_stream: HashMap::new(),
+            extractors: Vec::new(),
+            queues: Vec::new(),
+            pending_labels: Vec::new(),
+            queued: 0,
+            pending_lanes: Vec::new(),
+            pending_records: Vec::new(),
+            decisions: Vec::new(),
+            report: ClassificationReport::default(),
+            frames: 0,
+            flushes: 0,
+            alarms: 0,
+            reloads: 0,
+            swap_rounds: Vec::new(),
+        }
+    }
+
+    fn enqueue(&mut self, frame: RawFrame) {
+        // `Engine::ingest` quarantines everything shorter than a minimal
+        // frame, so routed frames always carry an address byte.
+        let unit = frame
+            .unit_id()
+            .expect("only well-formed frames reach a shard");
+        let key = (frame.link, unit);
+        let lane = match self.lanes_by_stream.get(&key) {
+            Some(&lane) => lane,
+            None => {
+                let lane = self.session.add_lane();
+                self.lanes_by_stream.insert(key, lane);
+                self.extractors
+                    .push(StreamExtractor::new(self.config.crc_window));
+                self.queues.push(VecDeque::new());
+                self.pending_labels.push(VecDeque::new());
+                lane
+            }
+        };
+        let record =
+            self.extractors[lane].push(frame.time, &frame.wire, frame.is_command, frame.label);
+        self.queues[lane].push_back(record);
+        self.queued += 1;
+        self.frames += 1;
+    }
+
+    /// Whether records are queued but not yet classified.
+    pub(crate) fn has_backlog(&self) -> bool {
+        self.queued > 0
+    }
+
+    /// Classifies one round: the front record of every non-empty queue.
+    pub(crate) fn flush_round(&mut self) {
+        if self.queued == 0 {
+            return;
+        }
+        self.pending_lanes.clear();
+        self.pending_records.clear();
+        self.decisions.clear();
+        for (lane, queue) in self.queues.iter_mut().enumerate() {
+            if let Some(record) = queue.pop_front() {
+                self.pending_labels[lane].push_back(record.label);
+                self.pending_lanes.push(lane);
+                self.pending_records.push(record);
+            }
+        }
+        self.queued -= self.pending_lanes.len();
+        self.session.classify_batch(
+            &self.pending_lanes,
+            &self.pending_records,
+            &mut self.decisions,
+        );
+        self.absorb_decisions();
+        self.flushes += 1;
+    }
+
+    /// Scores every decision the session resolved, pairing it with its
+    /// package's label (per-lane FIFO order).
+    fn absorb_decisions(&mut self) {
+        let mut decisions = std::mem::take(&mut self.decisions);
+        for d in decisions.drain(..) {
+            let label = self.pending_labels[d.lane]
+                .pop_front()
+                .expect("backend resolved a decision with no pending package");
+            if d.anomalous {
+                self.alarms += 1;
+            }
+            self.report.record(label, d.anomalous);
+        }
+        self.decisions = decisions;
+    }
+
+    /// Applies a hot-reload at a round boundary: drains the whole backlog
+    /// through the outgoing detector, then swaps and resets every stream.
+    fn apply_swap(&mut self, detector: Arc<CombinedDetector>) {
+        while self.queued > 0 {
+            self.flush_round();
+        }
+        // Resolve decisions the backend is still deferring before its lane
+        // state resets: the swap point ends the pre-swap stream exactly
+        // like a shutdown would (a no-op for the combined backends, which
+        // defer nothing — but it keeps the label FIFOs honest for any
+        // swappable backend that buffers).
+        self.decisions.clear();
+        self.session.finish(&mut self.decisions);
+        self.absorb_decisions();
+        self.session
+            .swap_combined(detector)
+            .expect("engine pre-validates hot-swap support");
+        debug_assert!(
+            self.pending_labels.iter().all(|q| q.is_empty()),
+            "session.finish must resolve every pending decision"
+        );
+        // The extractors are part of per-stream state: resetting them makes
+        // the post-swap stream identical to a cold start on the new
+        // artifact (CRC window and inter-arrival features restart too).
+        for extractor in &mut self.extractors {
+            *extractor = StreamExtractor::new(self.config.crc_window);
+        }
+        self.reloads += 1;
+        self.swap_rounds.push(self.flushes);
+    }
+
+    fn enqueue_chunk(&mut self, chunk: Vec<RawFrame>) {
+        for frame in chunk {
+            self.enqueue(frame);
+            if self.queued >= self.config.batch_size {
+                self.flush_round();
+            }
+        }
+    }
+
+    pub(crate) fn handle(&mut self, msg: ShardMsg) {
+        match msg {
+            ShardMsg::Frames(chunk) => self.enqueue_chunk(chunk),
+            ShardMsg::Swap(detector) => self.apply_swap(detector),
+        }
+    }
+
+    /// End of stream: drains the backlog, then lets the backend resolve
+    /// every decision it deferred (window tails).
+    pub(crate) fn end_of_stream(&mut self) {
+        while self.queued > 0 {
+            self.flush_round();
+        }
+        self.decisions.clear();
+        self.session.finish(&mut self.decisions);
+        self.absorb_decisions();
+    }
+
+    pub(crate) fn into_report(self, shard: usize) -> ShardReport {
+        ShardReport {
+            shard,
+            frames: self.frames,
+            streams: self.lanes_by_stream.len(),
+            flushes: self.flushes,
+            alarms: self.alarms,
+            reloads: self.reloads,
+            swap_rounds: self.swap_rounds,
+            report: self.report,
+        }
+    }
+}
+
+/// The [`IngestMode::Threads`](crate::IngestMode::Threads) driver: one
+/// dedicated OS thread blocking on its shard's channel.
+pub(crate) fn run_threaded(
+    mut core: ShardCore,
+    shard: usize,
+    rx: Receiver<ShardMsg>,
+) -> ShardReport {
+    'ingest: loop {
+        // Soak whatever is already buffered so rounds see a backlog of
+        // streams, flushing whenever the backlog is deep enough.
+        loop {
+            match rx.try_recv() {
+                Ok(msg) => core.handle(msg),
+                Err(std::sync::mpsc::TryRecvError::Empty) => break,
+                Err(std::sync::mpsc::TryRecvError::Disconnected) => break 'ingest,
+            }
+        }
+        // Channel momentarily empty: work through the backlog, then block
+        // for the next message.
+        core.flush_round();
+        if !core.has_backlog() {
+            match rx.recv() {
+                Ok(msg) => core.handle(msg),
+                Err(_) => break 'ingest,
+            }
+        }
+    }
+    // Ingest closed: drain everything still queued, then let the backend
+    // resolve decisions it deferred (window tails).
+    core.end_of_stream();
+    core.into_report(shard)
+}
+
+/// The [`IngestMode::Async`](crate::IngestMode::Async) driver: the same
+/// [`ShardCore`] as a cooperatively scheduled task over an [`IngestQueue`]
+/// inbox, polled by the work-stealing pool.
+pub(crate) struct ShardTask {
+    /// `Some` until [`Task::complete`] takes it (`Option` only because the
+    /// `Drop` impl below forbids moving fields out of `self`).
+    core: Option<ShardCore>,
+    inbox: Arc<IngestQueue<ShardMsg>>,
+    shard: usize,
+}
+
+impl ShardTask {
+    pub(crate) fn new(core: ShardCore, inbox: Arc<IngestQueue<ShardMsg>>, shard: usize) -> Self {
+        ShardTask {
+            core: Some(core),
+            inbox,
+            shard,
+        }
+    }
+}
+
+impl Task for ShardTask {
+    type Output = ShardReport;
+
+    fn poll(&mut self, budget: usize) -> Poll {
+        let core = self.core.as_mut().expect("polled after completion");
+        for _ in 0..budget.max(1) {
+            match self.inbox.pop() {
+                Pop::Item(msg) => core.handle(msg),
+                Pop::Empty => {
+                    // Mirror the threaded loop's drain-on-quiet: when the
+                    // inbox momentarily empties, work through the backlog
+                    // one round at a time (yielding between rounds so a
+                    // steal can migrate the drain) before going idle.
+                    if core.has_backlog() {
+                        core.flush_round();
+                        return if core.has_backlog() {
+                            Poll::Runnable
+                        } else {
+                            Poll::Idle
+                        };
+                    }
+                    return Poll::Idle;
+                }
+                Pop::Closed => {
+                    core.end_of_stream();
+                    return Poll::Complete;
+                }
+            }
+        }
+        Poll::Runnable
+    }
+
+    fn complete(mut self) -> ShardReport {
+        self.core
+            .take()
+            .expect("completed once")
+            .into_report(self.shard)
+    }
+}
+
+impl Drop for ShardTask {
+    fn drop(&mut self) {
+        // If this task dies with work outstanding (a panic inside a poll),
+        // producers blocked on a full inbox would otherwise wait forever:
+        // poison the queue so `Engine::ingest` fails fast instead. On the
+        // normal completion path the queue is already closed and this is a
+        // no-op.
+        self.inbox.close();
+    }
+}

@@ -1,0 +1,336 @@
+//! Idle-stream soak: one async engine hosts 10,000 streams — three of them
+//! live, the rest idle — on no more than `available_parallelism` + 1
+//! threads, with the backpressure counters accounting for every stall.
+//!
+//! This is the scaling scenario the async runtime exists for: under
+//! [`IngestMode::Threads`] the same shard count would cost one OS thread
+//! per shard whether or not traffic arrives; under [`IngestMode::Async`]
+//! idle shards are idle *tasks*, costing a queue and a state byte.
+
+use std::sync::{Arc, OnceLock};
+
+use icsad_core::combined::CombinedDetector;
+use icsad_core::experiment::{train_framework, ExperimentConfig};
+use icsad_core::streaming::{LaneDecision, StreamingDetector, StreamingSession, SwapError};
+use icsad_core::timeseries::TimeSeriesTrainingConfig;
+use icsad_dataset::{DatasetConfig, GasPipelineDataset, Record};
+use icsad_engine::{Engine, EngineConfig, IngestMode, RawFrame, TestSchedule};
+use icsad_simulator::{TrafficConfig, TrafficGenerator};
+
+fn tiny_detector() -> Arc<CombinedDetector> {
+    static DETECTOR: OnceLock<Arc<CombinedDetector>> = OnceLock::new();
+    Arc::clone(DETECTOR.get_or_init(|| {
+        let data = GasPipelineDataset::generate(&DatasetConfig {
+            total_packages: 3_000,
+            seed: 71,
+            attack_probability: 0.0,
+            ..DatasetConfig::default()
+        });
+        let split = data.split_chronological(0.7, 0.2);
+        let trained = train_framework(
+            &split,
+            &ExperimentConfig {
+                timeseries: TimeSeriesTrainingConfig {
+                    hidden_dims: vec![8],
+                    epochs: 1,
+                    seed: 71,
+                    ..TimeSeriesTrainingConfig::default()
+                },
+                ..ExperimentConfig::default()
+            },
+        )
+        .unwrap();
+        Arc::new(trained.detector)
+    }))
+}
+
+/// A plausible idle-stream heartbeat frame on `link`: unit 9, read-holding
+/// function code, arbitrary payload bytes standing in for the CRC.
+fn heartbeat(link: u32, time: f64) -> RawFrame {
+    RawFrame {
+        time,
+        wire: vec![9, 3, 0x10, 0x01, 0xAA, 0x55],
+        is_command: true,
+        label: None,
+        link,
+    }
+}
+
+#[test]
+fn ten_thousand_streams_fit_on_a_fixed_worker_pool() {
+    const IDLE_STREAMS: usize = 9_997;
+    const ACTIVE_STREAMS: usize = 3;
+    const ACTIVE_FRAMES: usize = 1_200;
+
+    let detector = tiny_detector();
+    let mut engine = Engine::start(
+        detector,
+        EngineConfig {
+            // Far more shards than any sane thread count: under the async
+            // runtime, shards are tasks, and the pool stays at
+            // available_parallelism.
+            num_shards: 64,
+            batch_size: 64,
+            channel_capacity: 512,
+            ingest: IngestMode::Async { workers: 0 },
+            ..EngineConfig::default()
+        },
+    );
+    // An environment override (e.g. a CI leg forcing `threads`) may
+    // legitimately re-route the engine off the async runtime; the
+    // thread-count bound only makes sense for the runtime this test pins,
+    // so skip rather than fail. Checking the *resolved* mode is robust to
+    // however the resolver normalizes the env value.
+    if engine.ingest_mode() != "async" {
+        return;
+    }
+    let parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    // The headline bound: the whole engine — its pool plus this ingest
+    // thread — fits in available_parallelism + 1 threads (i.e. the pool
+    // itself stays within available_parallelism), independent of stream
+    // count.
+    assert!(
+        engine.ingest_threads() <= parallelism,
+        "pool spawned {} threads on a {parallelism}-wide host",
+        engine.ingest_threads()
+    );
+    assert!(engine.ingest_threads() >= 1);
+
+    // 9,997 idle streams: one heartbeat each (plus a second so every
+    // stream has an inter-arrival), then silence.
+    for link in 1..=IDLE_STREAMS as u32 {
+        engine.ingest(heartbeat(link, 0.05 * f64::from(link)));
+    }
+    for link in 1..=IDLE_STREAMS as u32 {
+        engine.ingest(heartbeat(link, 600.0 + 0.05 * f64::from(link)));
+    }
+    // Three live PLCs on link 0 carry the real traffic.
+    let mut actives: Vec<Vec<icsad_simulator::Packet>> = Vec::new();
+    for (i, slave) in [2u8, 5, 8].into_iter().enumerate() {
+        let mut generator = TrafficGenerator::new(TrafficConfig {
+            seed: 70 + i as u64,
+            slave_address: slave,
+            // Clean traffic: attack scenarios (e.g. recon scans) would
+            // introduce extra unit ids and blur the exact stream count
+            // this test pins.
+            attack_probability: 0.0,
+            ..TrafficConfig::default()
+        });
+        actives.push(generator.generate(ACTIVE_FRAMES));
+    }
+    for packets in &actives {
+        engine.ingest_packets(packets);
+    }
+
+    let report = engine.finish();
+    let total_frames = (IDLE_STREAMS * 2 + ACTIVE_STREAMS * ACTIVE_FRAMES) as u64;
+    assert_eq!(report.frames(), total_frames, "no frame lost or duplicated");
+    let streams: usize = report.shards.iter().map(|s| s.streams).sum();
+    assert_eq!(
+        streams,
+        IDLE_STREAMS + ACTIVE_STREAMS,
+        "every (link, unit) pair is its own stream"
+    );
+    assert_eq!(report.quarantined, 0);
+    // Runtime accounting is on the report too, and consistent with the
+    // engine-side bound asserted above.
+    assert_eq!(report.runtime.mode, "async");
+    assert!(report.runtime.ingest_threads <= parallelism);
+    assert!(report.runtime.polls > 0);
+}
+
+/// A deliberately slow streaming backend: every batch costs a fixed sleep,
+/// so the ingest thread provably outruns the shards and the backpressure
+/// counter must fire. Decisions are all-benign; this backend exists purely
+/// to exercise flow control.
+struct SlowBackend {
+    delay: std::time::Duration,
+}
+
+struct SlowSession {
+    lanes: usize,
+    delay: std::time::Duration,
+}
+
+impl StreamingDetector for SlowBackend {
+    fn name(&self) -> &str {
+        "slow-test-backend"
+    }
+
+    fn begin_session(self: Arc<Self>) -> Box<dyn StreamingSession> {
+        Box::new(SlowSession {
+            lanes: 0,
+            delay: self.delay,
+        })
+    }
+}
+
+impl StreamingSession for SlowSession {
+    fn add_lane(&mut self) -> usize {
+        self.lanes += 1;
+        self.lanes - 1
+    }
+
+    fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    fn classify_batch(&mut self, lanes: &[usize], records: &[Record], out: &mut Vec<LaneDecision>) {
+        assert_eq!(lanes.len(), records.len());
+        std::thread::sleep(self.delay);
+        out.extend(lanes.iter().map(|&lane| LaneDecision {
+            lane,
+            anomalous: false,
+        }));
+    }
+
+    fn finish(&mut self, _out: &mut Vec<LaneDecision>) {}
+
+    fn swap_combined(&mut self, _detector: Arc<CombinedDetector>) -> Result<(), SwapError> {
+        Err(SwapError::UnsupportedBackend {
+            backend: "slow-test-backend".to_string(),
+        })
+    }
+}
+
+fn backpressure_run(ingest: IngestMode) -> u64 {
+    let backend = Arc::new(SlowBackend {
+        delay: std::time::Duration::from_millis(2),
+    });
+    let mut engine = Engine::start_backend(
+        backend,
+        EngineConfig {
+            num_shards: 1,
+            batch_size: 1,
+            // One 64-frame chunk in flight at a time: the second chunk can
+            // only be queued once the shard starts draining the first.
+            channel_capacity: 1,
+            ingest,
+            ..EngineConfig::default()
+        },
+    );
+    // ~40 chunks of traffic for unit 1, pushed as fast as the channel
+    // accepts them; each chunk costs the shard ≥ 2 ms to classify, while
+    // the producer needs microseconds — the ring must fill.
+    for i in 0..2_560u32 {
+        engine.ingest(RawFrame {
+            time: f64::from(i) * 0.01,
+            wire: vec![1, 3, 0x00, 0x2A],
+            is_command: true,
+            label: None,
+            link: 0,
+        });
+    }
+    let report = engine.finish();
+    assert_eq!(report.frames(), 2_560);
+    report.runtime.blocked_pushes
+}
+
+/// Saturation behavior (documented on `EngineConfig::channel_capacity`):
+/// a full channel blocks ingest rather than dropping frames, and every
+/// stall lands on `RuntimeStats::blocked_pushes` — in both runtimes.
+#[test]
+fn backpressure_is_counted_on_the_report() {
+    let blocked_threads = backpressure_run(IngestMode::Threads);
+    assert!(
+        blocked_threads > 0,
+        "threads mode: expected blocked pushes against a slow shard"
+    );
+    let blocked_async = backpressure_run(IngestMode::AsyncDeterministic(TestSchedule {
+        seed: 5,
+        workers: 2,
+        max_budget: 2,
+    }));
+    assert!(
+        blocked_async > 0,
+        "async mode: expected blocked pushes against a slow shard"
+    );
+}
+
+/// Work stealing is observable: many hot shards re-queue themselves with a
+/// tiny budget while several virtual workers contend, so the seeded
+/// scheduler must record steals (the count is exactly reproducible for a
+/// fixed seed, pinned here loosely as "nonzero").
+#[test]
+fn seeded_schedules_record_steals() {
+    let backend = Arc::new(SlowBackend {
+        delay: std::time::Duration::ZERO,
+    });
+    let mut engine = Engine::start_backend(
+        backend,
+        EngineConfig {
+            num_shards: 8,
+            batch_size: 4,
+            channel_capacity: 1024,
+            ingest: IngestMode::AsyncDeterministic(TestSchedule {
+                seed: 11,
+                workers: 3,
+                max_budget: 1,
+            }),
+            ..EngineConfig::default()
+        },
+    );
+    for i in 0..4_096u32 {
+        engine.ingest(RawFrame {
+            time: f64::from(i) * 0.01,
+            wire: vec![(i % 8) as u8, 3, 0x00, 0x2A],
+            is_command: true,
+            label: None,
+            link: 0,
+        });
+    }
+    let report = engine.finish();
+    assert_eq!(report.frames(), 4_096);
+    assert!(
+        report.runtime.steals > 0,
+        "expected steals under a 3-worker schedule with 8 hot shards, got {:?}",
+        report.runtime
+    );
+}
+
+/// The same idle-heavy workload gives identical decisions on both
+/// runtimes (frame/stream conservation at soak scale, cheap model).
+#[test]
+fn soak_decisions_match_across_runtimes() {
+    let detector = tiny_detector();
+    let run = |ingest: IngestMode| {
+        let mut engine = Engine::start(
+            Arc::clone(&detector),
+            EngineConfig {
+                num_shards: 16,
+                batch_size: 32,
+                channel_capacity: 128,
+                ingest,
+                ..EngineConfig::default()
+            },
+        );
+        for link in 1..=500u32 {
+            engine.ingest(heartbeat(link, 0.05 * f64::from(link)));
+            engine.ingest(heartbeat(link, 60.0 + 0.05 * f64::from(link)));
+        }
+        let mut generator = TrafficGenerator::new(TrafficConfig {
+            seed: 75,
+            slave_address: 4,
+            attack_probability: 0.05,
+            ..TrafficConfig::default()
+        });
+        engine.ingest_packets(&generator.generate(800));
+        engine.finish()
+    };
+    let threaded = run(IngestMode::Threads);
+    let pooled = run(IngestMode::Async { workers: 0 });
+    let seeded = run(IngestMode::AsyncDeterministic(TestSchedule {
+        seed: 3,
+        workers: 2,
+        max_budget: 3,
+    }));
+    assert_eq!(threaded.total, pooled.total);
+    assert_eq!(threaded.total, seeded.total);
+    assert_eq!(threaded.frames(), pooled.frames());
+    let streams =
+        |r: &icsad_engine::EngineReport| r.shards.iter().map(|s| s.streams).sum::<usize>();
+    assert_eq!(streams(&threaded), 501);
+    assert_eq!(streams(&pooled), 501);
+}

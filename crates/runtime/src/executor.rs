@@ -1,0 +1,754 @@
+//! The cooperative executor: a fixed worker pool multiplexing many tasks,
+//! with per-worker run queues, work stealing, and a deterministic
+//! seed-replayable scheduler mode for interleaving tests.
+//!
+//! # Task state machine
+//!
+//! Every task slot carries an atomic state:
+//!
+//! ```text
+//!            notify                poll → Runnable / dirty-idle
+//!   IDLE ───────────► QUEUED ◄──────────────────┐
+//!                        │ dequeue              │
+//!                        ▼                      │
+//!                     RUNNING ── notify ──► DIRTY
+//!                        │ poll → Idle          (re-queued after the poll)
+//!            ┌───────────┤
+//!            ▼           │ poll → Complete / panic
+//!          IDLE          ▼
+//!                      DONE
+//! ```
+//!
+//! `QUEUED` means *exactly one* entry in *exactly one* run queue — a notify
+//! on a queued/dirty task is a no-op, and a notify racing a running task
+//! lands on `DIRTY`, which the worker converts back to `QUEUED` when the
+//! poll returns `Idle`. That closes the classic lost-wakeup window: a
+//! producer that pushes after the consumer's last empty `pop` but before
+//! the consumer goes idle still gets the task re-queued.
+//!
+//! # Stealing
+//!
+//! A finished poll that still has work re-queues the task at the **tail of
+//! the polling worker's own queue**; an idle worker that finds its own queue
+//! empty pops the **tail of a victim's queue**. A hot shard therefore keeps
+//! its cache locality while it is the only busy task, and migrates exactly
+//! when some other worker has nothing better to do — classic work stealing,
+//! minus the lock-free deque (the workspace forbids `unsafe`; per-worker
+//! mutexed `VecDeque`s cost one uncontended lock per schedule event, which
+//! is noise next to a batched LSTM flush).
+//!
+//! # Determinism
+//!
+//! Tasks are polled by at most one worker at a time, so task-local state
+//! never needs synchronization and anything invariant to poll timing is
+//! invariant to the schedule. [`Schedule::Deterministic`] makes the
+//! remaining nondeterminism replayable: one thread simulates every virtual
+//! worker, drawing (worker, steal victim order, poll budget) choices from a
+//! seeded [`ChaCha12Rng`], so a test can sweep seeds and assert schedule
+//! invariance.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+
+/// What a [`Task::poll`] learned about the task's remaining work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Poll {
+    /// Nothing to do right now; re-poll only after the next
+    /// [`Executor::notify`].
+    Idle,
+    /// The budget ran out (or the task yielded) with work still pending;
+    /// re-queue immediately.
+    Runnable,
+    /// The task's input is exhausted and its work is finished; the executor
+    /// will call [`Task::complete`] exactly once and never poll it again.
+    Complete,
+}
+
+/// A cooperatively scheduled unit of work — for the engine, one shard's
+/// ingest loop.
+pub trait Task: Send + 'static {
+    /// What [`Task::complete`] yields (for the engine, the shard report).
+    type Output: Send + 'static;
+
+    /// Makes progress, bounded by `budget` work items (messages, flush
+    /// rounds, …) so one hot task cannot monopolize a worker. Must not
+    /// block: return [`Poll::Idle`] instead of waiting for input.
+    fn poll(&mut self, budget: usize) -> Poll;
+
+    /// Consumes the task after its final [`Poll::Complete`].
+    fn complete(self) -> Self::Output;
+}
+
+/// A deterministic, seed-replayable schedule: one scheduler thread simulates
+/// `workers` virtual workers, drawing every (acting worker, steal victim
+/// order, poll budget) decision from a [`ChaCha12Rng`] seeded with `seed`.
+/// Two runs with the same seed and the same notify sequence replay the same
+/// worker/steal orderings — and sweeping seeds explores distinct
+/// interleavings, which is what the engine's equivalence property tests
+/// drive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TestSchedule {
+    /// Seed for the scheduling RNG.
+    pub seed: u64,
+    /// Virtual workers (run queues) to simulate; must be positive.
+    pub workers: usize,
+    /// Poll budgets are drawn uniformly from `1..=max_budget`; must be
+    /// positive. Small budgets force frequent preemption and migration.
+    pub max_budget: usize,
+}
+
+impl Default for TestSchedule {
+    fn default() -> Self {
+        TestSchedule {
+            seed: 0,
+            workers: 2,
+            max_budget: 4,
+        }
+    }
+}
+
+/// How an [`Executor`] runs its tasks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Schedule {
+    /// A real pool: `workers` OS threads, each with its own run queue,
+    /// stealing from each other. Polls use [`POOL_POLL_BUDGET`].
+    Pool {
+        /// OS threads to spawn; must be positive.
+        workers: usize,
+    },
+    /// One scheduler thread replaying a seeded schedule over virtual
+    /// workers — for deterministic-interleaving tests.
+    Deterministic(TestSchedule),
+}
+
+/// Messages a pool worker processes per poll before the task is re-queued
+/// (and thereby exposed to stealing). For the engine each message is a chunk
+/// of up to 64 frames, so this quantum is a few hundred frames.
+pub const POOL_POLL_BUDGET: usize = 8;
+
+/// Scheduling counters, collected at [`Executor::join`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// OS threads the executor ran on (pool size, or 1 for a deterministic
+    /// schedule).
+    pub threads: usize,
+    /// Tasks taken from another worker's run queue.
+    pub steals: u64,
+    /// Total task polls.
+    pub polls: u64,
+}
+
+const IDLE: u8 = 0;
+const QUEUED: u8 = 1;
+const RUNNING: u8 = 2;
+const DIRTY: u8 = 3;
+const DONE: u8 = 4;
+
+struct Slot<T: Task> {
+    state: AtomicU8,
+    task: Mutex<Option<T>>,
+    output: Mutex<Option<std::thread::Result<T::Output>>>,
+}
+
+struct SyncState {
+    /// Bumped on every enqueue (and on shutdown); workers snapshot it before
+    /// scanning for work and only park if it has not moved since.
+    epoch: u64,
+    sleepers: usize,
+}
+
+struct Shared<T: Task> {
+    slots: Vec<Slot<T>>,
+    run_queues: Vec<Mutex<VecDeque<usize>>>,
+    sync: Mutex<SyncState>,
+    wakeup: Condvar,
+    /// Tasks not yet DONE; workers exit when it reaches zero.
+    remaining: AtomicUsize,
+    steals: AtomicU64,
+    polls: AtomicU64,
+}
+
+impl<T: Task> Shared<T> {
+    /// Marks a task runnable. Safe from any thread, any number of times;
+    /// duplicate notifies collapse onto the state machine.
+    fn notify(&self, id: usize) {
+        let slot = &self.slots[id];
+        loop {
+            match slot.state.load(Ordering::Acquire) {
+                IDLE => {
+                    if slot
+                        .state
+                        .compare_exchange(IDLE, QUEUED, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        self.enqueue(id % self.run_queues.len(), id);
+                        return;
+                    }
+                }
+                RUNNING => {
+                    if slot
+                        .state
+                        .compare_exchange(RUNNING, DIRTY, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        return;
+                    }
+                }
+                // Already queued for a poll that has not happened yet, or
+                // finished for good: nothing to do.
+                QUEUED | DIRTY | DONE => return,
+                _ => unreachable!("invalid task state"),
+            }
+        }
+    }
+
+    fn enqueue(&self, worker: usize, id: usize) {
+        self.run_queues[worker].lock().unwrap().push_back(id);
+        let mut sync = self.sync.lock().unwrap();
+        sync.epoch += 1;
+        if sync.sleepers > 0 {
+            self.wakeup.notify_all();
+        }
+    }
+
+    fn take_local(&self, worker: usize) -> Option<usize> {
+        self.run_queues[worker].lock().unwrap().pop_front()
+    }
+
+    /// Steals from the tail of the first non-empty victim queue, visiting
+    /// victims in the given order.
+    fn steal(&self, thief: usize, victims: impl Iterator<Item = usize>) -> Option<usize> {
+        for victim in victims {
+            if victim == thief {
+                continue;
+            }
+            if let Some(id) = self.run_queues[victim].lock().unwrap().pop_back() {
+                self.steals.fetch_add(1, Ordering::Relaxed);
+                return Some(id);
+            }
+        }
+        None
+    }
+
+    /// Polls a dequeued task once. Panics inside the task are contained:
+    /// the payload is stored as the task's output and the pool keeps
+    /// serving every other task.
+    fn run_task(&self, worker: usize, id: usize, budget: usize) {
+        let slot = &self.slots[id];
+        let previous = slot.state.swap(RUNNING, Ordering::AcqRel);
+        debug_assert_eq!(previous, QUEUED, "only queued tasks are dequeued");
+        self.polls.fetch_add(1, Ordering::Relaxed);
+        let polled = {
+            let mut guard = slot.task.lock().unwrap();
+            let task = guard.as_mut().expect("queued task is present");
+            catch_unwind(AssertUnwindSafe(|| task.poll(budget)))
+        };
+        match polled {
+            Ok(Poll::Runnable) => {
+                slot.state.store(QUEUED, Ordering::Release);
+                self.enqueue(worker, id);
+            }
+            Ok(Poll::Idle) => {
+                if slot
+                    .state
+                    .compare_exchange(RUNNING, IDLE, Ordering::AcqRel, Ordering::Acquire)
+                    .is_err()
+                {
+                    // A notify landed while the task ran (DIRTY): there may
+                    // be input the poll missed, so re-queue instead of
+                    // idling.
+                    slot.state.store(QUEUED, Ordering::Release);
+                    self.enqueue(worker, id);
+                }
+            }
+            Ok(Poll::Complete) => {
+                let task = slot
+                    .task
+                    .lock()
+                    .unwrap()
+                    .take()
+                    .expect("completing task is present");
+                let output = catch_unwind(AssertUnwindSafe(move || task.complete()));
+                *slot.output.lock().unwrap() = Some(output);
+                slot.state.store(DONE, Ordering::Release);
+                self.task_done();
+            }
+            Err(payload) => {
+                // The poll panicked. Drop the wreckage defensively (its Drop
+                // may poison queues — that is how the engine's shard tasks
+                // unblock producers) and surface the payload at join.
+                let task = slot.task.lock().unwrap().take();
+                let _ = catch_unwind(AssertUnwindSafe(move || drop(task)));
+                *slot.output.lock().unwrap() = Some(Err(payload));
+                slot.state.store(DONE, Ordering::Release);
+                self.task_done();
+            }
+        }
+    }
+
+    fn task_done(&self) {
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last task finished: wake every parked worker so the pool can
+            // exit.
+            let mut sync = self.sync.lock().unwrap();
+            sync.epoch += 1;
+            self.wakeup.notify_all();
+        }
+    }
+
+    /// Parks until the epoch moves past `seen_epoch` (or everything is
+    /// done).
+    fn park(&self, seen_epoch: u64) {
+        let mut sync = self.sync.lock().unwrap();
+        while sync.epoch == seen_epoch && self.remaining.load(Ordering::Acquire) != 0 {
+            sync.sleepers += 1;
+            sync = self.wakeup.wait(sync).unwrap();
+            sync.sleepers -= 1;
+        }
+    }
+}
+
+fn pool_worker<T: Task>(shared: Arc<Shared<T>>, worker: usize) {
+    let workers = shared.run_queues.len();
+    loop {
+        if shared.remaining.load(Ordering::Acquire) == 0 {
+            return;
+        }
+        let epoch = shared.sync.lock().unwrap().epoch;
+        let next = shared
+            .take_local(worker)
+            .or_else(|| shared.steal(worker, (1..workers).map(|i| (worker + i) % workers)));
+        match next {
+            Some(id) => shared.run_task(worker, id, POOL_POLL_BUDGET),
+            None => shared.park(epoch),
+        }
+    }
+}
+
+fn deterministic_scheduler<T: Task>(shared: Arc<Shared<T>>, schedule: TestSchedule) {
+    let mut rng = ChaCha12Rng::seed_from_u64(schedule.seed);
+    let workers = shared.run_queues.len();
+    let mut victims: Vec<usize> = (0..workers).collect();
+    loop {
+        if shared.remaining.load(Ordering::Acquire) == 0 {
+            return;
+        }
+        let epoch = shared.sync.lock().unwrap().epoch;
+        // Seeded choices: which virtual worker acts, in what order it raids
+        // victims when its own queue is empty, and how large its quantum is.
+        let worker = rng.gen_range(0..workers);
+        let next = shared.take_local(worker).or_else(|| {
+            victims.shuffle(&mut rng);
+            shared.steal(worker, victims.iter().copied())
+        });
+        match next {
+            Some(id) => {
+                let budget = rng.gen_range(1..=schedule.max_budget);
+                shared.run_task(worker, id, budget);
+            }
+            // Its own queue plus every victim queue was empty: nothing is
+            // runnable anywhere, park until a notify.
+            None => shared.park(epoch),
+        }
+    }
+}
+
+/// A running executor over a fixed set of tasks.
+///
+/// Built by [`Executor::start`]; fed by [`Executor::notify`] whenever a
+/// task's input changes; torn down by [`Executor::join`] once every task's
+/// input is closed. Tasks are identified by their index in the `tasks`
+/// vector passed to `start`.
+pub struct Executor<T: Task> {
+    shared: Arc<Shared<T>>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl<T: Task> Executor<T> {
+    /// Spawns the worker threads (named `icsad-ingest-{i}`) and registers
+    /// the tasks, all initially idle: nothing is polled until notified.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tasks` is empty or the schedule requests zero workers or a
+    /// zero budget (the engine validates its config first; these are
+    /// programming-error guards).
+    pub fn start(tasks: Vec<T>, schedule: Schedule) -> Executor<T> {
+        assert!(!tasks.is_empty(), "executor needs at least one task");
+        let (queues, threads_wanted) = match schedule {
+            Schedule::Pool { workers } => {
+                assert!(workers > 0, "pool needs at least one worker");
+                (workers, workers)
+            }
+            Schedule::Deterministic(s) => {
+                assert!(s.workers > 0, "schedule needs at least one worker");
+                assert!(s.max_budget > 0, "schedule needs a positive budget");
+                (s.workers, 1)
+            }
+        };
+        let shared = Arc::new(Shared {
+            remaining: AtomicUsize::new(tasks.len()),
+            slots: tasks
+                .into_iter()
+                .map(|task| Slot {
+                    state: AtomicU8::new(IDLE),
+                    task: Mutex::new(Some(task)),
+                    output: Mutex::new(None),
+                })
+                .collect(),
+            run_queues: (0..queues).map(|_| Mutex::new(VecDeque::new())).collect(),
+            sync: Mutex::new(SyncState {
+                epoch: 0,
+                sleepers: 0,
+            }),
+            wakeup: Condvar::new(),
+            steals: AtomicU64::new(0),
+            polls: AtomicU64::new(0),
+        });
+        let threads = (0..threads_wanted)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("icsad-ingest-{i}"))
+                    .spawn(move || match schedule {
+                        Schedule::Pool { .. } => pool_worker(shared, i),
+                        Schedule::Deterministic(s) => deterministic_scheduler(shared, s),
+                    })
+                    .expect("failed to spawn ingest worker")
+            })
+            .collect();
+        Executor { shared, threads }
+    }
+
+    /// Marks a task runnable (its input changed). Duplicate notifies are
+    /// free; notifying a finished task is a no-op.
+    pub fn notify(&self, task: usize) {
+        self.shared.notify(task);
+    }
+
+    /// OS threads this executor runs on.
+    pub fn threads(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Waits for every task to complete and returns the outputs in task
+    /// order, plus scheduling counters. A task that panicked yields
+    /// `Err(payload)` in its slot; the pool itself never unwinds, so every
+    /// *other* output is still collected.
+    ///
+    /// Every task's input must eventually close (so every task reaches
+    /// [`Poll::Complete`]); otherwise this blocks forever — the engine
+    /// closes all ingest queues and notifies all tasks before joining.
+    pub fn join(self) -> (Vec<std::thread::Result<T::Output>>, ExecStats) {
+        let stats_threads = self.threads.len();
+        for thread in self.threads {
+            // Worker threads contain task panics; they only unwind on an
+            // executor bug, which join would then surface via the missing
+            // output below.
+            let _ = thread.join();
+        }
+        let stats = ExecStats {
+            threads: stats_threads,
+            steals: self.shared.steals.load(Ordering::Relaxed),
+            polls: self.shared.polls.load(Ordering::Relaxed),
+        };
+        let outputs = self
+            .shared
+            .slots
+            .iter()
+            .map(|slot| {
+                slot.output
+                    .lock()
+                    .unwrap()
+                    .take()
+                    .expect("task never completed — was its input closed before join?")
+            })
+            .collect();
+        (outputs, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::{IngestQueue, Pop};
+
+    /// Sums the integers fed through its queue; used as a minimal stand-in
+    /// for a shard task.
+    struct SumTask {
+        inbox: Arc<IngestQueue<u64>>,
+        sum: u64,
+    }
+
+    impl Task for SumTask {
+        type Output = u64;
+
+        fn poll(&mut self, budget: usize) -> Poll {
+            for _ in 0..budget.max(1) {
+                match self.inbox.pop() {
+                    Pop::Item(v) => self.sum += v,
+                    Pop::Empty => return Poll::Idle,
+                    Pop::Closed => return Poll::Complete,
+                }
+            }
+            Poll::Runnable
+        }
+
+        fn complete(self) -> u64 {
+            self.sum
+        }
+    }
+
+    fn feed(
+        queues: &[Arc<IngestQueue<u64>>],
+        executor: &Executor<SumTask>,
+        items_per_task: u64,
+    ) -> u64 {
+        let mut expected = 0;
+        for round in 0..items_per_task {
+            for (i, q) in queues.iter().enumerate() {
+                let v = round * 31 + i as u64;
+                q.push(v).unwrap();
+                executor.notify(i);
+                expected += v;
+            }
+        }
+        for q in queues {
+            q.close();
+        }
+        for i in 0..queues.len() {
+            executor.notify(i);
+        }
+        expected
+    }
+
+    fn run(schedule: Schedule, tasks: usize, items: u64) -> ExecStats {
+        let queues: Vec<Arc<IngestQueue<u64>>> = (0..tasks)
+            .map(|_| Arc::new(IngestQueue::bounded(4)))
+            .collect();
+        let executor = Executor::start(
+            queues
+                .iter()
+                .map(|q| SumTask {
+                    inbox: Arc::clone(q),
+                    sum: 0,
+                })
+                .collect(),
+            schedule,
+        );
+        let expected = feed(&queues, &executor, items);
+        let (outputs, stats) = executor.join();
+        let total: u64 = outputs.into_iter().map(|o| o.unwrap()).sum();
+        assert_eq!(total, expected);
+        stats
+    }
+
+    #[test]
+    fn pool_runs_every_task_to_completion() {
+        let queues: Vec<Arc<IngestQueue<u64>>> =
+            (0..5).map(|_| Arc::new(IngestQueue::bounded(4))).collect();
+        let executor = Executor::start(
+            queues
+                .iter()
+                .map(|q| SumTask {
+                    inbox: Arc::clone(q),
+                    sum: 0,
+                })
+                .collect(),
+            Schedule::Pool { workers: 2 },
+        );
+        assert_eq!(executor.threads(), 2);
+        let expected = feed(&queues, &executor, 50);
+        let (outputs, stats) = executor.join();
+        let total: u64 = outputs.into_iter().map(|o| o.unwrap()).sum();
+        assert_eq!(total, expected);
+        assert!(stats.polls > 0);
+        assert_eq!(stats.threads, 2);
+    }
+
+    #[test]
+    fn deterministic_schedule_completes_and_counts() {
+        for seed in 0..8 {
+            let stats = run(
+                Schedule::Deterministic(TestSchedule {
+                    seed,
+                    workers: 3,
+                    max_budget: 2,
+                }),
+                6,
+                20,
+            );
+            assert_eq!(stats.threads, 1, "one scheduler thread simulates all");
+            assert!(stats.polls > 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_schedule_actually_steals() {
+        // All queues pre-filled before the executor exists, so the whole
+        // schedule is a pure function of the seed; with several hot tasks
+        // homed on worker 0's queue and small budgets, seeded steal
+        // decisions must fire.
+        let queues: Vec<Arc<IngestQueue<u64>>> =
+            (0..6).map(|_| Arc::new(IngestQueue::bounded(64))).collect();
+        for q in &queues {
+            for v in 0..40 {
+                q.push(v).unwrap();
+            }
+            q.close();
+        }
+        let executor = Executor::start(
+            queues
+                .iter()
+                .map(|q| SumTask {
+                    inbox: Arc::clone(q),
+                    sum: 0,
+                })
+                .collect(),
+            Schedule::Deterministic(TestSchedule {
+                seed: 7,
+                workers: 3,
+                max_budget: 1,
+            }),
+        );
+        for i in 0..queues.len() {
+            executor.notify(i);
+        }
+        let (outputs, stats) = executor.join();
+        for o in outputs {
+            assert_eq!(o.unwrap(), (0..40).sum::<u64>());
+        }
+        assert!(stats.steals > 0, "expected steals, got {stats:?}");
+    }
+
+    #[test]
+    fn pool_steals_when_one_queue_is_hot() {
+        // One very hot task homed on worker 0, plus an idle second worker:
+        // the hot task's re-queued polls are the only work available, so
+        // worker 1 can only ever run it by stealing. With enough chunks the
+        // race is overwhelmingly likely to occur at least once, but the
+        // assertion stays on the *total* (correctness), not the steal count
+        // (timing).
+        let queues: Vec<Arc<IngestQueue<u64>>> = (0..2)
+            .map(|_| Arc::new(IngestQueue::bounded(1024)))
+            .collect();
+        let executor = Executor::start(
+            queues
+                .iter()
+                .map(|q| SumTask {
+                    inbox: Arc::clone(q),
+                    sum: 0,
+                })
+                .collect(),
+            Schedule::Pool { workers: 2 },
+        );
+        for v in 0..1000u64 {
+            queues[0].push(v).unwrap();
+            executor.notify(0);
+        }
+        for q in &queues {
+            q.close();
+        }
+        executor.notify(0);
+        executor.notify(1);
+        let (outputs, _) = executor.join();
+        let sums: Vec<u64> = outputs.into_iter().map(|o| o.unwrap()).collect();
+        assert_eq!(sums[0], (0..1000).sum::<u64>());
+        assert_eq!(sums[1], 0);
+    }
+
+    /// A task that panics after absorbing a few items.
+    struct BombTask {
+        inbox: Arc<IngestQueue<u64>>,
+        seen: u64,
+        fuse: u64,
+    }
+
+    impl Task for BombTask {
+        type Output = u64;
+
+        fn poll(&mut self, budget: usize) -> Poll {
+            for _ in 0..budget.max(1) {
+                match self.inbox.pop() {
+                    Pop::Item(_) => {
+                        self.seen += 1;
+                        assert!(self.seen < self.fuse, "bomb went off");
+                    }
+                    Pop::Empty => return Poll::Idle,
+                    Pop::Closed => return Poll::Complete,
+                }
+            }
+            Poll::Runnable
+        }
+
+        fn complete(self) -> u64 {
+            self.seen
+        }
+    }
+
+    #[test]
+    fn task_panic_is_contained_and_other_tasks_finish() {
+        let queues: Vec<Arc<IngestQueue<u64>>> =
+            (0..3).map(|_| Arc::new(IngestQueue::bounded(64))).collect();
+        let executor = Executor::start(
+            queues
+                .iter()
+                .enumerate()
+                .map(|(i, q)| BombTask {
+                    inbox: Arc::clone(q),
+                    seen: 0,
+                    fuse: if i == 1 { 5 } else { u64::MAX },
+                })
+                .collect(),
+            Schedule::Pool { workers: 2 },
+        );
+        for (i, q) in queues.iter().enumerate() {
+            for v in 0..20 {
+                q.push(v).unwrap();
+                executor.notify(i);
+            }
+            q.close();
+            executor.notify(i);
+        }
+        let (outputs, _) = executor.join();
+        assert_eq!(outputs.len(), 3);
+        assert_eq!(*outputs[0].as_ref().unwrap(), 20);
+        assert!(outputs[1].is_err(), "the bomb's panic is surfaced at join");
+        assert_eq!(*outputs[2].as_ref().unwrap(), 20);
+    }
+
+    #[test]
+    fn notify_race_does_not_lose_the_last_item() {
+        // Hammer the notify-while-running window: a producer pushing one
+        // item at a time with immediate notifies must never strand an item
+        // in a queue (the DIRTY state closes the lost-wakeup window).
+        for trial in 0..20 {
+            let q = Arc::new(IngestQueue::bounded(2));
+            let executor = Executor::start(
+                vec![SumTask {
+                    inbox: Arc::clone(&q),
+                    sum: 0,
+                }],
+                Schedule::Pool { workers: 1 },
+            );
+            let mut expected = 0;
+            for v in 0..100u64 {
+                let v = v + trial;
+                q.push(v).unwrap();
+                executor.notify(0);
+                expected += v;
+            }
+            q.close();
+            executor.notify(0);
+            let (outputs, _) = executor.join();
+            assert_eq!(outputs.into_iter().next().unwrap().unwrap(), expected);
+        }
+    }
+}

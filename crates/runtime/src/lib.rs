@@ -1,0 +1,41 @@
+//! Cooperative ingest runtime for the streaming engine.
+//!
+//! The engine's original shard loop dedicates one OS thread per shard and
+//! blocks it on a channel (`std::sync::mpsc`), so an engine hosting
+//! thousands of mostly idle streams pays a thread — stack, scheduler slot,
+//! context switches — per shard whether or not traffic arrives. This crate
+//! provides the alternative: a dependency-free cooperative executor that
+//! multiplexes many shard *tasks* onto a **fixed worker pool** (sized to
+//! [`std::thread::available_parallelism`] by default), fed through bounded
+//! [`IngestQueue`] ring buffers, with **work stealing** so a hot shard's
+//! batched flush can migrate to an idle worker.
+//!
+//! Three pieces:
+//!
+//! * [`IngestQueue`] — a bounded, mutex-sharded MPSC ring buffer. Producers
+//!   block when the ring is full (backpressure, counted); consumers never
+//!   block (the executor parks instead).
+//! * [`Task`] / [`Executor`] — the task abstraction and the pool. A task is
+//!   polled with a *budget* (cooperative quantum); between polls it lives in
+//!   a per-worker run queue from which idle workers steal.
+//! * [`TestSchedule`] — a deterministic scheduler mode: one thread simulates
+//!   the whole pool, replaying worker/steal/budget choices from a
+//!   [`rand_chacha`] seed, so a property test can drive the engine through
+//!   seeded interleavings and assert that every one of them yields
+//!   bit-identical decisions.
+//!
+//! The scheduling machinery is deliberately semantics-free: a task is only
+//! ever polled by one worker at a time, so per-task state needs no
+//! synchronization, and anything whose outcome is invariant to *when* work
+//! happens (like the engine's per-stream decision sequences) is invariant to
+//! the schedule. See `ARCHITECTURE.md` ("Async ingest runtime") for the
+//! protocol write-up.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod executor;
+mod queue;
+
+pub use executor::{ExecStats, Executor, Poll, Schedule, Task, TestSchedule, POOL_POLL_BUDGET};
+pub use queue::{IngestQueue, Pop, PushClosed, TryPushError};

@@ -1,0 +1,236 @@
+//! Bounded MPSC ring buffers feeding shard tasks.
+//!
+//! One queue per shard task. Producers ([`IngestQueue::push`]) block while
+//! the ring is full — that is the engine's backpressure, and every blocked
+//! push is counted — while consumers ([`IngestQueue::pop`]) never block:
+//! the executor parks a worker instead of parking inside a queue, so one
+//! worker can serve many queues.
+//!
+//! The ring is *mutex-sharded* rather than lock-free: each queue carries its
+//! own mutex, so contention is per shard, and the critical sections are a
+//! `VecDeque` push/pop. The workspace forbids `unsafe`, which rules out the
+//! classic lock-free ring; per-shard mutexes measure within noise of the
+//! `sync_channel` they replace because frames travel in chunks (one lock
+//! round-trip amortizes over up to 64 frames).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// The item could not be pushed because the queue was closed; the rejected
+/// item is handed back.
+#[derive(Debug)]
+pub struct PushClosed<T>(pub T);
+
+/// Why [`IngestQueue::try_push`] failed; the rejected item is handed back.
+#[derive(Debug)]
+pub enum TryPushError<T> {
+    /// The ring is at capacity; a blocking [`IngestQueue::push`] would wait.
+    Full(T),
+    /// The queue is closed (consumer finished or was torn down).
+    Closed(T),
+}
+
+/// One [`IngestQueue::pop`] outcome.
+#[derive(Debug)]
+pub enum Pop<T> {
+    /// The oldest queued item.
+    Item(T),
+    /// Nothing queued right now, but producers may still push.
+    Empty,
+    /// Nothing queued and the queue is closed: no item will ever arrive.
+    Closed,
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded MPSC ring buffer with blocking, counted producer-side
+/// backpressure and non-blocking consumption.
+pub struct IngestQueue<T> {
+    state: Mutex<State<T>>,
+    not_full: Condvar,
+    capacity: usize,
+    blocked_pushes: AtomicU64,
+}
+
+impl<T> IngestQueue<T> {
+    /// Creates a ring holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero (a zero-capacity ring could never accept
+    /// an item; the engine validates its configuration before building
+    /// queues, so this is a programming-error guard, not input validation).
+    pub fn bounded(capacity: usize) -> Self {
+        assert!(capacity > 0, "IngestQueue capacity must be positive");
+        IngestQueue {
+            state: Mutex::new(State {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            not_full: Condvar::new(),
+            capacity,
+            blocked_pushes: AtomicU64::new(0),
+        }
+    }
+
+    /// Appends without blocking, or reports why it cannot.
+    pub fn try_push(&self, item: T) -> Result<(), TryPushError<T>> {
+        let mut state = self.state.lock().unwrap();
+        if state.closed {
+            return Err(TryPushError::Closed(item));
+        }
+        if state.items.len() >= self.capacity {
+            return Err(TryPushError::Full(item));
+        }
+        state.items.push_back(item);
+        Ok(())
+    }
+
+    /// Appends, blocking while the ring is full (backpressure). Every wait
+    /// episode increments [`IngestQueue::blocked_pushes`].
+    ///
+    /// # Errors
+    ///
+    /// Hands the item back if the queue is (or becomes, while waiting)
+    /// closed — the consumer is gone and the item would never be drained.
+    pub fn push(&self, item: T) -> Result<(), PushClosed<T>> {
+        let mut state = self.state.lock().unwrap();
+        loop {
+            if state.closed {
+                return Err(PushClosed(item));
+            }
+            if state.items.len() < self.capacity {
+                state.items.push_back(item);
+                return Ok(());
+            }
+            self.blocked_pushes.fetch_add(1, Ordering::Relaxed);
+            state = self.not_full.wait(state).unwrap();
+        }
+    }
+
+    /// Removes the oldest item, never blocking.
+    pub fn pop(&self) -> Pop<T> {
+        let mut state = self.state.lock().unwrap();
+        match state.items.pop_front() {
+            Some(item) => {
+                self.not_full.notify_one();
+                Pop::Item(item)
+            }
+            None if state.closed => Pop::Closed,
+            None => Pop::Empty,
+        }
+    }
+
+    /// Closes the queue: queued items still drain, further pushes fail, and
+    /// blocked producers wake with [`PushClosed`]. Used both for orderly
+    /// shutdown (producer side, after the last push) and for poisoning
+    /// (consumer side, when a task dies and its backlog would otherwise
+    /// leave producers blocked forever).
+    pub fn close(&self) {
+        self.state.lock().unwrap().closed = true;
+        self.not_full.notify_all();
+    }
+
+    /// Whether [`IngestQueue::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().unwrap().closed
+    }
+
+    /// Queued items right now.
+    pub fn len(&self) -> usize {
+        self.state.lock().unwrap().items.len()
+    }
+
+    /// Whether nothing is queued right now.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The fixed ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// How many times a [`IngestQueue::push`] had to wait for space — the
+    /// queue-local backpressure counter.
+    pub fn blocked_pushes(&self) -> u64 {
+        self.blocked_pushes.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order_and_capacity() {
+        let q = IngestQueue::bounded(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert!(matches!(q.try_push(3), Err(TryPushError::Full(3))));
+        assert_eq!(q.len(), 2);
+        assert!(matches!(q.pop(), Pop::Item(1)));
+        assert!(matches!(q.pop(), Pop::Item(2)));
+        assert!(matches!(q.pop(), Pop::Empty));
+    }
+
+    #[test]
+    fn close_drains_then_reports_closed() {
+        let q = IngestQueue::bounded(4);
+        q.push(7).unwrap();
+        q.close();
+        assert!(matches!(q.try_push(8), Err(TryPushError::Closed(8))));
+        assert!(matches!(q.push(9), Err(PushClosed(9))));
+        // The item pushed before the close still drains.
+        assert!(matches!(q.pop(), Pop::Item(7)));
+        assert!(matches!(q.pop(), Pop::Closed));
+    }
+
+    #[test]
+    fn blocked_push_waits_for_space_and_is_counted() {
+        let q = Arc::new(IngestQueue::bounded(1));
+        q.push(1).unwrap();
+        assert_eq!(q.blocked_pushes(), 0);
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                // Wait until the producer has reported its blocked wait, so
+                // the pop below provably races *after* the block began.
+                while q.blocked_pushes() == 0 {
+                    std::thread::yield_now();
+                }
+                assert!(matches!(q.pop(), Pop::Item(1)));
+            })
+        };
+        q.push(2).unwrap(); // blocks until the consumer pops
+        consumer.join().unwrap();
+        assert!(q.blocked_pushes() >= 1);
+        assert!(matches!(q.pop(), Pop::Item(2)));
+    }
+
+    #[test]
+    fn close_wakes_blocked_producers() {
+        let q = Arc::new(IngestQueue::bounded(1));
+        q.push(1).unwrap();
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.push(2))
+        };
+        while q.blocked_pushes() == 0 {
+            std::thread::yield_now();
+        }
+        q.close();
+        assert!(matches!(producer.join().unwrap(), Err(PushClosed(2))));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_is_rejected() {
+        let _ = IngestQueue::<u8>::bounded(0);
+    }
+}

@@ -26,11 +26,22 @@
 //! ```sh
 //! cargo run --release --example live_monitor
 //! ```
+//!
+//! Pass `--async` to drive the shards on the cooperative work-stealing
+//! ingest runtime ([`icsad::engine::IngestMode::Async`]) instead of one
+//! thread per shard — same decisions, fixed thread footprint; the shift
+//! summary then includes the scheduler's poll/steal/backpressure counters.
 
 use icsad::prelude::*;
 use icsad_dataset::extract::{extract_records, DEFAULT_CRC_WINDOW};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let ingest = if std::env::args().any(|a| a == "--async") {
+        // A fixed pool sized to the host; shards become cooperative tasks.
+        IngestMode::Async { workers: 0 }
+    } else {
+        IngestMode::Threads
+    };
     // Train on an anomaly-free commissioning capture covering every PLC
     // the engine will watch ("air-gapped" operation, paper §IV): records
     // are extracted per stream (correct per-stream intervals), then merged
@@ -113,14 +124,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             num_shards: 2,
             batch_size: 32,
             mode: EngineMode::AdaptiveK(DynamicKConfig::default()),
+            ingest,
             ..EngineConfig::default()
         },
     )?;
     println!(
-        "engine cold-started from artifact in {:.1} ms (backend: {}, kernels: {})\n",
+        "engine cold-started from artifact in {:.1} ms (backend: {}, kernels: {}, ingest: {} on {} thread(s))\n",
         t_cold.elapsed().as_secs_f64() * 1e3,
         engine.backend_name(),
         engine.kernel_backend(),
+        engine.ingest_mode(),
+        engine.ingest_threads(),
     );
 
     let t0 = std::time::Instant::now();
@@ -134,12 +148,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         wire: vec![0x04],
         is_command: true,
         label: None,
+        link: 0,
     });
     engine.ingest(RawFrame {
         time: f64::NAN,
         wire: packets[half].wire.clone(),
         is_command: packets[half].is_command,
         label: None,
+        link: 0,
     });
 
     // Mid-shift hot-reload: the re-commissioned artifact replaces the
@@ -196,6 +212,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "  {} hot-reloads applied, {} malformed frames quarantined",
         report.reloads, report.quarantined
+    );
+    println!(
+        "  ingest runtime: {} on {} thread(s), {} polls, {} steals, {} blocked pushes",
+        report.runtime.mode,
+        report.runtime.ingest_threads,
+        report.runtime.polls,
+        report.runtime.steals,
+        report.runtime.blocked_pushes
     );
     std::fs::remove_file(&artifact_v1).ok();
     std::fs::remove_file(&artifact_v2).ok();

@@ -63,6 +63,7 @@ pub use icsad_features as features;
 pub use icsad_linalg as linalg;
 pub use icsad_modbus as modbus;
 pub use icsad_nn as nn;
+pub use icsad_runtime as runtime;
 pub use icsad_simd as simd;
 pub use icsad_simulator as simulator;
 
@@ -82,7 +83,10 @@ pub mod prelude {
         timeseries::{NoiseConfig, TimeSeriesDetector, TimeSeriesTrainingConfig},
     };
     pub use icsad_dataset::{DatasetConfig, Fragments, GasPipelineDataset, Record, Split};
-    pub use icsad_engine::{Engine, EngineConfig, EngineMode, EngineReport, RawFrame, ReloadError};
+    pub use icsad_engine::{
+        Engine, EngineConfig, EngineConfigError, EngineMode, EngineReport, IngestMode, RawFrame,
+        ReloadError, RuntimeStats, TestSchedule,
+    };
     pub use icsad_features::{DiscretizationConfig, Discretizer, Signature, SignatureVocabulary};
     pub use icsad_simulator::{AttackType, Packet, TrafficConfig, TrafficGenerator};
 }
