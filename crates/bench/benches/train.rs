@@ -1,0 +1,84 @@
+//! Criterion bench: batched-BPTT training cost — the backward half of the
+//! paper's commissioning budget. `bptt_backward` times the unit of work one
+//! gradient task computes (an 8-lane minibatch through
+//! [`LstmClassifier::train_batch`]); `commission_train` times a whole
+//! optimizer epoch through [`Trainer::fit_epoch`], including shuffling,
+//! pool dispatch, gradient merge, clipping, and Adam.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use icsad_nn::{
+    BackwardPack, LstmClassifier, ModelConfig, Sequence, TrainScratch, Trainer, TrainingConfig,
+};
+
+fn one_hot_input(t: usize, dim: usize) -> Vec<f32> {
+    let mut v = vec![0.0f32; dim];
+    v[t % dim] = 1.0;
+    v[(t * 7) % dim] = 1.0;
+    v
+}
+
+fn bench_train(c: &mut Criterion) {
+    // The paper's architecture: 2x256 over ~613 classes. One GradTask's
+    // minibatch: 8 lanes of 32 steps, forward + backward in one call.
+    let paper = LstmClassifier::new(&ModelConfig {
+        input_dim: 120,
+        hidden_dims: vec![256, 256],
+        num_classes: 613,
+        seed: 1,
+    });
+    let lanes: Vec<Vec<(Vec<f32>, usize)>> = (0..8)
+        .map(|lane| {
+            (0..32)
+                .map(|t| (one_hot_input(lane * 32 + t, 120), (t * 13 + lane) % 613))
+                .collect()
+        })
+        .collect();
+    let lane_slices: Vec<&[(Vec<f32>, usize)]> = lanes.iter().map(|v| v.as_slice()).collect();
+    let pack = BackwardPack::new(&paper);
+    let mut scratch = TrainScratch::default();
+    let mut grads = paper.zero_gradients();
+    c.bench_function("bptt_backward_8x32_2x256", |b| {
+        b.iter(|| {
+            grads.zero();
+            black_box(paper.train_batch(
+                &pack,
+                black_box(&lane_slices),
+                &mut scratch,
+                &mut grads,
+                1.0 / 256.0,
+            ))
+        })
+    });
+
+    // End-to-end commissioning epoch at the workspace-default width.
+    let sequences: Vec<Sequence> = (0..4)
+        .map(|s| {
+            Sequence::new(
+                (0..128)
+                    .map(|t| (one_hot_input(s * 128 + t, 120), (t * 13 + s) % 613))
+                    .collect(),
+            )
+        })
+        .collect();
+    let mut model = LstmClassifier::new(&ModelConfig {
+        input_dim: 120,
+        hidden_dims: vec![64, 64],
+        num_classes: 613,
+        seed: 2,
+    });
+    let mut trainer = Trainer::new(TrainingConfig {
+        epochs: 1,
+        num_threads: 1,
+        ..TrainingConfig::default()
+    });
+    let mut epoch = 0usize;
+    c.bench_function("commission_train_epoch_2x64", |b| {
+        b.iter(|| {
+            epoch += 1;
+            black_box(trainer.fit_epoch(&mut model, black_box(&sequences), epoch))
+        })
+    });
+}
+
+criterion_group!(benches, bench_train);
+criterion_main!(benches);

@@ -1,0 +1,133 @@
+//! Training throughput probe: targets/s of the truncated-BPTT trainer at
+//! paper scale (2×256 over ~600 signature classes), isolated from the
+//! dataset pipeline — plus a SIMD-backend comparison sweep.
+//!
+//! ```sh
+//! cargo run --release -p icsad-bench --bin train_probe [SEQS] [STEPS]
+//! ```
+//!
+//! Environment: `ICSAD_HIDDEN` (default `256,256`), `ICSAD_CLASSES`
+//! (default `600`), `ICSAD_INPUT` (default `104`), `ICSAD_EPOCHS`
+//! (default `3`), `ICSAD_THREADS` (default `1`), and `ICSAD_COMPARE=1`
+//! to sweep every supported kernel backend instead of the default
+//! single-configuration probe (`ICSAD_KERNEL_BACKEND` /
+//! `ICSAD_KERNEL_FMA` force a backend for the default mode).
+
+use std::time::Instant;
+
+use icsad_nn::{LstmClassifier, ModelConfig, Sequence, Trainer, TrainingConfig};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Synthetic commissioning data shaped like the encoder output: ~14 active
+/// bits per step out of `input_dim`, next-signature targets over `classes`.
+fn make_sequences(seqs: usize, steps: usize, input_dim: usize, classes: usize) -> Vec<Sequence> {
+    (0..seqs)
+        .map(|s| {
+            let steps = (0..steps)
+                .map(|t| {
+                    let mut x = vec![0.0f32; input_dim];
+                    for f in 0..14 {
+                        x[(t * 31 + s * 7 + f * 5) % input_dim] = 1.0;
+                    }
+                    (x, (t * 13 + s * 101) % classes)
+                })
+                .collect();
+            Sequence::new(steps)
+        })
+        .collect()
+}
+
+/// Trains `epochs` passes from a fresh model; returns targets/sec.
+fn throughput(config: &ModelConfig, sequences: &[Sequence], threads: usize, epochs: usize) -> f64 {
+    let mut model = LstmClassifier::new(config);
+    let mut trainer = Trainer::new(TrainingConfig {
+        epochs,
+        num_threads: threads,
+        ..TrainingConfig::default()
+    });
+    let total_targets: usize = sequences.iter().map(Sequence::len).sum::<usize>() * epochs;
+    let t0 = Instant::now();
+    let stats = trainer.fit(&mut model, sequences);
+    let dt = t0.elapsed().as_secs_f64();
+    let last = stats.last().expect("at least one epoch");
+    eprintln!(
+        "    (final epoch loss {:.3}, accuracy {:.3})",
+        last.mean_loss, last.accuracy
+    );
+    total_targets as f64 / dt
+}
+
+fn compare_backends(config: &ModelConfig, sequences: &[Sequence], threads: usize, epochs: usize) {
+    println!(
+        "\nbackend comparison (training targets/s; speedup vs scalar of the same FMA policy):"
+    );
+    let mut scalar_rate = [None::<f64>; 2]; // per FMA policy
+    for sel in icsad_simd::supported_selections() {
+        let effective = icsad_simd::force(sel);
+        assert_eq!(effective, sel);
+        let rate = throughput(config, sequences, threads, epochs);
+        let slot = usize::from(sel.fma);
+        if sel.backend == icsad_simd::Backend::Scalar {
+            scalar_rate[slot] = Some(rate);
+        }
+        match scalar_rate[slot] {
+            Some(s) if s > 0.0 => println!(
+                "  {:<12} {:>12.0} targets/s   {:>5.2}x",
+                sel.label(),
+                rate,
+                rate / s
+            ),
+            _ => println!("  {:<12} {:>12.0} targets/s", sel.label(), rate),
+        }
+    }
+    icsad_simd::reset();
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let seqs: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
+    let steps: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(192);
+    let hidden: Vec<usize> = std::env::var("ICSAD_HIDDEN")
+        .unwrap_or_else(|_| "256,256".into())
+        .split(',')
+        .filter_map(|p| p.trim().parse().ok())
+        .collect();
+    let classes = env_usize("ICSAD_CLASSES", 600);
+    let input_dim = env_usize("ICSAD_INPUT", 104);
+    let epochs = env_usize("ICSAD_EPOCHS", 3);
+    let threads = env_usize("ICSAD_THREADS", 1);
+
+    let config = ModelConfig {
+        input_dim,
+        hidden_dims: hidden.clone(),
+        num_classes: classes,
+        seed: 7,
+    };
+    let model = LstmClassifier::new(&config);
+    let sequences = make_sequences(seqs, steps, input_dim, classes);
+    println!(
+        "model: input {input_dim}, hidden {hidden:?}, classes {classes} \
+         ({} params, {} KB); {} sequences x {} steps, {} epochs, {} threads; kernels: {}",
+        model.param_count(),
+        model.memory_bytes() / 1024,
+        seqs,
+        steps,
+        epochs,
+        threads,
+        icsad_simd::current().label(),
+    );
+
+    if std::env::var("ICSAD_COMPARE").is_ok_and(|v| v == "1") {
+        compare_backends(&config, &sequences, threads, epochs);
+        return;
+    }
+
+    let rate = throughput(&config, &sequences, threads, epochs);
+    println!("training   : {rate:>10.1} targets/s");
+}

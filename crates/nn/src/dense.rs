@@ -3,7 +3,7 @@
 use rand::Rng;
 use rand_chacha::ChaCha12Rng;
 
-use crate::tensor::{gemm_dense_acc, matvec_acc, matvec_t_acc, outer_acc, Tensor2};
+use crate::tensor::{axpy, gemm_dense_acc, matvec_acc, matvec_t_acc, outer_acc, Tensor2};
 
 /// A fully connected layer `y = W x + b`.
 #[derive(Debug, Clone, PartialEq)]
@@ -92,13 +92,31 @@ impl Dense {
         gemm_dense_acc(batch, x, &self.w, out);
     }
 
-    /// Accumulates parameter gradients and the input gradient for one step.
-    pub(crate) fn backward(&self, x: &[f32], dy: &[f32], grad: &mut DenseGrad, dx: &mut [f32]) {
-        outer_acc(&mut grad.w, x, dy);
-        for (gb, &d) in grad.b.iter_mut().zip(dy.iter()) {
-            *gb += d;
+    /// Accumulates parameter gradients and writes the input gradient for a
+    /// whole batch of rows at once.
+    ///
+    /// `x` is the `batch x input_dim` activation block, `dy` the
+    /// `batch x output_dim` logits-gradient block, `wt` the packed
+    /// transposed view of `self.w` (see [`crate::model::BackwardPack`]),
+    /// and `dx` receives `dY Wᵀ` (overwritten, not accumulated). Parameter
+    /// gradients run as single batched kernels — `dW += Xᵀ dY` and the bias
+    /// row-sum — streaming the weight matrix once per batch.
+    pub(crate) fn backward_batch(
+        &self,
+        batch: usize,
+        x: &[f32],
+        dy: &[f32],
+        wt: &Tensor2,
+        grad: &mut DenseGrad,
+        dx: &mut [f32],
+    ) {
+        outer_acc(batch, x, dy, &mut grad.w);
+        // a = 1.0 keeps fused and plain accumulation bitwise identical.
+        for row in dy.chunks_exact(self.b.len()) {
+            axpy(1.0, row, &mut grad.b);
         }
-        matvec_t_acc(&self.w, dy, dx);
+        dx.fill(0.0);
+        matvec_t_acc(batch, dy, wt, dx);
     }
 }
 
@@ -149,7 +167,9 @@ mod tests {
         d.forward(&x, &mut y);
         let mut grad = d.zero_grad();
         let mut dx = vec![0.0; 3];
-        d.backward(&x, &y, &mut grad, &mut dx);
+        let mut wt = Tensor2::zeros(1, 1);
+        crate::tensor::transpose_into(&d.w, &mut wt);
+        d.backward_batch(1, &x, &y, &wt, &mut grad, &mut dx);
 
         let eps = 1e-2f32;
         for idx in 0..d.w.len() {

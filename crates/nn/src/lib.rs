@@ -18,7 +18,9 @@
 //!   prediction for online detection, plus (de)serialization,
 //! * [`Adam`] — the Adam optimizer,
 //! * [`Trainer`] — truncated-BPTT training over variable-length sequences
-//!   with data-parallel gradient accumulation (std scoped threads).
+//!   with deterministic data-parallel gradient accumulation on the
+//!   `icsad-runtime` work-stealing pool (bit-identical weights for any
+//!   worker count).
 //!
 //! # Examples
 //!
@@ -81,5 +83,7 @@ mod trainer;
 pub use adam::{Adam, AdamConfig};
 pub use dense::Dense;
 pub use lstm::{LstmLayer, LstmState};
-pub use model::{BatchScratch, Gradients, LstmClassifier, ModelConfig, StreamState};
-pub use trainer::{EpochStats, Sequence, Trainer, TrainingConfig};
+pub use model::{
+    BackwardPack, BatchScratch, Gradients, LstmClassifier, ModelConfig, StreamState, TrainScratch,
+};
+pub use trainer::{EpochStats, Sequence, Trainer, TrainerConfigError, TrainingConfig};

@@ -20,7 +20,9 @@ use rand_chacha::ChaCha12Rng;
 use crate::activations::{
     sigmoid_deriv_from_output, sigmoid_in_place, tanh_deriv_from_output, tanh_in_place,
 };
-use crate::tensor::{gemm_acc, gemm_dense_acc, matvec_acc, matvec_t_acc, outer_acc, Tensor2};
+use crate::tensor::{
+    axpy, gemm_acc, gemm_dense_acc, grow, matvec_acc, matvec_t_acc, outer_acc, Tensor2,
+};
 
 /// One LSTM layer's parameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -59,16 +61,86 @@ impl LstmState {
     }
 }
 
-/// Per-timestep activations cached for backpropagation.
-#[derive(Debug, Clone)]
-pub(crate) struct StepCache {
-    /// Gate activations `[i, f, o, g]`, each of width `H`.
-    gates: Vec<f32>,
-    /// `tanh(c_t)`.
-    tc: Vec<f32>,
-    /// Previous cell state.
-    c_prev: Vec<f32>,
-    /// Previous hidden state.
+/// Time-major schedule of a ragged training minibatch.
+///
+/// Lanes (independent subsequences trained together) are sorted by length,
+/// longest first, so the lanes still active at any timestep `t` form a
+/// *prefix* of the lane order. The concatenated tape buffers then lay out
+/// one block of `counts[t]` rows per timestep at `offsets[t]`, and row `i`
+/// of consecutive blocks is always the same lane — recurrent state flows
+/// between blocks with plain prefix slices, no per-lane gather.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct LaneSchedule {
+    /// Active-lane count per timestep (non-increasing).
+    pub counts: Vec<usize>,
+    /// Row offset of each timestep's block in the concatenated buffers.
+    pub offsets: Vec<usize>,
+    /// Total concatenated rows (`Σ counts`).
+    pub total: usize,
+}
+
+impl LaneSchedule {
+    /// Builds the schedule from per-lane lengths sorted descending.
+    pub fn from_sorted_lens(lens: &[usize]) -> Self {
+        debug_assert!(
+            lens.windows(2).all(|w| w[0] >= w[1]),
+            "lane lengths must be sorted descending"
+        );
+        let t_max = lens.first().copied().unwrap_or(0);
+        let mut counts = Vec::with_capacity(t_max);
+        let mut offsets = Vec::with_capacity(t_max);
+        let mut total = 0usize;
+        for t in 0..t_max {
+            offsets.push(total);
+            let n = lens.iter().take_while(|&&l| l > t).count();
+            counts.push(n);
+            total += n;
+        }
+        LaneSchedule {
+            counts,
+            offsets,
+            total,
+        }
+    }
+
+    /// Number of timesteps (the longest lane's length).
+    pub fn steps(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Lanes active at `t = 0` (every non-empty lane).
+    pub fn max_lanes(&self) -> usize {
+        self.counts.first().copied().unwrap_or(0)
+    }
+}
+
+/// Concatenated forward activations of one layer over a scheduled
+/// minibatch — the BPTT tape. Row `offsets[t] + i` holds lane `i`'s values
+/// at timestep `t`. Buffers are pooled (grown, never shrunk) so one tape
+/// serves every chunk a worker processes.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct LayerTape {
+    /// Post-activation gates `[i, f, o, g]`, `total x 4H`.
+    pub z: Vec<f32>,
+    /// `tanh(c_t)`, `total x H`.
+    pub tc: Vec<f32>,
+    /// Post-update cell state `c_t`, `total x H`.
+    pub c: Vec<f32>,
+    /// Hidden output `h_t`, `total x H`.
+    pub out: Vec<f32>,
+}
+
+/// Pooled scratch for [`LstmLayer::backward_batch`], shared across the
+/// layers of a stack (grown to the largest shape in use).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct BpttScratch {
+    /// Gate-preactivation gradients, `total x 4H`.
+    dz: Vec<f32>,
+    /// Hidden gradient flowing to the previous timestep, `max_lanes x H`.
+    dh_next: Vec<f32>,
+    /// Cell gradient flowing to the previous timestep, `max_lanes x H`.
+    dc_next: Vec<f32>,
+    /// Gathered previous-hidden rows for the `dU` product, `total x H`.
     h_prev: Vec<f32>,
 }
 
@@ -132,15 +204,12 @@ impl LstmLayer {
         }
     }
 
-    /// Advances the state by one timestep, writing `h_t` into `out_h` and
-    /// (during training) pushing a [`StepCache`].
-    pub(crate) fn step(
-        &self,
-        x: &[f32],
-        state: &mut LstmState,
-        out_h: &mut [f32],
-        cache: Option<&mut Vec<StepCache>>,
-    ) {
+    /// Advances the state by one timestep and writes `h_t` into `out_h`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) on dimension mismatch.
+    pub fn forward(&self, x: &[f32], state: &mut LstmState, out_h: &mut [f32]) {
         let hd = self.hidden_dim;
         debug_assert_eq!(x.len(), self.input_dim);
         debug_assert_eq!(out_h.len(), hd);
@@ -149,9 +218,6 @@ impl LstmLayer {
         let mut z = self.b.clone();
         matvec_acc(&self.w, x, &mut z);
         matvec_acc(&self.u, &state.h, &mut z);
-
-        let c_prev = state.c.clone();
-        let h_prev = state.h.clone();
 
         // Gate nonlinearities in place: [i, f, o] sigmoid, [g] tanh —
         // vectorized through the same dispatched kernels as the batched
@@ -163,7 +229,6 @@ impl LstmLayer {
         let (f_gate, rest) = rest.split_at(hd);
         let (o_gate, g_gate) = rest.split_at(hd);
 
-        let mut tc = vec![0.0f32; hd];
         icsad_simd::lstm_cell_f32(
             i_gate,
             f_gate,
@@ -171,29 +236,9 @@ impl LstmLayer {
             g_gate,
             &mut state.c,
             &mut state.h,
-            Some(&mut tc),
+            None,
         );
         out_h.copy_from_slice(&state.h);
-
-        if let Some(cache) = cache {
-            cache.push(StepCache {
-                gates: z,
-                tc,
-                c_prev,
-                h_prev,
-            });
-        }
-    }
-
-    /// Inference-only single step: advances `state` by one timestep and
-    /// writes `h_t` into `out_h` (the public counterpart of the internal
-    /// training step, without a backprop cache).
-    ///
-    /// # Panics
-    ///
-    /// Panics (in debug builds) on dimension mismatch.
-    pub fn forward(&self, x: &[f32], state: &mut LstmState, out_h: &mut [f32]) {
-        self.step(x, state, out_h, None);
     }
 
     /// Batched inference step: advances `batch` independent lanes by one
@@ -251,61 +296,196 @@ impl LstmLayer {
         }
     }
 
-    /// Backpropagates through a cached forward pass.
+    /// Training forward pass over a whole scheduled minibatch, recording
+    /// the tape for [`LstmLayer::backward_batch`].
     ///
-    /// `d_out[t]` is `∂L/∂h_t` from the layer above (already including any
-    /// direct loss contribution); gradients are accumulated into `grad` and
-    /// `∂L/∂x_t` is accumulated into `d_inputs[t]`.
-    pub(crate) fn backward(
+    /// `x_cat` is the concatenated `total x input_dim` input block in
+    /// schedule order. The input projection `W x` runs as **one** matrix
+    /// product over every (timestep, lane) row at once; only the recurrent
+    /// half walks time. Per gate element every input-projection
+    /// contribution precedes every recurrent contribution, each in
+    /// ascending index order — exactly the order of stepping one timestep
+    /// at a time, so each lane's activations are bitwise those of
+    /// [`LstmLayer::forward`] on that lane alone.
+    pub(crate) fn forward_batch_train(
         &self,
-        inputs: &[&[f32]],
-        caches: &[StepCache],
-        d_out: &[Vec<f32>],
-        grad: &mut LstmGrad,
-        d_inputs: &mut [Vec<f32>],
+        sched: &LaneSchedule,
+        x_cat: &[f32],
+        tape: &mut LayerTape,
+        sparse_input: bool,
     ) {
         let hd = self.hidden_dim;
-        let steps = caches.len();
-        debug_assert_eq!(inputs.len(), steps);
-        debug_assert_eq!(d_out.len(), steps);
-        debug_assert_eq!(d_inputs.len(), steps);
+        let total = sched.total;
+        debug_assert_eq!(x_cat.len(), total * self.input_dim);
+        grow(&mut tape.z, total * 4 * hd);
+        grow(&mut tape.tc, total * hd);
+        grow(&mut tape.c, total * hd);
+        grow(&mut tape.out, total * hd);
+        let z = &mut tape.z[..total * 4 * hd];
 
-        let mut dh_next = vec![0.0f32; hd];
-        let mut dc_next = vec![0.0f32; hd];
-        let mut dz = vec![0.0f32; 4 * hd];
-
-        for t in (0..steps).rev() {
-            let cache = &caches[t];
-            let (i_gate, rest) = cache.gates.split_at(hd);
-            let (f_gate, rest) = rest.split_at(hd);
-            let (o_gate, g_gate) = rest.split_at(hd);
-
-            for j in 0..hd {
-                let dh = d_out[t][j] + dh_next[j];
-                let d_o = dh * cache.tc[j];
-                let dc = dh * o_gate[j] * tanh_deriv_from_output(cache.tc[j]) + dc_next[j];
-                let d_i = dc * g_gate[j];
-                let d_g = dc * i_gate[j];
-                let d_f = dc * cache.c_prev[j];
-                dz[j] = d_i * sigmoid_deriv_from_output(i_gate[j]);
-                dz[hd + j] = d_f * sigmoid_deriv_from_output(f_gate[j]);
-                dz[2 * hd + j] = d_o * sigmoid_deriv_from_output(o_gate[j]);
-                dz[3 * hd + j] = d_g * tanh_deriv_from_output(g_gate[j]);
-                dc_next[j] = dc * f_gate[j];
-            }
-
-            // Parameter gradients.
-            outer_acc(&mut grad.w, inputs[t], &dz);
-            outer_acc(&mut grad.u, &cache.h_prev, &dz);
-            for (gb, &d) in grad.b.iter_mut().zip(dz.iter()) {
-                *gb += d;
-            }
-
-            // Upstream gradients.
-            dh_next.fill(0.0);
-            matvec_t_acc(&self.u, &dz, &mut dh_next);
-            matvec_t_acc(&self.w, &dz, &mut d_inputs[t]);
+        // Bias rows, then the input projection for every timestep at once.
+        for row in z.chunks_exact_mut(4 * hd) {
+            row.copy_from_slice(&self.b);
         }
+        if sparse_input {
+            gemm_acc(total, x_cat, &self.w, z);
+        } else {
+            gemm_dense_acc(total, x_cat, &self.w, z);
+        }
+
+        // Recurrent half: U h_{t-1} (h_prev ≡ 0 at t = 0, so the product
+        // is skipped there), gate nonlinearities, cell update.
+        for t in 0..sched.steps() {
+            let n = sched.counts[t];
+            let r0 = sched.offsets[t];
+            if t > 0 {
+                let p0 = sched.offsets[t - 1];
+                gemm_dense_acc(
+                    n,
+                    &tape.out[p0 * hd..(p0 + n) * hd],
+                    &self.u,
+                    &mut z[r0 * 4 * hd..(r0 + n) * 4 * hd],
+                );
+            }
+            for i in 0..n {
+                let r = r0 + i;
+                let zr = &mut z[r * 4 * hd..(r + 1) * 4 * hd];
+                sigmoid_in_place(&mut zr[..3 * hd]);
+                tanh_in_place(&mut zr[3 * hd..]);
+                if t == 0 {
+                    tape.c[r * hd..(r + 1) * hd].fill(0.0);
+                } else {
+                    let p = (sched.offsets[t - 1] + i) * hd;
+                    tape.c.copy_within(p..p + hd, r * hd);
+                }
+                let zr = &z[r * 4 * hd..(r + 1) * 4 * hd];
+                let (i_gate, rest) = zr.split_at(hd);
+                let (f_gate, rest) = rest.split_at(hd);
+                let (o_gate, g_gate) = rest.split_at(hd);
+                icsad_simd::lstm_cell_f32(
+                    i_gate,
+                    f_gate,
+                    o_gate,
+                    g_gate,
+                    &mut tape.c[r * hd..(r + 1) * hd],
+                    &mut tape.out[r * hd..(r + 1) * hd],
+                    Some(&mut tape.tc[r * hd..(r + 1) * hd]),
+                );
+            }
+        }
+    }
+
+    /// Backpropagates through a taped forward pass of a whole minibatch.
+    ///
+    /// `d_out` is `∂L/∂h` in tape layout (`total x H`, already including
+    /// any direct loss contribution); `wt`/`ut` are the packed transposed
+    /// views of `self.w`/`self.u` (see [`crate::model::BackwardPack`]).
+    /// Parameter gradients accumulate into `grad`; `∂L/∂x` is written
+    /// (overwritten, not accumulated) into `d_inputs` in tape layout.
+    ///
+    /// Only the per-element gate calculus and the recurrent `dz Uᵀ`
+    /// product walk time; the parameter gradients `dW += Xᵀ dZ`,
+    /// `dU += H_prevᵀ dZ` and the input gradient `dX = dZ Wᵀ` each run as
+    /// one batched kernel over all `total` rows, streaming every weight
+    /// matrix once per chunk instead of once per timestep. Contraction
+    /// order per element is the concatenation order, fixed by the
+    /// schedule — independent of SIMD backend and worker count.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn backward_batch(
+        &self,
+        sched: &LaneSchedule,
+        x_cat: &[f32],
+        tape: &LayerTape,
+        d_out: &[f32],
+        wt: &Tensor2,
+        ut: &Tensor2,
+        grad: &mut LstmGrad,
+        d_inputs: &mut [f32],
+        scratch: &mut BpttScratch,
+    ) {
+        let hd = self.hidden_dim;
+        let total = sched.total;
+        let lanes = sched.max_lanes();
+        debug_assert_eq!(x_cat.len(), total * self.input_dim);
+        debug_assert_eq!(d_out.len(), total * hd);
+        debug_assert_eq!(d_inputs.len(), total * self.input_dim);
+        grow(&mut scratch.dz, total * 4 * hd);
+        grow(&mut scratch.dh_next, lanes * hd);
+        grow(&mut scratch.dc_next, lanes * hd);
+        grow(&mut scratch.h_prev, total * hd);
+        let dz = &mut scratch.dz[..total * 4 * hd];
+        let dh_next = &mut scratch.dh_next[..lanes * hd];
+        let dc_next = &mut scratch.dc_next[..lanes * hd];
+        dh_next.fill(0.0);
+        dc_next.fill(0.0);
+
+        for t in (0..sched.steps()).rev() {
+            let n = sched.counts[t];
+            let r0 = sched.offsets[t];
+            for i in 0..n {
+                let r = r0 + i;
+                let gates = &tape.z[r * 4 * hd..(r + 1) * 4 * hd];
+                let (i_gate, rest) = gates.split_at(hd);
+                let (f_gate, rest) = rest.split_at(hd);
+                let (o_gate, g_gate) = rest.split_at(hd);
+                let tc = &tape.tc[r * hd..(r + 1) * hd];
+                let d_out_r = &d_out[r * hd..(r + 1) * hd];
+                let dzr = &mut dz[r * 4 * hd..(r + 1) * 4 * hd];
+                let dh_r = &dh_next[i * hd..(i + 1) * hd];
+                let dc_r = &mut dc_next[i * hd..(i + 1) * hd];
+                let c_prev = (t > 0).then(|| {
+                    let p = (sched.offsets[t - 1] + i) * hd;
+                    &tape.c[p..p + hd]
+                });
+                for j in 0..hd {
+                    let dh = d_out_r[j] + dh_r[j];
+                    let d_o = dh * tc[j];
+                    let dc = dh * o_gate[j] * tanh_deriv_from_output(tc[j]) + dc_r[j];
+                    let d_i = dc * g_gate[j];
+                    let d_g = dc * i_gate[j];
+                    let d_f = dc * c_prev.map_or(0.0, |c| c[j]);
+                    dzr[j] = d_i * sigmoid_deriv_from_output(i_gate[j]);
+                    dzr[hd + j] = d_f * sigmoid_deriv_from_output(f_gate[j]);
+                    dzr[2 * hd + j] = d_o * sigmoid_deriv_from_output(o_gate[j]);
+                    dzr[3 * hd + j] = d_g * tanh_deriv_from_output(g_gate[j]);
+                    dc_r[j] = dc * f_gate[j];
+                }
+            }
+            // Hidden gradient for t-1: overwrite the prefix active at `t`.
+            // Rows beyond it belong to lanes that end before `t`; every
+            // later (higher-t) write was at most this wide, so they are
+            // still zero from the initial fill — exactly the zero gradient
+            // those lanes must contribute.
+            dh_next[..n * hd].fill(0.0);
+            matvec_t_acc(
+                n,
+                &dz[r0 * 4 * hd..(r0 + n) * 4 * hd],
+                ut,
+                &mut dh_next[..n * hd],
+            );
+        }
+
+        // Parameter gradients, each as one kernel over the whole chunk.
+        outer_acc(total, x_cat, dz, &mut grad.w);
+        let h_prev = &mut scratch.h_prev[..total * hd];
+        for t in 0..sched.steps() {
+            let n = sched.counts[t];
+            let r0 = sched.offsets[t];
+            if t == 0 {
+                h_prev[r0 * hd..(r0 + n) * hd].fill(0.0);
+            } else {
+                let p0 = sched.offsets[t - 1];
+                h_prev[r0 * hd..(r0 + n) * hd].copy_from_slice(&tape.out[p0 * hd..(p0 + n) * hd]);
+            }
+        }
+        outer_acc(total, h_prev, dz, &mut grad.u);
+        // a = 1.0 makes fused and plain accumulation identical, so the bias
+        // gradient is FMA-policy independent like the plain adds it replaces.
+        for row in dz.chunks_exact(4 * hd) {
+            axpy(1.0, row, &mut grad.b);
+        }
+        d_inputs.fill(0.0);
+        matvec_t_acc(total, dz, wt, d_inputs);
     }
 }
 
@@ -361,7 +541,7 @@ mod tests {
         let mut h = vec![0.0; 8];
         for t in 0..50 {
             let x: Vec<f32> = (0..4).map(|i| ((t + i) as f32).sin() * 3.0).collect();
-            layer.step(&x, &mut state, &mut h, None);
+            layer.forward(&x, &mut state, &mut h);
             // h = o * tanh(c): strictly inside (-1, 1).
             assert!(h.iter().all(|&v| v.abs() < 1.0));
         }
@@ -375,12 +555,12 @@ mod tests {
         let mut h = vec![0.0; 4];
         // Prime one state with a distinctive input history.
         for _ in 0..5 {
-            layer.step(&[1.0, -1.0], &mut primed, &mut h, None);
+            layer.forward(&[1.0, -1.0], &mut primed, &mut h);
         }
         let mut h_fresh = vec![0.0; 4];
         let mut h_primed = vec![0.0; 4];
-        layer.step(&[0.5, 0.5], &mut fresh, &mut h_fresh, None);
-        layer.step(&[0.5, 0.5], &mut primed, &mut h_primed, None);
+        layer.forward(&[0.5, 0.5], &mut fresh, &mut h_fresh);
+        layer.forward(&[0.5, 0.5], &mut primed, &mut h_primed);
         assert_ne!(h_fresh, h_primed, "history must influence the output");
     }
 
@@ -392,52 +572,130 @@ mod tests {
     }
 
     #[test]
-    fn cache_grows_one_entry_per_step() {
-        let layer = LstmLayer::new(2, 3, &mut rng());
-        let mut state = LstmState::zeros(3);
-        let mut h = vec![0.0; 3];
-        let mut cache = Vec::new();
-        for _ in 0..7 {
-            layer.step(&[0.1, 0.2], &mut state, &mut h, Some(&mut cache));
-        }
-        assert_eq!(cache.len(), 7);
+    fn schedule_counts_ragged_lanes() {
+        let sched = LaneSchedule::from_sorted_lens(&[4, 2, 2, 1]);
+        assert_eq!(sched.counts, vec![4, 3, 1, 1]);
+        assert_eq!(sched.offsets, vec![0, 4, 7, 8]);
+        assert_eq!(sched.total, 9);
+        assert_eq!(sched.max_lanes(), 4);
+        assert_eq!(sched.steps(), 4);
+        let empty = LaneSchedule::from_sorted_lens(&[]);
+        assert_eq!(empty.total, 0);
+        assert_eq!(empty.max_lanes(), 0);
     }
 
-    /// Full numerical gradient check of a single layer through a short
-    /// sequence with a quadratic loss on the outputs.
+    #[test]
+    fn forward_batch_train_matches_streaming_forward_bitwise() {
+        let layer = LstmLayer::new(3, 4, &mut rng());
+        // Two ragged lanes, lengths 5 and 3 (sorted descending).
+        let lane_inputs: Vec<Vec<Vec<f32>>> = [5usize, 3]
+            .iter()
+            .enumerate()
+            .map(|(lane, &len)| {
+                (0..len)
+                    .map(|t| {
+                        (0..3)
+                            .map(|i| ((t * 3 + i + lane * 11) as f32 * 0.7).sin())
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        let sched = LaneSchedule::from_sorted_lens(&[5, 3]);
+        let mut x_cat = vec![0.0f32; sched.total * 3];
+        for (i, inputs) in lane_inputs.iter().enumerate() {
+            for (t, x) in inputs.iter().enumerate() {
+                let r = sched.offsets[t] + i;
+                x_cat[r * 3..(r + 1) * 3].copy_from_slice(x);
+            }
+        }
+        let mut tape = LayerTape::default();
+        layer.forward_batch_train(&sched, &x_cat, &mut tape, false);
+
+        let mut h = vec![0.0f32; 4];
+        for (i, inputs) in lane_inputs.iter().enumerate() {
+            let mut state = LstmState::zeros(4);
+            for (t, x) in inputs.iter().enumerate() {
+                layer.forward(x, &mut state, &mut h);
+                let r = sched.offsets[t] + i;
+                assert_eq!(
+                    &tape.out[r * 4..(r + 1) * 4],
+                    h.as_slice(),
+                    "lane {i} t {t}"
+                );
+                assert_eq!(
+                    &tape.c[r * 4..(r + 1) * 4],
+                    state.c.as_slice(),
+                    "cell lane {i} t {t}"
+                );
+            }
+        }
+    }
+
+    /// Full numerical gradient check of a single layer through a ragged
+    /// two-lane minibatch with a quadratic loss on the outputs.
     #[test]
     fn gradients_match_finite_differences() {
         let mut layer = LstmLayer::new(3, 4, &mut rng());
-        let seq: Vec<Vec<f32>> = (0..5)
-            .map(|t| (0..3).map(|i| ((t * 3 + i) as f32 * 0.7).sin()).collect())
+        let lane_lens = [5usize, 3];
+        let lane_inputs: Vec<Vec<Vec<f32>>> = lane_lens
+            .iter()
+            .enumerate()
+            .map(|(lane, &len)| {
+                (0..len)
+                    .map(|t| {
+                        (0..3)
+                            .map(|i| ((t * 3 + i + lane * 7) as f32 * 0.7).sin())
+                            .collect()
+                    })
+                    .collect()
+            })
             .collect();
 
-        // Loss: 0.5 * sum_t |h_t|^2  =>  dL/dh_t = h_t.
+        // Loss: 0.5 * sum_{lane,t} |h_t|^2  =>  dL/dh_t = h_t.
         let forward_loss = |layer: &LstmLayer| -> f32 {
-            let mut state = LstmState::zeros(4);
-            let mut h = vec![0.0; 4];
             let mut loss = 0.0;
-            for x in &seq {
-                layer.step(x, &mut state, &mut h, None);
-                loss += 0.5 * h.iter().map(|v| v * v).sum::<f32>();
+            for inputs in &lane_inputs {
+                let mut state = LstmState::zeros(4);
+                let mut h = vec![0.0; 4];
+                for x in inputs {
+                    layer.forward(x, &mut state, &mut h);
+                    loss += 0.5 * h.iter().map(|v| v * v).sum::<f32>();
+                }
             }
             loss
         };
 
-        // Analytic gradients.
-        let mut state = LstmState::zeros(4);
-        let mut caches = Vec::new();
-        let mut outputs: Vec<Vec<f32>> = Vec::new();
-        let mut h = vec![0.0; 4];
-        for x in &seq {
-            layer.step(x, &mut state, &mut h, Some(&mut caches));
-            outputs.push(h.clone());
+        // Analytic gradients through the batched tape.
+        let sched = LaneSchedule::from_sorted_lens(&lane_lens);
+        let mut x_cat = vec![0.0f32; sched.total * 3];
+        for (i, inputs) in lane_inputs.iter().enumerate() {
+            for (t, x) in inputs.iter().enumerate() {
+                let r = sched.offsets[t] + i;
+                x_cat[r * 3..(r + 1) * 3].copy_from_slice(x);
+            }
         }
-        let d_out: Vec<Vec<f32>> = outputs.clone();
+        let mut tape = LayerTape::default();
+        layer.forward_batch_train(&sched, &x_cat, &mut tape, false);
+        let d_out = tape.out[..sched.total * 4].to_vec();
+        let mut wt = Tensor2::zeros(1, 1);
+        let mut ut = Tensor2::zeros(1, 1);
+        crate::tensor::transpose_into(&layer.w, &mut wt);
+        crate::tensor::transpose_into(&layer.u, &mut ut);
         let mut grad = layer.zero_grad();
-        let inputs: Vec<&[f32]> = seq.iter().map(|v| v.as_slice()).collect();
-        let mut d_inputs: Vec<Vec<f32>> = vec![vec![0.0; 3]; 5];
-        layer.backward(&inputs, &caches, &d_out, &mut grad, &mut d_inputs);
+        let mut d_inputs = vec![0.0f32; sched.total * 3];
+        let mut scratch = BpttScratch::default();
+        layer.backward_batch(
+            &sched,
+            &x_cat,
+            &tape,
+            &d_out,
+            &wt,
+            &ut,
+            &mut grad,
+            &mut d_inputs,
+            &mut scratch,
+        );
 
         // Numerical check on a sample of W, U, b entries.
         let eps = 1e-2f32;

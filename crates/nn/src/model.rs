@@ -5,8 +5,9 @@ use rand_chacha::ChaCha12Rng;
 
 use crate::activations::softmax_in_place;
 use crate::dense::{Dense, DenseGrad};
-use crate::loss::{softmax_cross_entropy, softmax_cross_entropy_grad};
-use crate::lstm::{LstmLayer, LstmState};
+use crate::loss::{in_top_k, softmax_cross_entropy, softmax_cross_entropy_grad};
+use crate::lstm::{BpttScratch, LaneSchedule, LayerTape, LstmLayer, LstmState};
+use crate::tensor::{grow, transpose_into, Tensor2};
 
 /// Architecture of the classifier.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -128,6 +129,121 @@ impl StreamState {
     }
 }
 
+/// Packed transposed views of every weight matrix, consumed by the
+/// backward kernels (`dX = dY Wᵀ` contracts over weight *columns*; over
+/// the transposed copy it reuses the register-tiled forward gemm).
+///
+/// The pack is intentionally **not** stored inside [`LstmClassifier`]:
+/// it is derived data that must be rebuilt whenever the weights change.
+/// Build one with [`BackwardPack::new`] and call
+/// [`BackwardPack::refresh`] after every optimizer step.
+#[derive(Debug, Clone)]
+pub struct BackwardPack {
+    layers: Vec<LayerPack>,
+    dense_wt: Tensor2,
+}
+
+#[derive(Debug, Clone)]
+struct LayerPack {
+    /// Transpose of the layer's input weights, `4H x in`.
+    wt: Tensor2,
+    /// Transpose of the layer's recurrent weights, `4H x H`.
+    ut: Tensor2,
+}
+
+impl BackwardPack {
+    /// Builds the transposed views of `model`'s current weights.
+    pub fn new(model: &LstmClassifier) -> Self {
+        let mut pack = BackwardPack {
+            layers: model
+                .layers
+                .iter()
+                .map(|_| LayerPack {
+                    wt: Tensor2::zeros(1, 1),
+                    ut: Tensor2::zeros(1, 1),
+                })
+                .collect(),
+            dense_wt: Tensor2::zeros(1, 1),
+        };
+        pack.refresh(model);
+        pack
+    }
+
+    /// Re-packs the transposed views from `model`'s current weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `model` has a different layer count than the model the
+    /// pack was built from.
+    pub fn refresh(&mut self, model: &LstmClassifier) {
+        assert_eq!(
+            self.layers.len(),
+            model.layers.len(),
+            "layer count mismatch"
+        );
+        for (lp, layer) in self.layers.iter_mut().zip(model.layers.iter()) {
+            transpose_into(&layer.w, &mut lp.wt);
+            transpose_into(&layer.u, &mut lp.ut);
+        }
+        transpose_into(&model.dense.w, &mut self.dense_wt);
+    }
+}
+
+/// Pooled buffers for [`LstmClassifier::train_batch`]: the concatenated
+/// input block, per-layer BPTT tapes, the logits blocks and the backward
+/// scratch. Grows to the largest minibatch seen and is reused across
+/// chunks, so steady-state training does no allocation.
+#[derive(Debug, Clone, Default)]
+pub struct TrainScratch {
+    /// Lane indices sorted longest-first.
+    order: Vec<usize>,
+    /// Concatenated inputs, `total x input_dim`.
+    x_cat: Vec<f32>,
+    /// One forward tape per layer.
+    tapes: Vec<LayerTape>,
+    /// Concatenated logits / probabilities, `total x num_classes`.
+    logits: Vec<f32>,
+    /// Concatenated logits gradient, `total x num_classes`.
+    dlogits: Vec<f32>,
+    /// Hidden-gradient ping-pong buffers, `total x max_dim`.
+    d_a: Vec<f32>,
+    d_b: Vec<f32>,
+    /// Per-layer backward scratch (shared, grown to the largest layer).
+    bptt: BpttScratch,
+}
+
+/// One lane of a training minibatch, borrowing the caller's storage.
+enum LaneData<'a> {
+    /// A chunk of [`crate::Sequence`] steps.
+    Packed(&'a [(Vec<f32>, usize)]),
+    /// Parallel input/target slices (the [`LstmClassifier::train_sequence`]
+    /// calling convention).
+    Split(&'a [Vec<f32>], &'a [usize]),
+}
+
+impl LaneData<'_> {
+    fn len(&self) -> usize {
+        match self {
+            LaneData::Packed(steps) => steps.len(),
+            LaneData::Split(inputs, _) => inputs.len(),
+        }
+    }
+
+    fn input(&self, t: usize) -> &[f32] {
+        match self {
+            LaneData::Packed(steps) => &steps[t].0,
+            LaneData::Split(inputs, _) => &inputs[t],
+        }
+    }
+
+    fn target(&self, t: usize) -> usize {
+        match self {
+            LaneData::Packed(steps) => steps[t].1,
+            LaneData::Split(_, targets) => targets[t],
+        }
+    }
+}
+
 impl LstmClassifier {
     /// Builds a randomly initialized classifier.
     ///
@@ -229,12 +345,12 @@ impl LstmClassifier {
         for l in 0..num_layers {
             if l == 0 {
                 let h_out = &mut state.scratch[0];
-                self.layers[0].step(x, &mut state.layers[0], h_out, None);
+                self.layers[0].forward(x, &mut state.layers[0], h_out);
             } else {
                 // scratch[l-1] (the previous layer's output) and scratch[l]
                 // are disjoint borrows.
                 let (below, at) = state.scratch.split_at_mut(l);
-                self.layers[l].step(&below[l - 1], &mut state.layers[l], &mut at[0], None);
+                self.layers[l].forward(&below[l - 1], &mut state.layers[l], &mut at[0]);
             }
         }
         self.dense.forward(&state.scratch[num_layers - 1], out);
@@ -434,6 +550,11 @@ impl LstmClassifier {
     /// `grads` and returns the summed cross-entropy loss and the number of
     /// top-1-correct predictions.
     ///
+    /// Convenience wrapper over [`LstmClassifier::train_batch`] for a
+    /// single lane; it builds a fresh [`BackwardPack`] and
+    /// [`TrainScratch`] per call, so hot loops should batch chunks and
+    /// pool those instead.
+    ///
     /// # Panics
     ///
     /// Panics if `inputs` and `targets` lengths differ or dimensions
@@ -446,75 +567,166 @@ impl LstmClassifier {
         scale: f32,
     ) -> (f32, usize) {
         assert_eq!(inputs.len(), targets.len(), "inputs/targets mismatch");
-        let steps = inputs.len();
-        if steps == 0 {
+        if inputs.is_empty() {
+            return (0.0, 0);
+        }
+        let pack = BackwardPack::new(self);
+        let mut scratch = TrainScratch::default();
+        self.train_lanes(
+            &pack,
+            &[LaneData::Split(inputs, targets)],
+            &mut scratch,
+            grads,
+            scale,
+        )
+    }
+
+    /// Runs truncated BPTT over a minibatch of chunks (lanes) at once:
+    /// within each lane `chunk[t].0` predicts class `chunk[t].1`.
+    /// Accumulates parameter gradients scaled by `scale` into `grads` and
+    /// returns the summed cross-entropy loss and the number of
+    /// top-1-correct predictions.
+    ///
+    /// Lanes may be ragged; they are scheduled longest-first (a stable,
+    /// data-only order) and processed time-major, so per-lane activations
+    /// are bitwise those of training the lane alone while every weight
+    /// matrix streams once per *chunk set* instead of once per timestep.
+    /// `pack` must hold the transposed views of the **current** weights
+    /// ([`BackwardPack::refresh`] after every optimizer step); `scratch`
+    /// is reusable across calls and grows to the largest minibatch seen.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an input row's length differs from `input_dim` or a
+    /// target is out of range.
+    pub fn train_batch(
+        &self,
+        pack: &BackwardPack,
+        chunks: &[&[(Vec<f32>, usize)]],
+        scratch: &mut TrainScratch,
+        grads: &mut Gradients,
+        scale: f32,
+    ) -> (f32, usize) {
+        let lanes: Vec<LaneData> = chunks.iter().map(|&c| LaneData::Packed(c)).collect();
+        self.train_lanes(pack, &lanes, scratch, grads, scale)
+    }
+
+    fn train_lanes(
+        &self,
+        pack: &BackwardPack,
+        lanes: &[LaneData],
+        scratch: &mut TrainScratch,
+        grads: &mut Gradients,
+        scale: f32,
+    ) -> (f32, usize) {
+        // Schedule lanes longest-first. The sort is stable and keys only on
+        // the data, so the schedule — and with it every accumulation
+        // order below — is a pure function of the chunk set.
+        let order = &mut scratch.order;
+        order.clear();
+        order.extend(0..lanes.len());
+        order.sort_by(|&a, &b| lanes[b].len().cmp(&lanes[a].len()));
+        let lens: Vec<usize> = order.iter().map(|&i| lanes[i].len()).collect();
+        let sched = LaneSchedule::from_sorted_lens(&lens);
+        let total = sched.total;
+        if total == 0 {
             return (0.0, 0);
         }
         let num_layers = self.layers.len();
+        let in_dim = self.config.input_dim;
+        let nc = self.config.num_classes;
 
-        // Forward pass with caches.
-        let mut caches: Vec<Vec<crate::lstm::StepCache>> =
-            (0..num_layers).map(|_| Vec::with_capacity(steps)).collect();
-        let mut outputs: Vec<Vec<Vec<f32>>> = (0..num_layers)
-            .map(|l| vec![vec![0.0f32; self.layers[l].hidden_dim()]; steps])
-            .collect();
-        let mut states: Vec<LstmState> = self
-            .layers
-            .iter()
-            .map(|l| LstmState::zeros(l.hidden_dim()))
-            .collect();
-
-        for t in 0..steps {
-            for l in 0..num_layers {
-                // Borrow the input without conflicting with outputs[l].
-                if l == 0 {
-                    let (cache, out) = (&mut caches[l], &mut outputs[l][t]);
-                    self.layers[l].step(&inputs[t], &mut states[l], out, Some(cache));
-                } else {
-                    let (below, at) = outputs.split_at_mut(l);
-                    let input = &below[l - 1][t];
-                    self.layers[l].step(input, &mut states[l], &mut at[0][t], Some(&mut caches[l]));
-                }
+        // Gather inputs into the concatenated time-major block.
+        grow(&mut scratch.x_cat, total * in_dim);
+        let x_cat = &mut scratch.x_cat[..total * in_dim];
+        for t in 0..sched.steps() {
+            for i in 0..sched.counts[t] {
+                let x = lanes[order[i]].input(t);
+                assert_eq!(x.len(), in_dim, "input dim mismatch");
+                let r = sched.offsets[t] + i;
+                x_cat[r * in_dim..(r + 1) * in_dim].copy_from_slice(x);
             }
         }
 
-        // Loss + logits gradient per step.
+        // Forward through the stack, taping every layer.
+        scratch.tapes.resize_with(num_layers, LayerTape::default);
+        for l in 0..num_layers {
+            let (below, at) = scratch.tapes.split_at_mut(l);
+            let x_block: &[f32] = if l == 0 {
+                x_cat
+            } else {
+                &below[l - 1].out[..total * self.layers[l - 1].hidden_dim()]
+            };
+            // Only the stack input is one-hot; higher layers consume dense
+            // activations.
+            self.layers[l].forward_batch_train(&sched, x_block, &mut at[0], l == 0);
+        }
+
+        // Dense head: logits for every (timestep, lane) row at once, then
+        // loss, accuracy and the logits gradient row by row in schedule
+        // order.
+        let top = num_layers - 1;
+        let top_hd = self.layers[top].hidden_dim();
+        let top_out = &scratch.tapes[top].out[..total * top_hd];
+        grow(&mut scratch.logits, total * nc);
+        grow(&mut scratch.dlogits, total * nc);
+        let logits = &mut scratch.logits[..total * nc];
+        let dlogits = &mut scratch.dlogits[..total * nc];
+        self.dense.forward_batch(total, top_out, logits);
         let mut loss = 0.0f32;
         let mut correct = 0usize;
-        let top = num_layers - 1;
-        let mut d_top: Vec<Vec<f32>> = vec![vec![0.0f32; self.layers[top].hidden_dim()]; steps];
-        let mut logits = vec![0.0f32; self.config.num_classes];
-        let mut dlogits = vec![0.0f32; self.config.num_classes];
-        for t in 0..steps {
-            self.dense.forward(&outputs[top][t], &mut logits);
-            loss += softmax_cross_entropy(&mut logits, targets[t]);
-            // `logits` now holds probabilities.
-            if crate::loss::in_top_k(&logits, targets[t], 1) {
-                correct += 1;
+        for t in 0..sched.steps() {
+            for i in 0..sched.counts[t] {
+                let r = sched.offsets[t] + i;
+                let target = lanes[order[i]].target(t);
+                let row = &mut logits[r * nc..(r + 1) * nc];
+                loss += softmax_cross_entropy(row, target);
+                // `row` now holds probabilities.
+                if in_top_k(row, target, 1) {
+                    correct += 1;
+                }
+                softmax_cross_entropy_grad(row, target, scale, &mut dlogits[r * nc..(r + 1) * nc]);
             }
-            softmax_cross_entropy_grad(&logits, targets[t], scale, &mut dlogits);
-            self.dense
-                .backward(&outputs[top][t], &dlogits, &mut grads.dense, &mut d_top[t]);
         }
 
-        // BPTT down the stack.
-        let mut d_out = d_top;
+        // Backward: dense head, then BPTT down the stack. The two hidden-
+        // gradient buffers ping-pong between consuming a layer's d_out and
+        // producing its d_inputs.
+        let max_dim = self
+            .layers
+            .iter()
+            .map(|l| l.input_dim().max(l.hidden_dim()))
+            .max()
+            .unwrap_or(0);
+        grow(&mut scratch.d_a, total * max_dim);
+        grow(&mut scratch.d_b, total * max_dim);
+        let (mut d_out_buf, mut d_in_buf) = (&mut scratch.d_a, &mut scratch.d_b);
+        self.dense.backward_batch(
+            total,
+            top_out,
+            dlogits,
+            &pack.dense_wt,
+            &mut grads.dense,
+            &mut d_out_buf[..total * top_hd],
+        );
         for l in (0..num_layers).rev() {
-            let in_dim = self.layers[l].input_dim();
-            let mut d_inputs: Vec<Vec<f32>> = vec![vec![0.0f32; in_dim]; steps];
-            let layer_inputs: Vec<&[f32]> = if l == 0 {
-                inputs.iter().map(|v| v.as_slice()).collect()
+            let x_block: &[f32] = if l == 0 {
+                x_cat
             } else {
-                outputs[l - 1].iter().map(|v| v.as_slice()).collect()
+                &scratch.tapes[l - 1].out[..total * self.layers[l - 1].hidden_dim()]
             };
-            self.layers[l].backward(
-                &layer_inputs,
-                &caches[l],
-                &d_out,
+            self.layers[l].backward_batch(
+                &sched,
+                x_block,
+                &scratch.tapes[l],
+                &d_out_buf[..total * self.layers[l].hidden_dim()],
+                &pack.layers[l].wt,
+                &pack.layers[l].ut,
                 &mut grads.layers[l],
-                &mut d_inputs,
+                &mut d_in_buf[..total * self.layers[l].input_dim()],
+                &mut scratch.bptt,
             );
-            d_out = d_inputs;
+            std::mem::swap(&mut d_out_buf, &mut d_in_buf);
         }
 
         (loss, correct)

@@ -11,8 +11,14 @@
 //! output columns only — every `y[j]` accumulates its `k` contributions in
 //! ascending order, which keeps batched ≡ per-record bit-identical.
 //!
-//! The backward kernels ([`matvec_t_acc`], [`outer_acc`]) only run during
-//! offline training and stay scalar.
+//! The backward (training) kernels — [`matvec_t_acc`], [`outer_acc`] — ride
+//! the same dispatched layer: the data gradient contracts over a packed
+//! **transposed** weight view (see [`transpose_into`]; refreshed once per
+//! optimizer step by the trainer) so it reuses the register-tiled dense
+//! gemm, and the weight gradient is the batched outer product
+//! `dW += Xᵀ·dY` with the sparse kernel's zero-skip. Both keep the
+//! ascending-contraction order, so SIMD ≡ scalar stays bitwise for
+//! training too.
 
 /// A dense row-major `f32` matrix.
 #[derive(Debug, Clone, PartialEq)]
@@ -133,50 +139,73 @@ pub fn matvec_acc(w: &Tensor2, x: &[f32], y: &mut [f32]) {
     icsad_simd::gemm_acc_f32(1, x, w.rows(), w.as_slice(), w.cols(), y);
 }
 
-/// `dx += w · dy` (the transpose product): `dx[i] += dot(w.row(i), dy)`.
-///
-/// # Panics
-///
-/// Panics on dimension mismatch.
-pub fn matvec_t_acc(w: &Tensor2, dy: &[f32], dx: &mut [f32]) {
-    assert_eq!(w.rows(), dx.len(), "matvec_t_acc: input length mismatch");
-    assert_eq!(w.cols(), dy.len(), "matvec_t_acc: output length mismatch");
-    for (i, dxi) in dx.iter_mut().enumerate() {
-        let row = w.row(i);
-        let mut acc = 0.0f32;
-        for (&wj, &dj) in row.iter().zip(dy.iter()) {
-            acc += wj * dj;
+/// Writes the transpose of `w` into `wt` (`wt[j][i] = w[i][j]`), resizing
+/// `wt` if its shape differs. The backward kernels contract over weight
+/// *columns*; handing them a packed transposed view keeps their memory
+/// walks contiguous and their vectorization along the independent output
+/// dimension. The trainer refreshes these views once per optimizer step.
+pub fn transpose_into(w: &Tensor2, wt: &mut Tensor2) {
+    if (wt.rows, wt.cols) != (w.cols, w.rows) {
+        *wt = Tensor2::zeros(w.cols, w.rows);
+    }
+    for (i, row) in w.data.chunks_exact(w.cols).enumerate() {
+        for (j, &v) in row.iter().enumerate() {
+            wt.data[j * w.rows + i] = v;
         }
-        *dxi += acc;
     }
 }
 
-/// Rank-1 update `dw += x ⊗ dy` (outer product accumulate).
+/// Batched transpose product `dx[b] += dy[b] · wᵀ` over a packed
+/// transposed weight view `wt` (`out × in`, as produced by
+/// [`transpose_into`] from the forward `in × out` matrix): row-major
+/// `batch × out` gradients into a `batch × in` block.
 ///
-/// Skips zero entries of `x` — the gradient of a one-hot input touches a
-/// single row.
+/// This is the data-gradient half of backprop. The historical scalar
+/// version walked one serial dot product per input — an unvectorizable
+/// reduction chain; over the transposed view it becomes the same
+/// register-tiled dense gemm the forward path uses, bitwise-identical
+/// across SIMD backends per FMA policy.
 ///
 /// # Panics
 ///
 /// Panics on dimension mismatch.
-pub fn outer_acc(dw: &mut Tensor2, x: &[f32], dy: &[f32]) {
-    assert_eq!(dw.rows(), x.len(), "outer_acc: input length mismatch");
-    assert_eq!(dw.cols(), dy.len(), "outer_acc: output length mismatch");
-    for (i, &xi) in x.iter().enumerate() {
-        if xi == 0.0 {
-            continue;
-        }
-        let row = dw.row_mut(i);
-        if xi == 1.0 {
-            for (wj, &dj) in row.iter_mut().zip(dy.iter()) {
-                *wj += dj;
-            }
-        } else {
-            for (wj, &dj) in row.iter_mut().zip(dy.iter()) {
-                *wj += xi * dj;
-            }
-        }
-    }
+pub fn matvec_t_acc(batch: usize, dy: &[f32], wt: &Tensor2, dx: &mut [f32]) {
+    let n = wt.rows();
+    let in_dim = wt.cols();
+    assert_eq!(dy.len(), batch * n, "matvec_t_acc: gradient block mismatch");
+    assert_eq!(
+        dx.len(),
+        batch * in_dim,
+        "matvec_t_acc: output block mismatch"
+    );
+    icsad_simd::matvec_t_acc_f32(batch, dy, n, wt.as_slice(), in_dim, dx);
+}
+
+/// Batched outer-product accumulate `dw += Xᵀ·dY`: `batch` row-major
+/// input rows (`batch × dw.rows()`) against `batch` gradient rows
+/// (`batch × dw.cols()`). With `batch == 1` this is the rank-1 update
+/// `dw += x ⊗ dy`.
+///
+/// Skips zero entries of `x` — the gradient of a one-hot input touches a
+/// single row per batch entry — and accumulates each element's batch
+/// contributions in ascending order on every backend.
+///
+/// # Panics
+///
+/// Panics on dimension mismatch.
+pub fn outer_acc(batch: usize, x: &[f32], dy: &[f32], dw: &mut Tensor2) {
+    assert_eq!(
+        x.len(),
+        batch * dw.rows(),
+        "outer_acc: input block mismatch"
+    );
+    assert_eq!(
+        dy.len(),
+        batch * dw.cols(),
+        "outer_acc: gradient block mismatch"
+    );
+    let (rows, cols) = (dw.rows(), dw.cols());
+    icsad_simd::outer_acc_f32(batch, x, rows, dy, cols, dw.as_mut_slice());
 }
 
 /// Batched `matvec_acc`: `y[b] += x[b]ᵀ · w` for every row `b` of a
@@ -243,6 +272,16 @@ pub fn axpy(a: f32, x: &[f32], y: &mut [f32]) {
     icsad_simd::axpy_f32(a, x, y);
 }
 
+/// Grows a pooled scratch buffer to at least `n` elements (never shrinks,
+/// so one buffer serves its high-water mark without reallocating). Callers
+/// must treat retained contents as garbage and overwrite or zero the
+/// region they use.
+pub(crate) fn grow(v: &mut Vec<f32>, n: usize) {
+    if v.len() < n {
+        v.resize(n, 0.0);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -281,32 +320,68 @@ mod tests {
     }
 
     #[test]
+    fn transpose_into_flips_and_resizes() {
+        let w = w23();
+        let mut wt = Tensor2::zeros(1, 1);
+        transpose_into(&w, &mut wt);
+        assert_eq!((wt.rows(), wt.cols()), (3, 2));
+        assert_eq!(wt.as_slice(), &[1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+    }
+
+    #[test]
     fn matvec_t_matches_manual() {
         let w = w23();
+        let mut wt = Tensor2::zeros(3, 2);
+        transpose_into(&w, &mut wt);
         let mut dx = vec![0.0; 2];
-        matvec_t_acc(&w, &[1.0, 0.0, 1.0], &mut dx);
+        matvec_t_acc(1, &[1.0, 0.0, 1.0], &wt, &mut dx);
         assert_eq!(dx, vec![4.0, 10.0]);
+    }
+
+    #[test]
+    fn matvec_t_batches_rows_independently() {
+        let w = w23();
+        let mut wt = Tensor2::zeros(3, 2);
+        transpose_into(&w, &mut wt);
+        let dy = [1.0, 0.0, 1.0, 0.0, 2.0, 0.0];
+        let mut dx = vec![0.0; 4];
+        matvec_t_acc(2, &dy, &wt, &mut dx);
+        assert_eq!(dx, vec![4.0, 10.0, 4.0, 10.0]);
     }
 
     #[test]
     fn outer_product_matches_manual() {
         let mut dw = Tensor2::zeros(2, 3);
-        outer_acc(&mut dw, &[2.0, 0.0], &[1.0, 2.0, 3.0]);
+        outer_acc(1, &[2.0, 0.0], &[1.0, 2.0, 3.0], &mut dw);
         assert_eq!(dw.as_slice(), &[2.0, 4.0, 6.0, 0.0, 0.0, 0.0]);
-        outer_acc(&mut dw, &[1.0, 1.0], &[1.0, 1.0, 1.0]);
+        outer_acc(1, &[1.0, 1.0], &[1.0, 1.0, 1.0], &mut dw);
         assert_eq!(dw.as_slice(), &[3.0, 5.0, 7.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn outer_product_batch_sums_rank_one_updates() {
+        let mut batched = Tensor2::zeros(2, 3);
+        outer_acc(
+            2,
+            &[2.0, 0.0, 1.0, 1.0],
+            &[1.0, 2.0, 3.0, 1.0, 1.0, 1.0],
+            &mut batched,
+        );
+        assert_eq!(batched.as_slice(), &[3.0, 5.0, 7.0, 1.0, 1.0, 1.0]);
     }
 
     #[test]
     fn transpose_consistency() {
         // <W x, y> == <x, W^T y> for random-ish data.
         let w = w23();
+        let mut wt = Tensor2::zeros(3, 2);
+        transpose_into(&w, &mut wt);
         let x = [0.3f32, -1.2];
         let y = [2.0f32, -0.5, 0.25];
         let mut wx = vec![0.0; 3];
         matvec_acc(&w, &x, &mut wx);
         let mut wty = vec![0.0; 2];
-        matvec_t_acc(&w, &y, &mut wty);
+        matvec_t_acc(1, &y, &wt, &mut wty);
         let lhs: f32 = wx.iter().zip(y.iter()).map(|(a, b)| a * b).sum();
         let rhs: f32 = x.iter().zip(wty.iter()).map(|(a, b)| a * b).sum();
         assert!((lhs - rhs).abs() < 1e-5);

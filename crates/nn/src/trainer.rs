@@ -1,12 +1,32 @@
 //! Truncated-BPTT training over variable-length sequences with
-//! data-parallel gradient accumulation.
+//! deterministic data-parallel gradient accumulation.
+//!
+//! Each optimizer step gathers a minibatch of chunk references, partitions
+//! it into fixed-size lane groups ([`GRAD_TASK_LANES`] chunks each), and
+//! runs one [`icsad_runtime::Task`] per group on scoped workers
+//! ([`icsad_runtime::run_scoped`]). A task batches its chunks as lanes of a
+//! single [`LstmClassifier::train_batch`] call into a task-private gradient
+//! buffer, so the floating-point accumulation order inside a task is a pure
+//! function of the minibatch data. Task outputs come back in task order and
+//! merge through a fixed pairwise tree reduction, so the final gradient —
+//! and therefore the trained weights — is **bit-identical** across worker
+//! counts, including the single-threaded run (pinned by the
+//! `training_parity` proptest suite).
 
 use rand::seq::SliceRandom;
 use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha12Rng;
 
+use icsad_runtime::{run_scoped, Poll, Schedule, Task};
+
 use crate::adam::{Adam, AdamConfig};
-use crate::model::{Gradients, LstmClassifier};
+use crate::model::{BackwardPack, Gradients, LstmClassifier, TrainScratch};
+
+/// Chunks (BPTT lanes) handled by one gradient task. Small enough that a
+/// default minibatch (32 chunks) still splits into several tasks for the
+/// pool to balance; large enough that the batched kernels amortize weight
+/// streaming across lanes.
+const GRAD_TASK_LANES: usize = 8;
 
 /// One training sequence: per step, an input vector and the target class
 /// the model should predict *at* that step (i.e. the next package's
@@ -71,6 +91,53 @@ impl Default for TrainingConfig {
     }
 }
 
+/// Why a [`TrainingConfig`] was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TrainerConfigError {
+    /// `chunk_len` was zero — every chunk would be empty.
+    ZeroChunkLen,
+    /// `batch_chunks` was zero — no optimizer step could ever form.
+    ZeroBatchChunks,
+}
+
+impl std::fmt::Display for TrainerConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainerConfigError::ZeroChunkLen => write!(f, "chunk_len must be positive"),
+            TrainerConfigError::ZeroBatchChunks => write!(f, "batch_chunks must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for TrainerConfigError {}
+
+impl TrainingConfig {
+    /// Checks the configuration invariants [`Trainer::try_new`] relies on.
+    pub fn validate(&self) -> Result<(), TrainerConfigError> {
+        if self.chunk_len == 0 {
+            return Err(TrainerConfigError::ZeroChunkLen);
+        }
+        if self.batch_chunks == 0 {
+            return Err(TrainerConfigError::ZeroBatchChunks);
+        }
+        Ok(())
+    }
+
+    /// Worker threads this configuration resolves to: `num_threads`, or all
+    /// available cores (capped at 16) when it is zero.
+    pub fn resolved_threads(&self) -> usize {
+        if self.num_threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(16)
+        } else {
+            self.num_threads
+        }
+    }
+}
+
 /// Loss/accuracy statistics for one epoch.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EpochStats {
@@ -80,6 +147,8 @@ pub struct EpochStats {
     pub mean_loss: f64,
     /// Top-1 training accuracy.
     pub accuracy: f64,
+    /// Number of prediction targets trained on this epoch.
+    pub targets: usize,
 }
 
 /// Trains an [`LstmClassifier`] with truncated BPTT and Adam.
@@ -102,19 +171,27 @@ struct ChunkRef {
 }
 
 impl Trainer {
-    /// Creates a trainer.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `chunk_len` or `batch_chunks` is zero.
-    pub fn new(config: TrainingConfig) -> Self {
-        assert!(config.chunk_len > 0, "chunk_len must be positive");
-        assert!(config.batch_chunks > 0, "batch_chunks must be positive");
+    /// Creates a trainer, validating the configuration.
+    pub fn try_new(config: TrainingConfig) -> Result<Self, TrainerConfigError> {
+        config.validate()?;
         let adam = Adam::new(AdamConfig {
             learning_rate: config.learning_rate,
             ..AdamConfig::default()
         });
-        Trainer { config, adam }
+        Ok(Trainer { config, adam })
+    }
+
+    /// Creates a trainer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_len` or `batch_chunks` is zero; see
+    /// [`Trainer::try_new`] for the fallible variant.
+    pub fn new(config: TrainingConfig) -> Self {
+        match Trainer::try_new(config) {
+            Ok(trainer) => trainer,
+            Err(err) => panic!("{err}"),
+        }
     }
 
     /// The training configuration.
@@ -144,19 +221,18 @@ impl Trainer {
         let mut rng = ChaCha12Rng::seed_from_u64(self.config.shuffle_seed ^ (epoch as u64) << 17);
         chunks.shuffle(&mut rng);
 
-        let threads = if self.config.num_threads == 0 {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-                .min(16)
-        } else {
-            self.config.num_threads
-        };
+        let threads = self.config.resolved_threads();
 
         let mut total_loss = 0.0f64;
         let mut total_correct = 0usize;
         let mut total_targets = 0usize;
         let mut grads = model.zero_gradients();
+        // Packed transposed weights for the backward kernels: built once per
+        // epoch, refreshed after every optimizer step.
+        let mut pack = BackwardPack::new(model);
+        // Task-private (gradients, scratch) buffers, recycled across
+        // minibatches; tasks zero the gradients before accumulating.
+        let mut pool: Vec<(Gradients, TrainScratch)> = Vec::new();
 
         for batch in chunks.chunks(self.config.batch_chunks) {
             let targets_in_batch: usize = batch.iter().map(|c| c.len).sum();
@@ -165,8 +241,9 @@ impl Trainer {
             }
             let scale = 1.0 / targets_in_batch as f32;
             grads.zero();
-            let (loss, correct) =
-                accumulate_batch(model, sequences, batch, scale, threads, &mut grads);
+            let (loss, correct) = accumulate_batch(
+                model, &pack, sequences, batch, scale, threads, &mut grads, &mut pool,
+            );
             total_loss += f64::from(loss);
             total_correct += correct;
             total_targets += targets_in_batch;
@@ -179,6 +256,7 @@ impl Trainer {
             }
             let mut slots = model.params_with_grads(&grads);
             self.adam.step(&mut slots);
+            pack.refresh(model);
         }
 
         EpochStats {
@@ -193,6 +271,7 @@ impl Trainer {
             } else {
                 0.0
             },
+            targets: total_targets,
         }
     }
 
@@ -214,75 +293,132 @@ impl Trainer {
     }
 }
 
-/// Computes gradients for one batch of chunks, splitting the work across
-/// `threads` scoped workers. Returns (summed loss, correct count).
+/// One partition's gradient accumulation: batches its chunks as BPTT lanes
+/// of a single [`LstmClassifier::train_batch`] call into a task-private
+/// gradient buffer. The whole partition is one unit of work, so the first
+/// poll completes the task.
+struct GradTask<'a> {
+    model: &'a LstmClassifier,
+    pack: &'a BackwardPack,
+    sequences: &'a [Sequence],
+    chunks: &'a [ChunkRef],
+    scale: f32,
+    state: Option<(Gradients, TrainScratch)>,
+    loss: f32,
+    correct: usize,
+}
+
+impl Task for GradTask<'_> {
+    type Output = (Gradients, TrainScratch, f32, usize);
+
+    fn poll(&mut self, _budget: usize) -> Poll {
+        let (grads, scratch) = self
+            .state
+            .as_mut()
+            .expect("gradient task polled after drain");
+        grads.zero();
+        let lanes: Vec<&[(Vec<f32>, usize)]> = self
+            .chunks
+            .iter()
+            .map(|c| &self.sequences[c.seq].steps()[c.start..c.start + c.len])
+            .collect();
+        let (loss, correct) = self
+            .model
+            .train_batch(self.pack, &lanes, scratch, grads, self.scale);
+        self.loss = loss;
+        self.correct = correct;
+        Poll::Complete
+    }
+
+    fn complete(self) -> Self::Output {
+        let (grads, scratch) = self.state.expect("gradient task completed without state");
+        (grads, scratch, self.loss, self.correct)
+    }
+}
+
+/// Computes gradients for one batch of chunks as one [`GradTask`] per
+/// [`GRAD_TASK_LANES`]-chunk partition on scoped pool workers, accumulating
+/// into `grads` through a fixed tree reduction. Returns (summed loss,
+/// correct count). The result is bit-identical for every `threads` value:
+/// the partition and all merge orders depend only on `batch`.
+#[allow(clippy::too_many_arguments)]
 fn accumulate_batch(
     model: &LstmClassifier,
+    pack: &BackwardPack,
     sequences: &[Sequence],
     batch: &[ChunkRef],
     scale: f32,
     threads: usize,
     grads: &mut Gradients,
+    pool: &mut Vec<(Gradients, TrainScratch)>,
 ) -> (f32, usize) {
-    let threads = threads.max(1).min(batch.len().max(1));
-    if threads == 1 {
-        let mut loss = 0.0f32;
-        let mut correct = 0usize;
-        for chunk in batch {
-            let (l, c) = train_chunk(model, sequences, chunk, scale, grads);
-            loss += l;
-            correct += c;
-        }
-        return (loss, correct);
+    let n_tasks = batch.len().div_ceil(GRAD_TASK_LANES);
+    let parts = partition(batch, n_tasks);
+    while pool.len() < parts.len() {
+        pool.push((model.zero_gradients(), TrainScratch::default()));
     }
+    let tasks: Vec<GradTask> = parts
+        .iter()
+        .zip(pool.drain(..parts.len()))
+        .map(|(&chunks, state)| GradTask {
+            model,
+            pack,
+            sequences,
+            chunks,
+            scale,
+            state: Some(state),
+            loss: 0.0,
+            correct: 0,
+        })
+        .collect();
 
-    let results = std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(threads);
-        for part in partition(batch, threads) {
-            handles.push(scope.spawn(move || {
-                let mut local = model.zero_gradients();
-                let mut loss = 0.0f32;
-                let mut correct = 0usize;
-                for chunk in part {
-                    let (l, c) = train_chunk(model, sequences, chunk, scale, &mut local);
-                    loss += l;
-                    correct += c;
-                }
-                (local, loss, correct)
-            }));
-        }
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("training worker panicked"))
-            .collect::<Vec<_>>()
-    });
+    let workers = threads.min(tasks.len()).max(1);
+    let (outputs, _stats) = run_scoped(tasks, Schedule::Pool { workers });
 
+    // Outputs arrive in task order regardless of which worker ran what.
     let mut loss = 0.0f32;
     let mut correct = 0usize;
-    for (local, l, c) in results {
-        grads.add_assign(&local);
+    let mut locals: Vec<(Gradients, TrainScratch)> = Vec::with_capacity(outputs.len());
+    for out in outputs {
+        let (g, s, l, c) = out.unwrap_or_else(|payload| std::panic::resume_unwind(payload));
         loss += l;
         correct += c;
+        locals.push((g, s));
     }
+
+    // Pairwise tree reduction with a fixed stride order, so the merge does
+    // not depend on completion timing or worker count.
+    let mut gap = 1;
+    while gap < locals.len() {
+        let mut i = 0;
+        while i + gap < locals.len() {
+            let (left, right) = locals.split_at_mut(i + gap);
+            left[i].0.add_assign(&right[0].0);
+            i += gap * 2;
+        }
+        gap *= 2;
+    }
+    grads.add_assign(&locals[0].0);
+    pool.append(&mut locals);
     (loss, correct)
 }
 
-fn train_chunk(
-    model: &LstmClassifier,
-    sequences: &[Sequence],
-    chunk: &ChunkRef,
-    scale: f32,
-    grads: &mut Gradients,
-) -> (f32, usize) {
-    let steps = &sequences[chunk.seq].steps()[chunk.start..chunk.start + chunk.len];
-    let inputs: Vec<Vec<f32>> = steps.iter().map(|(x, _)| x.clone()).collect();
-    let targets: Vec<usize> = steps.iter().map(|&(_, t)| t).collect();
-    model.train_sequence(&inputs, &targets, grads, scale)
-}
-
-fn partition(batch: &[ChunkRef], parts: usize) -> Vec<&[ChunkRef]> {
-    let per = batch.len().div_ceil(parts);
-    batch.chunks(per.max(1)).collect()
+/// Splits `items` into at most `parts` contiguous slices whose lengths
+/// differ by at most one (the first `len % parts` slices get the extra
+/// item). Purely data-dependent: never produces empty slices and never
+/// depends on worker count.
+fn partition<T>(items: &[T], parts: usize) -> Vec<&[T]> {
+    let parts = parts.clamp(1, items.len().max(1));
+    let base = items.len() / parts;
+    let extra = items.len() % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let len = base + usize::from(i < extra);
+        out.push(&items[start..start + len]);
+        start += len;
+    }
+    out
 }
 
 #[cfg(test)]
@@ -360,9 +496,10 @@ mod tests {
     }
 
     #[test]
-    fn parallel_and_serial_training_agree() {
-        // Gradient sums are order-independent up to f32 rounding, so the two
-        // models should end up close after a couple of epochs.
+    fn parallel_and_serial_training_bitwise_identical() {
+        // The task partition and merge order are pure functions of the
+        // minibatch data, so worker count cannot change a single bit of the
+        // trained weights.
         let sequences = cyclic_sequences(6, 30, 4);
         let config = ModelConfig {
             input_dim: 4,
@@ -373,26 +510,21 @@ mod tests {
         let tc = TrainingConfig {
             epochs: 3,
             learning_rate: 0.01,
+            batch_chunks: 8,
             num_threads: 1,
             ..TrainingConfig::default()
         };
         let mut serial = LstmClassifier::new(&config);
-        Trainer::new(tc.clone()).fit(&mut serial, &sequences);
+        let serial_stats = Trainer::new(tc.clone()).fit(&mut serial, &sequences);
         let mut parallel = LstmClassifier::new(&config);
-        Trainer::new(TrainingConfig {
+        let parallel_stats = Trainer::new(TrainingConfig {
             num_threads: 4,
             ..tc
         })
         .fit(&mut parallel, &sequences);
 
-        let probe = onehot(4, 2);
-        let mut ps = vec![0.0; 4];
-        let mut pp = vec![0.0; 4];
-        serial.step(&mut serial.new_state(), &probe, &mut ps);
-        parallel.step(&mut parallel.new_state(), &probe, &mut pp);
-        for (a, b) in ps.iter().zip(pp.iter()) {
-            assert!((a - b).abs() < 0.05, "serial {a} vs parallel {b}");
-        }
+        assert_eq!(serial.to_bytes(), parallel.to_bytes());
+        assert_eq!(serial_stats, parallel_stats);
     }
 
     #[test]
@@ -448,11 +580,53 @@ mod tests {
     }
 
     #[test]
+    fn try_new_rejects_zero_chunk_len() {
+        let err = Trainer::try_new(TrainingConfig {
+            chunk_len: 0,
+            ..TrainingConfig::default()
+        })
+        .unwrap_err();
+        assert_eq!(err, TrainerConfigError::ZeroChunkLen);
+        assert_eq!(err.to_string(), "chunk_len must be positive");
+    }
+
+    #[test]
+    fn try_new_rejects_zero_batch_chunks() {
+        let err = Trainer::try_new(TrainingConfig {
+            batch_chunks: 0,
+            ..TrainingConfig::default()
+        })
+        .unwrap_err();
+        assert_eq!(err, TrainerConfigError::ZeroBatchChunks);
+        assert_eq!(err.to_string(), "batch_chunks must be positive");
+    }
+
+    #[test]
     #[should_panic(expected = "chunk_len must be positive")]
     fn zero_chunk_len_panics() {
         Trainer::new(TrainingConfig {
             chunk_len: 0,
             ..TrainingConfig::default()
         });
+    }
+
+    #[test]
+    fn partition_is_balanced_over_ragged_sizes() {
+        for len in 0..40usize {
+            let items: Vec<u32> = (0..len as u32).collect();
+            for parts in 1..10usize {
+                let split = partition(&items, parts);
+                // Contiguous cover, no empty slices, lengths within one.
+                let flat: Vec<u32> = split.iter().flat_map(|s| s.iter().copied()).collect();
+                assert_eq!(flat, items, "len {len} parts {parts}");
+                if len > 0 {
+                    assert!(split.iter().all(|s| !s.is_empty()));
+                    let min = split.iter().map(|s| s.len()).min().unwrap();
+                    let max = split.iter().map(|s| s.len()).max().unwrap();
+                    assert!(max - min <= 1, "len {len} parts {parts}: {min}..{max}");
+                    assert_eq!(split.len(), parts.min(len));
+                }
+            }
+        }
     }
 }

@@ -72,10 +72,14 @@ pub enum Poll {
 }
 
 /// A cooperatively scheduled unit of work — for the engine, one shard's
-/// ingest loop.
-pub trait Task: Send + 'static {
+/// ingest loop; for the trainer, one partition's gradient accumulation.
+///
+/// Tasks may borrow data (no `'static` bound): [`run_scoped`] runs
+/// borrowing tasks on scoped workers, while the long-lived [`Executor`]
+/// additionally requires `'static`.
+pub trait Task: Send {
     /// What [`Task::complete`] yields (for the engine, the shard report).
-    type Output: Send + 'static;
+    type Output: Send;
 
     /// Makes progress, bounded by `budget` work items (messages, flush
     /// rounds, …) so one hot task cannot monopolize a worker. Must not
@@ -176,6 +180,28 @@ struct Shared<T: Task> {
 }
 
 impl<T: Task> Shared<T> {
+    fn new(tasks: Vec<T>, queues: usize) -> Shared<T> {
+        Shared {
+            remaining: AtomicUsize::new(tasks.len()),
+            slots: tasks
+                .into_iter()
+                .map(|task| Slot {
+                    state: AtomicU8::new(IDLE),
+                    task: Mutex::new(Some(task)),
+                    output: Mutex::new(None),
+                })
+                .collect(),
+            run_queues: (0..queues).map(|_| Mutex::new(VecDeque::new())).collect(),
+            sync: Mutex::new(SyncState {
+                epoch: 0,
+                sleepers: 0,
+            }),
+            wakeup: Condvar::new(),
+            steals: AtomicU64::new(0),
+            polls: AtomicU64::new(0),
+        }
+    }
+
     /// Marks a task runnable. Safe from any thread, any number of times;
     /// duplicate notifies collapse onto the state machine.
     fn notify(&self, id: usize) {
@@ -315,7 +341,7 @@ impl<T: Task> Shared<T> {
     }
 }
 
-fn pool_worker<T: Task>(shared: Arc<Shared<T>>, worker: usize) {
+fn pool_worker<T: Task>(shared: &Shared<T>, worker: usize) {
     let workers = shared.run_queues.len();
     loop {
         if shared.remaining.load(Ordering::Acquire) == 0 {
@@ -332,7 +358,7 @@ fn pool_worker<T: Task>(shared: Arc<Shared<T>>, worker: usize) {
     }
 }
 
-fn deterministic_scheduler<T: Task>(shared: Arc<Shared<T>>, schedule: TestSchedule) {
+fn deterministic_scheduler<T: Task>(shared: &Shared<T>, schedule: TestSchedule) {
     let mut rng = ChaCha12Rng::seed_from_u64(schedule.seed);
     let workers = shared.run_queues.len();
     let mut victims: Vec<usize> = (0..workers).collect();
@@ -371,7 +397,93 @@ pub struct Executor<T: Task> {
     threads: Vec<JoinHandle<()>>,
 }
 
-impl<T: Task> Executor<T> {
+/// Validates a schedule and returns `(run queues, OS threads)`.
+fn schedule_shape(schedule: Schedule) -> (usize, usize) {
+    match schedule {
+        Schedule::Pool { workers } => {
+            assert!(workers > 0, "pool needs at least one worker");
+            (workers, workers)
+        }
+        Schedule::Deterministic(s) => {
+            assert!(s.workers > 0, "schedule needs at least one worker");
+            assert!(s.max_budget > 0, "schedule needs a positive budget");
+            (s.workers, 1)
+        }
+    }
+}
+
+/// Runs a fixed set of tasks to completion on scoped workers and returns
+/// the outputs in task order, plus scheduling counters.
+///
+/// The borrowing twin of [`Executor::start`] + [`Executor::join`] for
+/// batch workloads whose input is entirely present up front (the trainer's
+/// gradient partitions): tasks may borrow the caller's data — the model,
+/// sequences and gradient buffers — because every worker thread provably
+/// exits before this function returns ([`std::thread::scope`]). All tasks
+/// are queued immediately; each should do its work across one or more
+/// polls and return [`Poll::Complete`]. Work stealing and the
+/// deterministic schedule behave exactly as in the long-lived executor.
+///
+/// A task that panicked yields `Err(payload)` in its slot; the pool itself
+/// never unwinds, so every other output is still collected.
+///
+/// # Panics
+///
+/// Panics if `tasks` is empty or the schedule requests zero workers or a
+/// zero budget.
+pub fn run_scoped<T: Task>(
+    tasks: Vec<T>,
+    schedule: Schedule,
+) -> (Vec<std::thread::Result<T::Output>>, ExecStats) {
+    assert!(!tasks.is_empty(), "executor needs at least one task");
+    let (queues, threads_wanted) = schedule_shape(schedule);
+    let shared = Shared::new(tasks, queues);
+    // Batch semantics: every task's input already exists, so everything is
+    // runnable from the start (round-robin across the home queues).
+    for id in 0..shared.slots.len() {
+        shared.notify(id);
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads_wanted)
+            .map(|i| {
+                let shared = &shared;
+                std::thread::Builder::new()
+                    .name(format!("icsad-batch-{i}"))
+                    .spawn_scoped(scope, move || match schedule {
+                        Schedule::Pool { .. } => pool_worker(shared, i),
+                        Schedule::Deterministic(s) => deterministic_scheduler(shared, s),
+                    })
+                    .expect("failed to spawn batch worker")
+            })
+            .collect();
+        for handle in handles {
+            // Worker threads contain task panics; they only unwind on an
+            // executor bug.
+            let _ = handle.join();
+        }
+    });
+    let stats = ExecStats {
+        threads: threads_wanted,
+        steals: shared.steals.load(Ordering::Relaxed),
+        polls: shared.polls.load(Ordering::Relaxed),
+    };
+    let outputs = shared
+        .slots
+        .into_iter()
+        .map(|slot| {
+            slot.output
+                .into_inner()
+                .unwrap()
+                .expect("task never completed — did its poll return Complete?")
+        })
+        .collect();
+    (outputs, stats)
+}
+
+impl<T: Task + 'static> Executor<T>
+where
+    T::Output: 'static,
+{
     /// Spawns the worker threads (named `icsad-ingest-{i}`) and registers
     /// the tasks, all initially idle: nothing is polled until notified.
     ///
@@ -382,44 +494,16 @@ impl<T: Task> Executor<T> {
     /// programming-error guards).
     pub fn start(tasks: Vec<T>, schedule: Schedule) -> Executor<T> {
         assert!(!tasks.is_empty(), "executor needs at least one task");
-        let (queues, threads_wanted) = match schedule {
-            Schedule::Pool { workers } => {
-                assert!(workers > 0, "pool needs at least one worker");
-                (workers, workers)
-            }
-            Schedule::Deterministic(s) => {
-                assert!(s.workers > 0, "schedule needs at least one worker");
-                assert!(s.max_budget > 0, "schedule needs a positive budget");
-                (s.workers, 1)
-            }
-        };
-        let shared = Arc::new(Shared {
-            remaining: AtomicUsize::new(tasks.len()),
-            slots: tasks
-                .into_iter()
-                .map(|task| Slot {
-                    state: AtomicU8::new(IDLE),
-                    task: Mutex::new(Some(task)),
-                    output: Mutex::new(None),
-                })
-                .collect(),
-            run_queues: (0..queues).map(|_| Mutex::new(VecDeque::new())).collect(),
-            sync: Mutex::new(SyncState {
-                epoch: 0,
-                sleepers: 0,
-            }),
-            wakeup: Condvar::new(),
-            steals: AtomicU64::new(0),
-            polls: AtomicU64::new(0),
-        });
+        let (queues, threads_wanted) = schedule_shape(schedule);
+        let shared = Arc::new(Shared::new(tasks, queues));
         let threads = (0..threads_wanted)
             .map(|i| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("icsad-ingest-{i}"))
                     .spawn(move || match schedule {
-                        Schedule::Pool { .. } => pool_worker(shared, i),
-                        Schedule::Deterministic(s) => deterministic_scheduler(shared, s),
+                        Schedule::Pool { .. } => pool_worker(&shared, i),
+                        Schedule::Deterministic(s) => deterministic_scheduler(&shared, s),
                     })
                     .expect("failed to spawn ingest worker")
             })
@@ -722,6 +806,102 @@ mod tests {
         assert_eq!(*outputs[0].as_ref().unwrap(), 20);
         assert!(outputs[1].is_err(), "the bomb's panic is surfaced at join");
         assert_eq!(*outputs[2].as_ref().unwrap(), 20);
+    }
+
+    /// A borrowing batch task: sums a borrowed slice in budgeted bites.
+    struct SliceSum<'a> {
+        data: &'a [u64],
+        pos: usize,
+        sum: u64,
+    }
+
+    impl Task for SliceSum<'_> {
+        type Output = u64;
+
+        fn poll(&mut self, budget: usize) -> Poll {
+            for _ in 0..budget.max(1) {
+                match self.data.get(self.pos) {
+                    Some(v) => {
+                        self.sum += v;
+                        self.pos += 1;
+                    }
+                    None => return Poll::Complete,
+                }
+            }
+            Poll::Runnable
+        }
+
+        fn complete(self) -> u64 {
+            self.sum
+        }
+    }
+
+    #[test]
+    fn run_scoped_collects_borrowing_task_outputs_in_order() {
+        let data: Vec<u64> = (0..500).collect();
+        let parts: Vec<&[u64]> = data.chunks(77).collect();
+        let tasks: Vec<SliceSum> = parts
+            .iter()
+            .map(|p| SliceSum {
+                data: p,
+                pos: 0,
+                sum: 0,
+            })
+            .collect();
+        let (outputs, stats) = run_scoped(tasks, Schedule::Pool { workers: 3 });
+        assert_eq!(stats.threads, 3);
+        assert_eq!(outputs.len(), parts.len());
+        for (out, part) in outputs.into_iter().zip(parts.iter()) {
+            assert_eq!(out.unwrap(), part.iter().sum::<u64>());
+        }
+    }
+
+    #[test]
+    fn run_scoped_deterministic_schedule_completes() {
+        let data: Vec<u64> = (0..100).collect();
+        for seed in 0..4 {
+            let tasks: Vec<SliceSum> = data
+                .chunks(13)
+                .map(|p| SliceSum {
+                    data: p,
+                    pos: 0,
+                    sum: 0,
+                })
+                .collect();
+            let (outputs, stats) = run_scoped(
+                tasks,
+                Schedule::Deterministic(TestSchedule {
+                    seed,
+                    workers: 3,
+                    max_budget: 2,
+                }),
+            );
+            assert_eq!(stats.threads, 1);
+            let total: u64 = outputs.into_iter().map(|o| o.unwrap()).sum();
+            assert_eq!(total, data.iter().sum::<u64>());
+        }
+    }
+
+    #[test]
+    fn run_scoped_contains_task_panics() {
+        struct MaybeBomb(bool);
+        impl Task for MaybeBomb {
+            type Output = u32;
+            fn poll(&mut self, _budget: usize) -> Poll {
+                assert!(!self.0, "scoped bomb went off");
+                Poll::Complete
+            }
+            fn complete(self) -> u32 {
+                7
+            }
+        }
+        let (outputs, _) = run_scoped(
+            vec![MaybeBomb(false), MaybeBomb(true), MaybeBomb(false)],
+            Schedule::Pool { workers: 2 },
+        );
+        assert_eq!(*outputs[0].as_ref().unwrap(), 7);
+        assert!(outputs[1].is_err());
+        assert_eq!(*outputs[2].as_ref().unwrap(), 7);
     }
 
     #[test]

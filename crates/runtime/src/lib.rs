@@ -17,7 +17,10 @@
 //!   block (the executor parks instead).
 //! * [`Task`] / [`Executor`] — the task abstraction and the pool. A task is
 //!   polled with a *budget* (cooperative quantum); between polls it lives in
-//!   a per-worker run queue from which idle workers steal.
+//!   a per-worker run queue from which idle workers steal. [`run_scoped`]
+//!   runs a batch of *borrowing* tasks (no `'static`) on scoped workers and
+//!   returns their outputs — the trainer's data-parallel gradient
+//!   accumulation rides this.
 //! * [`TestSchedule`] — a deterministic scheduler mode: one thread simulates
 //!   the whole pool, replaying worker/steal/budget choices from a
 //!   [`rand_chacha`] seed, so a property test can drive the engine through
@@ -37,5 +40,7 @@
 mod executor;
 mod queue;
 
-pub use executor::{ExecStats, Executor, Poll, Schedule, Task, TestSchedule, POOL_POLL_BUDGET};
+pub use executor::{
+    run_scoped, ExecStats, Executor, Poll, Schedule, Task, TestSchedule, POOL_POLL_BUDGET,
+};
 pub use queue::{IngestQueue, Pop, PushClosed, TryPushError};

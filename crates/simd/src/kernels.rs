@@ -267,6 +267,39 @@ fn gemm_dense_scalar_tile<L: Lanes>(
     }
 }
 
+/// `dw[i][j] += Σ_b x[b][i]·dy[b][j]` — the batched outer-product gradient
+/// accumulation `dW += Xᵀ·dY` (with `batch == 1` it is the rank-1
+/// `outer_acc` the scalar backward used per timestep). Implemented by
+/// packing the transpose of `x` and running [`gemm_sparse_body`] over it:
+/// per output element the `b` contributions accumulate in ascending order,
+/// zero entries of `x` are skipped and exact ones take the plain-add path,
+/// so SIMD ≡ scalar stays bitwise per FMA policy under exactly the sparse
+/// gemm's contract — and one-hot training inputs stay nearly free.
+#[inline(always)]
+pub(crate) fn outer_acc_body<L: Lanes>(
+    batch: usize,
+    x: &[L::Elem],
+    k_dim: usize,
+    dy: &[L::Elem],
+    n: usize,
+    dw: &mut [L::Elem],
+    pack: &mut Vec<L::Elem>,
+) {
+    debug_assert_eq!(x.len(), batch * k_dim);
+    debug_assert_eq!(dy.len(), batch * n);
+    debug_assert_eq!(dw.len(), k_dim * n);
+    if pack.len() < k_dim * batch {
+        pack.resize(k_dim * batch, L::Elem::ZERO);
+    }
+    let xt = &mut pack[..k_dim * batch];
+    for (b, x_row) in x.chunks_exact(k_dim).enumerate() {
+        for (i, &xi) in x_row.iter().enumerate() {
+            xt[i * batch + b] = xi;
+        }
+    }
+    gemm_sparse_body::<L>(k_dim, xt, batch, dy, n, dw)
+}
+
 /// `y += a * x` under the lane type's FMA policy.
 #[inline(always)]
 pub(crate) fn axpy_body<L: Lanes>(a: L::Elem, x: &[L::Elem], y: &mut [L::Elem]) {
@@ -392,6 +425,19 @@ pub(crate) fn gemm_dense_f32<L: Lanes<Elem = f32>>(
 }
 
 #[inline(always)]
+pub(crate) fn outer_acc_f32<L: Lanes<Elem = f32>>(
+    batch: usize,
+    x: &[f32],
+    k_dim: usize,
+    dy: &[f32],
+    n: usize,
+    dw: &mut [f32],
+    pack: &mut Vec<f32>,
+) {
+    outer_acc_body::<L>(batch, x, k_dim, dy, n, dw, pack)
+}
+
+#[inline(always)]
 pub(crate) fn axpy_f32<L: Lanes<Elem = f32>>(a: f32, x: &[f32], y: &mut [f32]) {
     axpy_body::<L>(a, x, y)
 }
@@ -491,6 +537,19 @@ pub(crate) mod x86_entries {
                     pack: &mut Vec<f32>,
                 ) {
                     super::super::gemm_dense_f32::<$f32ty>(batch, x, k_dim, w, n, y, pack)
+                }
+
+                #[target_feature(enable = $feat)]
+                pub(crate) unsafe fn outer_acc_f32(
+                    batch: usize,
+                    x: &[f32],
+                    k_dim: usize,
+                    dy: &[f32],
+                    n: usize,
+                    dw: &mut [f32],
+                    pack: &mut Vec<f32>,
+                ) {
+                    super::super::outer_acc_f32::<$f32ty>(batch, x, k_dim, dy, n, dw, pack)
                 }
 
                 #[target_feature(enable = $feat)]

@@ -481,6 +481,110 @@ pub fn gemm_dense_acc_f32_with(
     })
 }
 
+/// Transposed-weight backward product `dx[b][i] += Σ_j dy[b][j]·wt[j][i]`
+/// for `batch` row-major gradient rows over a row-major `n × in_dim`
+/// **transposed** weight view `wt` (i.e. `dX += dY·Wᵀ` with `wt = Wᵀ`
+/// packed row-major by the caller, typically refreshed once per optimizer
+/// step). This is the register-tiled dense gemm applied to the transposed
+/// operand: vectorization runs along the independent `i` dimension and the
+/// contraction `j` ascends per output element, so SIMD ≡ scalar stays
+/// bitwise per FMA policy — where the historical scalar `matvec_t_acc`
+/// walked serial per-row dot products that no backend could vectorize
+/// without changing the summation order.
+///
+/// # Panics
+///
+/// Panics on block-size mismatch.
+pub fn matvec_t_acc_f32(
+    batch: usize,
+    dy: &[f32],
+    n: usize,
+    wt: &[f32],
+    in_dim: usize,
+    dx: &mut [f32],
+) {
+    matvec_t_acc_f32_with(current(), batch, dy, n, wt, in_dim, dx)
+}
+
+/// [`matvec_t_acc_f32`] with an explicit backend selection.
+///
+/// # Panics
+///
+/// Panics on block-size mismatch or an unsupported selection.
+// SAFETY: see the dispatch module — the expanded unsafe calls only reach
+// backends `clamp` admitted for this CPU.
+#[allow(unsafe_code)]
+pub fn matvec_t_acc_f32_with(
+    sel: Selection,
+    batch: usize,
+    dy: &[f32],
+    n: usize,
+    wt: &[f32],
+    in_dim: usize,
+    dx: &mut [f32],
+) {
+    assert!(supported(sel), "kernel backend {sel:?} not supported here");
+    assert_eq!(dy.len(), batch * n, "matvec_t_acc: gradient block mismatch");
+    assert_eq!(
+        wt.len(),
+        n * in_dim,
+        "matvec_t_acc: transposed weight block mismatch"
+    );
+    assert_eq!(
+        dx.len(),
+        batch * in_dim,
+        "matvec_t_acc: output block mismatch"
+    );
+    PACK_F32.with(|cell| {
+        let pack = &mut cell.borrow_mut();
+        dispatch_f32!(sel, gemm_dense_f32(batch, dy, n, wt, in_dim, dx, pack))
+    })
+}
+
+/// Batched outer-product gradient accumulation
+/// `dw[i][j] += Σ_b x[b][i]·dy[b][j]` (`dW += Xᵀ·dY`) for row-major
+/// `batch × k_dim` inputs and `batch × n` output gradients into a
+/// row-major `k_dim × n` weight gradient. Contributions per output element
+/// accumulate in ascending `b`; zero entries of `x` are skipped and exact
+/// ones take the plain-add path (both bitwise-neutral, matching
+/// [`gemm_acc_f32`]'s contract), so one-hot inputs stay nearly free and
+/// SIMD ≡ scalar is bitwise per FMA policy. With `batch == 1` this is the
+/// per-timestep rank-1 update the scalar backward used.
+///
+/// # Panics
+///
+/// Panics on block-size mismatch.
+pub fn outer_acc_f32(batch: usize, x: &[f32], k_dim: usize, dy: &[f32], n: usize, dw: &mut [f32]) {
+    outer_acc_f32_with(current(), batch, x, k_dim, dy, n, dw)
+}
+
+/// [`outer_acc_f32`] with an explicit backend selection.
+///
+/// # Panics
+///
+/// Panics on block-size mismatch or an unsupported selection.
+// SAFETY: see the dispatch module — the expanded unsafe calls only reach
+// backends `clamp` admitted for this CPU.
+#[allow(unsafe_code)]
+pub fn outer_acc_f32_with(
+    sel: Selection,
+    batch: usize,
+    x: &[f32],
+    k_dim: usize,
+    dy: &[f32],
+    n: usize,
+    dw: &mut [f32],
+) {
+    assert!(supported(sel), "kernel backend {sel:?} not supported here");
+    assert_eq!(x.len(), batch * k_dim, "outer_acc: input block mismatch");
+    assert_eq!(dy.len(), batch * n, "outer_acc: gradient block mismatch");
+    assert_eq!(dw.len(), k_dim * n, "outer_acc: weight block mismatch");
+    PACK_F32.with(|cell| {
+        let pack = &mut cell.borrow_mut();
+        dispatch_f32!(sel, outer_acc_f32(batch, x, k_dim, dy, n, dw, pack))
+    })
+}
+
 /// `y += a·x` under the dispatched FMA policy.
 ///
 /// # Panics

@@ -10,8 +10,8 @@
 
 use icsad_simd::{
     axpy_f32_with, batch_matvec_acc_f64_with, gemm_acc_f32_with, gemm_dense_acc_f32_with,
-    lstm_cell_f32_with, matmul_acc_f64_with, sigmoid_in_place_with, supported_selections,
-    tanh_in_place_with, Backend, Selection,
+    lstm_cell_f32_with, matmul_acc_f64_with, matvec_t_acc_f32_with, outer_acc_f32_with,
+    sigmoid_in_place_with, supported_selections, tanh_in_place_with, Backend, Selection,
 };
 use proptest::prelude::*;
 
@@ -144,6 +144,91 @@ proptest! {
             let mut sparse = vec![0.25f32; batch * n];
             gemm_acc_f32_with(sel, batch, &x, k_dim, &w, n, &mut sparse);
             assert_bits_eq(&dense, &sparse, sel.label());
+        }
+    }
+
+    /// The BPTT data-gradient kernel: every backend × ragged widths,
+    /// bitwise against the scalar backend of the same FMA policy.
+    #[test]
+    fn matvec_t_acc_matches_scalar_bitwise(
+        batch in 1usize..=13,
+        n in 1usize..=49,
+        in_dim in 1usize..=49,
+        sdy in proptest::collection::vec(0u8..=255, 13 * 49),
+        rdy in proptest::collection::vec(-8f32..8.0, 13 * 49),
+        wt in proptest::collection::vec(-8f32..8.0, 49 * 49),
+        dx0 in proptest::collection::vec(-4f32..4.0, 13 * 49),
+    ) {
+        let dy = mix(&sdy[..batch * n], &rdy[..batch * n]);
+        let wt = &wt[..n * in_dim];
+        let dx0 = &dx0[..batch * in_dim];
+        for (sel, scalar) in pairs() {
+            let mut got = dx0.to_vec();
+            matvec_t_acc_f32_with(sel, batch, &dy, n, wt, in_dim, &mut got);
+            let mut want = dx0.to_vec();
+            matvec_t_acc_f32_with(scalar, batch, &dy, n, wt, in_dim, &mut want);
+            assert_bits_eq(&got, &want, sel.label());
+        }
+    }
+
+    /// The BPTT weight-gradient kernel, with exact zeros and ones mixed
+    /// into `x` (the kernel branches on both).
+    #[test]
+    fn outer_acc_matches_scalar_bitwise(
+        batch in 1usize..=13,
+        k_dim in 1usize..=49,
+        n in 1usize..=49,
+        sx in proptest::collection::vec(0u8..=255, 13 * 49),
+        rx in proptest::collection::vec(-8f32..8.0, 13 * 49),
+        dy in proptest::collection::vec(-8f32..8.0, 13 * 49),
+        dw0 in proptest::collection::vec(-4f32..4.0, 49 * 49),
+    ) {
+        let x = mix(&sx[..batch * k_dim], &rx[..batch * k_dim]);
+        let dy = &dy[..batch * n];
+        let dw0 = &dw0[..k_dim * n];
+        for (sel, scalar) in pairs() {
+            let mut got = dw0.to_vec();
+            outer_acc_f32_with(sel, batch, &x, k_dim, dy, n, &mut got);
+            let mut want = dw0.to_vec();
+            outer_acc_f32_with(scalar, batch, &x, k_dim, dy, n, &mut want);
+            assert_bits_eq(&got, &want, sel.label());
+        }
+    }
+
+    /// `outer_acc` with one batch row reproduces the rank-1 scalar update
+    /// the historical per-timestep backward applied: skip exact zeros,
+    /// plain add for exact ones, single fmac otherwise — element by
+    /// element under the same policy.
+    #[test]
+    fn outer_acc_batch_one_is_the_rank_one_update(
+        k_dim in 1usize..=33,
+        n in 1usize..=33,
+        sx in proptest::collection::vec(0u8..=255, 33),
+        rx in proptest::collection::vec(-8f32..8.0, 33),
+        dy in proptest::collection::vec(-8f32..8.0, 33),
+        dw0 in proptest::collection::vec(-4f32..4.0, 33 * 33),
+    ) {
+        let x = mix(&sx[..k_dim], &rx[..k_dim]);
+        let dy = &dy[..n];
+        for sel in supported_selections() {
+            let mut got = dw0[..k_dim * n].to_vec();
+            outer_acc_f32_with(sel, 1, &x, k_dim, dy, n, &mut got);
+            let mut want = dw0[..k_dim * n].to_vec();
+            for (i, &xi) in x.iter().enumerate() {
+                for (j, &dyj) in dy.iter().enumerate() {
+                    let acc = &mut want[i * n + j];
+                    if xi == 0.0 {
+                        continue;
+                    } else if xi == 1.0 {
+                        *acc += dyj;
+                    } else if sel.fma {
+                        *acc = xi.mul_add(dyj, *acc);
+                    } else {
+                        *acc += xi * dyj;
+                    }
+                }
+            }
+            assert_bits_eq(&got, &want, sel.label());
         }
     }
 

@@ -20,9 +20,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     });
 
     // ── Phase 1: commission. Train on a clean multi-PLC capture. ──────
+    let ts_config = TimeSeriesTrainingConfig {
+        hidden_dims: vec![32],
+        epochs: 4,
+        learning_rate: 1e-2,
+        ..TimeSeriesTrainingConfig::default()
+    };
+    let workers = icsad::nn::TrainingConfig {
+        num_threads: ts_config.num_threads,
+        ..Default::default()
+    }
+    .resolved_threads();
     println!(
-        "commissioning: training on clean traffic from 3 PLCs... (kernels: {})",
-        icsad::simd::current().label()
+        "commissioning: training on clean traffic from 3 PLCs... (kernels: {}, {} worker{})",
+        icsad::simd::current().label(),
+        workers,
+        if workers == 1 { "" } else { "s" }
     );
     let mut train_records: Vec<Record> = Vec::new();
     for plc in 0..3u8 {
@@ -38,24 +51,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     train_records.sort_by(|a, b| a.time.total_cmp(&b.time));
     let clean = GasPipelineDataset::from_records(train_records);
     let split = clean.split_chronological(0.75, 0.2);
+    let t0 = std::time::Instant::now();
     let trained = train_framework(
         &split,
         &ExperimentConfig {
-            timeseries: TimeSeriesTrainingConfig {
-                hidden_dims: vec![32],
-                epochs: 4,
-                learning_rate: 1e-2,
-                ..TimeSeriesTrainingConfig::default()
-            },
+            timeseries: ts_config,
             ..ExperimentConfig::default()
         },
     )?;
+    let train_time = t0.elapsed().as_secs_f64();
+    let targets_trained: usize = trained.training_stats.iter().map(|s| s.targets).sum();
     let detector = trained.detector;
     println!(
         "  trained: |S| = {}, k = {}, {} KB resident",
         trained.signature_count,
         trained.chosen_k,
         detector.memory_bytes() / 1024
+    );
+    println!(
+        "  training: {:.2} s wall clock, {} targets over {} epochs — {:.0} targets/s",
+        train_time,
+        targets_trained,
+        trained.training_stats.len(),
+        targets_trained as f64 / train_time.max(1e-9)
     );
 
     // ── Phase 2: save the artifact. ───────────────────────────────────
