@@ -1,0 +1,532 @@
+//! A token-level Rust lexer.
+//!
+//! The lint rules in this crate must never fire on the word `unsafe` inside
+//! a string literal or a doc comment, must read justification tags out of
+//! comments, and must tell the lifetime `'a` apart from the char literal
+//! `'a'` — none of which a regex over raw text can do reliably. This lexer
+//! produces exactly the token classification the rules need:
+//!
+//! * **strings** — plain, byte, C and raw strings (`r"…"`, `r#"…"#`, any
+//!   hash depth), with escape handling, so their contents are opaque,
+//! * **comments** — line and block comments (block comments nest, per the
+//!   Rust reference), doc comments included, with their text preserved for
+//!   tag search,
+//! * **char vs lifetime** — `'a'` lexes as one char literal, `'a` as a
+//!   lifetime, including escapes (`'\''`) and labels (`'outer:`),
+//! * **identifiers** — keywords are ordinary identifiers here (`unsafe` is
+//!   just the ident `unsafe`); raw identifiers (`r#match`) lex as idents,
+//! * **numbers** — enough numeric-literal shape (`1.0e-5`, `0xFF`, `1_000`,
+//!   suffixes) not to desynchronize, with `0..n` correctly splitting into
+//!   number / range / number.
+//!
+//! It does **not** parse: no precedence, no item structure. The light
+//! structure the rules need (attribute spans, `#[cfg(test)]` module
+//! extents) is recovered from the token stream in [`crate::source`].
+
+/// What a token is; the lint rules branch on this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`unsafe`, `Ordering`, `foo`), including
+    /// raw identifiers (`r#match` lexes as the ident `match`).
+    Ident,
+    /// A lifetime or loop label (`'a`, `'static`, `'outer`).
+    Lifetime,
+    /// A char or byte literal (`'a'`, `b'\n'`).
+    Char,
+    /// Any string literal: plain, byte, C, or raw (`"…"`, `b"…"`,
+    /// `c"…"`, `r#"…"#`). Contents are opaque to every rule.
+    Str,
+    /// A numeric literal.
+    Num,
+    /// A `// …` comment (doc comments included), text preserved.
+    LineComment,
+    /// A `/* … */` comment (nesting handled), text preserved.
+    BlockComment,
+    /// A single punctuation character (`:`, `#`, `!`, `{`, …).
+    Punct,
+}
+
+/// One lexed token: classification plus source span.
+#[derive(Debug, Clone, Copy)]
+pub struct Token {
+    /// The token's classification.
+    pub kind: TokenKind,
+    /// Byte offset of the token's first byte.
+    pub start: usize,
+    /// Byte offset one past the token's last byte.
+    pub end: usize,
+    /// 1-based line of the token's first byte.
+    pub line: u32,
+    /// 1-based line of the token's last byte (differs from `line` for
+    /// multi-line strings and block comments).
+    pub end_line: u32,
+}
+
+impl Token {
+    /// The token's text.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+}
+
+struct Cursor<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    /// Advances one byte, tracking the line counter.
+    fn bump(&mut self) {
+        if self.bytes[self.pos] == b'\n' {
+            self.line += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    /// The char starting at the current position (UTF-8 aware).
+    fn cur_char(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    /// Advances past the current char.
+    fn bump_char(&mut self) {
+        if let Some(c) = self.cur_char() {
+            self.bump_n(c.len_utf8());
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Lexes a whole source file. Never fails: unrecognized bytes become
+/// single-byte [`TokenKind::Punct`] tokens, and an unterminated string or
+/// block comment extends to the end of input (the rules stay sound either
+/// way — real workspace sources are valid Rust, which `cargo build`
+/// enforces long before this lexer runs).
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+    };
+    let mut tokens = Vec::new();
+    while let Some(b) = cur.peek(0) {
+        let start = cur.pos;
+        let line = cur.line;
+        let kind = match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                cur.bump();
+                continue;
+            }
+            b'/' => match cur.peek(1) {
+                Some(b'/') => {
+                    while let Some(c) = cur.peek(0) {
+                        if c == b'\n' {
+                            break;
+                        }
+                        cur.bump();
+                    }
+                    TokenKind::LineComment
+                }
+                Some(b'*') => {
+                    cur.bump_n(2);
+                    lex_block_comment(&mut cur);
+                    TokenKind::BlockComment
+                }
+                _ => {
+                    cur.bump();
+                    TokenKind::Punct
+                }
+            },
+            b'"' => {
+                cur.bump();
+                lex_string_body(&mut cur);
+                TokenKind::Str
+            }
+            b'\'' => lex_quote(&mut cur),
+            b'r' | b'b' | b'c' => {
+                if let Some(kind) = lex_prefixed(&mut cur) {
+                    kind
+                } else {
+                    lex_ident(&mut cur);
+                    TokenKind::Ident
+                }
+            }
+            b'0'..=b'9' => {
+                lex_number(&mut cur);
+                TokenKind::Num
+            }
+            _ => {
+                let c = cur.cur_char().unwrap_or('\u{FFFD}');
+                if is_ident_start(c) {
+                    lex_ident(&mut cur);
+                    TokenKind::Ident
+                } else {
+                    cur.bump_char();
+                    TokenKind::Punct
+                }
+            }
+        };
+        tokens.push(Token {
+            kind,
+            start,
+            end: cur.pos,
+            line,
+            end_line: cur.line,
+        });
+    }
+    tokens
+}
+
+/// A `/* … */` body with arbitrary nesting; the opener is already consumed.
+fn lex_block_comment(cur: &mut Cursor) {
+    let mut depth = 1usize;
+    while let Some(b) = cur.peek(0) {
+        if b == b'/' && cur.peek(1) == Some(b'*') {
+            depth += 1;
+            cur.bump_n(2);
+        } else if b == b'*' && cur.peek(1) == Some(b'/') {
+            depth -= 1;
+            cur.bump_n(2);
+            if depth == 0 {
+                return;
+            }
+        } else {
+            cur.bump();
+        }
+    }
+}
+
+/// A `"…"` body with escapes; the opening quote is already consumed.
+fn lex_string_body(cur: &mut Cursor) {
+    while let Some(b) = cur.peek(0) {
+        match b {
+            b'\\' => cur.bump_n(2.min(cur.bytes.len() - cur.pos)),
+            b'"' => {
+                cur.bump();
+                return;
+            }
+            _ => cur.bump_char(),
+        }
+    }
+}
+
+/// A `r##"…"##` body; `hashes` opener hashes and the opening quote are
+/// already consumed.
+fn lex_raw_string_body(cur: &mut Cursor, hashes: usize) {
+    while let Some(b) = cur.peek(0) {
+        if b == b'"' {
+            let mut matched = 0;
+            while matched < hashes && cur.peek(1 + matched) == Some(b'#') {
+                matched += 1;
+            }
+            if matched == hashes {
+                cur.bump_n(1 + hashes);
+                return;
+            }
+        }
+        cur.bump_char();
+    }
+}
+
+/// Everything starting with `'`: a char literal or a lifetime/label.
+///
+/// Disambiguation mirrors rustc: after the quote, an escape or a
+/// non-identifier char always means a char literal; an identifier char
+/// means a char literal only if the very next char is the closing quote
+/// (`'a'`), otherwise a lifetime (`'a`, `'static`, `'outer:`).
+fn lex_quote(cur: &mut Cursor) -> TokenKind {
+    cur.bump(); // the opening quote
+    match cur.cur_char() {
+        Some('\\') => {
+            // Escaped char literal: consume the escape, then to the close.
+            cur.bump();
+            cur.bump_char();
+            lex_char_tail(cur);
+            TokenKind::Char
+        }
+        Some(c) if is_ident_start(c) => {
+            let c_len = c.len_utf8();
+            if cur.peek(c_len) == Some(b'\'') {
+                cur.bump_n(c_len + 1);
+                TokenKind::Char
+            } else {
+                cur.bump_char();
+                while let Some(c) = cur.cur_char() {
+                    if is_ident_continue(c) {
+                        cur.bump_char();
+                    } else {
+                        break;
+                    }
+                }
+                TokenKind::Lifetime
+            }
+        }
+        Some(_) => {
+            cur.bump_char();
+            lex_char_tail(cur);
+            TokenKind::Char
+        }
+        None => TokenKind::Punct,
+    }
+}
+
+/// Consumes up to the closing quote of a char literal (multi-char bodies
+/// like `'\u{1F600}'` roll through here).
+fn lex_char_tail(cur: &mut Cursor) {
+    while let Some(b) = cur.peek(0) {
+        match b {
+            b'\'' => {
+                cur.bump();
+                return;
+            }
+            b'\\' => cur.bump_n(2.min(cur.bytes.len() - cur.pos)),
+            b'\n' => return, // unterminated; don't swallow the next line
+            _ => cur.bump_char(),
+        }
+    }
+}
+
+/// Handles the `r` / `b` / `c` prefixes: raw strings (`r"…"`, `r#"…"#`),
+/// raw identifiers (`r#match`), byte and C strings/chars (`b"…"`, `b'x'`,
+/// `br#"…"#`, `c"…"`). Returns `None` if the prefix turns out to start a
+/// plain identifier (`radius`, `bar`, `count`).
+fn lex_prefixed(cur: &mut Cursor) -> Option<TokenKind> {
+    let b0 = cur.peek(0)?;
+    // Longest-prefix probe: figure out where a quote/hash would have to be.
+    let (skip, raw) = match (b0, cur.peek(1)) {
+        (b'r', Some(b'"')) => (1, true),
+        (b'r', Some(b'#')) => {
+            // Raw string r#"…"# or raw identifier r#match.
+            let mut h = 1;
+            while cur.peek(1 + h) == Some(b'#') {
+                h += 1;
+            }
+            if cur.peek(1 + h) == Some(b'"') {
+                (1, true)
+            } else {
+                // Raw identifier: consume r# then the ident body.
+                cur.bump_n(2);
+                lex_ident(cur);
+                return Some(TokenKind::Ident);
+            }
+        }
+        (b'b', Some(b'"')) => (1, false),
+        (b'b', Some(b'\'')) => {
+            cur.bump(); // the b
+            return Some(lex_quote(cur)); // always a Char for valid code
+        }
+        (b'b', Some(b'r')) if matches!(cur.peek(2), Some(b'"') | Some(b'#')) => (2, true),
+        (b'c', Some(b'"')) => (1, false),
+        _ => return None,
+    };
+    cur.bump_n(skip);
+    if raw {
+        let mut hashes = 0;
+        while cur.peek(0) == Some(b'#') {
+            hashes += 1;
+            cur.bump();
+        }
+        if cur.peek(0) == Some(b'"') {
+            cur.bump();
+            lex_raw_string_body(cur, hashes);
+            return Some(TokenKind::Str);
+        }
+        // `br#foo` is not valid Rust; recover as ident.
+        lex_ident(cur);
+        return Some(TokenKind::Ident);
+    }
+    cur.bump(); // the opening quote
+    lex_string_body(cur);
+    Some(TokenKind::Str)
+}
+
+fn lex_ident(cur: &mut Cursor) {
+    while let Some(c) = cur.cur_char() {
+        if is_ident_continue(c) {
+            cur.bump_char();
+        } else {
+            break;
+        }
+    }
+}
+
+/// A numeric literal: integers, floats with exponents, radix prefixes,
+/// `_` separators and type suffixes. `0..n` stops before the range dots.
+fn lex_number(cur: &mut Cursor) {
+    // Radix prefix?
+    if cur.peek(0) == Some(b'0') && matches!(cur.peek(1), Some(b'x' | b'o' | b'b' | b'X' | b'O')) {
+        cur.bump_n(2);
+        while let Some(c) = cur.cur_char() {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                cur.bump_char();
+            } else {
+                break;
+            }
+        }
+        return;
+    }
+    let mut seen_exp = false;
+    while let Some(c) = cur.cur_char() {
+        match c {
+            '0'..='9' | '_' => cur.bump_char(),
+            '.' => {
+                // `1..n` is number, range, number; `1.0` keeps going.
+                if matches!(cur.peek(1), Some(b'0'..=b'9')) {
+                    cur.bump_char();
+                } else {
+                    return;
+                }
+            }
+            'e' | 'E' if !seen_exp => {
+                match cur.peek(1) {
+                    Some(b'0'..=b'9') => cur.bump_n(2),
+                    Some(b'+') | Some(b'-') if matches!(cur.peek(2), Some(b'0'..=b'9')) => {
+                        cur.bump_n(3)
+                    }
+                    // `1e` with no digits: a suffix-ish ident tail; absorb.
+                    _ => cur.bump_char(),
+                }
+                seen_exp = true;
+            }
+            // Type suffixes (u8, f32, usize) and stray alphabetics glue to
+            // the literal, which is exactly what rustc does.
+            c if c.is_ascii_alphanumeric() => cur.bump_char(),
+            _ => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn keywords_are_idents_strings_are_opaque() {
+        let ks = kinds(r#"let s = "unsafe { Ordering::Relaxed }";"#);
+        assert_eq!(ks[0], (TokenKind::Ident, "let".into()));
+        assert_eq!(ks[2], (TokenKind::Punct, "=".into()));
+        assert_eq!(ks[3].0, TokenKind::Str);
+        assert!(!ks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "unsafe"));
+    }
+
+    #[test]
+    fn raw_strings_any_hash_depth() {
+        let src =
+            r####"let a = r"x"; let b = r#"has "quotes" inside"#; let c = r##"deep "# edge"##;"####;
+        let strs: Vec<_> = lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Str)
+            .collect();
+        assert_eq!(strs.len(), 3);
+        assert_eq!(strs[1].text(src), r##"r#"has "quotes" inside"#"##);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner */ still outer */ fn f() {}";
+        let ks = kinds(src);
+        assert_eq!(ks[0].0, TokenKind::BlockComment);
+        assert_eq!(ks[0].1, "/* outer /* inner */ still outer */");
+        assert_eq!(ks[1], (TokenKind::Ident, "fn".into()));
+    }
+
+    #[test]
+    fn lifetime_vs_char_literal() {
+        let ks = kinds("fn f<'a>(x: &'a str) { let c = 'a'; let n = '\\n'; let l = 'static; }");
+        let lifetimes: Vec<_> = ks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .map(|(_, t)| t.clone())
+            .collect();
+        let chars: Vec<_> = ks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Char)
+            .map(|(_, t)| t.clone())
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a", "'static"]);
+        assert_eq!(chars, vec!["'a'", "'\\n'"]);
+    }
+
+    #[test]
+    fn byte_and_c_literals() {
+        let ks = kinds(r##"let a = b"bytes"; let b = b'x'; let c = c"cstr"; let d = br#"raw"#;"##);
+        assert_eq!(
+            ks.iter().filter(|(k, _)| *k == TokenKind::Str).count(),
+            3,
+            "{ks:?}"
+        );
+        assert_eq!(ks.iter().filter(|(k, _)| *k == TokenKind::Char).count(), 1);
+    }
+
+    #[test]
+    fn raw_identifier() {
+        let ks = kinds("let r#match = 1; radius");
+        assert_eq!(ks[1], (TokenKind::Ident, "r#match".into()));
+        assert_eq!(ks.last().unwrap(), &(TokenKind::Ident, "radius".into()));
+    }
+
+    #[test]
+    fn numbers_and_ranges() {
+        let ks = kinds("for i in 0..10 { let f = 1.0e-5; let h = 0xFF_u32; let t = x.0; }");
+        assert_eq!(ks[3], (TokenKind::Num, "0".into()));
+        assert_eq!(ks[4], (TokenKind::Punct, ".".into()));
+        assert_eq!(ks[5], (TokenKind::Punct, ".".into()));
+        assert_eq!(ks[6], (TokenKind::Num, "10".into()));
+        assert!(ks.contains(&(TokenKind::Num, "1.0e-5".into())));
+        assert!(ks.contains(&(TokenKind::Num, "0xFF_u32".into())));
+        assert!(ks.contains(&(TokenKind::Num, "0".into())));
+    }
+
+    #[test]
+    fn line_numbers_across_multiline_tokens() {
+        let src = "a\n/* two\nlines */\nb \"multi\nline\" c";
+        let toks = lex(src);
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[1].end_line, 3);
+        assert_eq!(toks[2].line, 4); // b
+        assert_eq!(toks[3].line, 4); // the string
+        assert_eq!(toks[3].end_line, 5);
+        assert_eq!(toks[4].line, 5); // c
+    }
+
+    #[test]
+    fn doc_comments_are_comments() {
+        let ks = kinds("/// doc with unsafe inside\n//! inner doc\n/** block doc */ fn f() {}");
+        assert_eq!(ks[0].0, TokenKind::LineComment);
+        assert_eq!(ks[1].0, TokenKind::LineComment);
+        assert_eq!(ks[2].0, TokenKind::BlockComment);
+        assert!(!ks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "unsafe"));
+    }
+}

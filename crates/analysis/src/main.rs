@@ -1,0 +1,114 @@
+//! CLI for the workspace invariant linter.
+//!
+//! ```text
+//! icsad-analysis [--root PATH] [--deny] [--list-rules] [--rule NAME]...
+//! ```
+//!
+//! With `--deny` (the CI mode) any violation makes the process exit 1;
+//! without it the run is informational and always exits 0. I/O problems
+//! exit 2 either way.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> &'static str {
+    "usage: icsad-analysis [--root PATH] [--deny] [--list-rules] [--rule NAME]...\n\
+     \n\
+     Lints every workspace source file against the project invariants\n\
+     documented in ARCHITECTURE.md, section \"Static analysis & verification\".\n\
+     \n\
+       --root PATH   workspace root to scan (default: current directory)\n\
+       --deny        exit 1 if any violation is found (CI mode)\n\
+       --rule NAME   run only the named rule (repeatable)\n\
+       --list-rules  print the rule catalog and exit\n"
+}
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut deny = false;
+    let mut list_rules = false;
+    let mut only_rules: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => {
+                    eprintln!("error: --root needs a path\n\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            "--deny" => deny = true,
+            "--list-rules" => list_rules = true,
+            "--rule" => match args.next() {
+                Some(r) => only_rules.push(r),
+                None => {
+                    eprintln!("error: --rule needs a rule name\n\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                print!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown argument `{other}`\n\n{}", usage());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if list_rules {
+        for rule in icsad_analysis::RULES {
+            println!("{:32} {}", rule.name, rule.summary);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    for r in &only_rules {
+        if icsad_analysis::rule_help(r).is_none() {
+            eprintln!("error: unknown rule `{r}` (see --list-rules)");
+            return ExitCode::from(2);
+        }
+    }
+
+    let report = match icsad_analysis::analyze(&root, &only_rules) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("error: failed to scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    for d in &report.diagnostics {
+        println!("{d}");
+        if let Some(help) = icsad_analysis::rule_help(d.rule) {
+            println!("    help: {help}");
+        }
+    }
+    if report.diagnostics.is_empty() {
+        println!(
+            "icsad-analysis: {} files scanned, 0 violations",
+            report.files_scanned
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "icsad-analysis: {} files scanned, {} violation(s)",
+            report.files_scanned,
+            report.diagnostics.len()
+        );
+        println!(
+            "note: conventions are documented in ARCHITECTURE.md, \
+             section \"Static analysis & verification\""
+        );
+        if deny {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        }
+    }
+}

@@ -1,0 +1,338 @@
+//! The per-file model the rules run against: the token stream plus the
+//! light structure recovered from it — per-line classification (code /
+//! attribute / comment), attribute spans, and `#[cfg(test)]` module
+//! extents — and the justification-tag search.
+
+use crate::lexer::{lex, Token, TokenKind};
+use std::path::PathBuf;
+
+/// Per-line classification, used by the justification walk.
+#[derive(Debug, Clone, Default)]
+struct LineInfo {
+    /// The line carries at least one non-comment, non-attribute token.
+    has_code: bool,
+    /// Concatenated text of every comment token touching this line.
+    comments: String,
+}
+
+/// A lexed source file with the derived structure the rules need.
+pub struct SourceFile {
+    /// Workspace-relative path (as discovered).
+    pub path: PathBuf,
+    /// The raw text.
+    pub text: String,
+    /// The token stream.
+    pub tokens: Vec<Token>,
+    /// For each token, whether it lies inside a `#[cfg(test)]` module.
+    in_test_code: Vec<bool>,
+    /// For each token, whether it belongs to an attribute (`#[…]`).
+    in_attr: Vec<bool>,
+    lines: Vec<LineInfo>,
+}
+
+impl SourceFile {
+    /// Lexes `text` and derives the line/attribute/test structure.
+    pub fn parse(path: PathBuf, text: String) -> SourceFile {
+        let tokens = lex(&text);
+        let in_attr = attr_spans(&text, &tokens);
+        let in_test_code = cfg_test_spans(&text, &tokens, &in_attr);
+        let last_line = tokens.last().map(|t| t.end_line).unwrap_or(1);
+        let mut lines = vec![LineInfo::default(); last_line as usize + 1];
+        for (i, t) in tokens.iter().enumerate() {
+            match t.kind {
+                TokenKind::LineComment | TokenKind::BlockComment => {
+                    for l in t.line..=t.end_line {
+                        let li = &mut lines[l as usize];
+                        if !li.comments.is_empty() {
+                            li.comments.push('\n');
+                        }
+                        li.comments.push_str(t.text(&text));
+                    }
+                }
+                _ if in_attr[i] => {
+                    // Attribute tokens classify a line as neither code nor
+                    // comment: the justification walk skips over them.
+                }
+                _ => {
+                    for l in t.line..=t.end_line {
+                        lines[l as usize].has_code = true;
+                    }
+                }
+            }
+        }
+        SourceFile {
+            path,
+            text,
+            tokens,
+            in_test_code,
+            in_attr,
+            lines,
+        }
+    }
+
+    /// The text of token `i`.
+    pub fn tok_text(&self, i: usize) -> &str {
+        self.tokens[i].text(&self.text)
+    }
+
+    /// Whether token `i` lies inside a `#[cfg(test)]` module.
+    pub fn is_test_code(&self, i: usize) -> bool {
+        self.in_test_code[i]
+    }
+
+    /// Whether token `i` belongs to an attribute.
+    pub fn is_attr(&self, i: usize) -> bool {
+        self.in_attr[i]
+    }
+
+    /// Whether a justification comment containing `tag` is attached to the
+    /// code at `line`.
+    ///
+    /// A tag attaches if it appears in a comment **on the line itself**
+    /// (trailing: `foo(); // TAG: why`) or on a comment/attribute/blank run
+    /// of lines **directly above** it — the walk stops at the first line
+    /// carrying other code and after `MAX_TAG_DISTANCE` lines, so a tag can
+    /// never justify a site it was not written next to.
+    pub fn justified(&self, line: u32, tag: &str) -> bool {
+        /// How far above its site a justification comment may sit (large
+        /// enough for a thorough paragraph, small enough that a stray tag
+        /// cannot leak across items).
+        const MAX_TAG_DISTANCE: u32 = 25;
+        let at = |l: u32| self.lines.get(l as usize);
+        if at(line).is_some_and(|li| li.comments.contains(tag)) {
+            return true;
+        }
+        let mut l = line.saturating_sub(1);
+        while l >= 1 && line - l <= MAX_TAG_DISTANCE {
+            let Some(li) = at(l) else { break };
+            if li.comments.contains(tag) {
+                return true;
+            }
+            if li.has_code {
+                return false;
+            }
+            l -= 1;
+        }
+        false
+    }
+
+    /// Whether any comment touching `line` contains `tag` (no walking).
+    pub fn line_has_tag(&self, line: u32, tag: &str) -> bool {
+        self.lines
+            .get(line as usize)
+            .is_some_and(|li| li.comments.contains(tag))
+    }
+
+    /// Whether the file carries the crate-level attribute
+    /// `#![forbid(unsafe_code)]`.
+    pub fn has_forbid_unsafe(&self) -> bool {
+        let t = |i: usize| -> &str { self.tokens.get(i).map(|t| t.text(&self.text)).unwrap_or("") };
+        (0..self.tokens.len()).any(|i| {
+            t(i) == "#"
+                && t(i + 1) == "!"
+                && t(i + 2) == "["
+                && t(i + 3) == "forbid"
+                && t(i + 4) == "("
+                && t(i + 5) == "unsafe_code"
+                && t(i + 6) == ")"
+                && t(i + 7) == "]"
+        })
+    }
+}
+
+/// Marks every token belonging to an attribute: `#` (optionally `!`) `[` …
+/// matching `]`.
+fn attr_spans(src: &str, tokens: &[Token]) -> Vec<bool> {
+    let is = |i: usize, s: &str| {
+        tokens
+            .get(i)
+            .is_some_and(|t| t.kind == TokenKind::Punct && t.text(src) == s)
+    };
+    let mut in_attr = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if is(i, "#") && (is(i + 1, "[") || (is(i + 1, "!") && is(i + 2, "["))) {
+            let open = if is(i + 1, "[") { i + 1 } else { i + 2 };
+            let mut depth = 0usize;
+            let mut j = open;
+            while j < tokens.len() {
+                if is(j, "[") {
+                    depth += 1;
+                } else if is(j, "]") {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            let end = j.min(tokens.len() - 1);
+            for flag in in_attr.iter_mut().take(end + 1).skip(i) {
+                *flag = true;
+            }
+            i = end + 1;
+        } else {
+            i += 1;
+        }
+    }
+    in_attr
+}
+
+/// Marks every token inside a module annotated `#[cfg(test)]`.
+///
+/// Recognized shape: the exact attribute `#[cfg(test)]`, followed (through
+/// any further attributes and comments) by `mod name {`, whose braces are
+/// then matched. `#[cfg(not(test))]` and `#[cfg(any(…, test))]` do *not*
+/// match — only unconditional test modules are exempt from the rules.
+fn cfg_test_spans(src: &str, tokens: &[Token], in_attr: &[bool]) -> Vec<bool> {
+    let mut in_test = vec![false; tokens.len()];
+    let is = |i: usize, s: &str| tokens.get(i).is_some_and(|t| t.text(src) == s);
+    let mut i = 0;
+    while i < tokens.len() {
+        // #[cfg(test)]
+        if is(i, "#")
+            && is(i + 1, "[")
+            && is(i + 2, "cfg")
+            && is(i + 3, "(")
+            && is(i + 4, "test")
+            && is(i + 5, ")")
+            && is(i + 6, "]")
+        {
+            // Skip to the annotated item through comments and more attrs.
+            let mut j = i + 7;
+            while j < tokens.len()
+                && (matches!(
+                    tokens[j].kind,
+                    TokenKind::LineComment | TokenKind::BlockComment
+                ) || in_attr[j])
+            {
+                j += 1;
+            }
+            if is(j, "mod") {
+                // mod name { … } — match the braces. (`mod tests;` has no
+                // body here; its file lives under a path the runner
+                // excludes.)
+                let mut k = j + 1;
+                while k < tokens.len() && !is(k, "{") && !is(k, ";") {
+                    k += 1;
+                }
+                if is(k, "{") {
+                    let mut depth = 0usize;
+                    let mut end = k;
+                    while end < tokens.len() {
+                        if is(end, "{") {
+                            depth += 1;
+                        } else if is(end, "}") {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        end += 1;
+                    }
+                    let end = end.min(tokens.len() - 1);
+                    for flag in in_test.iter_mut().take(end + 1).skip(i) {
+                        *flag = true;
+                    }
+                    i = end + 1;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+    in_test
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> SourceFile {
+        SourceFile::parse(PathBuf::from("test.rs"), src.to_string())
+    }
+
+    #[test]
+    fn justification_attaches_through_comments_attrs_and_blanks() {
+        let f = parse(
+            "// SAFETY: reason one\n\
+             // continued prose\n\
+             #[inline(always)]\n\
+             \n\
+             fn f() {}\n",
+        );
+        assert!(f.justified(5, "SAFETY:"));
+        assert!(!f.justified(5, "ORDERING:"));
+    }
+
+    #[test]
+    fn justification_stops_at_code() {
+        let f = parse(
+            "// SAFETY: for the first one\n\
+             call_one();\n\
+             call_two();\n",
+        );
+        assert!(f.justified(2, "SAFETY:"));
+        assert!(!f.justified(3, "SAFETY:"));
+    }
+
+    #[test]
+    fn trailing_comment_on_same_line_counts() {
+        let f = parse("do_it(); // ORDERING: counter, read after join\n");
+        assert!(f.justified(1, "ORDERING:"));
+    }
+
+    #[test]
+    fn cfg_test_module_extent() {
+        let src = "fn prod() {}\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       fn inner() { x.unwrap(); }\n\
+                   }\n\
+                   fn prod2() {}\n";
+        let f = parse(src);
+        let unwrap_idx = f
+            .tokens
+            .iter()
+            .enumerate()
+            .find(|(i, t)| t.kind == TokenKind::Ident && f.tok_text(*i) == "unwrap")
+            .map(|(i, _)| i)
+            .unwrap();
+        assert!(f.is_test_code(unwrap_idx));
+        let prod2_idx = f
+            .tokens
+            .iter()
+            .enumerate()
+            .find(|(i, _)| f.tok_text(*i) == "prod2")
+            .map(|(i, _)| i)
+            .unwrap();
+        assert!(!f.is_test_code(prod2_idx));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_exempt() {
+        let src = "#[cfg(not(test))]\nmod m { fn f() { x.unwrap(); } }\n";
+        let f = parse(src);
+        assert!((0..f.tokens.len()).all(|i| !f.is_test_code(i)));
+    }
+
+    #[test]
+    fn forbid_unsafe_detection() {
+        assert!(parse("#![forbid(unsafe_code)]\nfn f() {}").has_forbid_unsafe());
+        assert!(!parse("#![deny(unsafe_code)]\nfn f() {}").has_forbid_unsafe());
+        assert!(!parse("fn f() {}").has_forbid_unsafe());
+    }
+
+    #[test]
+    fn attr_tokens_marked() {
+        let f = parse("#[derive(Debug, Clone)]\nstruct S;\n");
+        let derive_idx = (0..f.tokens.len())
+            .find(|&i| f.tok_text(i) == "derive")
+            .unwrap();
+        assert!(f.is_attr(derive_idx));
+        let struct_idx = (0..f.tokens.len())
+            .find(|&i| f.tok_text(i) == "struct")
+            .unwrap();
+        assert!(!f.is_attr(struct_idx));
+    }
+}

@@ -1,0 +1,31 @@
+//! Lexer stress fixture: every `unsafe`, `Ordering::`, `unwrap` and
+//! `panic!` spelling below lives inside a string, raw string, comment, or
+//! doc comment — none of it is code, so the rules must report nothing.
+//!
+//! Doc text mentioning unsafe { *p } or v.unwrap() stays prose.
+
+/// This doc comment mentions `unsafe { code }` and `Ordering::SeqCst` and
+/// even panic!("x") — all prose.
+pub fn strings() -> Vec<String> {
+    vec![
+        "unsafe { *ptr }".to_string(),
+        "Ordering::Relaxed".to_string(),
+        String::from("v.unwrap()"),
+        r"raw \ unsafe backslash".to_string(),
+        r#"raw: unsafe { panic!("boom") } "quoted""#.to_string(),
+        r##"deeper: br#"unsafe"# inside"##.to_string(),
+        "escaped \" then unsafe".to_string(),
+    ]
+}
+
+/* Block comment with unsafe and panic!().
+   /* Nested block comment: Ordering::AcqRel, x.unwrap(). */
+   Still the outer comment after the nested one closes. */
+pub fn chars_and_lifetimes<'unsafe_looking>(x: &'unsafe_looking str) -> (char, char, &str) {
+    // A lifetime `'a` must not start a char literal; `'{'` and `'\''` are
+    // chars. The byte string below contains the word unsafe, not code.
+    let open = '{';
+    let quote = '\'';
+    let _bytes: &[u8] = b"unsafe in a byte string";
+    (open, quote, x)
+}

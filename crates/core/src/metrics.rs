@@ -42,6 +42,9 @@ impl ConfusionCounts {
             match (a.next(), p.next()) {
                 (Some(x), Some(y)) => counts.record(x, y),
                 (None, None) => break,
+                // PANIC: caller contract — the two label streams come from
+                // the same evaluation split, so unequal lengths are a bug in
+                // the harness, not a data condition to tolerate.
                 _ => panic!("actual/predicted length mismatch"),
             }
         }

@@ -163,6 +163,9 @@ impl TimeSeriesDetector {
                     .map(|r| {
                         vocabulary
                             .id_of(&discretizer.signature(r))
+                            // PANIC: the vocabulary was built from this very
+                            // training set a few lines up, so every record's
+                            // signature has an id.
                             .expect("training records are in the vocabulary")
                     })
                     .collect();

@@ -512,6 +512,8 @@ impl IngestDriver {
             IngestDriver::Threads { senders, .. } => match senders[shard].try_send(msg) {
                 Ok(()) => Ok(()),
                 Err(TrySendError::Full(msg)) => {
+                    // ORDERING: Relaxed — monotonic reporting counter, read
+                    // only after the run is over; it orders nothing.
                     blocked.fetch_add(1, Ordering::Relaxed);
                     senders[shard].send(msg).map_err(|_| ShardGone)
                 }
@@ -523,6 +525,8 @@ impl IngestDriver {
                 let pushed = match queues[shard].try_push(msg) {
                     Ok(()) => Ok(()),
                     Err(TryPushError::Full(msg)) => {
+                        // ORDERING: Relaxed — same reporting-only counter as
+                        // the threaded arm above.
                         blocked.fetch_add(1, Ordering::Relaxed);
                         queues[shard].push(msg).map_err(|_| ShardGone)
                     }
@@ -652,6 +656,8 @@ impl Engine {
     /// [`Engine::try_start`] for a typed error) or if an
     /// [`EngineMode::AdaptiveK`] config is degenerate.
     pub fn start(detector: Arc<CombinedDetector>, config: EngineConfig) -> Engine {
+        // PANIC: documented contract of `start` — the typed alternative is
+        // `try_start`; nothing has been spawned when this fires.
         Engine::try_start(detector, config).unwrap_or_else(|e| panic!("invalid EngineConfig: {e}"))
     }
 
@@ -682,6 +688,7 @@ impl Engine {
     /// Panics if the config fails [`EngineConfig::validate`] (use
     /// [`Engine::try_start_backend`] for a typed error).
     pub fn start_backend(backend: Arc<dyn StreamingDetector>, config: EngineConfig) -> Engine {
+        // PANIC: documented contract of `start_backend`; see `start`.
         Engine::try_start_backend(backend, config)
             .unwrap_or_else(|e| panic!("invalid EngineConfig: {e}"))
     }
@@ -717,6 +724,9 @@ impl Engine {
                             let session = backend.begin_session();
                             run_threaded(ShardCore::new(session, config), shard, rx)
                         })
+                        // PANIC: thread spawn fails only on OS resource
+                        // exhaustion at startup; there is no engine to keep
+                        // alive yet.
                         .expect("failed to spawn shard worker");
                     senders.push(tx);
                     workers.push(handle);
@@ -848,6 +858,8 @@ impl Engine {
         // Everything ingested so far must reach the shards ahead of the
         // swap message, so the old detector classifies it.
         self.flush_ingest();
+        // PANIC: `driver` is `None` only after `finish()` consumed `self`,
+        // so it is always present on a live engine.
         let driver = self.driver.as_ref().expect("engine finished");
         for shard in 0..driver.num_shards() {
             driver
@@ -856,6 +868,8 @@ impl Engine {
                     ShardMsg::Swap(Arc::clone(&detector)),
                     &self.blocked_pushes,
                 )
+                // PANIC: a shard dying mid-run means its thread panicked;
+                // detection coverage is already lost, so fail loudly.
                 .unwrap_or_else(|_| panic!("shard worker terminated"));
         }
         self.reloads += 1;
@@ -921,11 +935,14 @@ impl Engine {
     /// Frames ingested (routed to a shard) so far; quarantined frames are
     /// counted separately by [`Engine::quarantined`].
     pub fn ingested(&self) -> u64 {
+        // ORDERING: Relaxed — reporting counter on a single monotonic cell;
+        // no other memory is published through it.
         self.ingested.load(Ordering::Relaxed)
     }
 
     /// Malformed frames quarantined at ingest so far.
     pub fn quarantined(&self) -> u64 {
+        // ORDERING: Relaxed — reporting counter, as `ingested` above.
         self.quarantined.load(Ordering::Relaxed)
     }
 
@@ -945,6 +962,8 @@ impl Engine {
         let shard = match frame.stream_key() {
             Some((link, unit)) if frame.is_well_formed() => self.shard_of_stream(link, unit),
             _ => {
+                // ORDERING: Relaxed — reporting counter; the frame is
+                // dropped, nothing downstream observes it.
                 self.quarantined.fetch_add(1, Ordering::Relaxed);
                 return;
             }
@@ -955,10 +974,16 @@ impl Engine {
                 std::mem::replace(&mut self.buffers[shard], Vec::with_capacity(INGEST_CHUNK));
             self.driver
                 .as_ref()
+                // PANIC: `driver` is present on every live engine (taken
+                // only by `finish`, which consumes `self`).
                 .expect("engine finished")
                 .send(shard, ShardMsg::Frames(chunk), &self.blocked_pushes)
+                // PANIC: documented in the method docs — a dead shard
+                // worker already lost detection coverage.
                 .unwrap_or_else(|_| panic!("shard worker terminated"));
         }
+        // ORDERING: Relaxed — reporting counter; shard delivery order is
+        // fixed by the channel, not by this cell.
         self.ingested.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -979,6 +1004,8 @@ impl Engine {
     /// Panics if a shard worker has terminated.
     pub fn flush_ingest(&mut self) {
         if self.flush_ingest_inner().is_err() {
+            // PANIC: documented contract of `flush_ingest`; `finish`/`Drop`
+            // use the non-panicking inner flush instead.
             panic!("shard worker terminated");
         }
     }
@@ -987,6 +1014,7 @@ impl Engine {
     /// reported, not panicked over, so its original panic can surface from
     /// the join instead of being masked by a send failure.
     fn flush_ingest_inner(&mut self) -> Result<(), ShardGone> {
+        // PANIC: `driver` is present on every live engine; see `ingest`.
         let driver = self.driver.as_ref().expect("engine finished");
         let mut result = Ok(());
         for (shard, buffer) in self.buffers.iter_mut().enumerate() {
@@ -1016,6 +1044,8 @@ impl Engine {
         // A dead shard must not abort the flush: the join below surfaces
         // its original panic instead.
         let _ = self.flush_ingest_inner();
+        // PANIC: `finish` consumes `self`, so the driver can only have been
+        // taken by a previous `finish` — unreachable.
         let driver = self.driver.take().expect("finish called once");
         let mode = driver.mode();
         let ingest_threads = driver.ingest_threads();
@@ -1041,12 +1071,15 @@ impl Engine {
         EngineReport {
             total,
             shards,
+            // ORDERING: Relaxed — counters read after every shard thread
+            // was joined by `into_results`; the joins order the memory.
             quarantined: self.quarantined.load(Ordering::Relaxed),
             reloads: self.reloads,
             kernel_backend: self.kernel_backend,
             runtime: RuntimeStats {
                 mode,
                 ingest_threads,
+                // ORDERING: Relaxed — read post-join, as above.
                 blocked_pushes: self.blocked_pushes.load(Ordering::Relaxed),
                 steals,
                 polls,

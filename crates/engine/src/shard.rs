@@ -60,6 +60,8 @@ pub(crate) struct ShardCore {
     session: Box<dyn StreamingSession>,
     config: EngineConfig,
     /// Stream key (link, unit id) -> lane index.
+    // NONDET: keyed lookup only — lane order is assignment order (the Vecs
+    // below), never HashMap iteration order, so decisions stay replayable.
     lanes_by_stream: HashMap<(u32, u8), usize>,
     extractors: Vec<StreamExtractor>,
     queues: Vec<VecDeque<Record>>,
@@ -83,6 +85,7 @@ impl ShardCore {
         ShardCore {
             session,
             config,
+            // NONDET: see the field — lookup-only map, never iterated.
             lanes_by_stream: HashMap::new(),
             extractors: Vec::new(),
             queues: Vec::new(),
@@ -105,6 +108,8 @@ impl ShardCore {
         // frame, so routed frames always carry an address byte.
         let unit = frame
             .unit_id()
+            // PANIC: `Engine::ingest` quarantines short frames (the comment
+            // above), so the address byte is always present here.
             .expect("only well-formed frames reach a shard");
         let key = (frame.link, unit);
         let lane = match self.lanes_by_stream.get(&key) {
@@ -163,6 +168,8 @@ impl ShardCore {
         for d in decisions.drain(..) {
             let label = self.pending_labels[d.lane]
                 .pop_front()
+                // PANIC: backend contract — exactly one decision per pushed
+                // package, in order; an empty queue here is a backend bug.
                 .expect("backend resolved a decision with no pending package");
             if d.anomalous {
                 self.alarms += 1;
@@ -188,6 +195,8 @@ impl ShardCore {
         self.absorb_decisions();
         self.session
             .swap_combined(detector)
+            // PANIC: `Engine::reload_detector` checks hot-swap support
+            // before any Swap message is sent.
             .expect("engine pre-validates hot-swap support");
         debug_assert!(
             self.pending_labels.iter().all(|q| q.is_empty()),
@@ -302,6 +311,8 @@ impl Task for ShardTask {
     type Output = ShardReport;
 
     fn poll(&mut self, budget: usize) -> Poll {
+        // PANIC: executor contract — a task returning `Poll::Complete` is
+        // never polled again.
         let core = self.core.as_mut().expect("polled after completion");
         for _ in 0..budget.max(1) {
             match self.inbox.pop() {
@@ -333,6 +344,8 @@ impl Task for ShardTask {
     fn complete(mut self) -> ShardReport {
         self.core
             .take()
+            // PANIC: `complete` consumes the task; the core is only taken
+            // here.
             .expect("completed once")
             .into_report(self.shard)
     }

@@ -100,6 +100,8 @@ pub fn write_signature(components: &[u16], buf: &mut String) {
 /// probabilistic-noise selection rule `p = λ / (λ + #s)` (paper §V-3).
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct SignatureVocabulary {
+    // NONDET: lookup-only map; ids are assigned in insertion order and all
+    // iteration happens over `sigs`/`counts`, so replay is deterministic.
     ids: HashMap<Signature, usize>,
     sigs: Vec<Signature>,
     counts: Vec<u64>,

@@ -149,13 +149,13 @@ pub struct ExecStats {
     pub polls: u64,
 }
 
-const IDLE: u8 = 0;
-const QUEUED: u8 = 1;
+pub(crate) const IDLE: u8 = 0;
+pub(crate) const QUEUED: u8 = 1;
 const RUNNING: u8 = 2;
 const DIRTY: u8 = 3;
-const DONE: u8 = 4;
+pub(crate) const DONE: u8 = 4;
 
-struct Slot<T: Task> {
+pub(crate) struct Slot<T: Task> {
     state: AtomicU8,
     task: Mutex<Option<T>>,
     output: Mutex<Option<std::thread::Result<T::Output>>>,
@@ -168,7 +168,7 @@ struct SyncState {
     sleepers: usize,
 }
 
-struct Shared<T: Task> {
+pub(crate) struct Shared<T: Task> {
     slots: Vec<Slot<T>>,
     run_queues: Vec<Mutex<VecDeque<usize>>>,
     sync: Mutex<SyncState>,
@@ -180,7 +180,7 @@ struct Shared<T: Task> {
 }
 
 impl<T: Task> Shared<T> {
-    fn new(tasks: Vec<T>, queues: usize) -> Shared<T> {
+    pub(crate) fn new(tasks: Vec<T>, queues: usize) -> Shared<T> {
         Shared {
             remaining: AtomicUsize::new(tasks.len()),
             slots: tasks
@@ -204,11 +204,29 @@ impl<T: Task> Shared<T> {
 
     /// Marks a task runnable. Safe from any thread, any number of times;
     /// duplicate notifies collapse onto the state machine.
-    fn notify(&self, id: usize) {
+    pub(crate) fn notify(&self, id: usize) {
+        self.notify_full(id, true);
+    }
+
+    /// [`Shared::notify`] with the RUNNING→DIRTY transition switchable.
+    ///
+    /// `dirty_on_running = false` deliberately re-opens the classic
+    /// lost-wakeup window (a notify racing a running poll is dropped on the
+    /// floor). Only the schedule explorer uses it, to prove that it *would*
+    /// catch the bug the DIRTY state exists to prevent — see
+    /// `explore::tests::explorer_catches_injected_lost_wakeup`.
+    pub(crate) fn notify_full(&self, id: usize, dirty_on_running: bool) {
         let slot = &self.slots[id];
         loop {
+            // ORDERING: the load is only a hint for picking a CAS arm; every
+            // decision below is re-validated by the CAS itself. Acquire so a
+            // DONE observed here happens-after the completing poll.
             match slot.state.load(Ordering::Acquire) {
                 IDLE => {
+                    // ORDERING: AcqRel — the winning notifier's prior writes
+                    // (the pushed input) happen-before the dequeue that sees
+                    // QUEUED, and losing the race (Acquire) re-reads a state
+                    // that is current enough to retry on.
                     if slot
                         .state
                         .compare_exchange(IDLE, QUEUED, Ordering::AcqRel, Ordering::Acquire)
@@ -219,6 +237,14 @@ impl<T: Task> Shared<T> {
                     }
                 }
                 RUNNING => {
+                    if !dirty_on_running {
+                        // Bug-injection mode: model an executor without the
+                        // DIRTY state, losing this wakeup.
+                        return;
+                    }
+                    // ORDERING: AcqRel for the same reason as the IDLE arm —
+                    // the worker that converts DIRTY back to QUEUED must see
+                    // this notifier's input writes.
                     if slot
                         .state
                         .compare_exchange(RUNNING, DIRTY, Ordering::AcqRel, Ordering::Acquire)
@@ -230,13 +256,18 @@ impl<T: Task> Shared<T> {
                 // Already queued for a poll that has not happened yet, or
                 // finished for good: nothing to do.
                 QUEUED | DIRTY | DONE => return,
+                // PANIC: the state machine has exactly five states; a sixth
+                // value is memory corruption, not a recoverable condition.
                 _ => unreachable!("invalid task state"),
             }
         }
     }
 
     fn enqueue(&self, worker: usize, id: usize) {
+        // PANIC: run-queue mutexes are only ever poisoned by an executor
+        // bug — task panics are caught before they can unwind through here.
         self.run_queues[worker].lock().unwrap().push_back(id);
+        // PANIC: same as above — nothing panics while holding `sync`.
         let mut sync = self.sync.lock().unwrap();
         sync.epoch += 1;
         if sync.sleepers > 0 {
@@ -244,18 +275,26 @@ impl<T: Task> Shared<T> {
         }
     }
 
-    fn take_local(&self, worker: usize) -> Option<usize> {
+    pub(crate) fn take_local(&self, worker: usize) -> Option<usize> {
+        // PANIC: run-queue mutexes cannot be poisoned (see `enqueue`).
         self.run_queues[worker].lock().unwrap().pop_front()
     }
 
     /// Steals from the tail of the first non-empty victim queue, visiting
     /// victims in the given order.
-    fn steal(&self, thief: usize, victims: impl Iterator<Item = usize>) -> Option<usize> {
+    pub(crate) fn steal(
+        &self,
+        thief: usize,
+        victims: impl Iterator<Item = usize>,
+    ) -> Option<usize> {
         for victim in victims {
             if victim == thief {
                 continue;
             }
+            // PANIC: run-queue mutexes cannot be poisoned (see `enqueue`).
             if let Some(id) = self.run_queues[victim].lock().unwrap().pop_back() {
+                // ORDERING: Relaxed — a monotonic statistics counter, only
+                // aggregated after the worker threads have been joined.
                 self.steals.fetch_add(1, Ordering::Relaxed);
                 return Some(id);
             }
@@ -267,21 +306,51 @@ impl<T: Task> Shared<T> {
     /// the payload is stored as the task's output and the pool keeps
     /// serving every other task.
     fn run_task(&self, worker: usize, id: usize, budget: usize) {
+        let polled = self.poll_task(id, budget);
+        self.settle(worker, id, polled);
+    }
+
+    /// First half of a schedule event: transitions the dequeued task to
+    /// RUNNING and polls it once. The result must be fed to
+    /// [`Shared::settle`]; between the two calls the task is in the
+    /// notify-while-running window that the DIRTY state guards — the
+    /// schedule explorer injects source events exactly there.
+    pub(crate) fn poll_task(&self, id: usize, budget: usize) -> std::thread::Result<Poll> {
         let slot = &self.slots[id];
+        // ORDERING: AcqRel — Acquire so this worker sees the input writes
+        // published by the notifier's QUEUED transition, Release so a
+        // racing notifier that observes RUNNING is ordered after the
+        // dequeue (its DIRTY mark cannot refer to a stale queue entry).
         let previous = slot.state.swap(RUNNING, Ordering::AcqRel);
         debug_assert_eq!(previous, QUEUED, "only queued tasks are dequeued");
+        // ORDERING: Relaxed — a monotonic statistics counter, only
+        // aggregated after the worker threads have been joined.
         self.polls.fetch_add(1, Ordering::Relaxed);
-        let polled = {
-            let mut guard = slot.task.lock().unwrap();
-            let task = guard.as_mut().expect("queued task is present");
-            catch_unwind(AssertUnwindSafe(|| task.poll(budget)))
-        };
+        // PANIC: the task mutex is never poisoned — the only code that runs
+        // under it is wrapped in catch_unwind right here.
+        let mut guard = slot.task.lock().unwrap();
+        // PANIC: state was QUEUED, so the task has not completed; only the
+        // Complete/Err arms of `settle` take it out of the slot.
+        let task = guard.as_mut().expect("queued task is present");
+        catch_unwind(AssertUnwindSafe(|| task.poll(budget)))
+    }
+
+    /// Second half of a schedule event: routes the poll result through the
+    /// task state machine (re-queue, idle, complete, or contain a panic).
+    pub(crate) fn settle(&self, worker: usize, id: usize, polled: std::thread::Result<Poll>) {
+        let slot = &self.slots[id];
         match polled {
             Ok(Poll::Runnable) => {
+                // ORDERING: Release publishes the poll's task-state writes
+                // to whichever worker dequeues the entry pushed below.
                 slot.state.store(QUEUED, Ordering::Release);
                 self.enqueue(worker, id);
             }
             Ok(Poll::Idle) => {
+                // ORDERING: AcqRel — on success the Release half publishes
+                // the poll's writes for the next notifier; on failure the
+                // Acquire load synchronizes with the notifier that marked
+                // the task DIRTY so the re-poll sees its input.
                 if slot
                     .state
                     .compare_exchange(RUNNING, IDLE, Ordering::AcqRel, Ordering::Acquire)
@@ -290,19 +359,28 @@ impl<T: Task> Shared<T> {
                     // A notify landed while the task ran (DIRTY): there may
                     // be input the poll missed, so re-queue instead of
                     // idling.
+                    // ORDERING: Release — as in the Runnable arm.
                     slot.state.store(QUEUED, Ordering::Release);
                     self.enqueue(worker, id);
                 }
             }
             Ok(Poll::Complete) => {
+                // PANIC: the task mutex is never poisoned (see `poll_task`).
                 let task = slot
                     .task
                     .lock()
                     .unwrap()
                     .take()
+                    // PANIC: only this arm and the Err arm take the task, and
+                    // each runs at most once — after them the state is DONE
+                    // and nothing is ever dequeued again.
                     .expect("completing task is present");
                 let output = catch_unwind(AssertUnwindSafe(move || task.complete()));
+                // PANIC: the output mutex is only locked here and at join,
+                // with no panicking code under it.
                 *slot.output.lock().unwrap() = Some(output);
+                // ORDERING: Release — the joining thread's Acquire of DONE
+                // (via `remaining`) sees the stored output.
                 slot.state.store(DONE, Ordering::Release);
                 self.task_done();
             }
@@ -310,9 +388,12 @@ impl<T: Task> Shared<T> {
                 // The poll panicked. Drop the wreckage defensively (its Drop
                 // may poison queues — that is how the engine's shard tasks
                 // unblock producers) and surface the payload at join.
+                // PANIC: the task mutex is never poisoned (see `poll_task`).
                 let task = slot.task.lock().unwrap().take();
                 let _ = catch_unwind(AssertUnwindSafe(move || drop(task)));
+                // PANIC: the output mutex is never poisoned (see above).
                 *slot.output.lock().unwrap() = Some(Err(payload));
+                // ORDERING: Release — as in the Complete arm.
                 slot.state.store(DONE, Ordering::Release);
                 self.task_done();
             }
@@ -320,9 +401,14 @@ impl<T: Task> Shared<T> {
     }
 
     fn task_done(&self) {
+        // ORDERING: AcqRel — Release so the thread that drops `remaining`
+        // to zero publishes its output store to everyone who reads zero,
+        // Acquire so that reader also sees every *other* task's output
+        // (each decremented with Release before it).
         if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
             // Last task finished: wake every parked worker so the pool can
             // exit.
+            // PANIC: nothing panics while holding `sync` (see `enqueue`).
             let mut sync = self.sync.lock().unwrap();
             sync.epoch += 1;
             self.wakeup.notify_all();
@@ -332,21 +418,60 @@ impl<T: Task> Shared<T> {
     /// Parks until the epoch moves past `seen_epoch` (or everything is
     /// done).
     fn park(&self, seen_epoch: u64) {
+        // PANIC: nothing panics while holding `sync` (see `enqueue`).
         let mut sync = self.sync.lock().unwrap();
+        // ORDERING: Acquire pairs with the Release decrements in
+        // `task_done`: a worker that reads zero and exits sees every output.
         while sync.epoch == seen_epoch && self.remaining.load(Ordering::Acquire) != 0 {
             sync.sleepers += 1;
+            // PANIC: Condvar::wait only fails if the mutex is poisoned,
+            // which `sync` never is.
             sync = self.wakeup.wait(sync).unwrap();
             sync.sleepers -= 1;
         }
+    }
+
+    /// Current state byte of one task slot (explorer support).
+    pub(crate) fn state(&self, id: usize) -> u8 {
+        // ORDERING: Acquire — the explorer checks invariants against queue
+        // contents it read after this, so the state must not be newer than
+        // those reads; at quiescence (its call sites) nothing races anyway.
+        self.slots[id].state.load(Ordering::Acquire)
+    }
+
+    /// Tasks not yet DONE (explorer support).
+    pub(crate) fn remaining(&self) -> usize {
+        // ORDERING: Acquire pairs with the Release decrements in
+        // `task_done` (see `park`).
+        self.remaining.load(Ordering::Acquire)
+    }
+
+    /// Clones the contents of every run queue, in worker order (explorer
+    /// support: invariant checks and enabled-action enumeration).
+    pub(crate) fn queue_snapshot(&self) -> Vec<Vec<usize>> {
+        self.run_queues
+            .iter()
+            // PANIC: run-queue mutexes cannot be poisoned (see `enqueue`).
+            .map(|q| q.lock().unwrap().iter().copied().collect())
+            .collect()
+    }
+
+    /// Takes this task's output after it reached DONE (explorer support).
+    pub(crate) fn take_output(&self, id: usize) -> Option<std::thread::Result<T::Output>> {
+        // PANIC: the output mutex is never poisoned (see `settle`).
+        self.slots[id].output.lock().unwrap().take()
     }
 }
 
 fn pool_worker<T: Task>(shared: &Shared<T>, worker: usize) {
     let workers = shared.run_queues.len();
     loop {
+        // ORDERING: Acquire pairs with the Release decrements in
+        // `task_done`: a worker that reads zero and exits sees every output.
         if shared.remaining.load(Ordering::Acquire) == 0 {
             return;
         }
+        // PANIC: nothing panics while holding `sync` (see `enqueue`).
         let epoch = shared.sync.lock().unwrap().epoch;
         let next = shared
             .take_local(worker)
@@ -363,9 +488,11 @@ fn deterministic_scheduler<T: Task>(shared: &Shared<T>, schedule: TestSchedule) 
     let workers = shared.run_queues.len();
     let mut victims: Vec<usize> = (0..workers).collect();
     loop {
+        // ORDERING: Acquire — as in `pool_worker`.
         if shared.remaining.load(Ordering::Acquire) == 0 {
             return;
         }
+        // PANIC: nothing panics while holding `sync` (see `enqueue`).
         let epoch = shared.sync.lock().unwrap().epoch;
         // Seeded choices: which virtual worker acts, in what order it raids
         // victims when its own queue is empty, and how large its quantum is.
@@ -453,6 +580,9 @@ pub fn run_scoped<T: Task>(
                         Schedule::Pool { .. } => pool_worker(shared, i),
                         Schedule::Deterministic(s) => deterministic_scheduler(shared, s),
                     })
+                    // PANIC: thread spawning only fails on OS resource
+                    // exhaustion; there is no useful degraded mode for a
+                    // pool that cannot exist.
                     .expect("failed to spawn batch worker")
             })
             .collect();
@@ -463,6 +593,8 @@ pub fn run_scoped<T: Task>(
         }
     });
     let stats = ExecStats {
+        // ORDERING: Relaxed — statistics counters, read after every worker
+        // thread has been joined (the scope above), so no writes race this.
         threads: threads_wanted,
         steals: shared.steals.load(Ordering::Relaxed),
         polls: shared.polls.load(Ordering::Relaxed),
@@ -473,7 +605,11 @@ pub fn run_scoped<T: Task>(
         .map(|slot| {
             slot.output
                 .into_inner()
+                // PANIC: the output mutex is never poisoned (see `settle`).
                 .unwrap()
+                // PANIC: contract documented above — every scoped task's
+                // input is fully present, so each reaches Poll::Complete
+                // before its worker exits.
                 .expect("task never completed — did its poll return Complete?")
         })
         .collect();
@@ -505,6 +641,8 @@ where
                         Schedule::Pool { .. } => pool_worker(&shared, i),
                         Schedule::Deterministic(s) => deterministic_scheduler(&shared, s),
                     })
+                    // PANIC: thread spawning only fails on OS resource
+                    // exhaustion (see `run_scoped`).
                     .expect("failed to spawn ingest worker")
             })
             .collect();
@@ -539,6 +677,8 @@ where
             let _ = thread.join();
         }
         let stats = ExecStats {
+            // ORDERING: Relaxed — statistics counters, read after every
+            // worker thread has been joined above, so no writes race this.
             threads: stats_threads,
             steals: self.shared.steals.load(Ordering::Relaxed),
             polls: self.shared.polls.load(Ordering::Relaxed),
@@ -550,8 +690,13 @@ where
             .map(|slot| {
                 slot.output
                     .lock()
+                    // PANIC: the output mutex is never poisoned (see
+                    // `settle`).
                     .unwrap()
                     .take()
+                    // PANIC: contract documented above — the caller closes
+                    // every task's input before joining, so each reaches
+                    // Poll::Complete before its worker exits.
                     .expect("task never completed — was its input closed before join?")
             })
             .collect();
@@ -563,6 +708,26 @@ where
 mod tests {
     use super::*;
     use crate::queue::{IngestQueue, Pop};
+
+    // Miri interprets every instruction; shrink the hot loops so
+    // `cargo miri test -p icsad-runtime` finishes in minutes while the
+    // native runs keep their full stress counts.
+    #[cfg(not(miri))]
+    const RACE_TRIALS: u64 = 20;
+    #[cfg(miri)]
+    const RACE_TRIALS: u64 = 2;
+    #[cfg(not(miri))]
+    const RACE_ITEMS: u64 = 100;
+    #[cfg(miri)]
+    const RACE_ITEMS: u64 = 12;
+    #[cfg(not(miri))]
+    const HOT_ITEMS: u64 = 1000;
+    #[cfg(miri)]
+    const HOT_ITEMS: u64 = 40;
+    #[cfg(not(miri))]
+    const FEED_ITEMS: u64 = 50;
+    #[cfg(miri)]
+    const FEED_ITEMS: u64 = 8;
 
     /// Sums the integers fed through its queue; used as a minimal stand-in
     /// for a shard task.
@@ -649,7 +814,7 @@ mod tests {
             Schedule::Pool { workers: 2 },
         );
         assert_eq!(executor.threads(), 2);
-        let expected = feed(&queues, &executor, 50);
+        let expected = feed(&queues, &executor, FEED_ITEMS);
         let (outputs, stats) = executor.join();
         let total: u64 = outputs.into_iter().map(|o| o.unwrap()).sum();
         assert_eq!(total, expected);
@@ -733,7 +898,7 @@ mod tests {
                 .collect(),
             Schedule::Pool { workers: 2 },
         );
-        for v in 0..1000u64 {
+        for v in 0..HOT_ITEMS {
             queues[0].push(v).unwrap();
             executor.notify(0);
         }
@@ -744,7 +909,7 @@ mod tests {
         executor.notify(1);
         let (outputs, _) = executor.join();
         let sums: Vec<u64> = outputs.into_iter().map(|o| o.unwrap()).collect();
-        assert_eq!(sums[0], (0..1000).sum::<u64>());
+        assert_eq!(sums[0], (0..HOT_ITEMS).sum::<u64>());
         assert_eq!(sums[1], 0);
     }
 
@@ -909,7 +1074,7 @@ mod tests {
         // Hammer the notify-while-running window: a producer pushing one
         // item at a time with immediate notifies must never strand an item
         // in a queue (the DIRTY state closes the lost-wakeup window).
-        for trial in 0..20 {
+        for trial in 0..RACE_TRIALS {
             let q = Arc::new(IngestQueue::bounded(2));
             let executor = Executor::start(
                 vec![SumTask {
@@ -919,7 +1084,7 @@ mod tests {
                 Schedule::Pool { workers: 1 },
             );
             let mut expected = 0;
-            for v in 0..100u64 {
+            for v in 0..RACE_ITEMS {
                 let v = v + trial;
                 q.push(v).unwrap();
                 executor.notify(0);

@@ -38,9 +38,11 @@
 #![warn(missing_docs)]
 
 mod executor;
+mod explore;
 mod queue;
 
 pub use executor::{
     run_scoped, ExecStats, Executor, Poll, Schedule, Task, TestSchedule, POOL_POLL_BUDGET,
 };
+pub use explore::{explore, ExploreConfig, ExploreReport, Source, SourceStep, Trial, TrialSource};
 pub use queue::{IngestQueue, Pop, PushClosed, TryPushError};

@@ -79,6 +79,9 @@ impl<T> IngestQueue<T> {
 
     /// Appends without blocking, or reports why it cannot.
     pub fn try_push(&self, item: T) -> Result<(), TryPushError<T>> {
+        // PANIC: the state mutex is never poisoned — no user code runs
+        // under it, only VecDeque/bool operations that cannot panic
+        // (pushes happen strictly below the pre-reserved capacity).
         let mut state = self.state.lock().unwrap();
         if state.closed {
             return Err(TryPushError::Closed(item));
@@ -98,6 +101,7 @@ impl<T> IngestQueue<T> {
     /// Hands the item back if the queue is (or becomes, while waiting)
     /// closed — the consumer is gone and the item would never be drained.
     pub fn push(&self, item: T) -> Result<(), PushClosed<T>> {
+        // PANIC: the state mutex is never poisoned (see `try_push`).
         let mut state = self.state.lock().unwrap();
         loop {
             if state.closed {
@@ -107,13 +111,18 @@ impl<T> IngestQueue<T> {
                 state.items.push_back(item);
                 return Ok(());
             }
+            // ORDERING: Relaxed — a monotonic backpressure counter; readers
+            // only ever observe it for reporting, never for synchronization.
             self.blocked_pushes.fetch_add(1, Ordering::Relaxed);
+            // PANIC: Condvar::wait only fails on mutex poisoning, which
+            // cannot happen here (see `try_push`).
             state = self.not_full.wait(state).unwrap();
         }
     }
 
     /// Removes the oldest item, never blocking.
     pub fn pop(&self) -> Pop<T> {
+        // PANIC: the state mutex is never poisoned (see `try_push`).
         let mut state = self.state.lock().unwrap();
         match state.items.pop_front() {
             Some(item) => {
@@ -131,17 +140,20 @@ impl<T> IngestQueue<T> {
     /// (consumer side, when a task dies and its backlog would otherwise
     /// leave producers blocked forever).
     pub fn close(&self) {
+        // PANIC: the state mutex is never poisoned (see `try_push`).
         self.state.lock().unwrap().closed = true;
         self.not_full.notify_all();
     }
 
     /// Whether [`IngestQueue::close`] has been called.
     pub fn is_closed(&self) -> bool {
+        // PANIC: the state mutex is never poisoned (see `try_push`).
         self.state.lock().unwrap().closed
     }
 
     /// Queued items right now.
     pub fn len(&self) -> usize {
+        // PANIC: the state mutex is never poisoned (see `try_push`).
         self.state.lock().unwrap().items.len()
     }
 
@@ -158,6 +170,8 @@ impl<T> IngestQueue<T> {
     /// How many times a [`IngestQueue::push`] had to wait for space — the
     /// queue-local backpressure counter.
     pub fn blocked_pushes(&self) -> u64 {
+        // ORDERING: Relaxed — reporting-only counter (see the fetch_add in
+        // `push`); no other memory depends on its value.
         self.blocked_pushes.load(Ordering::Relaxed)
     }
 }

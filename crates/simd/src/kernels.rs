@@ -234,6 +234,7 @@ fn gemm_dense_scalar_tile<L: Lanes>(
         }
         let lanes = x0.iter().zip(x1.iter()).zip(x2.iter()).zip(x3.iter());
         for ((((&a0, &a1), &a2), &a3), wr) in lanes.zip(packed.chunks_exact(JT)) {
+            // PANIC: `chunks_exact(JT)` yields slices of exactly JT elements.
             let ws: &[L::Elem; JT] = wr.try_into().expect("packed column tile");
             for (a, &wj) in acc[0].iter_mut().zip(ws.iter()) {
                 *a = L::fmac_e(*a, a0, wj);
@@ -258,6 +259,7 @@ fn gemm_dense_scalar_tile<L: Lanes>(
         let mut acc = [L::Elem::ZERO; JT];
         acc.copy_from_slice(&y[b * n + j0..b * n + j0 + JT]);
         for (&xv, wr) in x_row.iter().zip(packed.chunks_exact(JT)) {
+            // PANIC: `chunks_exact(JT)` yields slices of exactly JT elements.
             let ws: &[L::Elem; JT] = wr.try_into().expect("packed column tile");
             for (a, &wj) in acc.iter_mut().zip(ws.iter()) {
                 *a = L::fmac_e(*a, xv, wj);
@@ -514,6 +516,7 @@ pub(crate) mod x86_entries {
             pub(crate) mod $mod_name {
                 use super::*;
 
+                // SAFETY: module contract — `$feat` confirmed before dispatch.
                 #[target_feature(enable = $feat)]
                 pub(crate) unsafe fn gemm_sparse_f32(
                     batch: usize,
@@ -526,6 +529,7 @@ pub(crate) mod x86_entries {
                     super::super::gemm_sparse_f32::<$f32ty>(batch, x, k_dim, w, n, y)
                 }
 
+                // SAFETY: module contract — `$feat` confirmed before dispatch.
                 #[target_feature(enable = $feat)]
                 pub(crate) unsafe fn gemm_dense_f32(
                     batch: usize,
@@ -539,6 +543,7 @@ pub(crate) mod x86_entries {
                     super::super::gemm_dense_f32::<$f32ty>(batch, x, k_dim, w, n, y, pack)
                 }
 
+                // SAFETY: module contract — `$feat` confirmed before dispatch.
                 #[target_feature(enable = $feat)]
                 pub(crate) unsafe fn outer_acc_f32(
                     batch: usize,
@@ -552,21 +557,25 @@ pub(crate) mod x86_entries {
                     super::super::outer_acc_f32::<$f32ty>(batch, x, k_dim, dy, n, dw, pack)
                 }
 
+                // SAFETY: module contract — `$feat` confirmed before dispatch.
                 #[target_feature(enable = $feat)]
                 pub(crate) unsafe fn axpy_f32(a: f32, x: &[f32], y: &mut [f32]) {
                     super::super::axpy_f32::<$f32ty>(a, x, y)
                 }
 
+                // SAFETY: module contract — `$feat` confirmed before dispatch.
                 #[target_feature(enable = $feat)]
                 pub(crate) unsafe fn sigmoid_f32(xs: &mut [f32]) {
                     super::super::sigmoid_f32::<$f32ty>(xs)
                 }
 
+                // SAFETY: module contract — `$feat` confirmed before dispatch.
                 #[target_feature(enable = $feat)]
                 pub(crate) unsafe fn tanh_f32(xs: &mut [f32]) {
                     super::super::tanh_f32::<$f32ty>(xs)
                 }
 
+                // SAFETY: module contract — `$feat` confirmed before dispatch.
                 #[target_feature(enable = $feat)]
                 #[allow(clippy::too_many_arguments)]
                 pub(crate) unsafe fn lstm_cell_f32(
@@ -584,6 +593,7 @@ pub(crate) mod x86_entries {
                 // The f64 kernels carry no FMA policy, so the dispatcher
                 // routes them through one module per lane width; the
                 // duplicate `sse2_fma` instantiations go unused.
+                // SAFETY: module contract — `$feat` confirmed before dispatch.
                 #[allow(dead_code)]
                 #[target_feature(enable = $feat)]
                 pub(crate) unsafe fn gemm_sparse_f64(
@@ -597,6 +607,7 @@ pub(crate) mod x86_entries {
                     super::super::gemm_sparse_f64::<$f64ty>(batch, x, k_dim, w, n, y)
                 }
 
+                // SAFETY: module contract — `$feat` confirmed before dispatch.
                 #[allow(dead_code)]
                 #[target_feature(enable = $feat)]
                 pub(crate) unsafe fn batch_matvec_f64(

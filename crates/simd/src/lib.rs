@@ -293,10 +293,14 @@ static SELECTED: AtomicU8 = AtomicU8::new(0);
 
 /// The kernel configuration every dispatched call currently uses.
 pub fn current() -> Selection {
+    // ORDERING: Relaxed — single cell, no other memory published through
+    // it; a racing first resolution stores the same value on every thread
+    // (auto() is deterministic per process).
     match Selection::from_code(SELECTED.load(Ordering::Relaxed)) {
         Some(sel) => sel,
         None => {
             let sel = auto();
+            // ORDERING: Relaxed — idempotent cache fill, see the load above.
             SELECTED.store(sel.code(), Ordering::Relaxed);
             sel
         }
@@ -310,12 +314,15 @@ pub fn current() -> Selection {
 /// anyway as long as the FMA policy is unchanged.
 pub fn force(sel: Selection) -> Selection {
     let sel = clamp(sel);
+    // ORDERING: Relaxed — documented as not for concurrent use while
+    // kernels run; the cell carries no other state.
     SELECTED.store(sel.code(), Ordering::Relaxed);
     sel
 }
 
 /// Reverts [`force`]: the next dispatch re-resolves [`auto`].
 pub fn reset() {
+    // ORDERING: Relaxed — as `force` above.
     SELECTED.store(0, Ordering::Relaxed);
 }
 
@@ -343,18 +350,24 @@ mod dispatch {
                 (Backend::Scalar, false) => kernels::$entry::<ScalarLane<f32, false>>($($args),*),
                 (Backend::Scalar, true) => kernels::$entry::<ScalarLane<f32, true>>($($args),*),
                 #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+                // SAFETY: each arm below calls a `#[target_feature]` entry
+                // whose feature `clamp`/`auto` confirmed on this CPU before
+                // the Selection could name the backend.
                 (Backend::Sse2, false) => unsafe {
                     kernels::x86_entries::sse2_plain::$entry($($args),*)
                 },
                 #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+                // SAFETY: as above — FMA confirmed for the fused variant.
                 (Backend::Sse2, true) => unsafe {
                     kernels::x86_entries::sse2_fma::$entry($($args),*)
                 },
                 #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+                // SAFETY: as above — AVX2+FMA confirmed.
                 (Backend::Avx2, _) => unsafe {
                     kernels::x86_entries::avx2::$entry($($args),*)
                 },
                 #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+                // SAFETY: as above — AVX-512 confirmed.
                 (Backend::Avx512, _) => unsafe {
                     kernels::x86_entries::avx512::$entry($($args),*)
                 },
@@ -371,14 +384,17 @@ mod dispatch {
             match $sel.backend {
                 Backend::Scalar => kernels::$entry::<ScalarLane<f64, false>>($($args),*),
                 #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+                // SAFETY: hardware-confirmed backends, as `dispatch_f32`.
                 Backend::Sse2 => unsafe {
                     kernels::x86_entries::sse2_plain::$entry($($args),*)
                 },
                 #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+                // SAFETY: as above.
                 Backend::Avx2 => unsafe {
                     kernels::x86_entries::avx2::$entry($($args),*)
                 },
                 #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+                // SAFETY: as above.
                 Backend::Avx512 => unsafe {
                     kernels::x86_entries::avx512::$entry($($args),*)
                 },

@@ -37,6 +37,7 @@ impl<const FUSED: bool> Lanes for Sse2F32<FUSED> {
 
     #[inline(always)]
     fn splat(v: f32) -> Self {
+        // SAFETY: register-only intrinsic, no memory access; the CPU feature is guaranteed per the module contract above.
         Sse2F32(unsafe { _mm_set1_ps(v) })
     }
     #[inline(always)]
@@ -53,10 +54,12 @@ impl<const FUSED: bool> Lanes for Sse2F32<FUSED> {
     }
     #[inline(always)]
     fn add(self, o: Self) -> Self {
+        // SAFETY: register-only intrinsic, no memory access; the CPU feature is guaranteed per the module contract above.
         Sse2F32(unsafe { _mm_add_ps(self.0, o.0) })
     }
     #[inline(always)]
     fn mul(self, o: Self) -> Self {
+        // SAFETY: register-only intrinsic, no memory access; the CPU feature is guaranteed per the module contract above.
         Sse2F32(unsafe { _mm_mul_ps(self.0, o.0) })
     }
     #[inline(always)]
@@ -65,6 +68,7 @@ impl<const FUSED: bool> Lanes for Sse2F32<FUSED> {
             // SAFETY: `FUSED` SSE2 lanes are only dispatched on FMA CPUs.
             Sse2F32(unsafe { _mm_fmadd_ps(x.0, w.0, self.0) })
         } else {
+            // SAFETY: register-only intrinsic, no memory access; the CPU feature is guaranteed per the module contract above.
             Sse2F32(unsafe { _mm_add_ps(self.0, _mm_mul_ps(x.0, w.0)) })
         }
     }
@@ -73,26 +77,32 @@ impl<const FUSED: bool> Lanes for Sse2F32<FUSED> {
 impl<const FUSED: bool> F32Lanes for Sse2F32<FUSED> {
     #[inline(always)]
     fn sub(self, o: Self) -> Self {
+        // SAFETY: register-only intrinsic, no memory access; the CPU feature is guaranteed per the module contract above.
         Sse2F32(unsafe { _mm_sub_ps(self.0, o.0) })
     }
     #[inline(always)]
     fn div(self, o: Self) -> Self {
+        // SAFETY: register-only intrinsic, no memory access; the CPU feature is guaranteed per the module contract above.
         Sse2F32(unsafe { _mm_div_ps(self.0, o.0) })
     }
     #[inline(always)]
     fn abs(self) -> Self {
+        // SAFETY: register-only intrinsic, no memory access; the CPU feature is guaranteed per the module contract above.
         Sse2F32(unsafe { _mm_and_ps(self.0, _mm_castsi128_ps(_mm_set1_epi32(0x7fff_ffff))) })
     }
     #[inline(always)]
     fn max(self, o: Self) -> Self {
+        // SAFETY: register-only intrinsic, no memory access; the CPU feature is guaranteed per the module contract above.
         Sse2F32(unsafe { _mm_max_ps(self.0, o.0) })
     }
     #[inline(always)]
     fn min(self, o: Self) -> Self {
+        // SAFETY: register-only intrinsic, no memory access; the CPU feature is guaranteed per the module contract above.
         Sse2F32(unsafe { _mm_min_ps(self.0, o.0) })
     }
     #[inline(always)]
     fn select_lt(a: Self, b: Self, t: Self, f: Self) -> Self {
+        // SAFETY: register-only intrinsic, no memory access; the CPU feature is guaranteed per the module contract above.
         unsafe {
             let m = _mm_cmplt_ps(a.0, b.0);
             Sse2F32(_mm_or_ps(_mm_and_ps(m, t.0), _mm_andnot_ps(m, f.0)))
@@ -100,6 +110,7 @@ impl<const FUSED: bool> F32Lanes for Sse2F32<FUSED> {
     }
     #[inline(always)]
     fn exp2i(n: Self) -> Self {
+        // SAFETY: register-only intrinsic, no memory access; the CPU feature is guaranteed per the module contract above.
         unsafe {
             let i = _mm_cvtps_epi32(n.0);
             let bits = _mm_slli_epi32::<23>(_mm_add_epi32(i, _mm_set1_epi32(127)));
@@ -108,6 +119,7 @@ impl<const FUSED: bool> F32Lanes for Sse2F32<FUSED> {
     }
     #[inline(always)]
     fn copysign(self, src: Self) -> Self {
+        // SAFETY: register-only intrinsic, no memory access; the CPU feature is guaranteed per the module contract above.
         unsafe {
             let sign = _mm_castsi128_ps(_mm_set1_epi32(u32::MAX as i32 ^ 0x7fff_ffff));
             Sse2F32(_mm_or_ps(
@@ -118,6 +130,7 @@ impl<const FUSED: bool> F32Lanes for Sse2F32<FUSED> {
     }
     #[inline(always)]
     fn merge_nan(self, src: Self) -> Self {
+        // SAFETY: register-only intrinsic, no memory access; the CPU feature is guaranteed per the module contract above.
         unsafe {
             let m = _mm_cmpunord_ps(src.0, src.0);
             Sse2F32(_mm_or_ps(_mm_and_ps(m, src.0), _mm_andnot_ps(m, self.0)))
@@ -137,6 +150,7 @@ impl Lanes for Avx2F32 {
 
     #[inline(always)]
     fn splat(v: f32) -> Self {
+        // SAFETY: register-only intrinsic, no memory access; the CPU feature is guaranteed per the module contract above.
         Avx2F32(unsafe { _mm256_set1_ps(v) })
     }
     #[inline(always)]
@@ -153,14 +167,17 @@ impl Lanes for Avx2F32 {
     }
     #[inline(always)]
     fn add(self, o: Self) -> Self {
+        // SAFETY: register-only intrinsic, no memory access; the CPU feature is guaranteed per the module contract above.
         Avx2F32(unsafe { _mm256_add_ps(self.0, o.0) })
     }
     #[inline(always)]
     fn mul(self, o: Self) -> Self {
+        // SAFETY: register-only intrinsic, no memory access; the CPU feature is guaranteed per the module contract above.
         Avx2F32(unsafe { _mm256_mul_ps(self.0, o.0) })
     }
     #[inline(always)]
     fn fmac(self, x: Self, w: Self) -> Self {
+        // SAFETY: register-only intrinsic, no memory access; the CPU feature is guaranteed per the module contract above.
         Avx2F32(unsafe { _mm256_fmadd_ps(x.0, w.0, self.0) })
     }
 }
@@ -168,28 +185,34 @@ impl Lanes for Avx2F32 {
 impl F32Lanes for Avx2F32 {
     #[inline(always)]
     fn sub(self, o: Self) -> Self {
+        // SAFETY: register-only intrinsic, no memory access; the CPU feature is guaranteed per the module contract above.
         Avx2F32(unsafe { _mm256_sub_ps(self.0, o.0) })
     }
     #[inline(always)]
     fn div(self, o: Self) -> Self {
+        // SAFETY: register-only intrinsic, no memory access; the CPU feature is guaranteed per the module contract above.
         Avx2F32(unsafe { _mm256_div_ps(self.0, o.0) })
     }
     #[inline(always)]
     fn abs(self) -> Self {
+        // SAFETY: register-only intrinsic, no memory access; the CPU feature is guaranteed per the module contract above.
         Avx2F32(unsafe {
             _mm256_and_ps(self.0, _mm256_castsi256_ps(_mm256_set1_epi32(0x7fff_ffff)))
         })
     }
     #[inline(always)]
     fn max(self, o: Self) -> Self {
+        // SAFETY: register-only intrinsic, no memory access; the CPU feature is guaranteed per the module contract above.
         Avx2F32(unsafe { _mm256_max_ps(self.0, o.0) })
     }
     #[inline(always)]
     fn min(self, o: Self) -> Self {
+        // SAFETY: register-only intrinsic, no memory access; the CPU feature is guaranteed per the module contract above.
         Avx2F32(unsafe { _mm256_min_ps(self.0, o.0) })
     }
     #[inline(always)]
     fn select_lt(a: Self, b: Self, t: Self, f: Self) -> Self {
+        // SAFETY: register-only intrinsic, no memory access; the CPU feature is guaranteed per the module contract above.
         unsafe {
             let m = _mm256_cmp_ps::<_CMP_LT_OQ>(a.0, b.0);
             Avx2F32(_mm256_blendv_ps(f.0, t.0, m))
@@ -197,6 +220,7 @@ impl F32Lanes for Avx2F32 {
     }
     #[inline(always)]
     fn exp2i(n: Self) -> Self {
+        // SAFETY: register-only intrinsic, no memory access; the CPU feature is guaranteed per the module contract above.
         unsafe {
             let i = _mm256_cvtps_epi32(n.0);
             let bits = _mm256_slli_epi32::<23>(_mm256_add_epi32(i, _mm256_set1_epi32(127)));
@@ -205,6 +229,7 @@ impl F32Lanes for Avx2F32 {
     }
     #[inline(always)]
     fn copysign(self, src: Self) -> Self {
+        // SAFETY: register-only intrinsic, no memory access; the CPU feature is guaranteed per the module contract above.
         unsafe {
             let sign = _mm256_castsi256_ps(_mm256_set1_epi32(u32::MAX as i32 ^ 0x7fff_ffff));
             Avx2F32(_mm256_or_ps(
@@ -215,6 +240,7 @@ impl F32Lanes for Avx2F32 {
     }
     #[inline(always)]
     fn merge_nan(self, src: Self) -> Self {
+        // SAFETY: register-only intrinsic, no memory access; the CPU feature is guaranteed per the module contract above.
         unsafe {
             let m = _mm256_cmp_ps::<_CMP_UNORD_Q>(src.0, src.0);
             Avx2F32(_mm256_blendv_ps(self.0, src.0, m))
@@ -233,6 +259,7 @@ impl Lanes for Avx512F32 {
 
     #[inline(always)]
     fn splat(v: f32) -> Self {
+        // SAFETY: register-only intrinsic, no memory access; the CPU feature is guaranteed per the module contract above.
         Avx512F32(unsafe { _mm512_set1_ps(v) })
     }
     #[inline(always)]
@@ -249,14 +276,17 @@ impl Lanes for Avx512F32 {
     }
     #[inline(always)]
     fn add(self, o: Self) -> Self {
+        // SAFETY: register-only intrinsic, no memory access; the CPU feature is guaranteed per the module contract above.
         Avx512F32(unsafe { _mm512_add_ps(self.0, o.0) })
     }
     #[inline(always)]
     fn mul(self, o: Self) -> Self {
+        // SAFETY: register-only intrinsic, no memory access; the CPU feature is guaranteed per the module contract above.
         Avx512F32(unsafe { _mm512_mul_ps(self.0, o.0) })
     }
     #[inline(always)]
     fn fmac(self, x: Self, w: Self) -> Self {
+        // SAFETY: register-only intrinsic, no memory access; the CPU feature is guaranteed per the module contract above.
         Avx512F32(unsafe { _mm512_fmadd_ps(x.0, w.0, self.0) })
     }
 }
@@ -264,26 +294,32 @@ impl Lanes for Avx512F32 {
 impl F32Lanes for Avx512F32 {
     #[inline(always)]
     fn sub(self, o: Self) -> Self {
+        // SAFETY: register-only intrinsic, no memory access; the CPU feature is guaranteed per the module contract above.
         Avx512F32(unsafe { _mm512_sub_ps(self.0, o.0) })
     }
     #[inline(always)]
     fn div(self, o: Self) -> Self {
+        // SAFETY: register-only intrinsic, no memory access; the CPU feature is guaranteed per the module contract above.
         Avx512F32(unsafe { _mm512_div_ps(self.0, o.0) })
     }
     #[inline(always)]
     fn abs(self) -> Self {
+        // SAFETY: register-only intrinsic, no memory access; the CPU feature is guaranteed per the module contract above.
         Avx512F32(unsafe { _mm512_abs_ps(self.0) })
     }
     #[inline(always)]
     fn max(self, o: Self) -> Self {
+        // SAFETY: register-only intrinsic, no memory access; the CPU feature is guaranteed per the module contract above.
         Avx512F32(unsafe { _mm512_max_ps(self.0, o.0) })
     }
     #[inline(always)]
     fn min(self, o: Self) -> Self {
+        // SAFETY: register-only intrinsic, no memory access; the CPU feature is guaranteed per the module contract above.
         Avx512F32(unsafe { _mm512_min_ps(self.0, o.0) })
     }
     #[inline(always)]
     fn select_lt(a: Self, b: Self, t: Self, f: Self) -> Self {
+        // SAFETY: register-only intrinsic, no memory access; the CPU feature is guaranteed per the module contract above.
         unsafe {
             let m = _mm512_cmp_ps_mask::<_CMP_LT_OQ>(a.0, b.0);
             Avx512F32(_mm512_mask_blend_ps(m, f.0, t.0))
@@ -291,6 +327,7 @@ impl F32Lanes for Avx512F32 {
     }
     #[inline(always)]
     fn exp2i(n: Self) -> Self {
+        // SAFETY: register-only intrinsic, no memory access; the CPU feature is guaranteed per the module contract above.
         unsafe {
             let i = _mm512_cvtps_epi32(n.0);
             let bits = _mm512_slli_epi32::<23>(_mm512_add_epi32(i, _mm512_set1_epi32(127)));
@@ -299,6 +336,7 @@ impl F32Lanes for Avx512F32 {
     }
     #[inline(always)]
     fn copysign(self, src: Self) -> Self {
+        // SAFETY: register-only intrinsic, no memory access; the CPU feature is guaranteed per the module contract above.
         unsafe {
             let sign = _mm512_set1_epi32(u32::MAX as i32 ^ 0x7fff_ffff);
             let mag = _mm512_and_si512(_mm512_castps_si512(self.0), _mm512_set1_epi32(0x7fff_ffff));
@@ -308,6 +346,7 @@ impl F32Lanes for Avx512F32 {
     }
     #[inline(always)]
     fn merge_nan(self, src: Self) -> Self {
+        // SAFETY: register-only intrinsic, no memory access; the CPU feature is guaranteed per the module contract above.
         unsafe {
             let m = _mm512_cmp_ps_mask::<_CMP_UNORD_Q>(src.0, src.0);
             Avx512F32(_mm512_mask_blend_ps(m, self.0, src.0))
@@ -327,6 +366,7 @@ impl Lanes for Sse2F64 {
 
     #[inline(always)]
     fn splat(v: f64) -> Self {
+        // SAFETY: register-only intrinsic, no memory access; the CPU feature is guaranteed per the module contract above.
         Sse2F64(unsafe { _mm_set1_pd(v) })
     }
     #[inline(always)]
@@ -343,14 +383,17 @@ impl Lanes for Sse2F64 {
     }
     #[inline(always)]
     fn add(self, o: Self) -> Self {
+        // SAFETY: register-only intrinsic, no memory access; the CPU feature is guaranteed per the module contract above.
         Sse2F64(unsafe { _mm_add_pd(self.0, o.0) })
     }
     #[inline(always)]
     fn mul(self, o: Self) -> Self {
+        // SAFETY: register-only intrinsic, no memory access; the CPU feature is guaranteed per the module contract above.
         Sse2F64(unsafe { _mm_mul_pd(self.0, o.0) })
     }
     #[inline(always)]
     fn fmac(self, x: Self, w: Self) -> Self {
+        // SAFETY: register-only intrinsic, no memory access; the CPU feature is guaranteed per the module contract above.
         Sse2F64(unsafe { _mm_add_pd(self.0, _mm_mul_pd(x.0, w.0)) })
     }
 }
@@ -366,6 +409,7 @@ impl Lanes for Avx2F64 {
 
     #[inline(always)]
     fn splat(v: f64) -> Self {
+        // SAFETY: register-only intrinsic, no memory access; the CPU feature is guaranteed per the module contract above.
         Avx2F64(unsafe { _mm256_set1_pd(v) })
     }
     #[inline(always)]
@@ -382,14 +426,17 @@ impl Lanes for Avx2F64 {
     }
     #[inline(always)]
     fn add(self, o: Self) -> Self {
+        // SAFETY: register-only intrinsic, no memory access; the CPU feature is guaranteed per the module contract above.
         Avx2F64(unsafe { _mm256_add_pd(self.0, o.0) })
     }
     #[inline(always)]
     fn mul(self, o: Self) -> Self {
+        // SAFETY: register-only intrinsic, no memory access; the CPU feature is guaranteed per the module contract above.
         Avx2F64(unsafe { _mm256_mul_pd(self.0, o.0) })
     }
     #[inline(always)]
     fn fmac(self, x: Self, w: Self) -> Self {
+        // SAFETY: register-only intrinsic, no memory access; the CPU feature is guaranteed per the module contract above.
         Avx2F64(unsafe { _mm256_add_pd(self.0, _mm256_mul_pd(x.0, w.0)) })
     }
 }
@@ -405,6 +452,7 @@ impl Lanes for Avx512F64 {
 
     #[inline(always)]
     fn splat(v: f64) -> Self {
+        // SAFETY: register-only intrinsic, no memory access; the CPU feature is guaranteed per the module contract above.
         Avx512F64(unsafe { _mm512_set1_pd(v) })
     }
     #[inline(always)]
@@ -421,14 +469,17 @@ impl Lanes for Avx512F64 {
     }
     #[inline(always)]
     fn add(self, o: Self) -> Self {
+        // SAFETY: register-only intrinsic, no memory access; the CPU feature is guaranteed per the module contract above.
         Avx512F64(unsafe { _mm512_add_pd(self.0, o.0) })
     }
     #[inline(always)]
     fn mul(self, o: Self) -> Self {
+        // SAFETY: register-only intrinsic, no memory access; the CPU feature is guaranteed per the module contract above.
         Avx512F64(unsafe { _mm512_mul_pd(self.0, o.0) })
     }
     #[inline(always)]
     fn fmac(self, x: Self, w: Self) -> Self {
+        // SAFETY: register-only intrinsic, no memory access; the CPU feature is guaranteed per the module contract above.
         Avx512F64(unsafe { _mm512_add_pd(self.0, _mm512_mul_pd(x.0, w.0)) })
     }
 }
