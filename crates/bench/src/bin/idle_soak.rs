@@ -156,6 +156,27 @@ fn main() {
         report.runtime.steals,
         report.runtime.blocked_pushes
     );
+    // Rounds sweep the active-lane list, not every lane: with the idle
+    // fleet resident, a live shard's round visits its handful of active
+    // lanes instead of checking all ~(idle/shards) queues — the live pkg/s
+    // above stays flat as ICSAD_SOAK_STREAMS grows.
+    let flushes: u64 = report.shards.iter().map(|s| s.flushes).sum();
+    let widest = report
+        .shards
+        .iter()
+        .map(|s| s.widest_round)
+        .max()
+        .unwrap_or(0);
+    println!(
+        "  rounds: {} flushes, widest {} of {} resident lanes/shard (O(active-lanes) sweep), \
+         split {} (units {}, helped {})",
+        flushes,
+        widest,
+        total_streams.div_ceil(shards.max(1)),
+        report.runtime.split_rounds,
+        report.runtime.round_units,
+        report.runtime.rounds_helped
+    );
     println!(
         "  {} alarms, {} quarantined, kernels {}",
         report.alarms(),

@@ -82,12 +82,12 @@ use icsad_core::dynamic_k::DynamicKConfig;
 use icsad_core::metrics::ClassificationReport;
 use icsad_core::streaming::{AdaptiveCombined, StreamingDetector};
 use icsad_dataset::extract::DEFAULT_CRC_WINDOW;
-use icsad_runtime::{Executor, IngestQueue, Schedule, TryPushError};
+use icsad_runtime::{Executor, IngestQueue, RoundBoard, RoundStats, Schedule, TryPushError};
 use icsad_simulator::{AttackType, Packet};
 
 pub use icsad_runtime::TestSchedule;
 
-use shard::{run_threaded, ShardCore, ShardMsg, ShardTask};
+use shard::{run_threaded, EngineUnit, RoundDriver, ShardCore, ShardMsg, ShardTask};
 
 /// One raw frame on the monitored wire, before feature extraction.
 #[derive(Debug, Clone, PartialEq)]
@@ -205,7 +205,10 @@ pub enum IngestMode {
     /// flush migrates to an idle worker.
     Async {
         /// Pool threads; `0` sizes the pool to
-        /// `available_parallelism().min(num_shards)`.
+        /// `available_parallelism().min(num_shards)`. An explicit count
+        /// is honored as given — a pool larger than the shard count puts
+        /// the extra workers on split rounds
+        /// ([`EngineConfig::split_threshold`]).
         workers: usize,
     },
     /// The async runtime on one thread, replaying worker/steal/budget
@@ -233,6 +236,9 @@ pub enum EngineConfigError {
     /// An [`IngestMode::AsyncDeterministic`] schedule with a zero poll
     /// budget.
     ZeroScheduleBudget,
+    /// A zero [`EngineConfig::split_threshold`] (use `usize::MAX` to
+    /// disable round splitting, not `0`).
+    ZeroSplitThreshold,
 }
 
 impl std::fmt::Display for EngineConfigError {
@@ -249,6 +255,12 @@ impl std::fmt::Display for EngineConfigError {
             }
             EngineConfigError::ZeroScheduleBudget => {
                 write!(f, "deterministic schedule needs a positive poll budget")
+            }
+            EngineConfigError::ZeroSplitThreshold => {
+                write!(
+                    f,
+                    "split_threshold must be positive (usize::MAX disables splitting)"
+                )
             }
         }
     }
@@ -288,6 +300,20 @@ pub struct EngineConfig {
     /// How shard workers are scheduled; purely a throughput/footprint
     /// knob, never a decision change.
     pub ingest: IngestMode,
+    /// Round width (pending lanes in one classification round) above
+    /// which an async shard *splits* the round: the lanes are partitioned
+    /// into disjoint sub-batches classified concurrently across the
+    /// work-stealing pool (fork-join), so one hot shard's wide round can
+    /// occupy otherwise-idle workers. At most one partition per pool
+    /// worker and no partition narrower than this threshold. `usize::MAX`
+    /// keeps every round atomic; the `ICSAD_SPLIT_THRESHOLD` environment
+    /// variable overrides the configured value (a positive integer, or
+    /// `off`/`max` for `usize::MAX`). Ignored under [`IngestMode::Threads`]
+    /// (one dedicated thread per shard — nobody to share a round with).
+    /// Like `ingest`, purely a throughput knob: decisions are
+    /// bit-identical at any threshold (see `ARCHITECTURE.md`, "Parallel
+    /// rounds").
+    pub split_threshold: usize,
 }
 
 impl Default for EngineConfig {
@@ -305,6 +331,10 @@ impl Default for EngineConfig {
             crc_window: DEFAULT_CRC_WINDOW,
             mode: EngineMode::FixedK,
             ingest: IngestMode::Threads,
+            // Wide enough that narrow rounds never pay fork overhead, low
+            // enough that a genuinely hot shard (hundreds of active lanes)
+            // spreads across the pool.
+            split_threshold: 128,
         }
     }
 }
@@ -335,6 +365,9 @@ impl EngineConfig {
             if schedule.max_budget == 0 {
                 return Err(EngineConfigError::ZeroScheduleBudget);
             }
+        }
+        if self.split_threshold == 0 {
+            return Err(EngineConfigError::ZeroSplitThreshold);
         }
         Ok(())
     }
@@ -401,6 +434,14 @@ pub struct ShardReport {
     /// swap happened on the boundary after round `swap_rounds[i]`, with
     /// the backlog fully drained through the outgoing detector first.
     pub swap_rounds: Vec<u64>,
+    /// Flushes this shard forked into parallel sub-batches across the
+    /// pool ([`EngineConfig::split_threshold`]); always 0 under
+    /// [`IngestMode::Threads`].
+    pub split_rounds: u64,
+    /// Widest classification round (pending lanes in one flush) this
+    /// shard executed — the skew signal: a hot shard's widest round
+    /// approaches its stream count while cold shards stay narrow.
+    pub widest_round: usize,
     /// Evaluation against the frames' ground-truth labels.
     pub report: ClassificationReport,
 }
@@ -426,6 +467,15 @@ pub struct RuntimeStats {
     pub steals: u64,
     /// Task polls executed (async modes only).
     pub polls: u64,
+    /// Classification rounds forked into parallel sub-units on the shared
+    /// round board (async modes only; sum of
+    /// [`ShardReport::split_rounds`]).
+    pub split_rounds: u64,
+    /// Sub-units those rounds were split into.
+    pub round_units: u64,
+    /// Sub-units executed by an idle pool worker's help hook rather than
+    /// the forking shard — realized intra-round parallelism.
+    pub rounds_helped: u64,
 }
 
 /// Aggregated engine outcome: the merged evaluation plus per-shard detail.
@@ -475,6 +525,9 @@ enum IngestDriver {
     Async {
         queues: Vec<Arc<IngestQueue<ShardMsg>>>,
         executor: Executor<ShardTask>,
+        /// The pool-shared fork-join board wide rounds split onto; kept
+        /// here so `finish` can report its counters.
+        board: Arc<RoundBoard<EngineUnit>>,
         mode: &'static str,
     },
 }
@@ -545,22 +598,25 @@ impl IngestDriver {
     /// panicking shard can no longer leak the surviving workers. Panics are
     /// returned as `Err` payloads in shard order, plus the async scheduler
     /// counters.
-    fn into_results(self) -> (Vec<std::thread::Result<ShardReport>>, u64, u64) {
+    fn into_results(self) -> (Vec<std::thread::Result<ShardReport>>, u64, u64, RoundStats) {
         match self {
             IngestDriver::Threads { senders, workers } => {
                 drop(senders);
                 let results = workers.into_iter().map(|w| w.join()).collect();
-                (results, 0, 0)
+                (results, 0, 0, RoundStats::default())
             }
             IngestDriver::Async {
-                queues, executor, ..
+                queues,
+                executor,
+                board,
+                ..
             } => {
                 for (shard, queue) in queues.iter().enumerate() {
                     queue.close();
                     executor.notify(shard);
                 }
                 let (results, stats) = executor.join();
-                (results, stats.steals, stats.polls)
+                (results, stats.steals, stats.polls, board.stats())
             }
         }
     }
@@ -645,6 +701,35 @@ fn resolve_ingest_mode(configured: IngestMode) -> IngestMode {
     }
 }
 
+/// Resolves the effective round-split threshold: the
+/// `ICSAD_SPLIT_THRESHOLD` environment override (a positive integer, or
+/// `off`/`max`/`inf` for `usize::MAX`) wins over the configured value, so
+/// a CI leg can run any suite with forced or disabled round splitting.
+/// Safe to apply in every mode — the threshold is a pure throughput knob
+/// and never changes decisions, so even seeded deterministic tests stay
+/// valid under an override.
+fn resolve_split_threshold(configured: usize) -> usize {
+    match std::env::var("ICSAD_SPLIT_THRESHOLD") {
+        Ok(raw) => {
+            let trimmed = raw.trim();
+            match trimmed.parse::<usize>() {
+                Ok(n) if n > 0 => n,
+                _ => match trimmed.to_ascii_lowercase().as_str() {
+                    "off" | "max" | "inf" => usize::MAX,
+                    _ => {
+                        eprintln!(
+                            "icsad-engine: ignoring unrecognized ICSAD_SPLIT_THRESHOLD={raw:?} \
+                             (expected a positive integer or \"off\")"
+                        );
+                        configured
+                    }
+                },
+            }
+        }
+        Err(_) => configured,
+    }
+}
+
 impl Engine {
     /// Spawns the shard workers around the combined framework and returns
     /// the ingest handle. [`EngineConfig::mode`] selects the top-`k` rule:
@@ -701,6 +786,8 @@ impl Engine {
         config: EngineConfig,
     ) -> Result<Engine, EngineConfigError> {
         config.validate()?;
+        let mut config = config;
+        config.split_threshold = resolve_split_threshold(config.split_threshold);
 
         // Resolve the SIMD kernel dispatch once, before any shard spawns:
         // every worker inherits the same backend, and the report can name
@@ -722,7 +809,11 @@ impl Engine {
                         .name(format!("icsad-shard-{shard}"))
                         .spawn(move || {
                             let session = backend.begin_session();
-                            run_threaded(ShardCore::new(session, config), shard, rx)
+                            run_threaded(
+                                ShardCore::new(session, config, RoundDriver::Inline),
+                                shard,
+                                rx,
+                            )
                         })
                         // PANIC: thread spawn fails only on OS resource
                         // exhaustion at startup; there is no engine to keep
@@ -737,31 +828,21 @@ impl Engine {
                 let queues: Vec<Arc<IngestQueue<ShardMsg>>> = (0..num_shards)
                     .map(|_| Arc::new(IngestQueue::bounded(chunk_capacity)))
                     .collect();
-                let tasks: Vec<ShardTask> = queues
-                    .iter()
-                    .enumerate()
-                    .map(|(shard, queue)| {
-                        let session = Arc::clone(&backend).begin_session();
-                        ShardTask::new(
-                            ShardCore::new(session, config.clone()),
-                            Arc::clone(queue),
-                            shard,
-                        )
-                    })
-                    .collect();
                 let (schedule, mode) = match async_mode {
                     IngestMode::Async { workers } => {
-                        // A fixed pool: `available_parallelism` by default,
-                        // never more threads than shards (extra workers
-                        // would only ever steal).
+                        // A fixed pool: `available_parallelism` (capped at
+                        // the shard count) by default. An explicit count is
+                        // honored as given — a pool *larger* than the shard
+                        // count is no longer pointless, because extra
+                        // workers claim sub-units of split rounds.
                         let workers = if workers == 0 {
                             std::thread::available_parallelism()
                                 .map(|n| n.get())
                                 .unwrap_or(1)
+                                .min(num_shards)
                         } else {
                             workers
                         }
-                        .min(num_shards)
                         .max(1);
                         (Schedule::Pool { workers }, "async")
                     }
@@ -770,9 +851,39 @@ impl Engine {
                     }
                     IngestMode::Threads => unreachable!("handled above"),
                 };
+                // Rounds can fan out to at most the whole pool. The
+                // deterministic scheduler forks with its virtual worker
+                // count — the parent then runs every sub-unit inline, so
+                // seeded replays exercise the exact split plan a real pool
+                // of that size would execute.
+                let fan_out = match &schedule {
+                    Schedule::Pool { workers } => *workers,
+                    Schedule::Deterministic(test) => test.workers,
+                };
+                let board = Arc::new(RoundBoard::new());
+                let tasks: Vec<ShardTask> = queues
+                    .iter()
+                    .enumerate()
+                    .map(|(shard, queue)| {
+                        let session = Arc::clone(&backend).begin_session();
+                        ShardTask::new(
+                            ShardCore::new(
+                                session,
+                                config.clone(),
+                                RoundDriver::Board {
+                                    board: Arc::clone(&board),
+                                    fan_out,
+                                },
+                            ),
+                            Arc::clone(queue),
+                            shard,
+                        )
+                    })
+                    .collect();
                 IngestDriver::Async {
                     queues,
-                    executor: Executor::start(tasks, schedule),
+                    executor: Executor::start_with_rounds(tasks, schedule, Arc::clone(&board)),
+                    board,
                     mode,
                 }
             }
@@ -1049,7 +1160,7 @@ impl Engine {
         let driver = self.driver.take().expect("finish called once");
         let mode = driver.mode();
         let ingest_threads = driver.ingest_threads();
-        let (results, steals, polls) = driver.into_results();
+        let (results, steals, polls, round_stats) = driver.into_results();
         let mut shards: Vec<ShardReport> = Vec::with_capacity(results.len());
         let mut panic = None;
         for result in results {
@@ -1083,6 +1194,9 @@ impl Engine {
                 blocked_pushes: self.blocked_pushes.load(Ordering::Relaxed),
                 steals,
                 polls,
+                split_rounds: round_stats.rounds,
+                round_units: round_stats.units,
+                rounds_helped: round_stats.helped,
             },
         }
     }

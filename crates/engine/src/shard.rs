@@ -20,6 +20,31 @@
 //! large they are, or which worker runs them. That is the ordering argument
 //! behind the engine's schedule-invariance tests; `ARCHITECTURE.md` spells
 //! it out.
+//!
+//! **Split rounds extend, not weaken, that argument.** Under an async
+//! [`RoundDriver::Board`], a round wider than
+//! [`EngineConfig::split_threshold`] forks into disjoint lane partitions
+//! classified concurrently on the pool:
+//!
+//! * *No aliasing*: each partition owns the moved-out mutable state of its
+//!   lanes (LSTM cells, controller, batch scratch) and shares only the
+//!   `Arc`'d read-only weights, so concurrent partitions touch disjoint
+//!   memory ([`RoundPartition`]).
+//! * *Same inputs*: a round holds at most one record per lane, and which
+//!   lanes/records form the round is fixed *before* the fork — splitting
+//!   changes who computes, never what is computed.
+//! * *Same outputs*: per-lane decisions depend only on that lane's record
+//!   prefix (the `LaneDecision` contract), and `join_round` re-emits them
+//!   in fork order, so the decision sequence — and hence label pairing,
+//!   which is per-lane FIFO anyway — is bit-identical to the atomic round.
+//! * *Same plan everywhere*: the fork decision and the partition
+//!   boundaries are pure functions of the round width and the config
+//!   (`split_threshold`, pool size), never of timing, so any schedule
+//!   (and the deterministic replay scheduler) forks identically.
+//!
+//! The split-threshold equivalence proptest drives all of this across
+//! `split_threshold` × worker-count × seeded schedules and asserts
+//! bit-identical reports.
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::mpsc::Receiver;
@@ -27,13 +52,40 @@ use std::sync::Arc;
 
 use icsad_core::combined::CombinedDetector;
 use icsad_core::metrics::ClassificationReport;
-use icsad_core::streaming::{LaneDecision, StreamingSession};
+use icsad_core::streaming::{LaneDecision, RoundPartition, StreamingSession};
 use icsad_dataset::extract::StreamExtractor;
 use icsad_dataset::Record;
-use icsad_runtime::{IngestQueue, Poll, Pop, Task};
+use icsad_runtime::{IngestQueue, Poll, Pop, RoundBoard, RoundUnit, Task};
 use icsad_simulator::AttackType;
 
 use crate::{EngineConfig, RawFrame, ShardReport};
+
+/// One stealable sub-unit of a split classification round: a disjoint
+/// lane partition of one shard's round (newtype so the engine can
+/// implement the runtime's [`RoundUnit`] for the core's type).
+pub(crate) struct EngineUnit(pub(crate) RoundPartition);
+
+impl RoundUnit for EngineUnit {
+    fn run(&mut self) {
+        self.0.run();
+    }
+}
+
+/// How a shard executes its classification rounds.
+pub(crate) enum RoundDriver {
+    /// Every round runs atomically on the shard's own thread/task
+    /// ([`IngestMode::Threads`](crate::IngestMode::Threads), which has one
+    /// dedicated thread per shard and nobody to share a round with).
+    Inline,
+    /// Rounds wider than [`EngineConfig::split_threshold`] fork into
+    /// stealable sub-units on the pool's shared [`RoundBoard`] (async
+    /// modes). `fan_out` is the pool size — the most workers a round
+    /// could occupy, and so the most partitions worth forking.
+    Board {
+        board: Arc<RoundBoard<EngineUnit>>,
+        fan_out: usize,
+    },
+}
 
 /// Control-plane message to a shard: a chunk of routed frames, or a
 /// hot-reload to apply at the next round boundary.
@@ -69,6 +121,13 @@ pub(crate) struct ShardCore {
     /// resolved yet, per lane, in push order.
     pending_labels: Vec<VecDeque<Option<AttackType>>>,
     queued: usize,
+    /// Lanes whose queue is non-empty, in activation (empty→non-empty)
+    /// order — the round sweep visits exactly these, so a round costs
+    /// O(active lanes) instead of O(all lanes) (10k idle streams no
+    /// longer pay 10k queue checks per round). Invariant: `lane ∈
+    /// active_lanes ⇔ !queues[lane].is_empty()`, no duplicates.
+    active_lanes: Vec<usize>,
+    rounds: RoundDriver,
     pending_lanes: Vec<usize>,
     pending_records: Vec<Record>,
     decisions: Vec<LaneDecision>,
@@ -78,19 +137,27 @@ pub(crate) struct ShardCore {
     alarms: u64,
     reloads: u64,
     swap_rounds: Vec<u64>,
+    split_rounds: u64,
+    widest_round: usize,
 }
 
 impl ShardCore {
-    pub(crate) fn new(session: Box<dyn StreamingSession>, config: EngineConfig) -> Self {
+    pub(crate) fn new(
+        session: Box<dyn StreamingSession>,
+        config: EngineConfig,
+        rounds: RoundDriver,
+    ) -> Self {
         ShardCore {
             session,
             config,
+            rounds,
             // NONDET: see the field — lookup-only map, never iterated.
             lanes_by_stream: HashMap::new(),
             extractors: Vec::new(),
             queues: Vec::new(),
             pending_labels: Vec::new(),
             queued: 0,
+            active_lanes: Vec::new(),
             pending_lanes: Vec::new(),
             pending_records: Vec::new(),
             decisions: Vec::new(),
@@ -100,6 +167,8 @@ impl ShardCore {
             alarms: 0,
             reloads: 0,
             swap_rounds: Vec::new(),
+            split_rounds: 0,
+            widest_round: 0,
         }
     }
 
@@ -126,6 +195,14 @@ impl ShardCore {
         };
         let record =
             self.extractors[lane].push(frame.time, &frame.wire, frame.is_command, frame.label);
+        if self.queues[lane].is_empty() {
+            // Empty→non-empty transition: the lane joins the round sweep.
+            // Activation order is a pure function of the shard's FIFO
+            // message order, so it is identical across runtimes and
+            // schedules (and cross-lane order within a round is
+            // semantically free anyway — see the module doc).
+            self.active_lanes.push(lane);
+        }
         self.queues[lane].push_back(record);
         self.queued += 1;
         self.frames += 1;
@@ -144,21 +221,71 @@ impl ShardCore {
         self.pending_lanes.clear();
         self.pending_records.clear();
         self.decisions.clear();
-        for (lane, queue) in self.queues.iter_mut().enumerate() {
-            if let Some(record) = queue.pop_front() {
-                self.pending_labels[lane].push_back(record.label);
-                self.pending_lanes.push(lane);
-                self.pending_records.push(record);
+        // O(active lanes): sweep the active list, compacting it in place
+        // so lanes with a remaining backlog stay listed (activation order
+        // preserved); idle lanes are never visited.
+        let mut keep = 0;
+        for i in 0..self.active_lanes.len() {
+            let lane = self.active_lanes[i];
+            let record = self.queues[lane]
+                .pop_front()
+                // PANIC: `active_lanes` invariant — a listed lane has a
+                // non-empty queue.
+                .expect("active lane with empty queue");
+            self.pending_labels[lane].push_back(record.label);
+            self.pending_lanes.push(lane);
+            self.pending_records.push(record);
+            if !self.queues[lane].is_empty() {
+                self.active_lanes[keep] = lane;
+                keep += 1;
             }
         }
+        self.active_lanes.truncate(keep);
         self.queued -= self.pending_lanes.len();
+        self.classify_pending();
+        self.absorb_decisions();
+        self.flushes += 1;
+    }
+
+    /// Classifies the gathered round — atomically, or forked across the
+    /// pool's round board when it is wide enough to be worth splitting.
+    ///
+    /// The fork decision (and the partitioning itself) is a pure function
+    /// of the round's width and the engine config — never of timing — and
+    /// per-lane decisions depend only on each lane's record prefix, so
+    /// both paths produce bit-identical decision sequences (pinned by the
+    /// split-threshold equivalence proptest).
+    fn classify_pending(&mut self) {
+        let width = self.pending_lanes.len();
+        self.widest_round = self.widest_round.max(width);
+        if let RoundDriver::Board { board, fan_out } = &self.rounds {
+            if width > self.config.split_threshold && *fan_out >= 2 {
+                // At most one partition per pool worker, and no partition
+                // narrower than the threshold (a sliver would pay fork
+                // overhead for a handful of lanes).
+                let parts = (*fan_out).min(width.div_ceil(self.config.split_threshold));
+                if parts >= 2 {
+                    if let Some(forked) = self.session.fork_round(
+                        &self.pending_lanes,
+                        &mut self.pending_records,
+                        parts,
+                    ) {
+                        let units = board.fork_join(forked.into_iter().map(EngineUnit).collect());
+                        self.session.join_round(
+                            units.into_iter().map(|u| u.0).collect(),
+                            &mut self.decisions,
+                        );
+                        self.split_rounds += 1;
+                        return;
+                    }
+                }
+            }
+        }
         self.session.classify_batch(
             &self.pending_lanes,
             &self.pending_records,
             &mut self.decisions,
         );
-        self.absorb_decisions();
-        self.flushes += 1;
     }
 
     /// Scores every decision the session resolved, pairing it with its
@@ -248,6 +375,8 @@ impl ShardCore {
             alarms: self.alarms,
             reloads: self.reloads,
             swap_rounds: self.swap_rounds,
+            split_rounds: self.split_rounds,
+            widest_round: self.widest_round,
             report: self.report,
         }
     }

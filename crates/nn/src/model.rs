@@ -100,7 +100,11 @@ impl Gradients {
 
 /// Streaming state for online (stateful) prediction: one `(h, c)` pair per
 /// layer.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// The `Default` state is a *hollow* placeholder (no layers): callers that
+/// move a real state elsewhere (e.g. into a partitioned classification
+/// round) can leave one behind with `mem::replace` without allocating.
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct StreamState {
     layers: Vec<LstmState>,
     /// Scratch buffers reused across steps.

@@ -37,6 +37,15 @@
 //! mutexed `VecDeque`s cost one uncontended lock per schedule event, which
 //! is noise next to a batched LSTM flush).
 //!
+//! # Fork-join rounds
+//!
+//! A pool started with [`Executor::start_with_rounds`] carries a
+//! [`crate::RoundBoard`]: a task may fork N stealable sub-units mid-poll
+//! and join them before its poll returns. Idle workers (empty local queue,
+//! nothing to steal) claim sub-units from the board before parking, and a
+//! fork bumps the park/wake epoch exactly like an enqueue — see the
+//! `rounds` module for the protocol and its explore()-based coverage.
+//!
 //! # Determinism
 //!
 //! Tasks are polled by at most one worker at a time, so task-local state
@@ -56,6 +65,8 @@ use std::thread::JoinHandle;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha12Rng;
+
+use crate::rounds::{RoundBoard, RoundUnit, UnitSource};
 
 /// What a [`Task::poll`] learned about the task's remaining work.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -175,13 +186,25 @@ pub(crate) struct Shared<T: Task> {
     wakeup: Condvar,
     /// Tasks not yet DONE; workers exit when it reaches zero.
     remaining: AtomicUsize,
+    /// Fork-join board (type-erased): idle pool workers claim round
+    /// sub-units from here before parking.
+    rounds: Option<Arc<dyn UnitSource>>,
     steals: AtomicU64,
     polls: AtomicU64,
 }
 
 impl<T: Task> Shared<T> {
     pub(crate) fn new(tasks: Vec<T>, queues: usize) -> Shared<T> {
+        Shared::new_with_rounds(tasks, queues, None)
+    }
+
+    fn new_with_rounds(
+        tasks: Vec<T>,
+        queues: usize,
+        rounds: Option<Arc<dyn UnitSource>>,
+    ) -> Shared<T> {
         Shared {
+            rounds,
             remaining: AtomicUsize::new(tasks.len()),
             slots: tasks
                 .into_iter()
@@ -267,11 +290,29 @@ impl<T: Task> Shared<T> {
         // PANIC: run-queue mutexes are only ever poisoned by an executor
         // bug — task panics are caught before they can unwind through here.
         self.run_queues[worker].lock().unwrap().push_back(id);
-        // PANIC: same as above — nothing panics while holding `sync`.
+        self.bump_epoch();
+    }
+
+    /// Bumps the scheduling epoch and wakes parked workers. Called on
+    /// every enqueue, and by the fork-join board's waker when a round is
+    /// forked — sub-units are pool work that lives outside the run queues,
+    /// but parked workers must come help all the same.
+    pub(crate) fn bump_epoch(&self) {
+        // PANIC: nothing panics while holding `sync`.
         let mut sync = self.sync.lock().unwrap();
         sync.epoch += 1;
         if sync.sleepers > 0 {
             self.wakeup.notify_all();
+        }
+    }
+
+    /// Claims and runs one forked round sub-unit, if any board is attached
+    /// and has unclaimed work. Pool workers call this after their run
+    /// queues come up empty, before parking.
+    fn help_round(&self) -> bool {
+        match &self.rounds {
+            Some(board) => board.claim_and_run(),
+            None => false,
         }
     }
 
@@ -478,11 +519,24 @@ fn pool_worker<T: Task>(shared: &Shared<T>, worker: usize) {
             .or_else(|| shared.steal(worker, (1..workers).map(|i| (worker + i) % workers)));
         match next {
             Some(id) => shared.run_task(worker, id, POOL_POLL_BUDGET),
-            None => shared.park(epoch),
+            None => {
+                // No queued task anywhere: steal a forked round's sub-unit
+                // before parking. The epoch snapshot above makes the check
+                // race-free — a fork after the snapshot bumps the epoch,
+                // so the park below returns immediately and this loop
+                // re-scans.
+                if !shared.help_round() {
+                    shared.park(epoch);
+                }
+            }
         }
     }
 }
 
+/// The single-threaded deterministic scheduler needs no round-help hook: a
+/// forking task's `fork_join` runs on this same thread and drains every
+/// sub-unit inline before returning, so the board is always empty at
+/// scheduling points.
 fn deterministic_scheduler<T: Task>(shared: &Shared<T>, schedule: TestSchedule) {
     let mut rng = ChaCha12Rng::seed_from_u64(schedule.seed);
     let workers = shared.run_queues.len();
@@ -629,9 +683,39 @@ where
     /// zero budget (the engine validates its config first; these are
     /// programming-error guards).
     pub fn start(tasks: Vec<T>, schedule: Schedule) -> Executor<T> {
+        Self::start_inner(tasks, schedule, None)
+    }
+
+    /// [`Executor::start`] with a fork-join [`RoundBoard`] attached: tasks
+    /// holding a clone of the board may fork rounds from inside their
+    /// polls, and idle workers of *this* pool claim the sub-units. The
+    /// board's waker is wired to the pool's park/wake epoch here.
+    pub fn start_with_rounds<U: RoundUnit + 'static>(
+        tasks: Vec<T>,
+        schedule: Schedule,
+        board: Arc<RoundBoard<U>>,
+    ) -> Executor<T> {
+        Self::start_inner(tasks, schedule, Some(board as Arc<dyn UnitSource>))
+    }
+
+    fn start_inner(
+        tasks: Vec<T>,
+        schedule: Schedule,
+        rounds: Option<Arc<dyn UnitSource>>,
+    ) -> Executor<T> {
         assert!(!tasks.is_empty(), "executor needs at least one task");
         let (queues, threads_wanted) = schedule_shape(schedule);
-        let shared = Arc::new(Shared::new(tasks, queues));
+        let shared = Arc::new(Shared::new_with_rounds(tasks, queues, rounds.clone()));
+        if let Some(board) = rounds {
+            // Weak, not Arc: the board outliving the executor must not keep
+            // the pool's shared state alive (and a cycle would leak both).
+            let weak = Arc::downgrade(&shared);
+            board.set_waker(Box::new(move || {
+                if let Some(shared) = weak.upgrade() {
+                    shared.bump_epoch();
+                }
+            }));
+        }
         let threads = (0..threads_wanted)
             .map(|i| {
                 let shared = Arc::clone(&shared);
