@@ -1,0 +1,173 @@
+//! Criterion bench: the wire layer's decode path, layer by layer.
+//!
+//! | bench | measures |
+//! |---|---|
+//! | `mbap_decode_stream` | MBAP framing + RTU re-encapsulation over one raw byte stream |
+//! | `pcap_replay_decode` | full capture walk: pcap records → TCP demux → MBAP → `RawFrame` |
+//! | `pcap_replay_into_engine` | the same replay feeding `Engine::ingest_batch` + `finish()` |
+//!
+//! Scale knobs: `ICSAD_WIRE_PLCS` (default `8`), `ICSAD_WIRE_PER_PLC`
+//! (default `400`), `ICSAD_WIRE_HIDDEN` (default `64`).
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use icsad_core::experiment::{train_framework, ExperimentConfig};
+use icsad_core::timeseries::TimeSeriesTrainingConfig;
+use icsad_dataset::{DatasetConfig, GasPipelineDataset};
+use icsad_engine::{Engine, EngineConfig};
+use icsad_simulator::{Packet, TrafficConfig, TrafficGenerator};
+use icsad_wire::fixture::CaptureBuilder;
+use icsad_wire::{MbapDecoder, WireReplay};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn traffic(plcs: usize, per_plc: usize) -> Vec<Vec<Packet>> {
+    (0..plcs)
+        .map(|i| {
+            let mut generator = TrafficGenerator::new(TrafficConfig {
+                seed: 7 + i as u64,
+                slave_address: (i % 247) as u8 + 1,
+                attack_probability: 0.05,
+                bad_crc_rate: 0.0,
+                ..TrafficConfig::default()
+            });
+            generator.generate(per_plc)
+        })
+        .collect()
+}
+
+/// Interleaves the sessions round-robin into one capture image, one TCP
+/// connection per PLC.
+fn capture_image(sessions: &[Vec<Packet>]) -> Vec<u8> {
+    let mut builder = CaptureBuilder::new();
+    let longest = sessions.iter().map(Vec::len).max().unwrap_or(0);
+    for i in 0..longest {
+        for (conn, session) in sessions.iter().enumerate() {
+            if let Some(p) = session.get(i) {
+                builder.modbus_on(conn as u16, p.time, &p.wire, p.is_command);
+            }
+        }
+    }
+    builder.finish()
+}
+
+/// The same frames as one raw MBAP byte stream (no pcap/TCP framing).
+fn mbap_stream(sessions: &[Vec<Packet>]) -> Vec<u8> {
+    let mut out = Vec::new();
+    let mut txn = 0u16;
+    for session in sessions {
+        for p in session {
+            out.extend_from_slice(&txn.to_be_bytes());
+            out.extend_from_slice(&0u16.to_be_bytes());
+            out.extend_from_slice(&((p.wire.len() - 2) as u16).to_be_bytes());
+            // unit + PDU (strip the RTU CRC).
+            out.extend_from_slice(&p.wire[..p.wire.len() - 2]);
+            txn = txn.wrapping_add(1);
+        }
+    }
+    out
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let plcs = env_usize("ICSAD_WIRE_PLCS", 8);
+    let per_plc = env_usize("ICSAD_WIRE_PER_PLC", 400);
+    let hidden: Vec<usize> = std::env::var("ICSAD_WIRE_HIDDEN")
+        .unwrap_or_else(|_| "64".to_string())
+        .split(',')
+        .filter_map(|p| p.trim().parse().ok())
+        .collect();
+
+    let sessions = traffic(plcs, per_plc);
+    let frames: u64 = sessions.iter().map(|s| s.len() as u64).sum();
+    let image = capture_image(&sessions);
+    let stream = mbap_stream(&sessions);
+
+    let mut group = c.benchmark_group("wire_replay");
+    group.throughput(Throughput::Elements(frames));
+
+    group.bench_function("mbap_decode_stream", |b| {
+        b.iter(|| {
+            let mut dec = MbapDecoder::new();
+            let mut count = 0u64;
+            for segment in black_box(&stream).chunks(1460) {
+                dec.push(segment);
+                while dec.next_frame().is_some() {
+                    count += 1;
+                }
+            }
+            assert_eq!(count, frames);
+            count
+        })
+    });
+
+    group.bench_function("pcap_replay_decode", |b| {
+        b.iter(|| {
+            let mut replay = WireReplay::new();
+            let mut count = 0u64;
+            replay
+                .replay(black_box(&image), |_| count += 1)
+                .expect("replay failed");
+            assert_eq!(count, frames);
+            count
+        })
+    });
+
+    let data = GasPipelineDataset::generate(&DatasetConfig {
+        total_packages: 6_000,
+        seed: 7,
+        attack_probability: 0.0,
+        ..DatasetConfig::default()
+    });
+    let split = data.split_chronological(0.7, 0.2);
+    let detector = Arc::new(
+        train_framework(
+            &split,
+            &ExperimentConfig {
+                timeseries: TimeSeriesTrainingConfig {
+                    hidden_dims: hidden,
+                    epochs: 1,
+                    seed: 7,
+                    ..TimeSeriesTrainingConfig::default()
+                },
+                ..ExperimentConfig::default()
+            },
+        )
+        .expect("bench detector training failed")
+        .detector,
+    );
+    let config = EngineConfig {
+        batch_size: 96,
+        ..EngineConfig::default()
+    };
+
+    group.bench_function("pcap_replay_into_engine", |b| {
+        b.iter(|| {
+            let mut engine = Engine::start(Arc::clone(&detector), config.clone());
+            let mut replay = WireReplay::new();
+            let mut chunk = Vec::with_capacity(1024);
+            replay
+                .replay(black_box(&image), |frame| {
+                    chunk.push(frame);
+                    if chunk.len() == 1024 {
+                        engine.ingest_batch(chunk.drain(..));
+                    }
+                })
+                .expect("replay failed");
+            engine.ingest_batch(chunk.drain(..));
+            let report = engine.finish();
+            assert_eq!(report.frames(), frames);
+            report.alarms()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_wire);
+criterion_main!(benches);

@@ -93,7 +93,7 @@ fn main() {
     for link in 1..=idle as u32 {
         engine.ingest(RawFrame {
             time: 0.05 * f64::from(link),
-            wire: vec![9, 3, 0x10, 0x01, 0xAA, 0x55],
+            wire: vec![9, 3, 0x10, 0x01, 0xAA, 0x55].into(),
             is_command: true,
             label: None,
             link,
@@ -102,7 +102,7 @@ fn main() {
     for link in 1..=idle as u32 {
         engine.ingest(RawFrame {
             time: 3_600.0 + 0.05 * f64::from(link),
-            wire: vec![9, 3, 0x10, 0x01, 0xAA, 0x55],
+            wire: vec![9, 3, 0x10, 0x01, 0xAA, 0x55].into(),
             is_command: true,
             label: None,
             link,

@@ -319,12 +319,13 @@ impl CombinedDetector {
     /// Bloom probe — filling the batch's per-entry scratch columns.
     fn package_stage(&self, batch: &mut CombinedBatch, lanes: &[usize], records: &[Record]) {
         assert_eq!(records.len(), lanes.len(), "records/lanes mismatch");
+        // Quadratic on purpose: the check must not allocate (the engine's
+        // zero-allocation ingest test runs with debug assertions on).
         debug_assert!(
-            {
-                let mut seen = lanes.to_vec();
-                seen.sort_unstable();
-                seen.windows(2).all(|w| w[0] != w[1])
-            },
+            lanes
+                .iter()
+                .enumerate()
+                .all(|(i, lane)| !lanes[..i].contains(lane)),
             "lanes must be distinct within one classify_batch call"
         );
         let disc = self.package.discretizer();

@@ -333,18 +333,20 @@ impl StreamingSession for CombinedSession {
         // contract: one record per *distinct*, in-bounds lane per call.
         // A repeated lane would silently reorder that stream's records
         // within the batch and desynchronize the caller's label FIFOs.
+        // (Quadratic scan instead of a seen-bitmap: the check must not
+        // allocate, or debug runs of the zero-allocation ingest test would
+        // count the checker itself.)
         #[cfg(debug_assertions)]
-        {
-            let mut seen = vec![false; self.batch.lanes()];
-            for &lane in lanes {
-                assert!(
-                    lane < seen.len(),
-                    "lane {lane} out of bounds ({} lanes)",
-                    seen.len()
-                );
-                assert!(!seen[lane], "lane {lane} repeated within one batch call");
-                seen[lane] = true;
-            }
+        for (i, &lane) in lanes.iter().enumerate() {
+            assert!(
+                lane < self.batch.lanes(),
+                "lane {lane} out of bounds ({} lanes)",
+                self.batch.lanes()
+            );
+            assert!(
+                !lanes[..i].contains(&lane),
+                "lane {lane} repeated within one batch call"
+            );
         }
         let emitted_from = out.len();
         self.levels.clear();
@@ -415,18 +417,18 @@ impl StreamingSession for CombinedSession {
         // Same call-shape check as classify_batch: once the round is
         // partitioned, each partition can only verify distinctness within
         // itself, so check the whole round here.
+        // Allocation-free distinctness scan, as in `classify_batch` above.
         #[cfg(debug_assertions)]
-        {
-            let mut seen = vec![false; self.batch.lanes()];
-            for &lane in lanes {
-                assert!(
-                    lane < seen.len(),
-                    "lane {lane} out of bounds ({} lanes)",
-                    seen.len()
-                );
-                assert!(!seen[lane], "lane {lane} repeated within one round");
-                seen[lane] = true;
-            }
+        for (i, &lane) in lanes.iter().enumerate() {
+            assert!(
+                lane < self.batch.lanes(),
+                "lane {lane} out of bounds ({} lanes)",
+                self.batch.lanes()
+            );
+            assert!(
+                !lanes[..i].contains(&lane),
+                "lane {lane} repeated within one round"
+            );
         }
         // Near-equal contiguous chunks: a pure function of (lanes, parts),
         // so the same round always forks the same way regardless of which

@@ -113,6 +113,10 @@ pub struct TsState {
     /// the first package has been observed.
     prediction: Option<Vec<f32>>,
     scratch: Vec<f32>,
+    /// Reused one-hot input buffer for the single-lane step — allocated
+    /// once in [`TimeSeriesDetector::begin`], rewritten in place every
+    /// package so the streaming step never touches the allocator.
+    x_buf: Vec<f32>,
 }
 
 impl TsState {
@@ -125,6 +129,7 @@ impl TsState {
             stream: StreamState::default(),
             prediction: None,
             scratch: Vec::new(),
+            x_buf: Vec::new(),
         }
     }
 }
@@ -439,6 +444,7 @@ impl TimeSeriesDetector {
             stream: self.model.new_state(),
             prediction: None,
             scratch: vec![0.0f32; self.model.num_classes()],
+            x_buf: vec![0.0f32; self.encoder.dims()],
         }
     }
 
@@ -485,12 +491,21 @@ impl TimeSeriesDetector {
             }
         };
         // Feed the package back as input for the next prediction, with its
-        // anomaly bit per §V-3 / §VI.
+        // anomaly bit per §V-3 / §VI. Both the one-hot input and the rolling
+        // prediction reuse state-owned buffers: the steady-state step is
+        // allocation-free (asserted by the engine's counting-allocator test).
         let noisy = flag_noisy.unwrap_or(anomalous);
-        let x = self.encoder.encode(vector, noisy);
+        if state.x_buf.len() != self.encoder.dims() {
+            // Hollow or foreign state (e.g. deserialized): size it once.
+            state.x_buf.resize(self.encoder.dims(), 0.0);
+        }
+        self.encoder.encode_into(vector, noisy, &mut state.x_buf);
         self.model
-            .step_logits(&mut state.stream, &x, &mut state.scratch);
-        state.prediction = Some(state.scratch.clone());
+            .step_logits(&mut state.stream, &state.x_buf, &mut state.scratch);
+        match &mut state.prediction {
+            Some(pred) => pred.copy_from_slice(&state.scratch),
+            None => state.prediction = Some(state.scratch.clone()),
+        }
         (anomalous, rank)
     }
 

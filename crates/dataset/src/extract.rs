@@ -6,8 +6,8 @@
 
 use std::collections::VecDeque;
 
-use icsad_modbus::pipeline::{decode_read_response, decode_write_command};
-use icsad_modbus::{Frame, FunctionCode};
+use icsad_modbus::pipeline::{decode_read_response_parts, decode_write_command_parts};
+use icsad_modbus::{FrameView, FunctionCode};
 use icsad_simulator::Packet;
 
 use crate::record::Record;
@@ -67,7 +67,10 @@ impl StreamExtractor {
         is_command: bool,
         label: Option<icsad_simulator::AttackType>,
     ) -> Record {
-        let decoded = Frame::decode_lenient(wire).ok();
+        // Borrowed decode: the payload stays in `wire`, so per-frame
+        // extraction performs zero heap allocations (the engine's
+        // counting-allocator test depends on this).
+        let decoded = FrameView::decode_lenient(wire).ok();
         let crc_ok = decoded.as_ref().is_some_and(|(_, ok)| *ok);
 
         if self.window.len() == self.crc_window {
@@ -119,10 +122,10 @@ pub fn extract_records(packets: &[Packet], crc_window: usize) -> Vec<Record> {
 }
 
 /// Fills the payload-derived features for the package types that carry them.
-fn fill_payload_features(record: &mut Record, frame: &Frame, is_command: bool) {
+fn fill_payload_features(record: &mut Record, frame: &FrameView<'_>, is_command: bool) {
     match (frame.function(), is_command) {
         (FunctionCode::WriteMultipleRegisters, true) => {
-            if let Ok(state) = decode_write_command(frame) {
+            if let Ok(state) = decode_write_command_parts(frame.function(), frame.payload()) {
                 record.setpoint = Some(state.pid.setpoint);
                 record.gain = Some(state.pid.gain);
                 record.reset_rate = Some(state.pid.reset_rate);
@@ -136,7 +139,7 @@ fn fill_payload_features(record: &mut Record, frame: &Frame, is_command: bool) {
             }
         }
         (FunctionCode::ReadHoldingRegisters, false) => {
-            if let Ok(state) = decode_read_response(frame) {
+            if let Ok(state) = decode_read_response_parts(frame.function(), frame.payload()) {
                 record.setpoint = Some(state.pid.setpoint);
                 record.gain = Some(state.pid.gain);
                 record.reset_rate = Some(state.pid.reset_rate);

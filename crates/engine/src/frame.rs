@@ -1,0 +1,168 @@
+//! Inline small-buffer storage for raw wire bytes.
+//!
+//! [`RawFrame`](crate::RawFrame) used to carry its wire bytes in a
+//! `Vec<u8>` — one heap allocation per monitored frame, forever, on the
+//! ingest hot path. [`FrameBytes`] stores the bytes inline instead: a
+//! fixed [`FRAME_INLINE_CAP`]-byte array inside the frame covers every
+//! package the paper's gas-pipeline traffic produces (the largest, a read
+//! response, is 27 bytes on the wire), while rare jumbo frames — Modbus
+//! RTU allows up to 256 bytes — spill to a heap buffer. Steady-state
+//! ingest therefore performs **zero allocations per frame**, which the
+//! engine's counting-allocator test asserts end to end.
+
+use std::ops::Deref;
+
+/// Bytes stored inline before [`FrameBytes`] spills to the heap. Sized to
+/// cover every well-formed frame of the paper's traffic model (≤ 29 bytes)
+/// with slack for other Modbus payload shapes; frames up to the RTU
+/// maximum of 256 bytes still work, they just pay one allocation.
+pub const FRAME_INLINE_CAP: usize = 64;
+
+#[derive(Clone)]
+enum Repr {
+    Inline {
+        len: u8,
+        buf: [u8; FRAME_INLINE_CAP],
+    },
+    Heap(Vec<u8>),
+}
+
+/// Wire bytes with inline small-buffer storage (see the module docs).
+///
+/// Dereferences to `&[u8]`; construct via `From<&[u8]>` (copies, inline
+/// when it fits) or `From<Vec<u8>>` (keeps the existing allocation only
+/// for jumbo frames).
+#[derive(Clone)]
+pub struct FrameBytes(Repr);
+
+impl FrameBytes {
+    /// The bytes as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        match &self.0 {
+            Repr::Inline { len, buf } => &buf[..usize::from(*len)],
+            Repr::Heap(v) => v,
+        }
+    }
+
+    /// Byte count.
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// Whether the frame carries no bytes at all.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether the bytes live inline (no heap allocation). Exposed so the
+    /// allocation tests can assert the representation, not just behavior.
+    pub fn is_inline(&self) -> bool {
+        matches!(self.0, Repr::Inline { .. })
+    }
+}
+
+impl From<&[u8]> for FrameBytes {
+    fn from(bytes: &[u8]) -> Self {
+        if bytes.len() <= FRAME_INLINE_CAP {
+            let mut buf = [0u8; FRAME_INLINE_CAP];
+            buf[..bytes.len()].copy_from_slice(bytes);
+            FrameBytes(Repr::Inline {
+                len: bytes.len() as u8,
+                buf,
+            })
+        } else {
+            FrameBytes(Repr::Heap(bytes.to_vec()))
+        }
+    }
+}
+
+impl From<Vec<u8>> for FrameBytes {
+    fn from(bytes: Vec<u8>) -> Self {
+        if bytes.len() <= FRAME_INLINE_CAP {
+            FrameBytes::from(&bytes[..])
+        } else {
+            FrameBytes(Repr::Heap(bytes))
+        }
+    }
+}
+
+impl<const N: usize> From<[u8; N]> for FrameBytes {
+    fn from(bytes: [u8; N]) -> Self {
+        FrameBytes::from(&bytes[..])
+    }
+}
+
+impl Deref for FrameBytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for FrameBytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for FrameBytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for FrameBytes {}
+
+impl std::fmt::Debug for FrameBytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typical_frames_stay_inline() {
+        for len in 0..=FRAME_INLINE_CAP {
+            let bytes: Vec<u8> = (0..len as u16).map(|b| b as u8).collect();
+            let inline = FrameBytes::from(&bytes[..]);
+            assert!(inline.is_inline(), "{len} bytes must not spill");
+            assert_eq!(&*inline, &bytes[..]);
+            assert_eq!(inline.len(), len);
+        }
+    }
+
+    #[test]
+    fn jumbo_frames_spill_and_round_trip() {
+        let bytes: Vec<u8> = (0..200u16).map(|b| b as u8).collect();
+        let jumbo = FrameBytes::from(&bytes[..]);
+        assert!(!jumbo.is_inline());
+        assert_eq!(&*jumbo, &bytes[..]);
+
+        // From<Vec> keeps the existing allocation for jumbo input.
+        let ptr = bytes.as_ptr();
+        let moved = FrameBytes::from(bytes);
+        assert!(!moved.is_inline());
+        assert_eq!(moved.as_slice().as_ptr(), ptr);
+    }
+
+    #[test]
+    fn equality_ignores_representation() {
+        let bytes = [1u8, 2, 3, 4];
+        let inline = FrameBytes::from(&bytes[..]);
+        let heap = FrameBytes(Repr::Heap(bytes.to_vec()));
+        assert_eq!(inline, heap);
+        assert_ne!(inline, FrameBytes::from(&bytes[..3]));
+    }
+
+    #[test]
+    fn empty_frame_is_inline_and_empty() {
+        let empty = FrameBytes::from(&[][..]);
+        assert!(empty.is_empty());
+        assert!(empty.is_inline());
+        assert_eq!(empty.first(), None);
+    }
+}

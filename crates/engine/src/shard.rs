@@ -47,7 +47,7 @@
 //! bit-identical reports.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::mpsc::Receiver;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use icsad_core::combined::CombinedDetector;
@@ -55,7 +55,7 @@ use icsad_core::metrics::ClassificationReport;
 use icsad_core::streaming::{LaneDecision, RoundPartition, StreamingSession};
 use icsad_dataset::extract::StreamExtractor;
 use icsad_dataset::Record;
-use icsad_runtime::{IngestQueue, Poll, Pop, RoundBoard, RoundUnit, Task};
+use icsad_runtime::{Drain, IngestQueue, Poll, RecycleRing, RoundBoard, RoundUnit, Task};
 use icsad_simulator::AttackType;
 
 use crate::{EngineConfig, RawFrame, ShardReport};
@@ -128,6 +128,13 @@ pub(crate) struct ShardCore {
     /// active_lanes ⇔ !queues[lane].is_empty()`, no duplicates.
     active_lanes: Vec<usize>,
     rounds: RoundDriver,
+    /// Chunk free-list shared with the engine: drained `Frames` chunk
+    /// `Vec`s go back here for the ingest side to refill, closing the
+    /// steady-state allocation loop.
+    recycle: Arc<RecycleRing<Vec<RawFrame>>>,
+    /// Decisions resolved across all shards, shared with the engine
+    /// ([`Engine::frames_processed`](crate::Engine::frames_processed)).
+    processed: Arc<AtomicU64>,
     pending_lanes: Vec<usize>,
     pending_records: Vec<Record>,
     decisions: Vec<LaneDecision>,
@@ -146,11 +153,15 @@ impl ShardCore {
         session: Box<dyn StreamingSession>,
         config: EngineConfig,
         rounds: RoundDriver,
+        recycle: Arc<RecycleRing<Vec<RawFrame>>>,
+        processed: Arc<AtomicU64>,
     ) -> Self {
         ShardCore {
             session,
             config,
             rounds,
+            recycle,
+            processed,
             // NONDET: see the field — lookup-only map, never iterated.
             lanes_by_stream: HashMap::new(),
             extractors: Vec::new(),
@@ -292,6 +303,7 @@ impl ShardCore {
     /// package's label (per-lane FIFO order).
     fn absorb_decisions(&mut self) {
         let mut decisions = std::mem::take(&mut self.decisions);
+        let resolved = decisions.len() as u64;
         for d in decisions.drain(..) {
             let label = self.pending_labels[d.lane]
                 .pop_front()
@@ -304,6 +316,11 @@ impl ShardCore {
             self.report.record(label, d.anomalous);
         }
         self.decisions = decisions;
+        if resolved > 0 {
+            // ORDERING: Relaxed — counter only; observers spin on the
+            // count, never on memory it is meant to publish.
+            self.processed.fetch_add(resolved, Ordering::Relaxed);
+        }
     }
 
     /// Applies a hot-reload at a round boundary: drains the whole backlog
@@ -339,13 +356,17 @@ impl ShardCore {
         self.swap_rounds.push(self.flushes);
     }
 
-    fn enqueue_chunk(&mut self, chunk: Vec<RawFrame>) {
-        for frame in chunk {
+    fn enqueue_chunk(&mut self, mut chunk: Vec<RawFrame>) {
+        for frame in chunk.drain(..) {
             self.enqueue(frame);
             if self.queued >= self.config.batch_size {
                 self.flush_round();
             }
         }
+        // Hand the emptied chunk buffer back to the ingest side — the ring
+        // is sized so this never drops in steady state, which is what the
+        // zero-allocation test measures.
+        self.recycle.put(chunk);
     }
 
     pub(crate) fn handle(&mut self, msg: ShardMsg) {
@@ -383,29 +404,53 @@ impl ShardCore {
 }
 
 /// The [`IngestMode::Threads`](crate::IngestMode::Threads) driver: one
-/// dedicated OS thread blocking on its shard's channel.
+/// dedicated OS thread blocking on its shard's [`IngestQueue`] inbox,
+/// draining buffered bursts in one lock acquisition apiece.
 pub(crate) fn run_threaded(
     mut core: ShardCore,
     shard: usize,
-    rx: Receiver<ShardMsg>,
+    inbox: Arc<IngestQueue<ShardMsg>>,
 ) -> ShardReport {
+    // If the core panics mid-round, producers blocked on a full inbox
+    // would wait forever: poison the queue on the way out so
+    // `Engine::ingest` fails fast with `ShardGone` instead. On the normal
+    // path `into_results` already closed the queue and this is a no-op.
+    struct CloseOnExit(Arc<IngestQueue<ShardMsg>>);
+    impl Drop for CloseOnExit {
+        fn drop(&mut self) {
+            self.0.close();
+        }
+    }
+    let _guard = CloseOnExit(Arc::clone(&inbox));
+    let mut msgs: Vec<ShardMsg> = Vec::new();
     'ingest: loop {
         // Soak whatever is already buffered so rounds see a backlog of
         // streams, flushing whenever the backlog is deep enough.
         loop {
-            match rx.try_recv() {
-                Ok(msg) => core.handle(msg),
-                Err(std::sync::mpsc::TryRecvError::Empty) => break,
-                Err(std::sync::mpsc::TryRecvError::Disconnected) => break 'ingest,
+            match inbox.drain_into(&mut msgs, usize::MAX) {
+                Drain::Items(_) => {
+                    for msg in msgs.drain(..) {
+                        core.handle(msg);
+                    }
+                }
+                Drain::Empty => break,
+                Drain::Closed => break 'ingest,
             }
         }
-        // Channel momentarily empty: work through the backlog, then block
-        // for the next message.
+        // Queue momentarily empty: work through the backlog, then block
+        // for the next burst.
         core.flush_round();
         if !core.has_backlog() {
-            match rx.recv() {
-                Ok(msg) => core.handle(msg),
-                Err(_) => break 'ingest,
+            match inbox.drain_wait(&mut msgs, usize::MAX) {
+                Drain::Items(_) => {
+                    for msg in msgs.drain(..) {
+                        core.handle(msg);
+                    }
+                }
+                Drain::Closed => break 'ingest,
+                // PANIC: `drain_wait` blocks while the queue is empty and
+                // open; `Empty` is unreachable by its contract.
+                Drain::Empty => unreachable!("drain_wait never returns Empty"),
             }
         }
     }
@@ -424,6 +469,9 @@ pub(crate) struct ShardTask {
     core: Option<ShardCore>,
     inbox: Arc<IngestQueue<ShardMsg>>,
     shard: usize,
+    /// Reusable drain buffer: one lock acquisition moves a whole burst of
+    /// messages out of the inbox per poll.
+    msgs: Vec<ShardMsg>,
 }
 
 impl ShardTask {
@@ -432,6 +480,7 @@ impl ShardTask {
             core: Some(core),
             inbox,
             shard,
+            msgs: Vec::new(),
         }
     }
 }
@@ -443,31 +492,34 @@ impl Task for ShardTask {
         // PANIC: executor contract — a task returning `Poll::Complete` is
         // never polled again.
         let core = self.core.as_mut().expect("polled after completion");
-        for _ in 0..budget.max(1) {
-            match self.inbox.pop() {
-                Pop::Item(msg) => core.handle(msg),
-                Pop::Empty => {
-                    // Mirror the threaded loop's drain-on-quiet: when the
-                    // inbox momentarily empties, work through the backlog
-                    // one round at a time (yielding between rounds so a
-                    // steal can migrate the drain) before going idle.
-                    if core.has_backlog() {
-                        core.flush_round();
-                        return if core.has_backlog() {
-                            Poll::Runnable
-                        } else {
-                            Poll::Idle
-                        };
-                    }
-                    return Poll::Idle;
+        match self.inbox.drain_into(&mut self.msgs, budget.max(1)) {
+            Drain::Items(_) => {
+                for msg in self.msgs.drain(..) {
+                    core.handle(msg);
                 }
-                Pop::Closed => {
-                    core.end_of_stream();
-                    return Poll::Complete;
+                Poll::Runnable
+            }
+            Drain::Empty => {
+                // Mirror the threaded loop's drain-on-quiet: when the
+                // inbox momentarily empties, work through the backlog
+                // one round at a time (yielding between rounds so a
+                // steal can migrate the drain) before going idle.
+                if core.has_backlog() {
+                    core.flush_round();
+                    if core.has_backlog() {
+                        Poll::Runnable
+                    } else {
+                        Poll::Idle
+                    }
+                } else {
+                    Poll::Idle
                 }
             }
+            Drain::Closed => {
+                core.end_of_stream();
+                Poll::Complete
+            }
         }
-        Poll::Runnable
     }
 
     fn complete(mut self) -> ShardReport {

@@ -101,7 +101,7 @@ impl Drop for CountingSession {
 fn frame(unit: u8, i: u32) -> RawFrame {
     RawFrame {
         time: f64::from(i) * 0.01,
-        wire: vec![unit, 3, 0x00, 0x2A],
+        wire: vec![unit, 3, 0x00, 0x2A].into(),
         is_command: true,
         label: None,
         link: 0,

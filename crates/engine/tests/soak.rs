@@ -49,7 +49,7 @@ fn tiny_detector() -> Arc<CombinedDetector> {
 fn heartbeat(link: u32, time: f64) -> RawFrame {
     RawFrame {
         time,
-        wire: vec![9, 3, 0x10, 0x01, 0xAA, 0x55],
+        wire: vec![9, 3, 0x10, 0x01, 0xAA, 0x55].into(),
         is_command: true,
         label: None,
         link,
@@ -217,7 +217,7 @@ fn backpressure_run(ingest: IngestMode) -> u64 {
     for i in 0..2_560u32 {
         engine.ingest(RawFrame {
             time: f64::from(i) * 0.01,
-            wire: vec![1, 3, 0x00, 0x2A],
+            wire: vec![1, 3, 0x00, 0x2A].into(),
             is_command: true,
             label: None,
             link: 0,
@@ -275,7 +275,7 @@ fn seeded_schedules_record_steals() {
     for i in 0..4_096u32 {
         engine.ingest(RawFrame {
             time: f64::from(i) * 0.01,
-            wire: vec![(i % 8) as u8, 3, 0x00, 0x2A],
+            wire: vec![(i % 8) as u8, 3, 0x00, 0x2A].into(),
             is_command: true,
             label: None,
             link: 0,

@@ -168,6 +168,66 @@ impl Frame {
     ///
     /// Returns size violations only.
     pub fn decode_lenient(buf: &[u8]) -> Result<(Self, bool), FrameError> {
+        let (view, crc_ok) = FrameView::decode_lenient(buf)?;
+        Ok((view.to_frame(), crc_ok))
+    }
+}
+
+/// A borrowed view of a Modbus RTU frame: the zero-copy counterpart of
+/// [`Frame`].
+///
+/// [`Frame::decode_lenient`] allocates a fresh payload `Vec` per call —
+/// one heap allocation per monitored frame, forever, on the engine's hot
+/// path. `FrameView` borrows the payload straight out of the wire buffer
+/// instead, so per-frame feature extraction touches the allocator zero
+/// times. Convert with [`FrameView::to_frame`] when an owned frame is
+/// actually needed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameView<'a> {
+    address: u8,
+    function: FunctionCode,
+    payload: &'a [u8],
+}
+
+impl<'a> FrameView<'a> {
+    /// Station (slave) address.
+    pub fn address(&self) -> u8 {
+        self.address
+    }
+
+    /// Function code.
+    pub fn function(&self) -> FunctionCode {
+        self.function
+    }
+
+    /// Application payload (without address, function code or CRC),
+    /// borrowed from the wire buffer.
+    pub fn payload(&self) -> &'a [u8] {
+        self.payload
+    }
+
+    /// Total encoded length in bytes (address + function + payload + CRC).
+    pub fn encoded_len(&self) -> usize {
+        self.payload.len() + 4
+    }
+
+    /// Copies the view into an owned [`Frame`].
+    pub fn to_frame(&self) -> Frame {
+        Frame {
+            address: self.address,
+            function: self.function,
+            payload: self.payload.to_vec(),
+        }
+    }
+
+    /// Decodes a borrowed frame without verifying the CRC, reporting whether
+    /// the CRC was valid — the allocation-free twin of
+    /// [`Frame::decode_lenient`].
+    ///
+    /// # Errors
+    ///
+    /// Returns size violations only.
+    pub fn decode_lenient(buf: &'a [u8]) -> Result<(Self, bool), FrameError> {
         if buf.len() < 4 {
             return Err(FrameError::TooShort { len: buf.len() });
         }
@@ -178,10 +238,10 @@ impl Frame {
         let received = u16::from_le_bytes([crc_bytes[0], crc_bytes[1]]);
         let crc_ok = crc16(body) == received;
         Ok((
-            Frame {
+            FrameView {
                 address: body[0],
                 function: FunctionCode::from(body[1]),
-                payload: body[2..].to_vec(),
+                payload: &body[2..],
             },
             crc_ok,
         ))
@@ -262,6 +322,29 @@ mod tests {
         let f = Frame::new(1, FunctionCode::ReadCoils, vec![7; MAX_ADU_LEN - 4]);
         assert_eq!(f.encoded_len(), MAX_ADU_LEN);
         assert_eq!(Frame::decode(&f.encode()).unwrap(), f);
+    }
+
+    #[test]
+    fn view_matches_owned_lenient_decode() {
+        let f = Frame::new(4, FunctionCode::WriteMultipleRegisters, vec![9, 9, 7]);
+        for wire in [f.encode(), f.encode_with_bad_crc()] {
+            let (owned, owned_ok) = Frame::decode_lenient(&wire).unwrap();
+            let (view, view_ok) = FrameView::decode_lenient(&wire).unwrap();
+            assert_eq!(owned_ok, view_ok);
+            assert_eq!(view.to_frame(), owned);
+            assert_eq!(view.address(), owned.address());
+            assert_eq!(view.function(), owned.function());
+            assert_eq!(view.payload(), owned.payload());
+            assert_eq!(view.encoded_len(), owned.encoded_len());
+        }
+        assert!(matches!(
+            FrameView::decode_lenient(&[1, 2, 3]),
+            Err(FrameError::TooShort { len: 3 })
+        ));
+        assert!(matches!(
+            FrameView::decode_lenient(&[0u8; MAX_ADU_LEN + 1]),
+            Err(FrameError::TooLong { .. })
+        ));
     }
 
     #[test]

@@ -32,6 +32,6 @@ mod function;
 pub mod pipeline;
 mod registers;
 
-pub use frame::{Frame, FrameError, MAX_ADU_LEN};
+pub use frame::{Frame, FrameError, FrameView, MAX_ADU_LEN};
 pub use function::{ExceptionCode, FunctionCode};
 pub use registers::RegisterMap;

@@ -312,14 +312,25 @@ pub fn encode_write_response(slave: u8) -> Frame {
 /// command. The decoded state has `pressure == 0.0` (commands do not carry a
 /// measurement).
 pub fn decode_write_command(frame: &Frame) -> Result<PipelineState, PayloadError> {
-    if frame.function() != FunctionCode::WriteMultipleRegisters {
-        return Err(PayloadError::UnexpectedFunction {
-            got: frame.function(),
-        });
+    decode_write_command_parts(frame.function(), frame.payload())
+}
+
+/// Decodes a *write command* from its function code and payload bytes — the
+/// borrowed-frame ([`crate::FrameView`]) twin of [`decode_write_command`],
+/// allocation-free end to end.
+///
+/// # Errors
+///
+/// See [`decode_write_command`].
+pub fn decode_write_command_parts(
+    function: FunctionCode,
+    payload: &[u8],
+) -> Result<PipelineState, PayloadError> {
+    if function != FunctionCode::WriteMultipleRegisters {
+        return Err(PayloadError::UnexpectedFunction { got: function });
     }
     let count = (REGISTER_COUNT - 1) as usize;
     let expected = 5 + 2 * count;
-    let payload = frame.payload();
     if payload.len() != expected {
         return Err(PayloadError::BadLength {
             expected,
@@ -340,13 +351,24 @@ pub fn decode_write_command(frame: &Frame) -> Result<PipelineState, PayloadError
 /// Returns [`PayloadError`] if the frame is not a well-formed pipeline read
 /// response.
 pub fn decode_read_response(frame: &Frame) -> Result<PipelineState, PayloadError> {
-    if frame.function() != FunctionCode::ReadHoldingRegisters {
-        return Err(PayloadError::UnexpectedFunction {
-            got: frame.function(),
-        });
+    decode_read_response_parts(frame.function(), frame.payload())
+}
+
+/// Decodes a *read response* from its function code and payload bytes — the
+/// borrowed-frame ([`crate::FrameView`]) twin of [`decode_read_response`],
+/// allocation-free end to end.
+///
+/// # Errors
+///
+/// See [`decode_read_response`].
+pub fn decode_read_response_parts(
+    function: FunctionCode,
+    payload: &[u8],
+) -> Result<PipelineState, PayloadError> {
+    if function != FunctionCode::ReadHoldingRegisters {
+        return Err(PayloadError::UnexpectedFunction { got: function });
     }
     let expected = 1 + 2 * REGISTER_COUNT as usize;
-    let payload = frame.payload();
     if payload.len() != expected {
         return Err(PayloadError::BadLength {
             expected,

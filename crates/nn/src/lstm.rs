@@ -43,12 +43,15 @@ pub struct LstmGrad {
 }
 
 /// The recurrent state `(h, c)` of one layer.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct LstmState {
     /// Hidden output vector.
     pub h: Vec<f32>,
     /// Cell state vector.
     pub c: Vec<f32>,
+    /// Reusable gate-preactivation scratch for [`LstmLayer::forward`]
+    /// (sized on first use), so stepping a lane allocates nothing.
+    z: Vec<f32>,
 }
 
 impl LstmState {
@@ -57,7 +60,17 @@ impl LstmState {
         LstmState {
             h: vec![0.0; hidden_dim],
             c: vec![0.0; hidden_dim],
+            z: Vec::new(),
         }
+    }
+}
+
+impl PartialEq for LstmState {
+    /// State identity is `(h, c)` only — the gate scratch is transient
+    /// (dead outside one `forward` call) and must not distinguish states
+    /// that stepped through different code paths.
+    fn eq(&self, other: &Self) -> bool {
+        self.h == other.h && self.c == other.c
     }
 }
 
@@ -214,10 +227,13 @@ impl LstmLayer {
         debug_assert_eq!(x.len(), self.input_dim);
         debug_assert_eq!(out_h.len(), hd);
 
-        // z = W x + U h_prev + b
-        let mut z = self.b.clone();
-        matvec_acc(&self.w, x, &mut z);
-        matvec_acc(&self.u, &state.h, &mut z);
+        // z = W x + U h_prev + b, built in the state's reusable scratch so
+        // a steady-state step performs zero heap allocations.
+        let LstmState { h, c, z } = state;
+        z.resize(4 * hd, 0.0);
+        z.copy_from_slice(&self.b);
+        matvec_acc(&self.w, x, z);
+        matvec_acc(&self.u, h, z);
 
         // Gate nonlinearities in place: [i, f, o] sigmoid, [g] tanh —
         // vectorized through the same dispatched kernels as the batched
@@ -229,16 +245,8 @@ impl LstmLayer {
         let (f_gate, rest) = rest.split_at(hd);
         let (o_gate, g_gate) = rest.split_at(hd);
 
-        icsad_simd::lstm_cell_f32(
-            i_gate,
-            f_gate,
-            o_gate,
-            g_gate,
-            &mut state.c,
-            &mut state.h,
-            None,
-        );
-        out_h.copy_from_slice(&state.h);
+        icsad_simd::lstm_cell_f32(i_gate, f_gate, o_gate, g_gate, c, h, None);
+        out_h.copy_from_slice(h);
     }
 
     /// Batched inference step: advances `batch` independent lanes by one

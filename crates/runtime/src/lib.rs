@@ -44,11 +44,13 @@
 mod executor;
 mod explore;
 mod queue;
+mod recycle;
 mod rounds;
 
 pub use executor::{
     run_scoped, ExecStats, Executor, Poll, Schedule, Task, TestSchedule, POOL_POLL_BUDGET,
 };
 pub use explore::{explore, ExploreConfig, ExploreReport, Source, SourceStep, Trial, TrialSource};
-pub use queue::{IngestQueue, Pop, PushClosed, TryPushError};
+pub use queue::{Drain, IngestQueue, Pop, PushClosed, TryPushError};
+pub use recycle::RecycleRing;
 pub use rounds::{RoundBoard, RoundId, RoundStats, RoundUnit};

@@ -2,16 +2,34 @@
 //!
 //! One queue per shard task. Producers ([`IngestQueue::push`]) block while
 //! the ring is full — that is the engine's backpressure, and every blocked
-//! push is counted — while consumers ([`IngestQueue::pop`]) never block:
-//! the executor parks a worker instead of parking inside a queue, so one
-//! worker can serve many queues.
+//! push is counted — while consumers ([`IngestQueue::pop`] /
+//! [`IngestQueue::drain_into`]) never block: the executor parks a worker
+//! instead of parking inside a queue, so one worker can serve many queues.
+//! The thread-per-shard driver instead parks *inside* the queue via
+//! [`IngestQueue::drain_wait`], which blocks the single consumer until items
+//! or close arrive.
 //!
 //! The ring is *mutex-sharded* rather than lock-free: each queue carries its
 //! own mutex, so contention is per shard, and the critical sections are a
 //! `VecDeque` push/pop. The workspace forbids `unsafe`, which rules out the
 //! classic lock-free ring; per-shard mutexes measure within noise of the
 //! `sync_channel` they replace because frames travel in chunks (one lock
-//! round-trip amortizes over up to 64 frames).
+//! round-trip amortizes over up to 64 frames), and the batch operations
+//! ([`IngestQueue::push_batch`], [`IngestQueue::drain_into`]) take one lock
+//! per *chunk of items* rather than one per item.
+//!
+//! # Wake discipline
+//!
+//! Condvar notifications are edge-triggered, not level-triggered: consumers
+//! notify `not_full` only when a removal crosses the full→not-full edge
+//! *and* a producer is actually recorded as waiting, and producers notify
+//! `not_empty` only when an insertion crosses the empty→non-empty edge with
+//! a consumer waiting. Waiter counts live under the same mutex as the ring,
+//! so the "is anyone waiting" check is exact, not a racy heuristic. A
+//! single-item pop frees one slot and wakes at most one producer; that
+//! producer, after taking its slot, re-notifies if room remains and other
+//! producers still wait (a cascade), so a batch drain that frees many slots
+//! cannot strand the second and later waiters.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -42,16 +60,35 @@ pub enum Pop<T> {
     Closed,
 }
 
+/// One [`IngestQueue::drain_into`] / [`IngestQueue::drain_wait`] outcome.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Drain {
+    /// This many items (≥ 1) were appended to the caller's buffer.
+    Items(usize),
+    /// Nothing queued right now, but producers may still push.
+    Empty,
+    /// Nothing queued and the queue is closed: no item will ever arrive.
+    Closed,
+}
+
 struct State<T> {
     items: VecDeque<T>,
     closed: bool,
+    /// Producers currently parked in `not_full.wait` (or between the
+    /// notify and re-acquiring the mutex). Exact because it is only
+    /// touched under the mutex.
+    waiting_producers: usize,
+    /// Consumers currently parked in `not_empty.wait`. The queue is MPSC:
+    /// at most one consumer, so this is 0 or 1 in practice.
+    waiting_consumers: usize,
 }
 
 /// A bounded MPSC ring buffer with blocking, counted producer-side
-/// backpressure and non-blocking consumption.
+/// backpressure and (by default) non-blocking consumption.
 pub struct IngestQueue<T> {
     state: Mutex<State<T>>,
     not_full: Condvar,
+    not_empty: Condvar,
     capacity: usize,
     blocked_pushes: AtomicU64,
 }
@@ -70,17 +107,29 @@ impl<T> IngestQueue<T> {
             state: Mutex::new(State {
                 items: VecDeque::with_capacity(capacity),
                 closed: false,
+                waiting_producers: 0,
+                waiting_consumers: 0,
             }),
             not_full: Condvar::new(),
+            not_empty: Condvar::new(),
             capacity,
             blocked_pushes: AtomicU64::new(0),
+        }
+    }
+
+    /// Wakes the (single) parked consumer if this insertion crossed the
+    /// empty→non-empty edge. `was_empty` is the emptiness *before* the
+    /// insertion, observed under the same mutex hold.
+    fn wake_consumer(&self, state: &State<T>, was_empty: bool) {
+        if was_empty && state.waiting_consumers > 0 {
+            self.not_empty.notify_one();
         }
     }
 
     /// Appends without blocking, or reports why it cannot.
     pub fn try_push(&self, item: T) -> Result<(), TryPushError<T>> {
         // PANIC: the state mutex is never poisoned — no user code runs
-        // under it, only VecDeque/bool operations that cannot panic
+        // under it, only VecDeque/bool/counter operations that cannot panic
         // (pushes happen strictly below the pre-reserved capacity).
         let mut state = self.state.lock().unwrap();
         if state.closed {
@@ -89,7 +138,9 @@ impl<T> IngestQueue<T> {
         if state.items.len() >= self.capacity {
             return Err(TryPushError::Full(item));
         }
+        let was_empty = state.items.is_empty();
         state.items.push_back(item);
+        self.wake_consumer(&state, was_empty);
         Ok(())
     }
 
@@ -103,20 +154,102 @@ impl<T> IngestQueue<T> {
     pub fn push(&self, item: T) -> Result<(), PushClosed<T>> {
         // PANIC: the state mutex is never poisoned (see `try_push`).
         let mut state = self.state.lock().unwrap();
+        let mut waited = false;
         loop {
             if state.closed {
                 return Err(PushClosed(item));
             }
             if state.items.len() < self.capacity {
+                let was_empty = state.items.is_empty();
                 state.items.push_back(item);
+                self.wake_consumer(&state, was_empty);
+                // Cascade: a drain can free many slots with a single
+                // notification. If this push was woken into one of those
+                // slots and room remains for the next parked producer,
+                // pass the wakeup along so no waiter is stranded.
+                if waited && state.items.len() < self.capacity && state.waiting_producers > 0 {
+                    self.not_full.notify_one();
+                }
                 return Ok(());
             }
             // ORDERING: Relaxed — a monotonic backpressure counter; readers
             // only ever observe it for reporting, never for synchronization.
             self.blocked_pushes.fetch_add(1, Ordering::Relaxed);
+            state.waiting_producers += 1;
+            waited = true;
             // PANIC: Condvar::wait only fails on mutex poisoning, which
             // cannot happen here (see `try_push`).
             state = self.not_full.wait(state).unwrap();
+            state.waiting_producers -= 1;
+        }
+    }
+
+    /// Moves every item out of `batch` into the ring in order, taking the
+    /// lock once per stretch of available space rather than once per item,
+    /// and blocking (counted, like [`IngestQueue::push`]) whenever the ring
+    /// fills mid-batch.
+    ///
+    /// On success `batch` is left empty and ready for reuse — its capacity
+    /// is retained, so a caller recycling the same buffer pushes every
+    /// subsequent chunk without allocating.
+    ///
+    /// # Errors
+    ///
+    /// If the queue is (or becomes, while waiting) closed, the items not
+    /// yet transferred remain in `batch` (in their original order) and are
+    /// handed back to the caller via the error.
+    pub fn push_batch(&self, batch: &mut Vec<T>) -> Result<(), PushClosed<()>> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        // PANIC: the state mutex is never poisoned (see `try_push`).
+        let mut state = self.state.lock().unwrap();
+        let mut waited = false;
+        loop {
+            if state.closed {
+                return Err(PushClosed(()));
+            }
+            let room = self.capacity - state.items.len();
+            if room > 0 {
+                let was_empty = state.items.is_empty();
+                let take = room.min(batch.len());
+                for item in batch.drain(..take) {
+                    state.items.push_back(item);
+                }
+                self.wake_consumer(&state, was_empty && take > 0);
+                if batch.is_empty() {
+                    // Cascade (see `push`): more room may remain for the
+                    // next parked producer after a many-slot drain.
+                    if waited && state.items.len() < self.capacity && state.waiting_producers > 0 {
+                        self.not_full.notify_one();
+                    }
+                    return Ok(());
+                }
+            }
+            // ORDERING: Relaxed — monotonic backpressure counter (see `push`).
+            self.blocked_pushes.fetch_add(1, Ordering::Relaxed);
+            state.waiting_producers += 1;
+            waited = true;
+            // PANIC: Condvar::wait only fails on mutex poisoning (see `push`).
+            state = self.not_full.wait(state).unwrap();
+            state.waiting_producers -= 1;
+        }
+    }
+
+    /// Wakes producers after `removed` items left a ring that held
+    /// `len_before` items. Only the full→not-full edge can have parked
+    /// producers (they re-check under this mutex before parking), and the
+    /// waiter count is exact, so a not-full pop with no waiters costs no
+    /// syscall at all.
+    fn wake_producers(&self, state: &State<T>, len_before: usize, removed: usize) {
+        if removed > 0 && len_before == self.capacity && state.waiting_producers > 0 {
+            if removed == 1 {
+                self.not_full.notify_one();
+            } else {
+                // One notification per batch drain; the woken producers
+                // cascade further wakeups while room remains.
+                self.not_full.notify_all();
+            }
         }
     }
 
@@ -124,13 +257,64 @@ impl<T> IngestQueue<T> {
     pub fn pop(&self) -> Pop<T> {
         // PANIC: the state mutex is never poisoned (see `try_push`).
         let mut state = self.state.lock().unwrap();
+        let len_before = state.items.len();
         match state.items.pop_front() {
             Some(item) => {
-                self.not_full.notify_one();
+                self.wake_producers(&state, len_before, 1);
                 Pop::Item(item)
             }
             None if state.closed => Pop::Closed,
             None => Pop::Empty,
+        }
+    }
+
+    /// Moves up to `max` items into `buf` (appending), taking the lock once
+    /// for the whole stretch, never blocking. Producers are notified at most
+    /// once, only on the full→not-full edge.
+    pub fn drain_into(&self, buf: &mut Vec<T>, max: usize) -> Drain {
+        if max == 0 {
+            return Drain::Items(0);
+        }
+        // PANIC: the state mutex is never poisoned (see `try_push`).
+        let mut state = self.state.lock().unwrap();
+        let len_before = state.items.len();
+        if len_before == 0 {
+            return if state.closed {
+                Drain::Closed
+            } else {
+                Drain::Empty
+            };
+        }
+        let take = len_before.min(max);
+        buf.extend(state.items.drain(..take));
+        self.wake_producers(&state, len_before, take);
+        Drain::Items(take)
+    }
+
+    /// Like [`IngestQueue::drain_into`], but blocks while the ring is empty
+    /// and open. Returns [`Drain::Closed`] once the queue is closed *and*
+    /// fully drained; never returns [`Drain::Empty`]. This is the
+    /// thread-per-shard consumer loop: park in the queue itself instead of
+    /// in an executor.
+    pub fn drain_wait(&self, buf: &mut Vec<T>, max: usize) -> Drain {
+        debug_assert!(max > 0, "drain_wait with max == 0 would never return items");
+        // PANIC: the state mutex is never poisoned (see `try_push`).
+        let mut state = self.state.lock().unwrap();
+        loop {
+            let len_before = state.items.len();
+            if len_before > 0 {
+                let take = len_before.min(max);
+                buf.extend(state.items.drain(..take));
+                self.wake_producers(&state, len_before, take);
+                return Drain::Items(take);
+            }
+            if state.closed {
+                return Drain::Closed;
+            }
+            state.waiting_consumers += 1;
+            // PANIC: Condvar::wait only fails on mutex poisoning (see `push`).
+            state = self.not_empty.wait(state).unwrap();
+            state.waiting_consumers -= 1;
         }
     }
 
@@ -141,8 +325,13 @@ impl<T> IngestQueue<T> {
     /// leave producers blocked forever).
     pub fn close(&self) {
         // PANIC: the state mutex is never poisoned (see `try_push`).
-        self.state.lock().unwrap().closed = true;
+        let mut state = self.state.lock().unwrap();
+        state.closed = true;
+        // Close is a state change every waiter must observe, on both sides:
+        // producers fail their pushes, a parked consumer drains the backlog
+        // and sees `Closed`.
         self.not_full.notify_all();
+        self.not_empty.notify_all();
     }
 
     /// Whether [`IngestQueue::close`] has been called.
@@ -167,8 +356,8 @@ impl<T> IngestQueue<T> {
         self.capacity
     }
 
-    /// How many times a [`IngestQueue::push`] had to wait for space — the
-    /// queue-local backpressure counter.
+    /// How many times a [`IngestQueue::push`] / [`IngestQueue::push_batch`]
+    /// had to wait for space — the queue-local backpressure counter.
     pub fn blocked_pushes(&self) -> u64 {
         // ORDERING: Relaxed — reporting-only counter (see the fetch_add in
         // `push`); no other memory depends on its value.
@@ -246,5 +435,176 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_is_rejected() {
         let _ = IngestQueue::<u8>::bounded(0);
+    }
+
+    #[test]
+    fn push_batch_fifo_and_buffer_reuse() {
+        let q = IngestQueue::bounded(8);
+        let mut batch = vec![1, 2, 3];
+        let cap_before = batch.capacity();
+        q.push_batch(&mut batch).unwrap();
+        assert!(batch.is_empty());
+        assert_eq!(batch.capacity(), cap_before, "batch buffer is reusable");
+        batch.extend([4, 5]);
+        q.push_batch(&mut batch).unwrap();
+        for want in 1..=5 {
+            assert!(matches!(q.pop(), Pop::Item(got) if got == want));
+        }
+        assert!(matches!(q.pop(), Pop::Empty));
+    }
+
+    #[test]
+    fn push_batch_blocks_on_full_then_completes() {
+        let q = Arc::new(IngestQueue::bounded(2));
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut batch = (0..10).collect::<Vec<u32>>();
+                q.push_batch(&mut batch).unwrap();
+                assert!(batch.is_empty());
+            })
+        };
+        // Drain everything the producer manages to squeeze in, in order.
+        let mut seen = Vec::new();
+        while seen.len() < 10 {
+            match q.pop() {
+                Pop::Item(v) => seen.push(v),
+                Pop::Empty => std::thread::yield_now(),
+                Pop::Closed => panic!("queue closed early"),
+            }
+        }
+        producer.join().unwrap();
+        assert_eq!(seen, (0..10).collect::<Vec<u32>>());
+        assert!(
+            q.blocked_pushes() >= 1,
+            "a 10-item batch through a 2-slot ring must block"
+        );
+    }
+
+    #[test]
+    fn push_batch_close_hands_back_remainder() {
+        let q = Arc::new(IngestQueue::bounded(2));
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut batch = (0..6).collect::<Vec<u32>>();
+                let res = q.push_batch(&mut batch);
+                (res, batch)
+            })
+        };
+        while q.blocked_pushes() == 0 {
+            std::thread::yield_now();
+        }
+        q.close();
+        let (res, rest) = producer.join().unwrap();
+        assert!(matches!(res, Err(PushClosed(()))));
+        // The first two fit; the remainder is handed back in order.
+        assert_eq!(rest, vec![2, 3, 4, 5]);
+        assert!(matches!(q.pop(), Pop::Item(0)));
+        assert!(matches!(q.pop(), Pop::Item(1)));
+        assert!(matches!(q.pop(), Pop::Closed));
+    }
+
+    #[test]
+    fn drain_into_appends_up_to_max() {
+        let q = IngestQueue::bounded(8);
+        for i in 0..5 {
+            q.try_push(i).unwrap();
+        }
+        let mut buf = vec![99];
+        assert_eq!(q.drain_into(&mut buf, 3), Drain::Items(3));
+        assert_eq!(buf, vec![99, 0, 1, 2]);
+        assert_eq!(q.drain_into(&mut buf, 10), Drain::Items(2));
+        assert_eq!(buf, vec![99, 0, 1, 2, 3, 4]);
+        assert_eq!(q.drain_into(&mut buf, 10), Drain::Empty);
+        q.close();
+        assert_eq!(q.drain_into(&mut buf, 10), Drain::Closed);
+        assert_eq!(q.drain_into(&mut buf, 0), Drain::Items(0));
+    }
+
+    #[test]
+    fn drain_wait_blocks_until_items_then_closed() {
+        let q = Arc::new(IngestQueue::bounded(4));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut buf = Vec::new();
+                loop {
+                    match q.drain_wait(&mut buf, 16) {
+                        Drain::Items(_) => {}
+                        Drain::Closed => break,
+                        Drain::Empty => unreachable!("drain_wait never reports Empty"),
+                    }
+                }
+                buf
+            })
+        };
+        for i in 0..20 {
+            q.push(i).unwrap();
+        }
+        q.close();
+        assert_eq!(consumer.join().unwrap(), (0..20).collect::<Vec<u32>>());
+    }
+
+    /// Satellite pin: `pop` notifies only on the full→not-full edge, and
+    /// that discipline must never strand a blocked producer. Many producers
+    /// block on a tiny ring while a single consumer drains with every
+    /// removal shape (single pops and multi-slot drains); all producers
+    /// must complete.
+    #[test]
+    fn edge_triggered_wakes_never_strand_producers() {
+        for trial in 0..8 {
+            let q = Arc::new(IngestQueue::bounded(2));
+            let producers: Vec<_> = (0..4)
+                .map(|p| {
+                    let q = Arc::clone(&q);
+                    std::thread::spawn(move || {
+                        for i in 0..50u32 {
+                            q.push(p * 1000 + i).unwrap();
+                        }
+                    })
+                })
+                .collect();
+            let mut got = 0usize;
+            let mut buf = Vec::new();
+            while got < 4 * 50 {
+                // Alternate removal shapes so both the notify_one pop edge
+                // and the notify_all batch-drain edge are exercised.
+                if (got + trial).is_multiple_of(3) {
+                    match q.pop() {
+                        Pop::Item(_) => got += 1,
+                        Pop::Empty => std::thread::yield_now(),
+                        Pop::Closed => unreachable!(),
+                    }
+                } else {
+                    match q.drain_into(&mut buf, 2) {
+                        Drain::Items(n) => got += n,
+                        Drain::Empty => std::thread::yield_now(),
+                        Drain::Closed => unreachable!(),
+                    }
+                }
+            }
+            for p in producers {
+                p.join().unwrap();
+            }
+            assert!(matches!(q.pop(), Pop::Empty));
+        }
+    }
+
+    /// A pop from a non-full ring with no waiters must not notify — pinned
+    /// indirectly: a consumer draining a never-full queue leaves the
+    /// blocked-push counter at zero (no producer ever parked, so the edge
+    /// condition never fired).
+    #[test]
+    fn unblocked_traffic_never_counts_blocked_pushes() {
+        let q = IngestQueue::bounded(64);
+        for round in 0..32 {
+            for i in 0..16 {
+                q.push(round * 16 + i).unwrap();
+            }
+            let mut buf = Vec::new();
+            assert_eq!(q.drain_into(&mut buf, 64), Drain::Items(16));
+        }
+        assert_eq!(q.blocked_pushes(), 0);
     }
 }

@@ -1,0 +1,255 @@
+//! Incremental MBAP (Modbus-TCP) framing over one TCP byte stream.
+//!
+//! TCP is a byte stream: one segment may carry half a frame, three
+//! frames, or garbage from a desynchronized or malicious peer. The
+//! decoder is therefore a small state machine over an internal pending
+//! buffer:
+//!
+//! ```text
+//!            ┌─────────────—──── skip 1 byte, count it ─────┐
+//!            ▼                                              │
+//!   [need header] ──7 bytes──▶ [validate header] ──invalid──┘
+//!            ▲                        │ valid
+//!            │                        ▼
+//!            └──emit frame──── [need body: 6+length bytes]
+//! ```
+//!
+//! Header validation is the resync oracle: protocol id must be 0 and the
+//! length field must cover at least a unit id + one PDU byte and at most
+//! a maximal RTU PDU. On violation the decoder discards exactly one byte
+//! and retries — the classic self-synchronizing scan — so a burst of
+//! garbage costs its own length in scan steps, never a stall, and every
+//! skipped byte is accounted in [`DecoderStats`].
+//!
+//! Decoded frames are **re-encapsulated as Modbus RTU** (`unit + PDU +
+//! CRC16`) in a buffer owned by the decoder and reused frame to frame:
+//! the detection pipeline's lenient RTU decode, payload features, and CRC
+//! statistics then apply to TCP traffic unchanged, and a well-formed
+//! tunneled RTU capture round-trips bit-identically (the CRC recomputed
+//! here equals the one the serial frame carried).
+
+use icsad_modbus::crc::crc16;
+use icsad_modbus::MAX_ADU_LEN;
+
+/// Bytes in an MBAP header: transaction id, protocol id, length (u16 big
+/// endian each), then the unit id.
+pub const MBAP_HEADER_LEN: usize = 7;
+
+/// Largest acceptable MBAP `length` field: the unit id byte plus the
+/// largest PDU an RTU ADU can carry (`MAX_ADU_LEN` minus address and
+/// CRC). Larger values mark a desynchronized stream.
+pub const MBAP_MAX_LENGTH_FIELD: usize = 1 + (MAX_ADU_LEN - 3);
+
+/// Pending-buffer compaction threshold: once this many consumed bytes
+/// accumulate at the front, shift the tail down (a memmove, never an
+/// allocation).
+const COMPACT_AT: usize = 4096;
+
+/// One decoded MBAP frame, borrowed from the decoder's reusable buffers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MbapFrame<'a> {
+    /// MBAP transaction identifier (echoed by responses).
+    pub transaction: u16,
+    /// Unit (slave) identifier from the MBAP header.
+    pub unit: u8,
+    /// The frame re-encapsulated as a Modbus RTU ADU: `unit + PDU +
+    /// CRC16`, ready for the engine's RTU pipeline.
+    pub adu: &'a [u8],
+}
+
+/// Counters for one decoder (one TCP direction).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct DecoderStats {
+    /// Well-formed frames emitted.
+    pub frames: u64,
+    /// Bytes discarded while scanning for a valid header.
+    pub skipped_bytes: u64,
+    /// Distinct garbage runs survived (a run of skipped bytes between two
+    /// in-sync stretches counts once, however long).
+    pub resyncs: u64,
+}
+
+/// Incremental MBAP decoder for one TCP byte stream (see module docs).
+#[derive(Debug, Default)]
+pub struct MbapDecoder {
+    /// Undecoded stream bytes; `[start..]` is live.
+    buf: Vec<u8>,
+    start: usize,
+    /// Reusable RTU re-encapsulation buffer handed out via [`MbapFrame`].
+    rtu: Vec<u8>,
+    stats: DecoderStats,
+    in_garbage: bool,
+}
+
+impl MbapDecoder {
+    /// A decoder with empty buffers.
+    pub fn new() -> Self {
+        MbapDecoder::default()
+    }
+
+    /// Appends raw stream bytes (one TCP segment's payload, or any other
+    /// slicing — framing never depends on segment boundaries).
+    pub fn push(&mut self, bytes: &[u8]) {
+        // Compact before growing: steady-state traffic recirculates the
+        // same buffer span instead of creeping forward forever.
+        if self.start >= self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        } else if self.start >= COMPACT_AT {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Decodes the next complete frame out of the pending bytes, skipping
+    /// garbage as needed. `None` means more bytes are required.
+    pub fn next_frame(&mut self) -> Option<MbapFrame<'_>> {
+        loop {
+            let pending = &self.buf[self.start..];
+            if pending.len() < MBAP_HEADER_LEN {
+                return None;
+            }
+            let transaction = u16::from_be_bytes([pending[0], pending[1]]);
+            let protocol = u16::from_be_bytes([pending[2], pending[3]]);
+            let length = usize::from(u16::from_be_bytes([pending[4], pending[5]]));
+            if protocol != 0 || !(2..=MBAP_MAX_LENGTH_FIELD).contains(&length) {
+                // Out of sync: drop one byte and rescan.
+                self.start += 1;
+                self.stats.skipped_bytes += 1;
+                if !self.in_garbage {
+                    self.in_garbage = true;
+                    self.stats.resyncs += 1;
+                }
+                continue;
+            }
+            let frame_len = 6 + length;
+            if pending.len() < frame_len {
+                return None;
+            }
+            let unit = pending[6];
+            let pdu = &pending[MBAP_HEADER_LEN..frame_len];
+            self.rtu.clear();
+            self.rtu.push(unit);
+            self.rtu.extend_from_slice(pdu);
+            let crc = crc16(&self.rtu);
+            self.rtu.extend_from_slice(&crc.to_le_bytes());
+            self.start += frame_len;
+            self.stats.frames += 1;
+            self.in_garbage = false;
+            return Some(MbapFrame {
+                transaction,
+                unit,
+                adu: &self.rtu,
+            });
+        }
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> DecoderStats {
+        self.stats
+    }
+
+    /// Bytes buffered but not yet decoded (an incomplete trailing frame).
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mbap(txn: u16, unit: u8, pdu: &[u8]) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&txn.to_be_bytes());
+        out.extend_from_slice(&0u16.to_be_bytes());
+        out.extend_from_slice(&((pdu.len() + 1) as u16).to_be_bytes());
+        out.push(unit);
+        out.extend_from_slice(pdu);
+        out
+    }
+
+    fn rtu(unit: u8, pdu: &[u8]) -> Vec<u8> {
+        let mut adu = Vec::new();
+        adu.push(unit);
+        adu.extend_from_slice(pdu);
+        let crc = crc16(&adu);
+        adu.extend_from_slice(&crc.to_le_bytes());
+        adu
+    }
+
+    #[test]
+    fn whole_frame_round_trips_to_rtu() {
+        let mut dec = MbapDecoder::new();
+        dec.push(&mbap(7, 4, &[0x03, 0x00, 0x2A]));
+        let frame = dec.next_frame().expect("complete frame");
+        assert_eq!(frame.transaction, 7);
+        assert_eq!(frame.unit, 4);
+        assert_eq!(frame.adu, rtu(4, &[0x03, 0x00, 0x2A]));
+        assert!(dec.next_frame().is_none());
+        assert_eq!(dec.stats().frames, 1);
+        assert_eq!(dec.stats().skipped_bytes, 0);
+    }
+
+    #[test]
+    fn framing_survives_any_segmentation() {
+        let mut stream = Vec::new();
+        for i in 0..20u16 {
+            stream.extend_from_slice(&mbap(i, (i % 5) as u8 + 1, &[0x03, i as u8, 0x2A]));
+        }
+        // Re-deliver the same stream at every chunk size, including 1.
+        for chunk in 1..=17 {
+            let mut dec = MbapDecoder::new();
+            let mut seen = Vec::new();
+            for segment in stream.chunks(chunk) {
+                dec.push(segment);
+                while let Some(frame) = dec.next_frame() {
+                    seen.push(frame.transaction);
+                }
+            }
+            assert_eq!(seen, (0..20).collect::<Vec<_>>(), "chunk={chunk}");
+            assert_eq!(dec.stats().skipped_bytes, 0);
+            assert_eq!(dec.pending(), 0);
+        }
+    }
+
+    #[test]
+    fn garbage_is_skipped_and_counted_then_decoding_resumes() {
+        let mut dec = MbapDecoder::new();
+        // Protocol id 0xFFFF everywhere: pure garbage.
+        let garbage = [0xFFu8; 23];
+        dec.push(&garbage);
+        dec.push(&mbap(3, 9, &[0x10, 0x01]));
+        let frame = dec.next_frame().expect("frame after garbage");
+        assert_eq!(frame.transaction, 3);
+        let stats = dec.stats();
+        assert_eq!(stats.frames, 1);
+        assert_eq!(stats.skipped_bytes, garbage.len() as u64);
+        assert_eq!(stats.resyncs, 1);
+    }
+
+    #[test]
+    fn oversized_length_field_forces_resync() {
+        let mut raw = mbap(1, 2, &[0x03]);
+        // Corrupt the length field beyond the RTU maximum.
+        raw[4] = 0xFF;
+        raw[5] = 0xFF;
+        let mut dec = MbapDecoder::new();
+        dec.push(&raw);
+        dec.push(&mbap(2, 2, &[0x03]));
+        let frame = dec.next_frame().expect("recovers on next frame");
+        assert_eq!(frame.transaction, 2);
+        assert!(dec.stats().skipped_bytes > 0);
+    }
+
+    #[test]
+    fn rtu_buffer_is_reused_across_frames() {
+        let mut dec = MbapDecoder::new();
+        dec.push(&mbap(1, 1, &[0x03, 0xAA]));
+        let first = dec.next_frame().expect("first").adu.as_ptr();
+        dec.push(&mbap(2, 1, &[0x03, 0xBB]));
+        let second = dec.next_frame().expect("second").adu.as_ptr();
+        assert_eq!(first, second, "re-encapsulation buffer must be reused");
+    }
+}

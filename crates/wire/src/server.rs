@@ -1,0 +1,308 @@
+//! Live Modbus-TCP monitoring without an async runtime.
+//!
+//! [`WireServer`] is a readiness-driven poll loop over **nonblocking**
+//! std sockets: one nonblocking `TcpListener` plus a table of nonblocking
+//! per-connection streams. Each [`WireServer::poll`] call sweeps the
+//! listener (accepting every pending connection) and every live stream
+//! (reading until `WouldBlock` into one shared scratch buffer), feeds the
+//! bytes through that connection's [`MbapDecoder`], and hands decoded
+//! frames to the caller's sink. No threads, no epoll wrapper, no
+//! dependencies — the caller owns the cadence, typically alternating
+//! `poll` with `Engine::ingest_batch` exactly like the replay path.
+//!
+//! Command/response direction is inferred from MBAP transaction ids: a
+//! monitor port sees both halves of the conversation on one connection,
+//! and a Modbus-TCP response echoes its command's transaction id. Each
+//! connection keeps a small ring of recently seen ids — an unseen id is a
+//! command (and enters the ring), a match is its response (and leaves).
+//! A fresh polling master re-using ids after a restart self-corrects
+//! within one ring's worth of traffic.
+
+use std::io::{ErrorKind, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::time::Instant;
+
+use icsad_engine::{FrameBytes, RawFrame};
+
+use crate::mbap::MbapDecoder;
+
+/// Pending command transaction ids remembered per connection. Modbus
+/// masters rarely pipeline more than a handful of outstanding requests.
+const TXN_RING: usize = 32;
+
+/// Read scratch shared by all connections within one poll sweep.
+const READ_CHUNK: usize = 4096;
+
+/// Counters for one [`WireServer`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Connections accepted over the server's lifetime.
+    pub accepted: u64,
+    /// Connections that have since closed (EOF or error).
+    pub closed: u64,
+    /// Stream bytes read across all connections.
+    pub bytes: u64,
+    /// Modbus frames emitted to the sink.
+    pub frames: u64,
+    /// Stream bytes discarded while decoders resynchronized.
+    pub skipped_bytes: u64,
+    /// Distinct garbage runs survived across all decoders.
+    pub resyncs: u64,
+}
+
+struct Conn {
+    stream: TcpStream,
+    decoder: MbapDecoder,
+    link: u32,
+    /// Ring of outstanding command transaction ids (see module docs).
+    txns: [u16; TXN_RING],
+    txn_len: usize,
+    txn_next: usize,
+}
+
+impl Conn {
+    /// Classifies a transaction id and updates the ring: unseen → command,
+    /// seen → response (consumed).
+    fn classify(&mut self, txn: u16) -> bool {
+        if let Some(i) = self.txns[..self.txn_len].iter().position(|&t| t == txn) {
+            self.txns.copy_within(i + 1..self.txn_len, i);
+            self.txn_len -= 1;
+            if self.txn_next > i {
+                self.txn_next -= 1;
+            }
+            return false;
+        }
+        if self.txn_len < TXN_RING {
+            self.txns[self.txn_len] = txn;
+            self.txn_len += 1;
+        } else {
+            // Ring full: evict round-robin so a master that never gets
+            // responses cannot pin the table.
+            self.txns[self.txn_next] = txn;
+            self.txn_next = (self.txn_next + 1) % TXN_RING;
+        }
+        true
+    }
+}
+
+/// Nonblocking Modbus-TCP monitor (see the module docs).
+pub struct WireServer {
+    listener: TcpListener,
+    conns: Vec<Conn>,
+    next_link: u32,
+    started: Instant,
+    scratch: Vec<u8>,
+    stats: ServerStats,
+}
+
+impl WireServer {
+    /// Binds a nonblocking listener. Bind to port 0 to let the OS pick
+    /// (the loopback tests do).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from bind/configure.
+    pub fn bind<A: ToSocketAddrs>(addr: A) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(WireServer {
+            listener,
+            conns: Vec::new(),
+            next_link: 0,
+            started: Instant::now(),
+            scratch: vec![0u8; READ_CHUNK],
+            stats: ServerStats::default(),
+        })
+    }
+
+    /// The bound address (useful after binding port 0).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket error.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// One readiness sweep: accepts pending connections, drains readable
+    /// streams, decodes, and emits frames. Returns the number of frames
+    /// handed to `sink`. Never blocks.
+    pub fn poll<F: FnMut(RawFrame)>(&mut self, mut sink: F) -> usize {
+        // Accept everything already queued.
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    self.stats.accepted += 1;
+                    self.conns.push(Conn {
+                        stream,
+                        decoder: MbapDecoder::new(),
+                        link: self.next_link,
+                        txns: [0; TXN_RING],
+                        txn_len: 0,
+                        txn_next: 0,
+                    });
+                    self.next_link += 1;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+
+        let now = self.started.elapsed().as_secs_f64();
+        let mut emitted = 0usize;
+        let mut i = 0;
+        while i < self.conns.len() {
+            let mut open = true;
+            loop {
+                let conn = &mut self.conns[i];
+                match conn.stream.read(&mut self.scratch) {
+                    Ok(0) => {
+                        open = false;
+                        break;
+                    }
+                    Ok(n) => {
+                        self.stats.bytes += n as u64;
+                        conn.decoder.push(&self.scratch[..n]);
+                        while let Some(frame) = conn.decoder.next_frame() {
+                            let txn = frame.transaction;
+                            let wire = FrameBytes::from(frame.adu);
+                            let is_command = conn.classify(txn);
+                            self.stats.frames += 1;
+                            emitted += 1;
+                            sink(RawFrame {
+                                time: now,
+                                wire,
+                                is_command,
+                                label: None,
+                                link: conn.link,
+                            });
+                        }
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        open = false;
+                        break;
+                    }
+                }
+            }
+            if open {
+                i += 1;
+            } else {
+                let conn = self.conns.swap_remove(i);
+                self.stats.closed += 1;
+                self.stats.skipped_bytes += conn.decoder.stats().skipped_bytes;
+                self.stats.resyncs += conn.decoder.stats().resyncs;
+            }
+        }
+        emitted
+    }
+
+    /// Live connection count.
+    pub fn connections(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// Counters so far, including decoders of still-open connections.
+    pub fn stats(&self) -> ServerStats {
+        let mut stats = self.stats;
+        for conn in &self.conns {
+            stats.skipped_bytes += conn.decoder.stats().skipped_bytes;
+            stats.resyncs += conn.decoder.stats().resyncs;
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icsad_modbus::crc::crc16;
+    use std::io::Write;
+    use std::time::Duration;
+
+    fn mbap(txn: u16, unit: u8, pdu: &[u8]) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&txn.to_be_bytes());
+        out.extend_from_slice(&0u16.to_be_bytes());
+        out.extend_from_slice(&((pdu.len() + 1) as u16).to_be_bytes());
+        out.push(unit);
+        out.extend_from_slice(pdu);
+        out
+    }
+
+    fn rtu(unit: u8, pdu: &[u8]) -> Vec<u8> {
+        let mut adu = Vec::new();
+        adu.push(unit);
+        adu.extend_from_slice(pdu);
+        let crc = crc16(&adu);
+        adu.extend_from_slice(&crc.to_le_bytes());
+        adu
+    }
+
+    fn poll_until<F: FnMut(RawFrame)>(server: &mut WireServer, want: usize, mut sink: F) {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let mut got = 0;
+        while got < want {
+            got += server.poll(&mut sink);
+            assert!(Instant::now() < deadline, "timed out waiting for frames");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    #[test]
+    fn loopback_frames_arrive_with_direction_and_links() {
+        let mut server = WireServer::bind("127.0.0.1:0").expect("bind");
+        let addr = server.local_addr().expect("addr");
+
+        let mut client = TcpStream::connect(addr).expect("connect");
+        // A command, its echo (the monitor sees both sides), then a second
+        // command with a fresh transaction id.
+        client.write_all(&mbap(7, 4, &[0x03, 0x00, 0x2A])).unwrap();
+        client
+            .write_all(&mbap(7, 4, &[0x03, 0x02, 0x01, 0x02]))
+            .unwrap();
+        client.write_all(&mbap(8, 4, &[0x10, 0x01])).unwrap();
+        client.flush().unwrap();
+
+        let mut frames = Vec::new();
+        poll_until(&mut server, 3, |f| frames.push(f));
+
+        assert_eq!(frames.len(), 3);
+        assert!(frames[0].is_command, "first txn 7 sighting is the command");
+        assert!(!frames[1].is_command, "echoed txn 7 is the response");
+        assert!(frames[2].is_command, "txn 8 is a new command");
+        assert_eq!(
+            frames[0].wire,
+            FrameBytes::from(&rtu(4, &[0x03, 0x00, 0x2A])[..])
+        );
+        assert!(frames.iter().all(|f| f.link == 0 && f.label.is_none()));
+        assert_eq!(server.connections(), 1);
+
+        // A second client gets the next link id.
+        let mut other = TcpStream::connect(addr).expect("connect 2");
+        other.write_all(&mbap(1, 9, &[0x03, 0x01])).unwrap();
+        other.flush().unwrap();
+        let mut more = Vec::new();
+        poll_until(&mut server, 1, |f| more.push(f));
+        assert_eq!(more[0].link, 1);
+
+        drop(client);
+        drop(other);
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while server.connections() > 0 {
+            server.poll(|_| {});
+            assert!(Instant::now() < deadline, "timed out waiting for close");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let stats = server.stats();
+        assert_eq!(stats.accepted, 2);
+        assert_eq!(stats.closed, 2);
+        assert_eq!(stats.frames, 4);
+        assert_eq!(stats.skipped_bytes, 0);
+    }
+}

@@ -142,21 +142,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     engine.ingest_packets(&packets[..half]);
 
     // A corrupted tap: one truncated fragment and one frame with a broken
-    // clock. Both are quarantined at ingest, not merged into a stream.
-    engine.ingest(RawFrame {
-        time: packets[half].time,
-        wire: vec![0x04],
-        is_command: true,
-        label: None,
-        link: 0,
-    });
-    engine.ingest(RawFrame {
-        time: f64::NAN,
-        wire: packets[half].wire.clone(),
-        is_command: packets[half].is_command,
-        label: None,
-        link: 0,
-    });
+    // clock. Both are quarantined at ingest, not merged into a stream —
+    // delivered in one batched call, as a burst from a real tap would be.
+    engine.ingest_batch([
+        RawFrame {
+            time: packets[half].time,
+            wire: vec![0x04].into(),
+            is_command: true,
+            label: None,
+            link: 0,
+        },
+        RawFrame {
+            time: f64::NAN,
+            wire: packets[half].wire.clone().into(),
+            is_command: packets[half].is_command,
+            label: None,
+            link: 0,
+        },
+    ]);
 
     // Mid-shift hot-reload: the re-commissioned artifact replaces the
     // running detector at each shard's next round boundary. In-flight
