@@ -1,0 +1,277 @@
+//! Per-attack-family scenario metrics: detection rate, alarm latency in
+//! packages, and quarantine accounting for scripted adversarial campaigns
+//! driven through the streaming engine.
+//!
+//! Table V scores per-package recall on randomly scheduled episodes; an
+//! operator staring at a SCADA console cares about scripted *campaigns*:
+//! for each attack family, a capture where the attacker lies low, strikes
+//! in episodes, and (for the storm legs) sprays malformed garbage on a
+//! side link. Three questions per family:
+//!
+//! 1. **package detection** — the engine's per-attack detected ratio over
+//!    the campaign's labeled packages (same metric as Table V, harder
+//!    traffic shape);
+//! 2. **episode detection & latency** — was each strike episode flagged
+//!    at all, and how many attack packages in did the first alarm land;
+//! 3. **quarantine** — every runt frame of the side-channel garbage storm
+//!    lands on the quarantine counter, never in a stream.
+//!
+//! ```sh
+//! cargo run --release -p icsad-bench --bin scenario_table
+//! ```
+//!
+//! Environment: `ICSAD_SCENARIO_EPISODES` (default `6`),
+//! `ICSAD_SCENARIO_QUIET` (default `12` cycles), `ICSAD_SCENARIO_STRIKE`
+//! (default `4` cycles), `ICSAD_HIDDEN` (default `32`), plus the engine's
+//! `ICSAD_INGEST_MODE` / `ICSAD_INGEST_WORKERS` overrides.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use icsad_bench::{fmt_ratio, print_table};
+use icsad_core::experiment::{train_framework, ExperimentConfig};
+use icsad_core::metrics::AlarmLatency;
+use icsad_core::timeseries::TimeSeriesTrainingConfig;
+use icsad_core::CombinedDetector;
+use icsad_dataset::extract::{StreamExtractor, DEFAULT_CRC_WINDOW};
+use icsad_dataset::{DatasetConfig, GasPipelineDataset};
+use icsad_engine::{Engine, EngineConfig, MIN_FRAME_LEN};
+use icsad_simulator::scenario::{ScenarioBuilder, ScenarioEvent, Stage};
+use icsad_simulator::{AttackType, TrafficConfig};
+
+/// Unlabeled packages tolerated inside one strike episode before the next
+/// labeled package counts as a new episode (a strike cycle carries a few
+/// legitimate packets between its attack packets; a quiet stage carries
+/// dozens).
+const EPISODE_GAP: usize = 16;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn train_detector(hidden: Vec<usize>) -> Arc<CombinedDetector> {
+    let data = GasPipelineDataset::generate(&DatasetConfig {
+        total_packages: 6_000,
+        seed: 7,
+        attack_probability: 0.0,
+        ..DatasetConfig::default()
+    });
+    let split = data.split_chronological(0.7, 0.2);
+    Arc::new(
+        train_framework(
+            &split,
+            &ExperimentConfig {
+                timeseries: TimeSeriesTrainingConfig {
+                    hidden_dims: hidden,
+                    epochs: 1,
+                    seed: 7,
+                    ..TimeSeriesTrainingConfig::default()
+                },
+                ..ExperimentConfig::default()
+            },
+        )
+        .expect("scenario detector training failed")
+        .detector,
+    )
+}
+
+/// One campaign for `family`: a warm-up, then `episodes` strikes separated
+/// by quiet stages, plus a garbage storm on a side link. The MPCI row uses
+/// the slow-drift generator instead of the randomized forgery, modeling
+/// the stealthiest variant of the family.
+fn family_events(
+    family: AttackType,
+    episodes: usize,
+    quiet: usize,
+    strike: usize,
+) -> Vec<ScenarioEvent> {
+    let mut stages = vec![Stage::Quiet { cycles: 2 * quiet }];
+    for _ in 0..episodes {
+        match family {
+            AttackType::Mpci => stages.push(Stage::Drift {
+                cycles: strike,
+                step: 1.5,
+            }),
+            _ => stages.push(Stage::Strike {
+                attack: family,
+                cycles: strike,
+            }),
+        }
+        stages.push(Stage::Quiet { cycles: quiet });
+    }
+    ScenarioBuilder::new()
+        .campaign(
+            0,
+            0.0,
+            TrafficConfig {
+                seed: 40 + family.id() as u64,
+                ..TrafficConfig::default()
+            },
+            &stages,
+        )
+        .garbage_storm(9, 90 + family.id() as u64, 5.0, 64, 0.25)
+        .build()
+}
+
+struct Decided {
+    label: Option<AttackType>,
+    anomalous: bool,
+}
+
+/// Per-record offline classification in event order: partition well-formed
+/// frames by `(link, unit)`, run each stream through its own extractor and
+/// detector state (exactly the engine's per-lane semantics), then restore
+/// global event order for episode bookkeeping.
+fn decide_offline(detector: &CombinedDetector, events: &[ScenarioEvent]) -> Vec<Decided> {
+    let mut order: Vec<(usize, (u32, u8))> = Vec::new();
+    let mut streams: BTreeMap<(u32, u8), Vec<usize>> = BTreeMap::new();
+    for (i, event) in events.iter().enumerate() {
+        if let ScenarioEvent::Frame { link, wire, .. } = event {
+            if wire.len() < MIN_FRAME_LEN {
+                continue; // the engine quarantines these
+            }
+            let key = (*link, wire[0]);
+            order.push((i, key));
+            streams.entry(key).or_default().push(i);
+        }
+    }
+    let mut decisions: BTreeMap<usize, Decided> = BTreeMap::new();
+    for indices in streams.values() {
+        let mut extractor = StreamExtractor::new(DEFAULT_CRC_WINDOW);
+        let mut state = detector.begin();
+        for &i in indices {
+            let ScenarioEvent::Frame {
+                time,
+                wire,
+                is_command,
+                label,
+                ..
+            } = &events[i]
+            else {
+                unreachable!("indices collected from Frame events only");
+            };
+            let record = extractor.push(*time, wire, *is_command, *label);
+            let anomalous = detector.classify(&mut state, &record).is_anomalous();
+            decisions.insert(
+                i,
+                Decided {
+                    label: *label,
+                    anomalous,
+                },
+            );
+        }
+    }
+    order
+        .into_iter()
+        .map(|(i, _)| decisions.remove(&i).expect("every frame decided"))
+        .collect()
+}
+
+/// Groups the family's labeled packages into episodes (split on
+/// [`EPISODE_GAP`] consecutive foreign packages) and accumulates episode
+/// detection and first-alarm latency.
+fn episode_latency(decided: &[Decided], family: AttackType) -> AlarmLatency {
+    let mut latency = AlarmLatency::default();
+    let mut in_episode = false;
+    let mut gap = 0usize;
+    let mut index = 0u64;
+    let mut first_alarm: Option<u64> = None;
+    for d in decided {
+        if d.label == Some(family) {
+            if !in_episode {
+                in_episode = true;
+                index = 0;
+                first_alarm = None;
+            }
+            if d.anomalous && first_alarm.is_none() {
+                first_alarm = Some(index);
+            }
+            index += 1;
+            gap = 0;
+        } else if in_episode {
+            gap += 1;
+            if gap >= EPISODE_GAP {
+                latency.record_episode(first_alarm);
+                in_episode = false;
+            }
+        }
+    }
+    if in_episode {
+        latency.record_episode(first_alarm);
+    }
+    latency
+}
+
+fn main() {
+    let episodes = env_usize("ICSAD_SCENARIO_EPISODES", 6);
+    let quiet = env_usize("ICSAD_SCENARIO_QUIET", 12);
+    let strike = env_usize("ICSAD_SCENARIO_STRIKE", 4);
+    let hidden: Vec<usize> = std::env::var("ICSAD_HIDDEN")
+        .unwrap_or_else(|_| "32".to_string())
+        .split(',')
+        .filter_map(|p| p.trim().parse().ok())
+        .collect();
+
+    println!("scenario table — {episodes} episodes/family, {quiet} quiet + {strike} strike cycles");
+    println!("training the combined framework...");
+    let detector = train_detector(hidden);
+
+    let mut rows = Vec::new();
+    for &family in AttackType::ALL.iter() {
+        let events = family_events(family, episodes, quiet, strike);
+        let expected_quarantine = events
+            .iter()
+            .filter(
+                |e| matches!(e, ScenarioEvent::Frame { wire, .. } if wire.len() < MIN_FRAME_LEN),
+            )
+            .count() as u64;
+
+        let mut engine = Engine::start(Arc::clone(&detector), EngineConfig::default());
+        engine.ingest_scenario(&events);
+        let report = engine.finish();
+        assert_eq!(
+            report.quarantined, expected_quarantine,
+            "{family}: every runt frame must be quarantined, none double-counted"
+        );
+
+        let decided = decide_offline(&detector, &events);
+        let latency = episode_latency(&decided, family);
+        let shaped = if family == AttackType::Mpci {
+            format!("{family} (drift)")
+        } else {
+            family.to_string()
+        };
+        rows.push(vec![
+            shaped,
+            report.total.per_attack.count(family).to_string(),
+            fmt_ratio(report.total.per_attack.ratio(family)),
+            latency.episodes().to_string(),
+            fmt_ratio(latency.detection_rate()),
+            latency
+                .mean_latency()
+                .map(|l| format!("{l:.1}"))
+                .unwrap_or_else(|| "-".to_string()),
+            report.quarantined.to_string(),
+        ]);
+    }
+
+    println!();
+    print_table(
+        &[
+            "family",
+            "atk pkgs",
+            "pkg recall",
+            "episodes",
+            "episode det",
+            "latency (pkgs)",
+            "quarantined",
+        ],
+        &rows,
+    );
+    println!(
+        "\nexpected shape: MFCI/Recon/DoS episodes caught immediately\n(signature level); NMRI/CMRI/MSCI rely on the temporal model, so their\nlatency is where the LSTM earns its keep; the drift campaign is the\nhardest — small per-cycle steps hide inside operator noise until the\noffset accumulates."
+    );
+}

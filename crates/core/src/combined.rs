@@ -191,6 +191,18 @@ impl CombinedDetector {
         batch.states.len() - 1
     }
 
+    /// Resets lane `lane`'s stream state to the exact cold-start state
+    /// [`CombinedDetector::add_lane`] installs, so a recycled lane
+    /// classifies bit-identically to a freshly added one. Used by the
+    /// engine's lane-retirement path when a stream leaves the topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of bounds.
+    pub fn reset_lane(&self, batch: &mut CombinedBatch, lane: usize) {
+        batch.states[lane] = self.timeseries.begin();
+    }
+
     /// Batched [`CombinedDetector::classify`]: classifies one package for
     /// each of `lanes.len()` *distinct* stream lanes, in lockstep.
     ///

@@ -142,6 +142,72 @@ impl PerAttackRecall {
     }
 }
 
+/// Episode-level alarm latency: how many packages into an attack episode
+/// the first alarm fired.
+///
+/// The per-package views above score every package independently; an
+/// operator cares about a coarser unit — a contiguous *episode* of attack
+/// packages — and about two episode-level questions: was the episode
+/// flagged at all (detection rate), and how deep into it did the first
+/// alarm land (latency in packages). The adversarial scenario harness
+/// accumulates one `record_episode` per labeled attack run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AlarmLatency {
+    episodes: u64,
+    detected: u64,
+    latency_packages: u64,
+}
+
+impl AlarmLatency {
+    /// Records one episode. `first_alarm` is the 0-based index, **within
+    /// the episode**, of the first package flagged anomalous — or `None`
+    /// if the whole episode passed unflagged.
+    pub fn record_episode(&mut self, first_alarm: Option<u64>) {
+        self.episodes += 1;
+        if let Some(latency) = first_alarm {
+            self.detected += 1;
+            self.latency_packages += latency;
+        }
+    }
+
+    /// Episodes recorded so far.
+    pub fn episodes(&self) -> u64 {
+        self.episodes
+    }
+
+    /// Episodes with at least one alarm.
+    pub fn detected(&self) -> u64 {
+        self.detected
+    }
+
+    /// Fraction of episodes with at least one alarm, or `None` before any
+    /// episode was recorded.
+    pub fn detection_rate(&self) -> Option<f64> {
+        if self.episodes == 0 {
+            None
+        } else {
+            Some(self.detected as f64 / self.episodes as f64)
+        }
+    }
+
+    /// Mean packages-into-episode of the first alarm, over detected
+    /// episodes only; `None` when nothing was detected.
+    pub fn mean_latency(&self) -> Option<f64> {
+        if self.detected == 0 {
+            None
+        } else {
+            Some(self.latency_packages as f64 / self.detected as f64)
+        }
+    }
+
+    /// Folds another accumulator into this one.
+    pub fn merge(&mut self, other: &AlarmLatency) {
+        self.episodes += other.episodes;
+        self.detected += other.detected;
+        self.latency_packages += other.latency_packages;
+    }
+}
+
 /// A complete evaluation: confusion counts plus per-attack recall.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ClassificationReport {
@@ -258,6 +324,26 @@ mod tests {
         assert_eq!(pa.count(AttackType::Dos), 2);
         let rows: Vec<_> = pa.iter().collect();
         assert_eq!(rows.len(), 7);
+    }
+
+    #[test]
+    fn alarm_latency_accumulates_per_episode() {
+        let mut lat = AlarmLatency::default();
+        assert_eq!(lat.detection_rate(), None);
+        assert_eq!(lat.mean_latency(), None);
+        lat.record_episode(Some(0)); // alarm on the first package
+        lat.record_episode(Some(4));
+        lat.record_episode(None); // missed episode
+        assert_eq!(lat.episodes(), 3);
+        assert_eq!(lat.detected(), 2);
+        assert!((lat.detection_rate().unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((lat.mean_latency().unwrap() - 2.0).abs() < 1e-12);
+
+        let mut other = AlarmLatency::default();
+        other.record_episode(Some(2));
+        lat.merge(&other);
+        assert_eq!(lat.episodes(), 4);
+        assert!((lat.mean_latency().unwrap() - 2.0).abs() < 1e-12);
     }
 
     #[test]

@@ -219,6 +219,27 @@ pub trait StreamingSession: Send {
     /// nothing pending).
     fn finish(&mut self, out: &mut Vec<LaneDecision>);
 
+    /// Retires a lane whose stream has left the topology: resets the
+    /// lane's state to the cold-start state a fresh
+    /// [`StreamingSession::add_lane`] would install, so the slot can be
+    /// reassigned to a new stream that then classifies bit-identically to
+    /// a cold start. Lane indices are otherwise unaffected.
+    ///
+    /// Returns `false` when the backend cannot recycle lanes — the
+    /// default, kept by window baselines whose lanes defer decisions
+    /// across rounds and therefore stay add-only. A refusal leaves the
+    /// lane untouched.
+    ///
+    /// Contract for callers on `true`-returning backends: every decision
+    /// for records already pushed on the lane must have resolved before
+    /// the call (immediate backends guarantee this at push time), or the
+    /// next stream's decisions would pair with the departed stream's
+    /// packages.
+    fn retire_lane(&mut self, lane: usize) -> bool {
+        let _ = lane;
+        false
+    }
+
     /// Hot-reload: installs a newly commissioned [`CombinedDetector`],
     /// resetting every lane to a fresh stream state (LSTM state, rolling
     /// prediction and dynamic-k controller all restart — the swap point is
@@ -382,6 +403,18 @@ impl StreamingSession for CombinedSession {
 
     fn finish(&mut self, _out: &mut Vec<LaneDecision>) {
         // Every decision resolves at push time; nothing is pending.
+    }
+
+    fn retire_lane(&mut self, lane: usize) -> bool {
+        // Same reset `add_lane` performs on a fresh slot, so a stream
+        // assigned to the recycled lane classifies bit-identically to a
+        // cold start. Decisions resolve at push time, so nothing can be
+        // pending on the departing stream.
+        self.detector.reset_lane(&mut self.batch, lane);
+        if let Some((config, controllers)) = &mut self.adaptive {
+            controllers[lane] = DynamicKController::new(self.detector.k(), *config);
+        }
+        true
     }
 
     fn swap_combined(&mut self, detector: Arc<CombinedDetector>) -> Result<(), SwapError> {
@@ -870,6 +903,73 @@ mod tests {
         let _ = session.add_lane();
         let mut out = Vec::new();
         session.classify_batch(&[3], std::slice::from_ref(&records[0]), &mut out);
+    }
+
+    #[test]
+    fn retired_lane_reused_matches_cold_start() {
+        let (detector, records) = small_detector(62);
+        let (first, second) = records.split_at(records.len() / 2);
+
+        // Drive a stream to some warm state, retire its lane, then run a
+        // different stream on the recycled slot.
+        let mut session = Arc::clone(&detector).begin_session();
+        let lane = session.add_lane();
+        let mut out = Vec::new();
+        for r in first {
+            session.classify_batch(&[lane], std::slice::from_ref(r), &mut out);
+        }
+        assert!(session.retire_lane(lane), "combined backends recycle lanes");
+        assert_eq!(session.lanes(), 1, "lane indices survive retirement");
+        out.clear();
+        for r in second {
+            session.classify_batch(&[lane], std::slice::from_ref(r), &mut out);
+        }
+        let recycled: Vec<bool> = out.iter().map(|d| d.anomalous).collect();
+
+        // Cold reference: the second stream from scratch.
+        let mut state = detector.begin();
+        let reference: Vec<bool> = second
+            .iter()
+            .map(|r| detector.classify(&mut state, r).is_anomalous())
+            .collect();
+        assert_eq!(recycled, reference);
+    }
+
+    #[test]
+    fn retired_adaptive_lane_reused_matches_cold_start() {
+        let (detector, records) = small_detector(63);
+        let (first, second) = records.split_at(records.len() / 2);
+        let config = DynamicKConfig {
+            window: 32,
+            ..DynamicKConfig::default()
+        };
+        let backend = Arc::new(AdaptiveCombined::new(Arc::clone(&detector), config));
+
+        let mut session = Arc::clone(&backend).begin_session();
+        let lane = session.add_lane();
+        let mut out = Vec::new();
+        for r in first {
+            session.classify_batch(&[lane], std::slice::from_ref(r), &mut out);
+        }
+        assert!(session.retire_lane(lane));
+        out.clear();
+        for r in second {
+            session.classify_batch(&[lane], std::slice::from_ref(r), &mut out);
+        }
+        let recycled: Vec<bool> = out.iter().map(|d| d.anomalous).collect();
+
+        // Cold reference: fresh state *and* fresh dynamic-k controller.
+        let mut state = detector.begin();
+        let mut controller = DynamicKController::new(detector.k(), config);
+        let reference: Vec<bool> = second
+            .iter()
+            .map(|r| {
+                detector
+                    .classify_adaptive(&mut state, &mut controller, r)
+                    .is_anomalous()
+            })
+            .collect();
+        assert_eq!(recycled, reference);
     }
 
     #[test]

@@ -244,6 +244,10 @@ pub enum EngineConfigError {
     /// A zero [`EngineConfig::split_threshold`] (use `usize::MAX` to
     /// disable round splitting, not `0`).
     ZeroSplitThreshold,
+    /// A zero [`EngineConfig::lane_idle_frames`] (use `None` to disable
+    /// idle-lane eviction, not `Some(0)` — a zero bound would evict every
+    /// lane on every frame).
+    ZeroLaneIdleFrames,
 }
 
 impl std::fmt::Display for EngineConfigError {
@@ -265,6 +269,12 @@ impl std::fmt::Display for EngineConfigError {
                 write!(
                     f,
                     "split_threshold must be positive (usize::MAX disables splitting)"
+                )
+            }
+            EngineConfigError::ZeroLaneIdleFrames => {
+                write!(
+                    f,
+                    "lane_idle_frames must be positive (None disables idle eviction)"
                 )
             }
         }
@@ -319,6 +329,23 @@ pub struct EngineConfig {
     /// bit-identical at any threshold (see `ARCHITECTURE.md`, "Parallel
     /// rounds").
     pub split_threshold: usize,
+    /// Idle-lane eviction bound, in per-shard routed frames. When set to
+    /// `Some(n)`, each shard sweeps its resident lanes every `n` of its
+    /// own frames and retires every lane that has gone at least `n`
+    /// frames without traffic — bounding resident per-stream state under
+    /// topology churn (TCP reconnects mint fresh link ids; without
+    /// eviction each one leaks a lane forever). Both the sweep trigger
+    /// and the idleness test are functions of the per-shard frame counter
+    /// only — a pure function of the shard's FIFO message order — so
+    /// eviction is deterministic across runtimes, worker counts and
+    /// schedules, and never changes any decision (an evicted lane's
+    /// frames were all classified before the eviction; a stream that
+    /// later rejoins classifies bit-identically to a cold start). `None`
+    /// (the default) disables idle eviction; explicit retirement via
+    /// [`Engine::retire_link`] / [`Engine::retire_stream`] works either
+    /// way. Ignored by backends that cannot recycle lanes (the window
+    /// baselines), whose lanes stay resident.
+    pub lane_idle_frames: Option<u64>,
 }
 
 impl Default for EngineConfig {
@@ -340,6 +367,7 @@ impl Default for EngineConfig {
             // enough that a genuinely hot shard (hundreds of active lanes)
             // spreads across the pool.
             split_threshold: 128,
+            lane_idle_frames: None,
         }
     }
 }
@@ -373,6 +401,9 @@ impl EngineConfig {
         }
         if self.split_threshold == 0 {
             return Err(EngineConfigError::ZeroSplitThreshold);
+        }
+        if self.lane_idle_frames == Some(0) {
+            return Err(EngineConfigError::ZeroLaneIdleFrames);
         }
         Ok(())
     }
@@ -427,8 +458,21 @@ pub struct ShardReport {
     pub shard: usize,
     /// Frames this shard processed.
     pub frames: u64,
-    /// Distinct streams (unit ids) observed.
+    /// Cumulative distinct stream activations: every `(link, unit)` key
+    /// that acquired a lane, counting a stream that was retired and later
+    /// rejoined once per activation. Equals the resident-lane count when
+    /// nothing is ever retired.
     pub streams: usize,
+    /// Streams still holding a lane when the shard finished (after any
+    /// retirements).
+    pub resident_lanes: usize,
+    /// High-water mark of simultaneously resident lanes — the boundedness
+    /// signal under topology churn.
+    pub peak_resident_lanes: usize,
+    /// Lanes retired over the shard's lifetime (explicit
+    /// [`Engine::retire_link`]/[`Engine::retire_stream`] plus
+    /// [`EngineConfig::lane_idle_frames`] evictions).
+    pub retired_lanes: u64,
     /// Classification flushes executed.
     pub flushes: u64,
     /// Alarms raised.
@@ -515,6 +559,23 @@ impl EngineReport {
     /// Total alarms raised.
     pub fn alarms(&self) -> u64 {
         self.shards.iter().map(|s| s.alarms).sum()
+    }
+
+    /// Streams still holding a lane at finish, across all shards.
+    pub fn resident_lanes(&self) -> usize {
+        self.shards.iter().map(|s| s.resident_lanes).sum()
+    }
+
+    /// Sum of the per-shard resident-lane high-water marks — an upper
+    /// bound on how much per-stream state was ever live at once.
+    pub fn peak_resident_lanes(&self) -> usize {
+        self.shards.iter().map(|s| s.peak_resident_lanes).sum()
+    }
+
+    /// Lanes retired across all shards (explicit retirement plus idle
+    /// eviction).
+    pub fn retired_lanes(&self) -> u64 {
+        self.shards.iter().map(|s| s.retired_lanes).sum()
     }
 }
 
@@ -1012,6 +1073,107 @@ impl Engine {
         }
         self.reloads += 1;
         Ok(())
+    }
+
+    /// Retires every stream of capture link `link`: the monitored device
+    /// or TCP connection left the topology, so its per-stream state (LSTM
+    /// lane, dynamic-`k` controller, feature extractor, label FIFO slot)
+    /// is reset and the lanes are freed for reuse by later streams.
+    ///
+    /// Pending ingest chunks are flushed first and the retirement travels
+    /// through the same per-shard FIFOs as frames, so every frame
+    /// ingested before this call is classified on the departing stream's
+    /// state, and any frame ingested after — a device rejoining under the
+    /// same key, or a recycled wire link id — classifies **bit-identically
+    /// to a cold start** (pinned by the scenario-churn tests). Decisions
+    /// already made are never altered. Backends that cannot recycle lanes
+    /// (the window baselines) ignore retirement and keep their lanes.
+    ///
+    /// The wire layer pairs with this: `WireReplay`/`WireServer` hold
+    /// closed connections' link ids out of circulation until the caller
+    /// drains them, retires them here, and thereby makes the ids safe to
+    /// reuse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shard worker has terminated.
+    pub fn retire_link(&mut self, link: u32) {
+        // Frames already ingested must precede the retirement in every
+        // shard FIFO.
+        self.flush_ingest();
+        // PANIC: `driver` is present on every live engine; see `ingest`.
+        let driver = self.driver.as_ref().expect("engine finished");
+        for shard in 0..driver.num_shards() {
+            driver
+                .send(
+                    shard,
+                    ShardMsg::Retire { link, unit: None },
+                    &self.blocked_pushes,
+                )
+                // PANIC: as in `swap_artifact` — a dead shard already lost
+                // detection coverage; fail loudly.
+                .unwrap_or_else(|_| panic!("shard worker terminated"));
+        }
+    }
+
+    /// Retires the single stream `(link, unit)` — one device leaving a
+    /// multi-drop link. Semantics exactly as [`Engine::retire_link`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the target shard worker has terminated.
+    pub fn retire_stream(&mut self, link: u32, unit: u8) {
+        self.flush_ingest();
+        let shard = self.shard_of_stream(link, unit);
+        self.driver
+            .as_ref()
+            // PANIC: `driver` is present on every live engine; see `ingest`.
+            .expect("engine finished")
+            .send(
+                shard,
+                ShardMsg::Retire {
+                    link,
+                    unit: Some(unit),
+                },
+                &self.blocked_pushes,
+            )
+            // PANIC: as in `swap_artifact`.
+            .unwrap_or_else(|_| panic!("shard worker terminated"));
+    }
+
+    /// Plays an adversarial scenario built by
+    /// [`icsad_simulator::scenario::ScenarioBuilder`]: frame events are
+    /// ingested in order (with the usual quarantine policy — garbage
+    /// storms land on [`EngineReport::quarantined`]) and link-down events
+    /// become [`Engine::retire_link`] calls at exactly their position in
+    /// the event stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shard worker has terminated.
+    pub fn ingest_scenario<'a>(
+        &mut self,
+        events: impl IntoIterator<Item = &'a icsad_simulator::scenario::ScenarioEvent>,
+    ) {
+        use icsad_simulator::scenario::ScenarioEvent;
+        for event in events {
+            match event {
+                ScenarioEvent::Frame {
+                    time,
+                    link,
+                    wire,
+                    is_command,
+                    label,
+                } => self.ingest(RawFrame {
+                    time: *time,
+                    wire: FrameBytes::from(&wire[..]),
+                    is_command: *is_command,
+                    label: *label,
+                    link: *link,
+                }),
+                ScenarioEvent::LinkDown { link, .. } => self.retire_link(*link),
+            }
+        }
     }
 
     /// Display name of the running backend.

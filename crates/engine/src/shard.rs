@@ -87,11 +87,20 @@ pub(crate) enum RoundDriver {
     },
 }
 
-/// Control-plane message to a shard: a chunk of routed frames, or a
-/// hot-reload to apply at the next round boundary.
+/// Control-plane message to a shard: a chunk of routed frames, a
+/// hot-reload to apply at the next round boundary, or a stream-retirement
+/// notice (a device or TCP link left the topology).
 pub(crate) enum ShardMsg {
     Frames(Vec<RawFrame>),
     Swap(Arc<CombinedDetector>),
+    /// Retire every lane of `link` (`unit: None`), or just the one stream
+    /// `(link, unit)`. Ordered through the same FIFO as frames, so a
+    /// retirement takes effect exactly between the frames that preceded it
+    /// and any that follow — on every runtime, under every schedule.
+    Retire {
+        link: u32,
+        unit: Option<u8>,
+    },
 }
 
 /// The runtime-agnostic shard state machine: per-stream extraction and
@@ -115,6 +124,31 @@ pub(crate) struct ShardCore {
     // NONDET: keyed lookup only — lane order is assignment order (the Vecs
     // below), never HashMap iteration order, so decisions stay replayable.
     lanes_by_stream: HashMap<(u32, u8), usize>,
+    /// Reverse map: lane index -> its current stream key (`None` for a
+    /// retired slot awaiting reuse). Retirement sweeps iterate this Vec in
+    /// lane (assignment) order precisely so the HashMap above stays
+    /// lookup-only.
+    lane_keys: Vec<Option<(u32, u8)>>,
+    /// Retired lane slots available for reuse, in retirement order. A
+    /// reused slot was reset to cold-start state when it was retired.
+    free_lanes: Vec<usize>,
+    /// Per lane, the value of `frames` when the lane last received a
+    /// frame — a pure function of the shard's FIFO message order, so
+    /// idle-eviction decisions keyed on it replay identically across
+    /// runtimes and schedules.
+    last_seen: Vec<u64>,
+    /// Cumulative distinct stream *activations* (a stream that leaves and
+    /// rejoins counts twice); equals the resident-lane count when nothing
+    /// is ever retired.
+    streams_seen: usize,
+    /// Lanes retired (explicitly or by idle eviction) over the shard's
+    /// lifetime.
+    retired: u64,
+    /// High-water mark of resident (key-mapped) lanes.
+    peak_resident: usize,
+    /// Next `frames` value at which the idle-eviction sweep runs (only
+    /// meaningful when `config.lane_idle_frames` is set).
+    next_sweep: u64,
     extractors: Vec<StreamExtractor>,
     queues: Vec<VecDeque<Record>>,
     /// Labels of packages pushed into the session whose decisions have not
@@ -156,6 +190,7 @@ impl ShardCore {
         recycle: Arc<RecycleRing<Vec<RawFrame>>>,
         processed: Arc<AtomicU64>,
     ) -> Self {
+        let next_sweep = config.lane_idle_frames.unwrap_or(u64::MAX);
         ShardCore {
             session,
             config,
@@ -164,6 +199,13 @@ impl ShardCore {
             processed,
             // NONDET: see the field — lookup-only map, never iterated.
             lanes_by_stream: HashMap::new(),
+            lane_keys: Vec::new(),
+            free_lanes: Vec::new(),
+            last_seen: Vec::new(),
+            streams_seen: 0,
+            retired: 0,
+            peak_resident: 0,
+            next_sweep,
             extractors: Vec::new(),
             queues: Vec::new(),
             pending_labels: Vec::new(),
@@ -195,12 +237,27 @@ impl ShardCore {
         let lane = match self.lanes_by_stream.get(&key) {
             Some(&lane) => lane,
             None => {
-                let lane = self.session.add_lane();
+                // Prefer a retired slot: it was reset to cold-start state
+                // (session lane, extractor, empty queues) when it was
+                // retired, so the new stream classifies bit-identically to
+                // one on a brand-new lane.
+                let lane = match self.free_lanes.pop() {
+                    Some(lane) => lane,
+                    None => {
+                        let lane = self.session.add_lane();
+                        self.extractors
+                            .push(StreamExtractor::new(self.config.crc_window));
+                        self.queues.push(VecDeque::new());
+                        self.pending_labels.push(VecDeque::new());
+                        self.lane_keys.push(None);
+                        self.last_seen.push(0);
+                        lane
+                    }
+                };
                 self.lanes_by_stream.insert(key, lane);
-                self.extractors
-                    .push(StreamExtractor::new(self.config.crc_window));
-                self.queues.push(VecDeque::new());
-                self.pending_labels.push(VecDeque::new());
+                self.lane_keys[lane] = Some(key);
+                self.streams_seen += 1;
+                self.peak_resident = self.peak_resident.max(self.lanes_by_stream.len());
                 lane
             }
         };
@@ -217,6 +274,96 @@ impl ShardCore {
         self.queues[lane].push_back(record);
         self.queued += 1;
         self.frames += 1;
+        self.last_seen[lane] = self.frames;
+        if self.frames >= self.next_sweep {
+            self.sweep_idle_lanes();
+        }
+    }
+
+    /// Idle-lane eviction: retires every lane that has not received a
+    /// frame within the last `lane_idle_frames` of this shard's routed
+    /// frames. Both the trigger and the idleness test are pure functions
+    /// of the per-shard frame counter — itself a pure function of the
+    /// shard's FIFO message order — so eviction points are identical
+    /// across runtimes, worker counts and schedules, and evicted lanes'
+    /// decisions are unchanged (each decision depends only on its own
+    /// lane's record prefix, fully delivered before the eviction).
+    fn sweep_idle_lanes(&mut self) {
+        // PANIC: `enqueue` only calls this when `frames >= next_sweep`,
+        // and `next_sweep` is `u64::MAX` unless the config set a bound.
+        let idle = self
+            .config
+            .lane_idle_frames
+            .expect("sweep without an idle bound");
+        self.next_sweep = self.frames + idle;
+        for lane in 0..self.lane_keys.len() {
+            if self.lane_keys[lane].is_some() && self.frames - self.last_seen[lane] >= idle {
+                self.retire_lane(lane);
+            }
+        }
+    }
+
+    /// Retires one resident lane: drains its backlog through the session
+    /// (decision-identical — per-lane decisions depend only on that lane's
+    /// record prefix, not on which round classifies it), resets the lane
+    /// to cold-start state, and frees the slot for reuse. Returns `false`
+    /// — leaving the lane resident and untouched — when the backend still
+    /// defers decisions for it or does not support lane recycling (window
+    /// baselines stay add-only).
+    fn retire_lane(&mut self, lane: usize) -> bool {
+        // Drain the lane's backlog with single-lane rounds.
+        while !self.queues[lane].is_empty() {
+            self.pending_lanes.clear();
+            self.pending_records.clear();
+            self.decisions.clear();
+            let record = self.queues[lane]
+                .pop_front()
+                // PANIC: the loop condition guarantees a front record.
+                .expect("drained lane queue emptied mid-loop");
+            self.pending_labels[lane].push_back(record.label);
+            self.pending_lanes.push(lane);
+            self.pending_records.push(record);
+            self.queued -= 1;
+            self.classify_pending();
+            self.absorb_decisions();
+            self.flushes += 1;
+        }
+        // The drain above bypassed `flush_round`'s compaction, so restore
+        // the `active_lanes ⇔ non-empty queue` invariant by hand.
+        self.active_lanes.retain(|&l| l != lane);
+        if !self.pending_labels[lane].is_empty() {
+            // A deferring backend still owes decisions for this lane;
+            // recycling it would pair them with the next stream's labels.
+            return false;
+        }
+        if !self.session.retire_lane(lane) {
+            return false;
+        }
+        let key = self.lane_keys[lane]
+            .take()
+            // PANIC: callers retire only key-mapped lanes (`apply_retire`
+            // and `sweep_idle_lanes` both check `lane_keys[lane]`).
+            .expect("retired a lane with no stream key");
+        self.lanes_by_stream.remove(&key);
+        self.extractors[lane] = StreamExtractor::new(self.config.crc_window);
+        self.free_lanes.push(lane);
+        self.retired += 1;
+        true
+    }
+
+    /// Explicit stream retirement (a device or TCP link left): retires the
+    /// single stream `(link, unit)`, or every lane of `link`.
+    fn apply_retire(&mut self, link: u32, unit: Option<u8>) {
+        // Sweep the reverse map in lane (assignment) order — deterministic,
+        // unlike iterating the HashMap.
+        for lane in 0..self.lane_keys.len() {
+            match self.lane_keys[lane] {
+                Some((l, u)) if l == link && unit.is_none_or(|target| target == u) => {
+                    self.retire_lane(lane);
+                }
+                _ => {}
+            }
+        }
     }
 
     /// Whether records are queued but not yet classified.
@@ -373,6 +520,7 @@ impl ShardCore {
         match msg {
             ShardMsg::Frames(chunk) => self.enqueue_chunk(chunk),
             ShardMsg::Swap(detector) => self.apply_swap(detector),
+            ShardMsg::Retire { link, unit } => self.apply_retire(link, unit),
         }
     }
 
@@ -391,7 +539,10 @@ impl ShardCore {
         ShardReport {
             shard,
             frames: self.frames,
-            streams: self.lanes_by_stream.len(),
+            streams: self.streams_seen,
+            resident_lanes: self.lanes_by_stream.len(),
+            peak_resident_lanes: self.peak_resident,
+            retired_lanes: self.retired,
             flushes: self.flushes,
             alarms: self.alarms,
             reloads: self.reloads,

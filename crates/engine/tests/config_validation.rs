@@ -95,6 +95,13 @@ fn every_zero_capacity_is_rejected_with_its_own_error() {
         ),
         (
             EngineConfig {
+                lane_idle_frames: Some(0),
+                ..base()
+            },
+            EngineConfigError::ZeroLaneIdleFrames,
+        ),
+        (
+            EngineConfig {
                 ingest: IngestMode::AsyncDeterministic(TestSchedule {
                     seed: 0,
                     workers: 0,
@@ -160,6 +167,7 @@ fn errors_name_the_offending_field() {
         (EngineConfigError::ZeroBatchSize, "batch_size"),
         (EngineConfigError::ZeroChannelCapacity, "channel_capacity"),
         (EngineConfigError::ZeroCrcWindow, "crc_window"),
+        (EngineConfigError::ZeroLaneIdleFrames, "lane_idle_frames"),
         (EngineConfigError::ZeroScheduleWorkers, "worker"),
         (EngineConfigError::ZeroScheduleBudget, "budget"),
     ] {

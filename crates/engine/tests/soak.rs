@@ -334,3 +334,101 @@ fn soak_decisions_match_across_runtimes() {
     assert_eq!(streams(&threaded), 501);
     assert_eq!(streams(&pooled), 501);
 }
+
+/// The ISSUE's headline leak: per-connection first-seen link ids plus
+/// never-evicted lanes meant TCP reconnect churn grew resident engine
+/// state without bound. With explicit stream retirement the resident-lane
+/// set is bounded by the *live* topology, however many connection
+/// lifetimes pass through.
+#[test]
+fn reconnect_churn_keeps_resident_lanes_bounded() {
+    const ROUNDS: u32 = 40;
+    const LINKS_PER_ROUND: u32 = 16;
+
+    let detector = tiny_detector();
+    let mut engine = Engine::start(
+        detector,
+        EngineConfig {
+            num_shards: 4,
+            batch_size: 16,
+            ingest: IngestMode::Async { workers: 2 },
+            ..EngineConfig::default()
+        },
+    );
+    // Each round: a fleet of fresh connections chatters, then every one
+    // disconnects. Link ids are recycled (as the wire layer does after
+    // `drain_closed_links`), so the same small id range hosts 640
+    // connection lifetimes.
+    for round in 0..ROUNDS {
+        for link in 0..LINKS_PER_ROUND {
+            let base = f64::from(round) * 10.0 + f64::from(link) * 0.1;
+            engine.ingest(heartbeat(link, base));
+            engine.ingest(heartbeat(link, base + 0.05));
+        }
+        for link in 0..LINKS_PER_ROUND {
+            engine.retire_link(link);
+        }
+    }
+    let report = engine.finish();
+    let total_streams = (ROUNDS * LINKS_PER_ROUND) as usize;
+
+    assert_eq!(report.frames(), 2 * total_streams as u64);
+    let activations: usize = report.shards.iter().map(|s| s.streams).sum();
+    assert_eq!(activations, total_streams, "every lifetime re-activates");
+    // Boundedness: nothing stays resident after the last disconnect, every
+    // lifetime was retired, and no shard ever held more than one round's
+    // worth of lanes — i.e. resident state tracks the live topology, not
+    // the cumulative connection count.
+    assert_eq!(report.resident_lanes(), 0);
+    assert_eq!(report.retired_lanes(), total_streams as u64);
+    for shard in &report.shards {
+        assert!(
+            shard.peak_resident_lanes <= LINKS_PER_ROUND as usize,
+            "shard peak {} exceeds one round's topology",
+            shard.peak_resident_lanes
+        );
+    }
+}
+
+/// Idle-frame eviction gives the same boundedness without explicit
+/// retirement messages: churning streams that go quiet are swept once the
+/// per-shard frame counter outruns them.
+#[test]
+fn idle_eviction_bounds_resident_lanes_under_churn() {
+    const STREAMS: u32 = 400;
+
+    let detector = tiny_detector();
+    let mut engine = Engine::start(
+        detector,
+        EngineConfig {
+            num_shards: 2,
+            batch_size: 16,
+            lane_idle_frames: Some(64),
+            ..EngineConfig::default()
+        },
+    );
+    // Sequential one-shot streams: each link speaks four frames and never
+    // returns — the reconnect-storm shape when ids are NOT recycled.
+    for link in 0..STREAMS {
+        let base = f64::from(link) * 0.5;
+        for i in 0..4 {
+            engine.ingest(heartbeat(link, base + 0.05 * f64::from(i)));
+        }
+    }
+    let report = engine.finish();
+    assert_eq!(report.frames(), u64::from(STREAMS) * 4);
+    assert!(
+        report.retired_lanes() > 0,
+        "idle sweeps must fire under churn"
+    );
+    // Resident lanes are bounded by the eviction horizon (64 frames at 4
+    // frames per stream = at most ~16 live streams per shard, plus the
+    // sweep-cadence slack), far below the 400 streams that passed through.
+    assert!(
+        report.resident_lanes() <= 100,
+        "resident lanes {} not bounded by the idle horizon",
+        report.resident_lanes()
+    );
+    let activations: usize = report.shards.iter().map(|s| s.streams).sum();
+    assert_eq!(activations, STREAMS as usize);
+}

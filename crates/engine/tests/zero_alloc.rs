@@ -108,8 +108,11 @@ fn drain(engine: &Engine) {
 }
 
 /// Runs warm-up + measured window under `mode`, returning the number of
-/// allocation events observed inside the measured window.
-fn measured_alloc_events(mode: IngestMode, packets: &[Packet]) -> u64 {
+/// allocation events observed inside the measured window. The measured
+/// window ingests the second half of `packets` plus a malformed-frame
+/// `garbage` burst — quarantine is part of the hot path and must be just
+/// as allocation-free as classification.
+fn measured_alloc_events(mode: IngestMode, packets: &[Packet], garbage: &[RawFrame]) -> u64 {
     let mut engine = Engine::start(
         tiny_detector(),
         EngineConfig {
@@ -133,9 +136,11 @@ fn measured_alloc_events(mode: IngestMode, packets: &[Packet]) -> u64 {
     engine.flush_ingest();
     drain(&engine);
 
-    // Steady state reached: same traffic shape again, counted this time.
+    // Steady state reached: same traffic shape again — now with a
+    // malformed-frame storm interleaved — counted this time.
     let before = ALLOC_EVENTS.load(Ordering::Relaxed);
     engine.ingest_batch(packets[half..].iter().map(RawFrame::from));
+    engine.ingest_batch(garbage.iter().cloned());
     engine.flush_ingest();
     drain(&engine);
     let events = ALLOC_EVENTS.load(Ordering::Relaxed) - before;
@@ -143,8 +148,10 @@ fn measured_alloc_events(mode: IngestMode, packets: &[Packet]) -> u64 {
     // The report plumbing may allocate; it is outside the window.
     let report = engine.finish();
     let frames: u64 = report.shards.iter().map(|s| s.frames).sum();
+    // Quarantined garbage is accounted separately: it must not leak into
+    // the per-shard frame counters the throughput numbers are built from.
     assert_eq!(frames, packets.len() as u64);
-    assert_eq!(report.quarantined, 0);
+    assert_eq!(report.quarantined, garbage.len() as u64);
     events
 }
 
@@ -161,16 +168,29 @@ fn steady_state_ingest_allocates_nothing() {
     for p in &packets {
         assert!(RawFrame::from(p).wire.is_inline(), "frame spilled to heap");
     }
+    // A malformed-frame burst (runt frames shorter than MIN_FRAME_LEN),
+    // built outside the measured window; cloning an inline FrameBytes
+    // never touches the heap.
+    let garbage: Vec<RawFrame> = (0..512u32)
+        .map(|i| RawFrame {
+            time: 1.0e6 + f64::from(i) * 0.001,
+            wire: icsad_engine::FrameBytes::from(&[0xEEu8; 2][..]),
+            is_command: false,
+            label: None,
+            link: i % 7,
+        })
+        .collect();
+    assert!(garbage.iter().all(|f| !f.is_well_formed()));
 
     // Both modes run inside one #[test] so no concurrent test pollutes
     // the process-wide allocation counter.
-    let threaded = measured_alloc_events(IngestMode::Threads, &packets);
+    let threaded = measured_alloc_events(IngestMode::Threads, &packets, &garbage);
     assert_eq!(
         threaded, 0,
         "threaded steady-state ingest allocated {threaded} times"
     );
 
-    let async_events = measured_alloc_events(IngestMode::Async { workers: 2 }, &packets);
+    let async_events = measured_alloc_events(IngestMode::Async { workers: 2 }, &packets, &garbage);
     assert_eq!(
         async_events, 0,
         "async steady-state ingest allocated {async_events} times"

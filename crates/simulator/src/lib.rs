@@ -20,7 +20,10 @@
 //! * [`attack`] — the AutoIt-style attack injector implementing NMRI, CMRI,
 //!   MSCI, MPCI, MFCI, DoS and reconnaissance attacks,
 //! * [`traffic`] — the capture loop emitting labelled, timestamped wire
-//!   packets.
+//!   packets,
+//! * [`scenario`] — adversarial scenario composition: multi-stage attack
+//!   campaigns, exception floods, malformed-frame storms, skewed fleets
+//!   and topology churn.
 //!
 //! All randomness flows from explicit `rand_chacha` seeds, so traffic
 //! captures are bit-reproducible.
@@ -48,7 +51,9 @@ pub mod master;
 pub mod physics;
 pub mod pid;
 pub mod plc;
+pub mod scenario;
 pub mod traffic;
 
 pub use attack::AttackType;
+pub use scenario::{ScenarioBuilder, ScenarioEvent, Stage};
 pub use traffic::{Packet, TrafficConfig, TrafficGenerator};

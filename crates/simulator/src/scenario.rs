@@ -1,0 +1,449 @@
+//! Adversarial scenario composition: multi-stage attack campaigns,
+//! protocol-fault storms and topology churn.
+//!
+//! The [`traffic`](crate::traffic) module emits one PLC's polling loop.
+//! Production incidents look different: a reconnaissance probe followed by
+//! a slow setpoint drift and a final strike, exception floods from a
+//! wedged field device, malformed garbage from a mis-speaking serial
+//! bridge, and devices joining or leaving mid-capture. [`ScenarioBuilder`]
+//! scripts those shapes on top of the simulator, producing a single
+//! time-ordered event stream that the engine can ingest directly.
+//!
+//! Everything is seed-deterministic: the same builder calls produce
+//! bit-identical event streams.
+//!
+//! # Examples
+//!
+//! ```
+//! use icsad_simulator::scenario::{ScenarioBuilder, Stage};
+//! use icsad_simulator::traffic::TrafficConfig;
+//! use icsad_simulator::AttackType;
+//!
+//! let events = ScenarioBuilder::new()
+//!     .campaign(
+//!         0,
+//!         0.0,
+//!         TrafficConfig { seed: 7, ..TrafficConfig::default() },
+//!         &[
+//!             Stage::Quiet { cycles: 4 },
+//!             Stage::Recon { cycles: 2 },
+//!             Stage::Drift { cycles: 6, step: 0.4 },
+//!             Stage::Strike { attack: AttackType::Dos, cycles: 2 },
+//!         ],
+//!     )
+//!     .garbage_storm(9, 21, 5.0, 32, 0.02)
+//!     .link_down(9, 40.0)
+//!     .build();
+//! assert!(events.windows(2).all(|w| w[0].time() <= w[1].time()));
+//! ```
+
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+use icsad_modbus::{Frame, FunctionCode};
+
+use crate::attack::AttackType;
+use crate::traffic::{TrafficConfig, TrafficGenerator};
+
+/// One event in a composed scenario timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioEvent {
+    /// A wire frame observed on a link.
+    Frame {
+        /// Seconds since the start of the scenario.
+        time: f64,
+        /// Link (connection) the frame arrived on.
+        link: u32,
+        /// Encoded Modbus RTU frame bytes (possibly malformed).
+        wire: Vec<u8>,
+        /// `true` for master→slave packets, `false` for slave→master.
+        is_command: bool,
+        /// Ground-truth label; `None` for legitimate or junk traffic.
+        label: Option<AttackType>,
+    },
+    /// A link left the topology (connection closed, device unplugged).
+    LinkDown {
+        /// Seconds since the start of the scenario.
+        time: f64,
+        /// Link that went down.
+        link: u32,
+    },
+}
+
+impl ScenarioEvent {
+    /// The event's timestamp, seconds since the start of the scenario.
+    pub fn time(&self) -> f64 {
+        match self {
+            ScenarioEvent::Frame { time, .. } | ScenarioEvent::LinkDown { time, .. } => *time,
+        }
+    }
+}
+
+/// One stage of a multi-stage attack [`campaign`](ScenarioBuilder::campaign).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Stage {
+    /// Clean polling cycles (the campaign lies low).
+    Quiet {
+        /// Number of polling cycles.
+        cycles: usize,
+    },
+    /// Reconnaissance cycles: device-identification probes and address
+    /// sweeps, labelled [`AttackType::Recon`].
+    Recon {
+        /// Number of polling cycles.
+        cycles: usize,
+    },
+    /// Slow setpoint drift: each cycle's write command walks the setpoint
+    /// a further `step` PSI away from the operator's genuine value,
+    /// labelled [`AttackType::Mpci`].
+    Drift {
+        /// Number of polling cycles.
+        cycles: usize,
+        /// Per-cycle setpoint increment (PSI); the offset accumulates.
+        step: f64,
+    },
+    /// The final strike: `cycles` consecutive cycles of a chosen attack.
+    Strike {
+        /// Attack type to inject every cycle.
+        attack: AttackType,
+        /// Number of polling cycles.
+        cycles: usize,
+    },
+}
+
+/// Composes adversarial scenario timelines out of campaigns, storms,
+/// skewed fleets and topology churn.
+///
+/// Builder methods append events at caller-chosen start offsets and may
+/// freely interleave in time; [`build`](ScenarioBuilder::build) merges
+/// everything into one globally time-ordered stream.
+#[derive(Debug, Default)]
+pub struct ScenarioBuilder {
+    events: Vec<ScenarioEvent>,
+}
+
+/// Exception codes cycled by [`ScenarioBuilder::exception_flood`]:
+/// illegal function, illegal data address, illegal data value, slave
+/// device busy, gateway target failed to respond.
+const EXCEPTION_CODES: [u8; 5] = [0x01, 0x02, 0x03, 0x06, 0x0B];
+
+impl ScenarioBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        ScenarioBuilder::default()
+    }
+
+    /// Scripts a multi-stage attack campaign on `link`, starting at
+    /// `start` seconds.
+    ///
+    /// The campaign drives a full [`TrafficGenerator`] (master, PLC,
+    /// physics) built from `config` — with the random episode scheduler
+    /// disabled so the stage script alone decides what each cycle does.
+    /// Drift offsets accumulate across consecutive [`Stage::Drift`]
+    /// stages.
+    pub fn campaign(
+        &mut self,
+        link: u32,
+        start: f64,
+        config: TrafficConfig,
+        stages: &[Stage],
+    ) -> &mut Self {
+        let mut gen = TrafficGenerator::new(TrafficConfig {
+            attack_probability: 0.0,
+            ..config
+        });
+        let mut packets = Vec::new();
+        let mut offset = 0.0;
+        for stage in stages {
+            match *stage {
+                Stage::Quiet { cycles } => {
+                    for _ in 0..cycles {
+                        gen.generate_cycle_forced(None, &mut packets);
+                    }
+                }
+                Stage::Recon { cycles } => {
+                    for _ in 0..cycles {
+                        gen.generate_cycle_forced(Some(AttackType::Recon), &mut packets);
+                    }
+                }
+                Stage::Drift { cycles, step } => {
+                    for _ in 0..cycles {
+                        offset += step;
+                        gen.generate_cycle_drift(offset, &mut packets);
+                    }
+                }
+                Stage::Strike { attack, cycles } => {
+                    for _ in 0..cycles {
+                        gen.generate_cycle_forced(Some(attack), &mut packets);
+                    }
+                }
+            }
+        }
+        self.events
+            .extend(packets.into_iter().map(|p| ScenarioEvent::Frame {
+                time: start + p.time,
+                link,
+                wire: p.wire,
+                is_command: p.is_command,
+                label: p.label,
+            }));
+        self
+    }
+
+    /// Appends a Modbus exception flood: `frames` exception responses
+    /// (function `0x83`, codes cycling through illegal-function /
+    /// illegal-address / illegal-value / busy / gateway-timeout) from
+    /// `unit` on `link`, spaced `gap` seconds apart starting at `start`.
+    ///
+    /// Labelled [`AttackType::Dos`] — a device wedged into an exception
+    /// loop denies service exactly like a flooded one.
+    pub fn exception_flood(
+        &mut self,
+        link: u32,
+        unit: u8,
+        start: f64,
+        frames: usize,
+        gap: f64,
+    ) -> &mut Self {
+        for i in 0..frames {
+            let code = EXCEPTION_CODES[i % EXCEPTION_CODES.len()];
+            let frame = Frame::new(unit, FunctionCode::Other(0x83), vec![code]);
+            self.events.push(ScenarioEvent::Frame {
+                time: start + i as f64 * gap,
+                link,
+                wire: frame.encode(),
+                is_command: false,
+                label: Some(AttackType::Dos),
+            });
+        }
+        self
+    }
+
+    /// Appends a malformed-frame storm on `link`: `frames` bursts of
+    /// random bytes spaced `gap` seconds apart starting at `start`.
+    ///
+    /// Three of every four frames are shorter than the minimum Modbus RTU
+    /// frame (the engine must quarantine them); every fourth is a longer
+    /// random-byte frame that parses as *some* junk stream. Unlabelled —
+    /// line garbage is a fault, not an attack.
+    pub fn garbage_storm(
+        &mut self,
+        link: u32,
+        seed: u64,
+        start: f64,
+        frames: usize,
+        gap: f64,
+    ) -> &mut Self {
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        for i in 0..frames {
+            let len = if i % 4 == 3 {
+                rng.gen_range(4..=12)
+            } else {
+                rng.gen_range(0..4)
+            };
+            let wire: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
+            self.events.push(ScenarioEvent::Frame {
+                time: start + i as f64 * gap,
+                link,
+                wire,
+                is_command: false,
+                label: None,
+            });
+        }
+        self
+    }
+
+    /// Scripts a fleet of clean PLC polling loops with wildly skewed
+    /// rates: link `links[i]` polls `2^i` times faster than `links[0]`
+    /// and contributes `2^i` times as many cycles, so all links cover
+    /// roughly the same wall-clock span.
+    ///
+    /// Each link gets its own generator seeded `base.seed + i`, so the
+    /// fleet is deterministic but streams are decorrelated.
+    pub fn skewed_fleet(&mut self, links: &[u32], base: TrafficConfig, cycles: usize) -> &mut Self {
+        for (i, &link) in links.iter().enumerate() {
+            let scale = 1u32 << i.min(20);
+            let mut gen = TrafficGenerator::new(TrafficConfig {
+                seed: base.seed + i as u64,
+                attack_probability: 0.0,
+                inter_cycle_gap: base.inter_cycle_gap / scale as f64,
+                intra_cycle_gap: base.intra_cycle_gap / scale as f64,
+                ..base.clone()
+            });
+            let mut packets = Vec::new();
+            for _ in 0..cycles * scale as usize {
+                gen.generate_cycle_forced(None, &mut packets);
+            }
+            self.events
+                .extend(packets.into_iter().map(|p| ScenarioEvent::Frame {
+                    time: p.time,
+                    link,
+                    wire: p.wire,
+                    is_command: p.is_command,
+                    label: p.label,
+                }));
+        }
+        self
+    }
+
+    /// Marks `link` as leaving the topology at `time`.
+    pub fn link_down(&mut self, link: u32, time: f64) -> &mut Self {
+        self.events.push(ScenarioEvent::LinkDown { time, link });
+        self
+    }
+
+    /// Merges all appended events into one timeline, stably sorted by
+    /// timestamp (ties keep insertion order, so a `link_down` appended
+    /// after a link's last frame stays after it).
+    pub fn build(&mut self) -> Vec<ScenarioEvent> {
+        let mut events = std::mem::take(&mut self.events);
+        events.sort_by(|a, b| a.time().total_cmp(&b.time()));
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clean_config(seed: u64) -> TrafficConfig {
+        TrafficConfig {
+            seed,
+            attack_probability: 0.0,
+            ..TrafficConfig::default()
+        }
+    }
+
+    fn campaign_stages() -> Vec<Stage> {
+        vec![
+            Stage::Quiet { cycles: 3 },
+            Stage::Recon { cycles: 2 },
+            Stage::Drift {
+                cycles: 4,
+                step: 0.5,
+            },
+            Stage::Strike {
+                attack: AttackType::Dos,
+                cycles: 2,
+            },
+        ]
+    }
+
+    #[test]
+    fn scenarios_are_seed_deterministic() {
+        let build = || {
+            ScenarioBuilder::new()
+                .campaign(0, 0.0, clean_config(11), &campaign_stages())
+                .exception_flood(3, 9, 1.0, 16, 0.05)
+                .garbage_storm(4, 77, 2.0, 24, 0.01)
+                .skewed_fleet(&[5, 6, 7], clean_config(12), 3)
+                .link_down(4, 50.0)
+                .build()
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn build_orders_events_globally_by_time() {
+        let events = ScenarioBuilder::new()
+            .exception_flood(1, 9, 5.0, 8, 0.1)
+            .campaign(0, 0.0, clean_config(3), &campaign_stages())
+            .garbage_storm(2, 5, 0.5, 8, 0.3)
+            .build();
+        assert!(events.windows(2).all(|w| w[0].time() <= w[1].time()));
+        // All three sources actually interleave.
+        let links: std::collections::BTreeSet<u32> = events
+            .iter()
+            .filter_map(|e| match e {
+                ScenarioEvent::Frame { link, .. } => Some(*link),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(links.into_iter().collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn campaign_stages_carry_expected_labels() {
+        let events = ScenarioBuilder::new()
+            .campaign(0, 0.0, clean_config(21), &campaign_stages())
+            .build();
+        let labels: Vec<Option<AttackType>> = events
+            .iter()
+            .filter_map(|e| match e {
+                ScenarioEvent::Frame { label, .. } => Some(*label),
+                _ => None,
+            })
+            .collect();
+        assert!(labels.contains(&Some(AttackType::Recon)));
+        assert!(labels.contains(&Some(AttackType::Mpci)));
+        assert!(labels.contains(&Some(AttackType::Dos)));
+        assert!(labels.contains(&None));
+        // The campaign escalates: recon strictly before the strike.
+        let first_dos = labels.iter().position(|l| *l == Some(AttackType::Dos));
+        let last_recon = labels.iter().rposition(|l| *l == Some(AttackType::Recon));
+        assert!(last_recon.unwrap() < first_dos.unwrap());
+    }
+
+    #[test]
+    fn garbage_storm_mixes_runt_and_junk_frames() {
+        let events = ScenarioBuilder::new()
+            .garbage_storm(0, 42, 0.0, 32, 0.01)
+            .build();
+        let mut runts = 0;
+        let mut junk = 0;
+        for e in &events {
+            if let ScenarioEvent::Frame { wire, label, .. } = e {
+                assert_eq!(*label, None);
+                if wire.len() < 4 {
+                    runts += 1;
+                } else {
+                    junk += 1;
+                }
+            }
+        }
+        assert_eq!(runts, 24);
+        assert_eq!(junk, 8);
+    }
+
+    #[test]
+    fn exception_flood_frames_are_well_formed_exceptions() {
+        let events = ScenarioBuilder::new()
+            .exception_flood(1, 9, 0.0, 5, 0.1)
+            .build();
+        assert_eq!(events.len(), 5);
+        for e in &events {
+            if let ScenarioEvent::Frame {
+                wire,
+                label,
+                is_command,
+                ..
+            } = e
+            {
+                assert!(wire.len() >= 4);
+                assert_eq!(wire[1], 0x83);
+                assert_eq!(*label, Some(AttackType::Dos));
+                assert!(!is_command);
+            }
+        }
+    }
+
+    #[test]
+    fn skewed_fleet_rates_scale_per_link() {
+        let events = ScenarioBuilder::new()
+            .skewed_fleet(&[0, 1], clean_config(9), 4)
+            .build();
+        let count = |target: u32| {
+            events
+                .iter()
+                .filter(|e| matches!(e, ScenarioEvent::Frame { link, .. } if *link == target))
+                .count()
+        };
+        // Link 1 runs 2x the cycles of link 0.
+        assert!(count(1) > count(0));
+        assert!(count(0) >= 4 * 4); // 4 packets per clean cycle
+    }
+}

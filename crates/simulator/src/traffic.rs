@@ -2,8 +2,8 @@
 //! labelled, timestamped wire packets.
 
 use icsad_modbus::pipeline::{
-    decode_read_response, encode_read_command, encode_read_response, encode_write_command,
-    PipelineState,
+    decode_read_response, decode_write_command, encode_read_command, encode_read_response,
+    encode_write_command, PipelineState,
 };
 use icsad_modbus::{Frame, FunctionCode};
 use rand::Rng;
@@ -190,6 +190,52 @@ impl TrafficGenerator {
 
     fn generate_cycle(&mut self, out: &mut Vec<Packet>) {
         let attack = self.injector.advance_cycle(&mut self.rng);
+        self.cycle_with(attack, out);
+    }
+
+    /// Generates one polling cycle with the attack decision made by the
+    /// caller instead of the random episode scheduler.
+    ///
+    /// Scenario campaigns use this to script exact attack timelines
+    /// (recon cycle here, strike cycle there) while reusing the full
+    /// protocol/physics machinery. `None` produces a clean cycle.
+    pub fn generate_cycle_forced(&mut self, attack: Option<AttackType>, out: &mut Vec<Packet>) {
+        self.cycle_with(attack, out);
+    }
+
+    /// Generates one cycle whose write command carries a setpoint drifted
+    /// by `offset` from the operator's genuine value, labeled
+    /// [`AttackType::Mpci`].
+    ///
+    /// Unlike the randomized Mpci injection, the drift is caller-
+    /// controlled and small per cycle, modeling a stealthy campaign that
+    /// walks the setpoint away over many cycles.
+    pub fn generate_cycle_drift(&mut self, offset: f64, out: &mut Vec<Packet>) {
+        let inter = self.config.inter_cycle_gap;
+        let intra = self.config.intra_cycle_gap;
+        let noise = self.config.bad_crc_rate;
+        let write_cmd = self.master.begin_cycle(&mut self.rng);
+        let genuine = decode_write_command(&write_cmd).expect("master write command must decode");
+        let mut drifted = genuine;
+        drifted.pid.setpoint = (genuine.pid.setpoint + offset).max(0.0);
+        let frame = encode_write_command(self.config.slave_address, &drifted);
+        self.push(out, &frame, true, Some(AttackType::Mpci), inter, 0.0);
+        if let Some(ack) = self.plc.handle_frame(&frame) {
+            self.push(out, &ack, false, None, intra, noise);
+        }
+        let read_cmd = self.master.read_command();
+        self.push(out, &read_cmd, true, None, intra, noise);
+        if let Some(genuine_resp) = self.plc.handle_frame(&read_cmd) {
+            let genuine_state =
+                decode_read_response(&genuine_resp).expect("plc read response must decode");
+            self.push(out, &genuine_resp, false, None, intra, noise);
+            self.master.observe_pressure(genuine_state.pressure);
+        }
+        let dt = inter + 3.0 * intra;
+        self.plc.tick(dt, &mut self.rng);
+    }
+
+    fn cycle_with(&mut self, attack: Option<AttackType>, out: &mut Vec<Packet>) {
         let inter = self.config.inter_cycle_gap;
         let intra = self.config.intra_cycle_gap;
         let noise = self.config.bad_crc_rate;
@@ -307,7 +353,6 @@ impl TrafficGenerator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use icsad_modbus::pipeline::decode_write_command;
 
     fn clean_config() -> TrafficConfig {
         TrafficConfig {

@@ -99,14 +99,7 @@ impl CaptureBuilder {
         let unit = rtu_wire[0];
         let pdu = &rtu_wire[1..rtu_wire.len() - 2];
 
-        let state = match self.conns.iter_mut().position(|(id, _)| *id == conn) {
-            Some(i) => &mut self.conns[i].1,
-            None => {
-                self.conns.push((conn, ConnState::default()));
-                // PANIC: the entry was pushed on the line above.
-                &mut self.conns.last_mut().expect("just pushed").1
-            }
-        };
+        let state = self.conn_state(conn);
         let txn = if is_command {
             let t = state.next_txn;
             state.next_txn = state.next_txn.wrapping_add(1);
@@ -123,10 +116,47 @@ impl CaptureBuilder {
         mbap.push(unit);
         mbap.extend_from_slice(pdu);
 
+        self.tcp_packet(conn, time, is_command, 0x18, &mbap);
+    }
+
+    /// Appends a payload-less FIN|ACK from the master closing connection
+    /// `conn`, and resets the connection's framing state so a later
+    /// packet on the same connection index models a fresh TCP connection
+    /// (new sequence numbers and transaction ids on the same 4-tuple).
+    ///
+    /// # Panics
+    ///
+    /// If `conn` never carried a packet — closing a connection that was
+    /// never opened is a fixture-script bug.
+    pub fn close(&mut self, conn: u16, time: f64) {
+        assert!(
+            self.conns.iter().any(|(id, _)| *id == conn),
+            "close of a connection never opened"
+        );
+        self.tcp_packet(conn, time, true, 0x11, &[]);
+        let state = self.conn_state(conn);
+        *state = ConnState::default();
+    }
+
+    fn conn_state(&mut self, conn: u16) -> &mut ConnState {
+        match self.conns.iter_mut().position(|(id, _)| *id == conn) {
+            Some(i) => &mut self.conns[i].1,
+            None => {
+                self.conns.push((conn, ConnState::default()));
+                // PANIC: the entry was pushed on the line above.
+                &mut self.conns.last_mut().expect("just pushed").1
+            }
+        }
+    }
+
+    /// Appends one Ethernet II / IPv4 / TCP packet on connection `conn`
+    /// carrying `payload` with the given TCP `flags`.
+    fn tcp_packet(&mut self, conn: u16, time: f64, is_command: bool, flags: u8, payload: &[u8]) {
         let master_port = BASE_PORT + conn;
+        let state = self.conn_state(conn);
         let (src_ip, dst_ip, src_port, dst_port, seq) = if is_command {
             let seq = state.seq_to_slave;
-            state.seq_to_slave = state.seq_to_slave.wrapping_add(mbap.len() as u32);
+            state.seq_to_slave = state.seq_to_slave.wrapping_add(payload.len() as u32);
             (
                 MASTER_IP,
                 SLAVE_IP,
@@ -136,7 +166,7 @@ impl CaptureBuilder {
             )
         } else {
             let seq = state.seq_to_master;
-            state.seq_to_master = state.seq_to_master.wrapping_add(mbap.len() as u32);
+            state.seq_to_master = state.seq_to_master.wrapping_add(payload.len() as u32);
             (
                 SLAVE_IP,
                 MASTER_IP,
@@ -146,14 +176,14 @@ impl CaptureBuilder {
             )
         };
 
-        let mut pkt = Vec::with_capacity(14 + 20 + 20 + mbap.len());
+        let mut pkt = Vec::with_capacity(14 + 20 + 20 + payload.len());
         // Ethernet II: deterministic locally-administered MACs.
         pkt.extend_from_slice(&[0x02, 0, 0, 0, 0, if is_command { 2 } else { 1 }]);
         pkt.extend_from_slice(&[0x02, 0, 0, 0, 0, if is_command { 1 } else { 2 }]);
         pkt.extend_from_slice(&0x0800u16.to_be_bytes());
         // IPv4, no options; checksums left zero (the replay layer does not
         // verify them, and real capture tools accept offloaded zeros).
-        let total_len = (20 + 20 + mbap.len()) as u16;
+        let total_len = (20 + 20 + payload.len()) as u16;
         pkt.push(0x45);
         pkt.push(0);
         pkt.extend_from_slice(&total_len.to_be_bytes());
@@ -165,17 +195,17 @@ impl CaptureBuilder {
         pkt.extend_from_slice(&0u16.to_be_bytes()); // header checksum
         pkt.extend_from_slice(&src_ip);
         pkt.extend_from_slice(&dst_ip);
-        // TCP, no options, PSH|ACK.
+        // TCP, no options.
         pkt.extend_from_slice(&src_port.to_be_bytes());
         pkt.extend_from_slice(&dst_port.to_be_bytes());
         pkt.extend_from_slice(&seq.to_be_bytes());
         pkt.extend_from_slice(&0u32.to_be_bytes()); // ack
         pkt.push(5 << 4); // data offset
-        pkt.push(0x18); // PSH|ACK
+        pkt.push(flags);
         pkt.extend_from_slice(&0xFFFFu16.to_be_bytes()); // window
         pkt.extend_from_slice(&0u16.to_be_bytes()); // checksum
         pkt.extend_from_slice(&0u16.to_be_bytes()); // urgent
-        pkt.extend_from_slice(&mbap);
+        pkt.extend_from_slice(payload);
 
         self.raw_packet(time, &pkt);
     }
@@ -200,6 +230,37 @@ mod tests {
             b.finish()
         };
         assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn close_emits_fin_and_resets_connection_state() {
+        let build = || {
+            let mut b = CaptureBuilder::new();
+            b.modbus(0.1, &[4, 0x03, 0x00, 0xAA, 0xBB], true);
+            b.close(0, 0.2);
+            b.modbus(0.3, &[4, 0x03, 0x01, 0xCC, 0xDD], true);
+            b.finish()
+        };
+        let image = build();
+        assert_eq!(image, build(), "close path must stay byte-deterministic");
+
+        // Walk the records: flags byte sits at Ethernet(14)+IP(20)+13
+        // within each packet's data.
+        let mut flags = Vec::new();
+        let mut txns = Vec::new();
+        let mut off = 24;
+        while off < image.len() {
+            let incl = u32::from_le_bytes(image[off + 8..off + 12].try_into().unwrap()) as usize;
+            let data = &image[off + 16..off + 16 + incl];
+            flags.push(data[14 + 20 + 13]);
+            if incl > 54 {
+                txns.push(u16::from_be_bytes([data[54], data[55]]));
+            }
+            off += 16 + incl;
+        }
+        assert_eq!(flags, vec![0x18, 0x11, 0x18], "PSH|ACK, FIN|ACK, PSH|ACK");
+        // The post-close command restarts the transaction-id stream.
+        assert_eq!(txns, vec![0, 0]);
     }
 
     #[test]

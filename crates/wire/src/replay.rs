@@ -40,8 +40,11 @@ pub struct ReplayStats {
     pub frames: u64,
     /// Packets that were not Ethernet/IPv4/TCP (or too short to be).
     pub ignored_packets: u64,
-    /// Distinct TCP connections observed.
+    /// Distinct TCP connections observed (cumulative: reconnects count
+    /// again).
     pub connections: u32,
+    /// Connections closed by a FIN or RST segment.
+    pub closed_connections: u64,
     /// Stream bytes discarded while the MBAP decoders resynchronized.
     pub skipped_bytes: u64,
     /// Distinct garbage runs survived across all decoders.
@@ -61,6 +64,20 @@ pub struct WireReplay {
     // out in packet arrival order, so iteration order never matters.
     conn_ids: HashMap<(Endpoint, Endpoint), usize>,
     conns: Vec<Connection>,
+    /// Link ids of closed connections whose decoder slots may be handed
+    /// to future connections. Ids move here only via
+    /// [`WireReplay::drain_closed_links`], so a caller that never drains
+    /// (the monolithic [`WireReplay::replay`] path) still sees monotonic
+    /// first-seen link ids.
+    free_ids: Vec<usize>,
+    /// Links closed since the last [`WireReplay::drain_closed_links`].
+    closed: Vec<u32>,
+    /// Cumulative connections opened (reconnects count again).
+    opened: u32,
+    closed_count: u64,
+    /// Decoder counters folded in from closed connections.
+    folded_skipped: u64,
+    folded_resyncs: u64,
     packets: u64,
     frames: u64,
     ignored: u64,
@@ -97,18 +114,34 @@ impl WireReplay {
     /// source, e.g. a live ring buffer).
     pub fn handle_packet<F: FnMut(RawFrame)>(&mut self, time: f64, data: &[u8], sink: &mut F) {
         self.packets += 1;
-        let Some((key, is_command, payload)) = parse_tcp(data) else {
+        let Some(TcpSegment {
+            key,
+            is_command,
+            fin_rst,
+            payload,
+        }) = parse_tcp(data)
+        else {
             self.ignored += 1;
             return;
         };
-        let next_id = self.conn_ids.len();
-        let conn_id = *self.conn_ids.entry(key).or_insert(next_id);
-        if conn_id == self.conns.len() {
-            self.conns.push(Connection {
-                to_slave: MbapDecoder::new(),
-                to_master: MbapDecoder::new(),
-            });
-        }
+        let conn_id = match self.conn_ids.get(&key) {
+            Some(&id) => id,
+            None => {
+                let id = match self.free_ids.pop() {
+                    Some(id) => id,
+                    None => {
+                        self.conns.push(Connection {
+                            to_slave: MbapDecoder::new(),
+                            to_master: MbapDecoder::new(),
+                        });
+                        self.conns.len() - 1
+                    }
+                };
+                self.conn_ids.insert(key, id);
+                self.opened += 1;
+                id
+            }
+        };
         let decoder = if is_command {
             &mut self.conns[conn_id].to_slave
         } else {
@@ -125,6 +158,36 @@ impl WireReplay {
                 link: conn_id as u32,
             });
         }
+        // A FIN or RST (either direction) ends the connection: any data it
+        // carried was processed above, so fold the decoder counters, reset
+        // the slot and mark the link id closed. The id is not reused until
+        // the caller acknowledges the close via `drain_closed_links`.
+        if fin_rst {
+            self.conn_ids.remove(&key);
+            let conn = &mut self.conns[conn_id];
+            for dec in [&mut conn.to_slave, &mut conn.to_master] {
+                self.folded_skipped += dec.stats().skipped_bytes;
+                self.folded_resyncs += dec.stats().resyncs;
+                *dec = MbapDecoder::new();
+            }
+            self.closed_count += 1;
+            self.closed.push(conn_id as u32);
+        }
+    }
+
+    /// Moves the link ids of connections closed since the last call into
+    /// `out` and releases them for reuse by future connections.
+    ///
+    /// Callers that feed an engine should retire each drained link before
+    /// ingesting further packets, so a reconnect that lands on a recycled
+    /// id starts from a cold lane. Callers that never drain keep strictly
+    /// monotonic first-seen ids.
+    pub fn drain_closed_links(&mut self, out: &mut Vec<u32>) {
+        for &link in &self.closed {
+            self.free_ids.push(link as usize);
+            out.push(link);
+        }
+        self.closed.clear();
     }
 
     /// Counters so far, aggregated across all connection decoders.
@@ -133,8 +196,10 @@ impl WireReplay {
             packets: self.packets,
             frames: self.frames,
             ignored_packets: self.ignored,
-            connections: self.conns.len() as u32,
-            ..ReplayStats::default()
+            connections: self.opened,
+            closed_connections: self.closed_count,
+            skipped_bytes: self.folded_skipped,
+            resyncs: self.folded_resyncs,
         };
         for conn in &self.conns {
             for dec in [&conn.to_slave, &conn.to_master] {
@@ -146,10 +211,21 @@ impl WireReplay {
     }
 }
 
-/// Peels Ethernet II / IPv4 / TCP; returns the canonical connection key,
-/// the command flag (destination port 502), and the TCP payload. `None`
-/// for anything that is not a well-formed Modbus-capable TCP segment.
-fn parse_tcp(data: &[u8]) -> Option<((Endpoint, Endpoint), bool, &[u8])> {
+/// One peeled TCP segment (see [`parse_tcp`]).
+struct TcpSegment<'a> {
+    /// Canonical connection key (both directions hash to one connection).
+    key: (Endpoint, Endpoint),
+    /// Destination port is 502: master → slave traffic.
+    is_command: bool,
+    /// The segment carries a FIN or RST flag.
+    fin_rst: bool,
+    /// TCP payload bytes.
+    payload: &'a [u8],
+}
+
+/// Peels Ethernet II / IPv4 / TCP; `None` for anything that is not a
+/// well-formed Modbus-capable TCP segment.
+fn parse_tcp(data: &[u8]) -> Option<TcpSegment<'_>> {
     // Ethernet II, IPv4 ethertype.
     if data.len() < 14 || data[12..14] != [0x08, 0x00] {
         return None;
@@ -175,12 +251,15 @@ fn parse_tcp(data: &[u8]) -> Option<((Endpoint, Endpoint), bool, &[u8])> {
     if data_off < 20 || data_off > tcp.len() {
         return None;
     }
-    let payload = &tcp[data_off..];
     let a = (src_ip, src_port);
     let b = (dst_ip, dst_port);
-    // Canonical ordering makes both directions hash to one connection.
-    let key = if a <= b { (a, b) } else { (b, a) };
-    Some((key, dst_port == crate::MODBUS_TCP_PORT, payload))
+    Some(TcpSegment {
+        // Canonical ordering makes both directions hash to one connection.
+        key: if a <= b { (a, b) } else { (b, a) },
+        is_command: dst_port == crate::MODBUS_TCP_PORT,
+        fin_rst: tcp[13] & 0x05 != 0,
+        payload: &tcp[data_off..],
+    })
 }
 
 #[cfg(test)]
@@ -260,6 +339,86 @@ mod tests {
         assert_eq!(stats.ignored_packets, 2);
         assert_eq!(stats.frames, 1);
         assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn fin_closes_connection_and_reconnect_reuses_drained_link() {
+        let mut builder = CaptureBuilder::new();
+        builder.modbus(1.0, &rtu(4, &[0x03, 0x01]), true);
+        builder.close(0, 1.1);
+        // Reconnect on the same 4-tuple: a brand-new connection.
+        builder.modbus(1.2, &rtu(4, &[0x03, 0x02]), true);
+        let image = builder.finish();
+
+        // Without draining, the reconnect gets a fresh monotonic id.
+        let mut links = Vec::new();
+        let mut replay = WireReplay::new();
+        let stats = replay.replay(&image, |f| links.push(f.link)).unwrap();
+        assert_eq!(links, vec![0, 1]);
+        assert_eq!(stats.connections, 2, "reconnect counts as a new connection");
+        assert_eq!(stats.closed_connections, 1);
+
+        // Draining between the close and the reconnect recycles link 0.
+        let mut reader = crate::pcap::PcapReader::new(&image).unwrap();
+        let mut replay = WireReplay::new();
+        let mut links = Vec::new();
+        let mut closed = Vec::new();
+        while let Some(packet) = reader.next().unwrap() {
+            replay.handle_packet(packet.time, packet.data, &mut |f| links.push(f.link));
+            replay.drain_closed_links(&mut closed);
+        }
+        assert_eq!(links, vec![0, 0]);
+        assert_eq!(closed, vec![0]);
+        assert_eq!(replay.stats().connections, 2);
+        assert_eq!(replay.stats().closed_connections, 1);
+    }
+
+    #[test]
+    fn undrained_close_does_not_recycle_link_ids() {
+        let mut builder = CaptureBuilder::new();
+        builder.modbus_on(0, 1.0, &rtu(4, &[0x03, 0x01]), true);
+        builder.close(0, 1.1);
+        builder.modbus_on(1, 1.2, &rtu(7, &[0x03, 0x02]), true);
+        let image = builder.finish();
+
+        let mut links = Vec::new();
+        let mut replay = WireReplay::new();
+        replay.replay(&image, |f| links.push(f.link)).unwrap();
+        // Connection index 1 must not land on the closed-but-undrained 0.
+        assert_eq!(links, vec![0, 1]);
+    }
+
+    #[test]
+    fn decoder_counters_survive_connection_close() {
+        // Garbage bytes force a resync, then the connection closes: the
+        // skipped/resync counters must not vanish with the decoder.
+        let cmd = rtu(4, &[0x03, 0x00, 0x2A]);
+        let mut builder = CaptureBuilder::new();
+        builder.modbus(1.0, &cmd, true);
+        let image = builder.finish();
+        // Corrupt the MBAP protocol-id field so the decoder resyncs.
+        let mut bad = image.clone();
+        let mbap_off = 24 + 16 + 54;
+        bad[mbap_off + 2] = 0xFF;
+
+        let mut replay = WireReplay::new();
+        replay.replay(&bad, |_| {}).unwrap();
+        let before = replay.stats();
+        assert!(before.skipped_bytes > 0, "corruption must skip bytes");
+
+        let mut closer = CaptureBuilder::new();
+        closer.modbus(2.0, &cmd, true);
+        closer.close(0, 2.1);
+        let close_image = closer.finish();
+        // Feed only the FIN record (skip global header + first packet).
+        let mut reader = crate::pcap::PcapReader::new(&close_image).unwrap();
+        reader.next().unwrap();
+        let fin = reader.next().unwrap().unwrap();
+        replay.handle_packet(fin.time, fin.data, &mut |_| {});
+        let after = replay.stats();
+        assert_eq!(after.skipped_bytes, before.skipped_bytes);
+        assert_eq!(after.resyncs, before.resyncs);
+        assert_eq!(after.closed_connections, 1);
     }
 
     #[test]

@@ -90,6 +90,10 @@ pub struct WireServer {
     listener: TcpListener,
     conns: Vec<Conn>,
     next_link: u32,
+    /// Link ids released for reuse by [`WireServer::drain_closed_links`].
+    free_links: Vec<u32>,
+    /// Links closed since the last [`WireServer::drain_closed_links`].
+    closed_links: Vec<u32>,
     started: Instant,
     scratch: Vec<u8>,
     stats: ServerStats,
@@ -109,6 +113,8 @@ impl WireServer {
             listener,
             conns: Vec::new(),
             next_link: 0,
+            free_links: Vec::new(),
+            closed_links: Vec::new(),
             started: Instant::now(),
             scratch: vec![0u8; READ_CHUNK],
             stats: ServerStats::default(),
@@ -136,15 +142,21 @@ impl WireServer {
                         continue;
                     }
                     self.stats.accepted += 1;
+                    // Recycle a drained link id if one is free; otherwise
+                    // mint the next fresh id.
+                    let link = self.free_links.pop().unwrap_or_else(|| {
+                        let link = self.next_link;
+                        self.next_link += 1;
+                        link
+                    });
                     self.conns.push(Conn {
                         stream,
                         decoder: MbapDecoder::new(),
-                        link: self.next_link,
+                        link,
                         txns: [0; TXN_RING],
                         txn_len: 0,
                         txn_next: 0,
                     });
-                    self.next_link += 1;
                 }
                 Err(e) if e.kind() == ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == ErrorKind::Interrupted => continue,
@@ -197,9 +209,25 @@ impl WireServer {
                 self.stats.closed += 1;
                 self.stats.skipped_bytes += conn.decoder.stats().skipped_bytes;
                 self.stats.resyncs += conn.decoder.stats().resyncs;
+                self.closed_links.push(conn.link);
             }
         }
         emitted
+    }
+
+    /// Moves the link ids of connections closed since the last call into
+    /// `out` and releases them for reuse by future accepts.
+    ///
+    /// Callers that feed an engine should retire each drained link before
+    /// the next poll, so a reconnect landing on a recycled id starts from
+    /// a cold lane. Callers that never drain keep strictly monotonic
+    /// accept-order ids.
+    pub fn drain_closed_links(&mut self, out: &mut Vec<u32>) {
+        for &link in &self.closed_links {
+            self.free_links.push(link);
+            out.push(link);
+        }
+        self.closed_links.clear();
     }
 
     /// Live connection count.
@@ -304,5 +332,43 @@ mod tests {
         assert_eq!(stats.closed, 2);
         assert_eq!(stats.frames, 4);
         assert_eq!(stats.skipped_bytes, 0);
+    }
+
+    #[test]
+    fn drained_link_ids_are_recycled_for_new_connections() {
+        let mut server = WireServer::bind("127.0.0.1:0").expect("bind");
+        let addr = server.local_addr().expect("addr");
+
+        let mut client = TcpStream::connect(addr).expect("connect");
+        client.write_all(&mbap(1, 4, &[0x03, 0x01])).unwrap();
+        client.flush().unwrap();
+        let mut links = Vec::new();
+        poll_until(&mut server, 1, |f| links.push(f.link));
+        assert_eq!(links, vec![0]);
+
+        drop(client);
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while server.connections() > 0 {
+            server.poll(|_| {});
+            assert!(Instant::now() < deadline, "timed out waiting for close");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let mut closed = Vec::new();
+        server.drain_closed_links(&mut closed);
+        assert_eq!(closed, vec![0]);
+
+        // The reconnect lands back on the drained link id, not a fresh one.
+        let mut again = TcpStream::connect(addr).expect("reconnect");
+        again.write_all(&mbap(2, 4, &[0x03, 0x02])).unwrap();
+        again.flush().unwrap();
+        let mut more = Vec::new();
+        poll_until(&mut server, 1, |f| more.push(f.link));
+        assert_eq!(more, vec![0]);
+        assert_eq!(server.stats().accepted, 2);
+
+        // Draining nothing yields nothing.
+        let mut none = Vec::new();
+        server.drain_closed_links(&mut none);
+        assert!(none.is_empty());
     }
 }
